@@ -1,0 +1,89 @@
+// Command foxbench regenerates the paper's evaluation tables on the
+// simulated substrate:
+//
+//	foxbench -table 1        Table 1 (throughput + round trip, both TCPs)
+//	foxbench -table 2        Table 2 (execution profile, sender+receiver)
+//	foxbench -gc             the §5 garbage-collection experiment
+//	foxbench -ablate         design-choice ablations (DESIGN.md §5)
+//	foxbench -all            everything
+//
+// Flags -bytes, -window, -scale, -loss, -seed, -rounds adjust the
+// workload; defaults reproduce the paper's setup (10^6 bytes, 4096-byte
+// window, 10 Mb/s wire, CPU scaled 1000× to a DECstation 5000/125).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	table := flag.Int("table", 0, "paper table to regenerate (1 or 2)")
+	gc := flag.Bool("gc", false, "run the garbage-collection experiment")
+	ablate := flag.Bool("ablate", false, "run the design-choice ablations")
+	sweep := flag.Bool("sweep", false, "sweep TCP window sizes for both implementations")
+	lossSweep := flag.Bool("losssweep", false, "sweep wire loss rates for both implementations")
+	all := flag.Bool("all", false, "run everything")
+	bytes := flag.Int("bytes", 1_000_000, "transfer size in bytes")
+	window := flag.Int("window", 4096, "TCP window in bytes")
+	scale := flag.Float64("scale", 1000, "CPU scale factor (modern ns -> 1994 virtual ns)")
+	nocharge := flag.Bool("nocharge", false, "disable CPU charging (deterministic wire-limited run)")
+	loss := flag.Float64("loss", 0, "wire loss probability")
+	seed := flag.Uint64("seed", 1, "fault-injection seed")
+	rounds := flag.Int("rounds", 100, "round trips for the RTT experiment")
+	smlera := flag.Bool("smlera", false, "charge the paper's 1994 per-KB copy/checksum costs (Table 1 full-factor mode)")
+	smlfactor := flag.Float64("smlfactor", 0, "multiply Fox hosts' CPU charges, modeling SML/NJ code generation (try 5)")
+	flag.Parse()
+
+	o := experiments.Options{
+		Bytes:     *bytes,
+		Window:    *window,
+		CPUScale:  *scale,
+		NoCharge:  *nocharge,
+		Loss:      *loss,
+		Seed:      *seed,
+		Rounds:    *rounds,
+		SMLEra:    *smlera,
+		SMLFactor: *smlfactor,
+	}
+
+	ran := false
+	if *table == 1 || *all {
+		ran = true
+		start := time.Now()
+		_, _, _, _, text := experiments.Table1(o)
+		fmt.Println(text)
+		fmt.Printf("  (real time: %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if *table == 2 || *all {
+		ran = true
+		_, text := experiments.Table2(o)
+		fmt.Println(text)
+	}
+	if *gc || *all {
+		ran = true
+		fmt.Println(experiments.GCExperiment(o).Text)
+	}
+	if *ablate || *all {
+		ran = true
+		fmt.Println(experiments.RunAblations(o))
+	}
+	if *sweep || *all {
+		ran = true
+		_, text := experiments.WindowSweep(o, nil)
+		fmt.Println(text)
+	}
+	if *lossSweep || *all {
+		ran = true
+		_, text := experiments.LossSweep(o, nil)
+		fmt.Println(text)
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

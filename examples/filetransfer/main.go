@@ -1,0 +1,48 @@
+// Filetransfer runs the paper's Table 1 workload as a CLI: a designated
+// receiver requests N bytes from a designated sender over the simulated
+// 10 Mb/s Ethernet and times the transfer on the virtual clock, with
+// flow control regulating the rate exactly as §5 describes. Flags adjust
+// the size, window, bandwidth, loss rate and implementation.
+//
+//	go run ./examples/filetransfer -bytes 1000000 -window 4096
+//	go run ./examples/filetransfer -loss 0.05 -seed 7
+//	go run ./examples/filetransfer -impl baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	bytes := flag.Int("bytes", 1_000_000, "bytes to transfer")
+	window := flag.Int("window", 4096, "TCP window")
+	loss := flag.Float64("loss", 0, "wire loss probability")
+	seed := flag.Uint64("seed", 1, "fault seed")
+	impl := flag.String("impl", "structured", "structured | baseline")
+	charge := flag.Bool("charge", true, "charge measured CPU to virtual time")
+	flag.Parse()
+
+	which := experiments.Structured
+	if *impl == "baseline" {
+		which = experiments.XKernelBaseline
+	}
+	o := experiments.Options{
+		Bytes:    *bytes,
+		Window:   *window,
+		Loss:     *loss,
+		Seed:     *seed,
+		NoCharge: !*charge,
+		Profile:  true,
+	}
+	r := experiments.Throughput(which, o)
+	fmt.Printf("%s: %d bytes in %v of virtual time = %.2f Mb/s\n",
+		r.Impl, r.Bytes, r.Elapsed.Round(time.Millisecond), r.ThroughputMbps)
+	fmt.Printf("segments sent: %d, retransmitted: %d\n", r.SegsSent, r.Retransmits)
+	fmt.Println()
+	fmt.Print(r.Sender.Format("sender profile"))
+	fmt.Print(r.Receiver.Format("receiver profile"))
+}

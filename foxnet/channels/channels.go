@@ -1,0 +1,169 @@
+// Package channels realizes the future work the paper names in §7: "One
+// example that we may want to imitate or re-implement is CML (Concurrent
+// ML) ... CML provides typed channels and lightweight threads integrated
+// into a parallel programming environment."
+//
+// A channels.Conn[T] is a bidirectional, typed message channel carried
+// over one structured-TCP connection: Send transmits a T, Recv blocks the
+// calling coroutine until a T arrives — the CML rendezvous style, on the
+// paper's own scheduler. Values are framed with a 4-byte length and
+// encoded with encoding/gob, so any gob-encodable type flows; framing
+// sits entirely above TCP's byte stream, exercising segmentation and
+// reassembly across message boundaries.
+package channels
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"repro/internal/basis"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+)
+
+// ErrChannelClosed reports Send or Recv on a finished channel.
+var ErrChannelClosed = errors.New("channels: channel closed")
+
+// maxMessage bounds one encoded message (16 MiB) so a corrupt length
+// prefix cannot provoke an absurd allocation.
+const maxMessage = 16 << 20
+
+// Conn is a typed channel over one TCP connection.
+type Conn[T any] struct {
+	tc   *tcp.Conn
+	s    *sim.Scheduler
+	buf  bytes.Buffer // unframed inbound bytes
+	inq  basis.FIFO[T]
+	cond *sim.Cond
+	err  error
+	eof  bool
+}
+
+// Dial opens a typed channel to port at addr through endpoint t,
+// blocking until the connection is established.
+func Dial[T any](t *tcp.TCP, addr protocol.Address, port uint16) (*Conn[T], error) {
+	c := &Conn[T]{s: t.Scheduler()}
+	c.cond = sim.NewCond(c.s)
+	tc, err := t.Open(addr, port, c.handler())
+	if err != nil {
+		return nil, err
+	}
+	c.tc = tc
+	return c, nil
+}
+
+// Listen accepts typed channels on port; accept runs once per channel,
+// after which the caller typically forks a coroutine that loops on Recv.
+func Listen[T any](t *tcp.TCP, port uint16, accept func(*Conn[T])) error {
+	_, err := t.Listen(port, func(tc *tcp.Conn) tcp.Handler {
+		c := &Conn[T]{tc: tc, s: t.Scheduler()}
+		c.cond = sim.NewCond(c.s)
+		h := c.handler()
+		h.Established = func(*tcp.Conn) { accept(c) }
+		return h
+	})
+	return err
+}
+
+// handler adapts TCP upcalls to the channel's framing and queue.
+func (c *Conn[T]) handler() tcp.Handler {
+	return tcp.Handler{
+		Data: func(_ *tcp.Conn, data []byte) {
+			c.buf.Write(data)
+			c.decodeFrames()
+		},
+		PeerClosed: func(*tcp.Conn) {
+			c.eof = true
+			c.cond.Broadcast()
+		},
+		Error: func(_ *tcp.Conn, err error) {
+			if c.err == nil {
+				c.err = err
+			}
+			c.cond.Broadcast()
+		},
+	}
+}
+
+// decodeFrames drains every complete frame from the reassembly buffer.
+func (c *Conn[T]) decodeFrames() {
+	for {
+		b := c.buf.Bytes()
+		if len(b) < 4 {
+			return
+		}
+		n := int(binary.BigEndian.Uint32(b[:4]))
+		if n < 0 || n > maxMessage {
+			c.err = fmt.Errorf("channels: bad frame length %d", n)
+			c.cond.Broadcast()
+			c.tc.Abort()
+			return
+		}
+		if len(b) < 4+n {
+			return
+		}
+		var v T
+		if err := gob.NewDecoder(bytes.NewReader(b[4 : 4+n])).Decode(&v); err != nil {
+			c.err = fmt.Errorf("channels: decode: %w", err)
+			c.cond.Broadcast()
+			c.tc.Abort()
+			return
+		}
+		c.buf.Next(4 + n)
+		c.inq.Enqueue(v)
+		c.cond.Broadcast()
+	}
+}
+
+// Send transmits one value, blocking only for send-buffer space.
+func (c *Conn[T]) Send(v T) error {
+	if c.err != nil {
+		return c.err
+	}
+	var payload bytes.Buffer
+	payload.Write([]byte{0, 0, 0, 0})
+	if err := gob.NewEncoder(&payload).Encode(&v); err != nil {
+		return fmt.Errorf("channels: encode: %w", err)
+	}
+	frame := payload.Bytes()
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+	return c.tc.Write(frame)
+}
+
+// Recv blocks the calling coroutine until a value arrives. The second
+// result is false when the peer has closed (after all queued values are
+// drained) or the channel failed; Err distinguishes the two.
+func (c *Conn[T]) Recv() (T, bool) {
+	for {
+		if v, ok := c.inq.Dequeue(); ok {
+			return v, true
+		}
+		if c.eof || c.err != nil {
+			var zero T
+			return zero, false
+		}
+		c.cond.Wait()
+	}
+}
+
+// TryRecv returns a queued value without blocking.
+func (c *Conn[T]) TryRecv() (T, bool) {
+	return c.inq.Dequeue()
+}
+
+// Pending reports queued, undelivered values.
+func (c *Conn[T]) Pending() int { return c.inq.Len() }
+
+// Err returns the channel's terminal error, if any.
+func (c *Conn[T]) Err() error { return c.err }
+
+// Close sends the end-of-stream (TCP FIN) and waits for it to be
+// acknowledged; the peer's Recv then drains and reports closed.
+func (c *Conn[T]) Close() error { return c.tc.Close() }
+
+// Shutdown closes without waiting; safe inside upcalls.
+func (c *Conn[T]) Shutdown() { c.tc.Shutdown() }

@@ -1,0 +1,263 @@
+package channels_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/foxnet"
+	"repro/foxnet/channels"
+)
+
+type order struct {
+	ID    int
+	Item  string
+	Qty   int
+	Notes []string
+}
+
+func runNet(t *testing.T, wcfg foxnet.WireConfig, body func(s *foxnet.Scheduler, net *foxnet.Network)) {
+	t.Helper()
+	s := foxnet.NewScheduler(foxnet.SchedulerConfig{})
+	s.Run(func() {
+		body(s, foxnet.NewNetwork(s, wcfg, 2))
+	})
+}
+
+func TestTypedRoundTrip(t *testing.T) {
+	runNet(t, foxnet.WireConfig{}, func(s *foxnet.Scheduler, net *foxnet.Network) {
+		var got []order
+		channels.Listen(net.Host(1).TCP, 90, func(c *channels.Conn[order]) {
+			s.Fork("server", func() {
+				for {
+					v, ok := c.Recv()
+					if !ok {
+						return
+					}
+					got = append(got, v)
+				}
+			})
+		})
+		ch, err := channels.Dial[order](net.Host(0).TCP, net.Host(1).Addr, 90)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []order{
+			{ID: 1, Item: "widget", Qty: 3, Notes: []string{"red"}},
+			{ID: 2, Item: "sprocket", Qty: 1},
+		}
+		for _, o := range want {
+			if err := ch.Send(o); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Sleep(time.Second)
+		if len(got) != 2 || got[0].Item != "widget" || got[1].ID != 2 || got[0].Notes[0] != "red" {
+			t.Fatalf("received %+v", got)
+		}
+	})
+}
+
+func TestBidirectionalRequestResponse(t *testing.T) {
+	runNet(t, foxnet.WireConfig{}, func(s *foxnet.Scheduler, net *foxnet.Network) {
+		channels.Listen(net.Host(1).TCP, 90, func(c *channels.Conn[int]) {
+			s.Fork("doubler", func() {
+				for {
+					v, ok := c.Recv()
+					if !ok {
+						return
+					}
+					c.Send(v * 2)
+				}
+			})
+		})
+		ch, err := channels.Dial[int](net.Host(0).TCP, net.Host(1).Addr, 90)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i <= 10; i++ {
+			ch.Send(i)
+			v, ok := ch.Recv()
+			if !ok || v != i*2 {
+				t.Fatalf("round %d: got %d,%v", i, v, ok)
+			}
+		}
+	})
+}
+
+func TestManyMessagesPreserveOrder(t *testing.T) {
+	runNet(t, foxnet.WireConfig{}, func(s *foxnet.Scheduler, net *foxnet.Network) {
+		const n = 500
+		sum, count := 0, 0
+		channels.Listen(net.Host(1).TCP, 90, func(c *channels.Conn[int]) {
+			s.Fork("sink", func() {
+				expect := 0
+				for {
+					v, ok := c.Recv()
+					if !ok {
+						return
+					}
+					if v != expect {
+						t.Errorf("out of order: got %d want %d", v, expect)
+						return
+					}
+					expect++
+					sum += v
+					count++
+				}
+			})
+		})
+		ch, _ := channels.Dial[int](net.Host(0).TCP, net.Host(1).Addr, 90)
+		s.Fork("source", func() {
+			for i := 0; i < n; i++ {
+				ch.Send(i)
+			}
+		})
+		s.Sleep(30 * time.Second)
+		if count != n {
+			t.Fatalf("received %d of %d", count, n)
+		}
+		if sum != n*(n-1)/2 {
+			t.Fatalf("sum = %d", sum)
+		}
+	})
+}
+
+func TestLargeValueSpansManySegments(t *testing.T) {
+	runNet(t, foxnet.WireConfig{}, func(s *foxnet.Scheduler, net *foxnet.Network) {
+		var got []byte
+		gotIt := false
+		channels.Listen(net.Host(1).TCP, 90, func(c *channels.Conn[[]byte]) {
+			s.Fork("sink", func() {
+				v, ok := c.Recv()
+				if ok {
+					got, gotIt = v, true
+				}
+			})
+		})
+		ch, _ := channels.Dial[[]byte](net.Host(0).TCP, net.Host(1).Addr, 90)
+		big := make([]byte, 50_000) // ≈35 segments for one message
+		for i := range big {
+			big[i] = byte(i * 13)
+		}
+		s.Fork("source", func() { ch.Send(big) })
+		s.Sleep(time.Minute)
+		if !gotIt || len(got) != len(big) {
+			t.Fatalf("got %d bytes (ok=%v)", len(got), gotIt)
+		}
+		for i := range big {
+			if got[i] != big[i] {
+				t.Fatalf("byte %d corrupted", i)
+			}
+		}
+	})
+}
+
+func TestCloseDeliversEOFAfterDrain(t *testing.T) {
+	runNet(t, foxnet.WireConfig{}, func(s *foxnet.Scheduler, net *foxnet.Network) {
+		var seen []string
+		closed := false
+		channels.Listen(net.Host(1).TCP, 90, func(c *channels.Conn[string]) {
+			s.Fork("sink", func() {
+				for {
+					v, ok := c.Recv()
+					if !ok {
+						closed = true
+						return
+					}
+					seen = append(seen, v)
+				}
+			})
+		})
+		ch, _ := channels.Dial[string](net.Host(0).TCP, net.Host(1).Addr, 90)
+		ch.Send("first")
+		ch.Send("last")
+		ch.Close()
+		s.Sleep(2 * time.Second)
+		if len(seen) != 2 || seen[1] != "last" {
+			t.Fatalf("seen = %v", seen)
+		}
+		if !closed {
+			t.Fatal("Recv never reported closed")
+		}
+	})
+}
+
+func TestChannelsOverLossyWire(t *testing.T) {
+	runNet(t, foxnet.WireConfig{Loss: 0.05, Seed: 31}, func(s *foxnet.Scheduler, net *foxnet.Network) {
+		count := 0
+		channels.Listen(net.Host(1).TCP, 90, func(c *channels.Conn[order]) {
+			s.Fork("sink", func() {
+				for {
+					if _, ok := c.Recv(); !ok {
+						return
+					}
+					count++
+				}
+			})
+		})
+		ch, err := channels.Dial[order](net.Host(0).TCP, net.Host(1).Addr, 90)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Fork("source", func() {
+			for i := 0; i < 100; i++ {
+				ch.Send(order{ID: i, Item: "resilient"})
+			}
+		})
+		s.Sleep(5 * time.Minute)
+		if count != 100 {
+			t.Fatalf("delivered %d of 100 typed messages", count)
+		}
+	})
+}
+
+func TestDialRefusedPropagates(t *testing.T) {
+	runNet(t, foxnet.WireConfig{}, func(s *foxnet.Scheduler, net *foxnet.Network) {
+		if _, err := channels.Dial[int](net.Host(0).TCP, net.Host(1).Addr, 4321); err == nil {
+			t.Fatal("dial to closed port succeeded")
+		}
+	})
+}
+
+func TestTryRecvAndPending(t *testing.T) {
+	runNet(t, foxnet.WireConfig{}, func(s *foxnet.Scheduler, net *foxnet.Network) {
+		var server *channels.Conn[int]
+		channels.Listen(net.Host(1).TCP, 90, func(c *channels.Conn[int]) { server = c })
+		ch, _ := channels.Dial[int](net.Host(0).TCP, net.Host(1).Addr, 90)
+		s.Sleep(100 * time.Millisecond) // server-side accept fires on its host's thread
+		if _, ok := server.TryRecv(); ok {
+			t.Fatal("TryRecv found a value in an empty channel")
+		}
+		ch.Send(41)
+		ch.Send(42)
+		s.Sleep(time.Second)
+		if server.Pending() != 2 {
+			t.Fatalf("Pending = %d", server.Pending())
+		}
+		if v, ok := server.TryRecv(); !ok || v != 41 {
+			t.Fatalf("TryRecv = %d,%v", v, ok)
+		}
+		if server.Err() != nil {
+			t.Fatalf("Err = %v", server.Err())
+		}
+	})
+}
+
+func TestChannelErrOnPeerAbort(t *testing.T) {
+	runNet(t, foxnet.WireConfig{}, func(s *foxnet.Scheduler, net *foxnet.Network) {
+		var serverGotEOF bool
+		channels.Listen(net.Host(1).TCP, 90, func(c *channels.Conn[int]) {
+			s.Fork("sink", func() {
+				_, ok := c.Recv()
+				serverGotEOF = !ok
+			})
+		})
+		ch, _ := channels.Dial[int](net.Host(0).TCP, net.Host(1).Addr, 90)
+		s.Sleep(100 * time.Millisecond)
+		ch.Shutdown() // FIN: the blocked Recv must wake with closed
+		s.Sleep(time.Second)
+		if !serverGotEOF {
+			t.Fatal("Recv did not observe the close")
+		}
+	})
+}

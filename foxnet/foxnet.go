@@ -1,0 +1,242 @@
+// Package foxnet is the public face of the Fox Net reproduction: it
+// assembles protocol stacks the way the paper's Figure 3 does with SML
+// functors —
+//
+//	structure Device = ...
+//	structure Eth    = Eth (structure Lower = Device ...)
+//	structure Ip     = Ip  (structure Lower = Eth ...)
+//	structure Standard_Tcp = Tcp (structure Lower = Ip  ...)
+//	structure Special_Tcp  = Tcp (structure Lower = Eth,
+//	                              val do_checksums = false ...)
+//
+// NewNetwork builds a simulated Ethernet segment and any number of hosts
+// running the standard stack (Device → Eth → Arp/Ip → Icmp/Udp/Tcp);
+// (*Host).TCPOverEthernet instantiates the non-standard Special_Tcp
+// composition, TCP directly over the link layer with checksums off.
+//
+// Everything runs in virtual time on a cooperative scheduler; see
+// DESIGN.md for the substitutions that replace the paper's DECstations,
+// Mach 3.0, and 10 Mb/s Ethernet.
+package foxnet
+
+import (
+	"fmt"
+
+	"repro/internal/arp"
+	"repro/internal/basis"
+	"repro/internal/ethernet"
+	"repro/internal/icmp"
+	"repro/internal/ip"
+	"repro/internal/profile"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/udp"
+	"repro/internal/wire"
+)
+
+// Re-exported names so that users of the public API never import the
+// internal packages directly.
+type (
+	// Scheduler is the cooperative virtual-time scheduler.
+	Scheduler = sim.Scheduler
+	// SchedulerConfig parameterizes it.
+	SchedulerConfig = sim.Config
+	// Time is a virtual instant; Duration a virtual interval.
+	Time = sim.Time
+	// WireConfig parameterizes the simulated Ethernet segment.
+	WireConfig = wire.Config
+	// TCPConfig is the paper's Figure 4 functor-parameter record.
+	TCPConfig = tcp.Config
+	// UDPConfig parameterizes the UDP functor.
+	UDPConfig = udp.Config
+	// Handler is the connection upcall set.
+	Handler = tcp.Handler
+	// Conn is an established TCP connection.
+	Conn = tcp.Conn
+	// Listener answers SYNs on a port.
+	Listener = tcp.Listener
+	// Addr is an IPv4 address.
+	Addr = ip.Addr
+	// HWAddr is an Ethernet address.
+	HWAddr = ethernet.Addr
+	// Packet is the single-copy packet buffer.
+	Packet = basis.Packet
+	// Tracer is the do_prints/do_traces facility.
+	Tracer = basis.Tracer
+	// Profile is the Table 2 counter set.
+	Profile = profile.Profile
+	// Address is any layer's peer address.
+	Address = protocol.Address
+)
+
+// NewScheduler returns a deterministic virtual-time scheduler.
+func NewScheduler(cfg SchedulerConfig) *Scheduler { return sim.New(cfg) }
+
+// NewTracer returns a trace sink for stack assembly.
+var NewTracer = basis.NewTracer
+
+// HostConfig customizes one host in a network.
+type HostConfig struct {
+	// TCP carries the Figure 4 parameters; zero values take the
+	// defaults the paper's benchmarks use (4096-byte window, checksums
+	// on).
+	TCP TCPConfig
+	// UDP parameterizes the UDP layer.
+	UDP UDPConfig
+	// Profile, when true, instruments this host's stack with the
+	// execution-profile counters behind Table 2.
+	Profile bool
+	// ChargeFactor multiplies the CPU time this host's threads charge to
+	// the virtual clock (0 means 1.0). The experiments use it to model
+	// the 1994 SML/NJ code-generation penalty on Fox hosts.
+	ChargeFactor float64
+	// Netmask and Gateway override the host's IP configuration (defaults
+	// /24 and no gateway); Forward makes the host a router.
+	Netmask Addr
+	Gateway Addr
+	Forward bool
+	// Trace, when non-nil, receives do_traces output for every layer.
+	Trace *Tracer
+}
+
+// Host is one simulated machine running the standard stack.
+type Host struct {
+	Name string
+	MAC  HWAddr
+	Addr Addr
+
+	Port *wire.Port
+	Eth  *ethernet.Ethernet
+	ARP  *arp.ARP
+	IP   *ip.IP
+	ICMP *icmp.ICMP
+	UDP  *udp.UDP
+	TCP  *tcp.TCP
+	Prof *Profile
+}
+
+// Network is a simulated Ethernet segment with attached hosts.
+type Network struct {
+	S       *Scheduler
+	Segment *wire.Segment
+	Hosts   []*Host
+}
+
+// NewNetwork builds a segment and n hosts with addresses 10.0.0.1…n,
+// each running the standard stack. cfgs customizes hosts positionally; a
+// missing or nil entry takes defaults. Must be called inside s.Run.
+func NewNetwork(s *Scheduler, wireCfg WireConfig, n int, cfgs ...*HostConfig) *Network {
+	var wireTrace *Tracer
+	for _, c := range cfgs {
+		if c != nil && c.Trace != nil {
+			wireTrace = c.Trace.Sub("wire")
+			break
+		}
+	}
+	net := &Network{S: s, Segment: wire.NewSegment(s, wireCfg, wireTrace)}
+	for i := 0; i < n; i++ {
+		var hc HostConfig
+		if i < len(cfgs) && cfgs[i] != nil {
+			hc = *cfgs[i]
+		}
+		net.Hosts = append(net.Hosts, net.addHost(byte(i+1), hc))
+	}
+	return net
+}
+
+func (n *Network) addHost(id byte, hc HostConfig) *Host {
+	s := n.S
+	if hc.ChargeFactor != 0 {
+		prev := s.ChargeFactor()
+		s.SetChargeFactor(hc.ChargeFactor)
+		defer s.SetChargeFactor(prev)
+	}
+	h := &Host{
+		Name: fmt.Sprintf("host%d", id),
+		MAC:  ethernet.HostAddr(id),
+		Addr: ip.HostAddr(id),
+	}
+	if hc.Profile {
+		h.Prof = profile.New(s, true)
+	}
+	sub := func(name string) *Tracer {
+		if hc.Trace == nil {
+			return nil
+		}
+		t := hc.Trace.Sub(fmt.Sprintf("%s/%s", h.Name, name))
+		t.Stamp = s.Stamp
+		return t
+	}
+	h.Port = n.Segment.NewPort(h.Name, h.Prof)
+	h.Eth = ethernet.New(h.Port, h.MAC, ethernet.Config{Trace: sub("eth"), Prof: h.Prof})
+	h.ARP = arp.New(s, h.Eth, h.Addr, arp.Config{Trace: sub("arp")})
+	h.IP = ip.New(s, h.Eth, h.ARP, ip.Config{
+		Local:   h.Addr,
+		Netmask: hc.Netmask,
+		Gateway: hc.Gateway,
+		Forward: hc.Forward,
+		Trace:   sub("ip"),
+		Prof:    h.Prof,
+	})
+	h.ICMP = icmp.New(s, h.IP, icmp.Config{Trace: sub("icmp")})
+
+	ucfg := hc.UDP
+	if ucfg.Trace == nil {
+		ucfg.Trace = sub("udp")
+	}
+	ucfg.Prof = h.Prof
+	h.UDP = udp.New(h.IP.Network(ip.ProtoUDP), ucfg)
+	// Datagrams for closed ports answer with ICMP port-unreachable, as
+	// a standard stack does.
+	h.UDP.NoListenerUpcall = func(src protocol.Address, original []byte) {
+		if a, ok := src.(ip.Addr); ok {
+			h.ICMP.SendUnreachable(a, icmp.CodePortUnreachable, original)
+		}
+	}
+
+	tcfg := hc.TCP
+	if tcfg.Trace == nil {
+		tcfg.Trace = sub("tcp")
+	}
+	tcfg.Prof = h.Prof
+	h.TCP = tcp.New(s, h.IP.Network(ip.ProtoTCP), tcfg)
+	return h
+}
+
+// Host returns host i (zero-based).
+func (n *Network) Host(i int) *Host { return n.Hosts[i] }
+
+// Tap installs a passive frame observer on the segment (see
+// wire.Segment.SetTap); cmd/foxtrace uses it with internal/decode for
+// tcpdump-style raw output.
+func (n *Network) Tap(tap func(from string, data []byte)) { n.Segment.SetTap(tap) }
+
+// TCPOverEthernet instantiates the paper's Special_Tcp: the same TCP
+// functor applied directly to the Ethernet layer, with checksums off
+// because the link's CRC-32 already protects the segment (the paper's
+// footnote 1 caveat — a link that really computes its CRC — holds by
+// construction on the simulated device). The returned endpoint addresses
+// peers by their hardware address.
+func (h *Host) TCPOverEthernet(s *Scheduler, cfg TCPConfig) *tcp.TCP {
+	if cfg.ComputeChecksums == nil {
+		cfg.ComputeChecksums = tcp.Disable // val do_checksums = false
+	}
+	return tcp.New(s, h.Eth.Transport(ethernet.TypeFoxTCP), cfg)
+}
+
+// Ping sends one ICMP echo and blocks until the reply or a timeout,
+// returning the round-trip time.
+func (h *Host) Ping(s *Scheduler, dst Addr, payload []byte) (sim.Duration, bool) {
+	var rtt sim.Duration
+	ok, done := false, false
+	c := sim.NewCond(s)
+	h.ICMP.Ping(dst, 1, 1, payload, func(o bool, r sim.Duration) {
+		ok, rtt, done = o, r, true
+		c.Signal()
+	})
+	for !done {
+		c.Wait()
+	}
+	return rtt, ok
+}

@@ -1,0 +1,220 @@
+// Package arp resolves IPv4 addresses to Ethernet addresses on the
+// simulated segment. The paper's stack diagram does not discuss address
+// resolution — on its two-DECstation testbed the peer's hardware address
+// was configuration — but a standard stack over a multi-host Ethernet
+// needs it, so this substrate implements RFC 826: a cache with aging,
+// broadcast who-has requests with bounded retries, replies for the local
+// address, and learning from observed traffic.
+package arp
+
+import (
+	"encoding/binary"
+	"time"
+
+	"repro/internal/basis"
+	"repro/internal/ethernet"
+	"repro/internal/ip"
+	"repro/internal/sim"
+	"repro/internal/timers"
+)
+
+const (
+	packetLen  = 28
+	opRequest  = 1
+	opReply    = 2
+	hwEthernet = 1
+)
+
+// Config parameterizes the resolver.
+type Config struct {
+	// RequestTimeout is how long to wait for a reply before retrying.
+	// Default 1s.
+	RequestTimeout sim.Duration
+	// Retries is how many requests are sent before giving up. Default 3.
+	Retries int
+	// EntryTTL is how long a learned mapping stays valid. Default 10min.
+	EntryTTL sim.Duration
+	Trace    *basis.Tracer
+}
+
+func (c *Config) fill() {
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = time.Second
+	}
+	if c.Retries == 0 {
+		c.Retries = 3
+	}
+	if c.EntryTTL == 0 {
+		c.EntryTTL = 10 * time.Minute
+	}
+}
+
+// Stats counts resolver activity.
+type Stats struct {
+	RequestsSent    uint64
+	RepliesSent     uint64
+	RepliesReceived uint64
+	Learned         uint64
+	Failures        uint64
+	Malformed       uint64
+}
+
+type entry struct {
+	mac     ethernet.Addr
+	expires sim.Time
+}
+
+type pending struct {
+	waiters []func(ethernet.Addr, bool)
+	tries   int
+	timer   *timers.Timer
+}
+
+// ARP is one host's resolver.
+type ARP struct {
+	s       *sim.Scheduler
+	eth     *ethernet.Ethernet
+	localIP ip.Addr
+	cfg     Config
+	cache   map[ip.Addr]entry
+	pending map[ip.Addr]*pending
+	stats   Stats
+}
+
+// New attaches a resolver for localIP to eth.
+func New(s *sim.Scheduler, eth *ethernet.Ethernet, localIP ip.Addr, cfg Config) *ARP {
+	cfg.fill()
+	a := &ARP{
+		s: s, eth: eth, localIP: localIP, cfg: cfg,
+		cache:   make(map[ip.Addr]entry),
+		pending: make(map[ip.Addr]*pending),
+	}
+	eth.Register(ethernet.TypeARP, a.receive)
+	return a
+}
+
+// Stats returns a snapshot of the counters.
+func (a *ARP) Stats() Stats { return a.stats }
+
+// AddStatic installs a permanent mapping.
+func (a *ARP) AddStatic(addr ip.Addr, mac ethernet.Addr) {
+	a.cache[addr] = entry{mac: mac, expires: sim.Time(1<<63 - 1)}
+}
+
+// Lookup returns the cached mapping, if fresh.
+func (a *ARP) Lookup(addr ip.Addr) (ethernet.Addr, bool) {
+	e, ok := a.cache[addr]
+	if !ok || a.s.Now() >= e.expires {
+		return ethernet.Addr{}, false
+	}
+	return e.mac, true
+}
+
+// Resolve delivers the hardware address for addr to ready. On a cache hit
+// ready runs before Resolve returns; otherwise a broadcast request goes
+// out and ready runs when the reply arrives, or with ok=false after the
+// retry budget is exhausted. Multiple resolutions for one address share
+// one request exchange.
+func (a *ARP) Resolve(addr ip.Addr, ready func(mac ethernet.Addr, ok bool)) {
+	if mac, ok := a.Lookup(addr); ok {
+		ready(mac, true)
+		return
+	}
+	if p, ok := a.pending[addr]; ok {
+		p.waiters = append(p.waiters, ready)
+		return
+	}
+	p := &pending{waiters: []func(ethernet.Addr, bool){ready}}
+	a.pending[addr] = p
+	a.sendRequest(addr, p)
+}
+
+func (a *ARP) sendRequest(addr ip.Addr, p *pending) {
+	p.tries++
+	a.stats.RequestsSent++
+	a.cfg.Trace.Printf("who-has %s (try %d)", addr, p.tries)
+	a.send(opRequest, ethernet.Broadcast, ethernet.Addr{}, addr)
+	p.timer = timers.Start(a.s, func() {
+		if a.pending[addr] != p {
+			return
+		}
+		if p.tries >= a.cfg.Retries {
+			delete(a.pending, addr)
+			a.stats.Failures++
+			a.cfg.Trace.Printf("resolution of %s failed after %d tries", addr, p.tries)
+			for _, w := range p.waiters {
+				w(ethernet.Addr{}, false)
+			}
+			return
+		}
+		a.sendRequest(addr, p)
+	}, a.cfg.RequestTimeout)
+}
+
+func (a *ARP) send(op uint16, ethDst, tha ethernet.Addr, tpa ip.Addr) {
+	pkt := basis.AllocPacket(ethernet.Headroom, ethernet.Tailroom, packetLen)
+	b := pkt.Bytes()
+	binary.BigEndian.PutUint16(b[0:2], hwEthernet)
+	binary.BigEndian.PutUint16(b[2:4], ethernet.TypeIPv4)
+	b[4], b[5] = 6, 4
+	binary.BigEndian.PutUint16(b[6:8], op)
+	sha := a.eth.LocalAddr()
+	copy(b[8:14], sha[:])
+	copy(b[14:18], a.localIP[:])
+	copy(b[18:24], tha[:])
+	copy(b[24:28], tpa[:])
+	a.eth.Send(ethDst, ethernet.TypeARP, pkt)
+}
+
+func (a *ARP) receive(src, dst ethernet.Addr, pkt *basis.Packet) {
+	b := pkt.Bytes()
+	if len(b) < packetLen {
+		a.stats.Malformed++
+		return
+	}
+	if binary.BigEndian.Uint16(b[0:2]) != hwEthernet ||
+		binary.BigEndian.Uint16(b[2:4]) != ethernet.TypeIPv4 ||
+		b[4] != 6 || b[5] != 4 {
+		a.stats.Malformed++
+		return
+	}
+	op := binary.BigEndian.Uint16(b[6:8])
+	var sha ethernet.Addr
+	var spa, tpa ip.Addr
+	copy(sha[:], b[8:14])
+	copy(spa[:], b[14:18])
+	copy(tpa[:], b[24:28])
+
+	// Learn the sender's mapping from both requests and replies
+	// (RFC 826's merge step).
+	if !spa.IsUnspecified() {
+		a.learn(spa, sha)
+	}
+
+	switch op {
+	case opRequest:
+		if tpa == a.localIP {
+			a.stats.RepliesSent++
+			a.cfg.Trace.Printf("%s is-at %s (answering %s)", a.localIP, a.eth.LocalAddr(), spa)
+			a.send(opReply, sha, sha, spa)
+		}
+	case opReply:
+		a.stats.RepliesReceived++
+	default:
+		a.stats.Malformed++
+	}
+}
+
+func (a *ARP) learn(addr ip.Addr, mac ethernet.Addr) {
+	if e, ok := a.cache[addr]; !ok || e.mac != mac || a.s.Now() >= e.expires {
+		a.stats.Learned++
+	}
+	a.cache[addr] = entry{mac: mac, expires: a.s.Now() + sim.Time(a.cfg.EntryTTL)}
+	if p, ok := a.pending[addr]; ok {
+		delete(a.pending, addr)
+		p.timer.Clear()
+		for _, w := range p.waiters {
+			w(mac, true)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package arp_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/arp"
+	"repro/internal/ethernet"
+	"repro/internal/ip"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+type node struct {
+	eth *ethernet.Ethernet
+	arp *arp.ARP
+	ipA ip.Addr
+	mac ethernet.Addr
+}
+
+func runARP(t *testing.T, n int, cfg arp.Config, body func(s *sim.Scheduler, nodes []node)) {
+	t.Helper()
+	s := sim.New(sim.Config{})
+	s.Run(func() {
+		seg := wire.NewSegment(s, wire.Config{}, nil)
+		nodes := make([]node, n)
+		for i := range nodes {
+			mac := ethernet.HostAddr(byte(i + 1))
+			addr := ip.HostAddr(byte(i + 1))
+			eth := ethernet.New(seg.NewPort(addr.String(), nil), mac, ethernet.Config{})
+			nodes[i] = node{eth: eth, arp: arp.New(s, eth, addr, cfg), ipA: addr, mac: mac}
+		}
+		body(s, nodes)
+	})
+}
+
+func TestResolveViaRequestReply(t *testing.T) {
+	runARP(t, 2, arp.Config{}, func(s *sim.Scheduler, n []node) {
+		var got ethernet.Addr
+		var ok bool
+		done := false
+		n[0].arp.Resolve(n[1].ipA, func(mac ethernet.Addr, o bool) { got, ok, done = mac, o, true })
+		s.Sleep(100 * time.Millisecond)
+		if !done || !ok {
+			t.Fatalf("resolution did not complete: done=%v ok=%v", done, ok)
+		}
+		if got != n[1].mac {
+			t.Fatalf("resolved %s, want %s", got, n[1].mac)
+		}
+	})
+}
+
+func TestStaticEntryAnswersImmediately(t *testing.T) {
+	runARP(t, 2, arp.Config{}, func(s *sim.Scheduler, n []node) {
+		n[0].arp.AddStatic(n[1].ipA, n[1].mac)
+		answered := false
+		n[0].arp.Resolve(n[1].ipA, func(mac ethernet.Addr, ok bool) {
+			if !ok || mac != n[1].mac {
+				t.Errorf("static resolve = %s,%v", mac, ok)
+			}
+			answered = true
+		})
+		if !answered {
+			t.Fatal("static entry required network round trip")
+		}
+		if n[0].arp.Stats().RequestsSent != 0 {
+			t.Fatal("static hit still sent a request")
+		}
+	})
+}
+
+func TestConcurrentResolutionsShareOneExchange(t *testing.T) {
+	runARP(t, 2, arp.Config{}, func(s *sim.Scheduler, n []node) {
+		answers := 0
+		for i := 0; i < 5; i++ {
+			n[0].arp.Resolve(n[1].ipA, func(mac ethernet.Addr, ok bool) {
+				if ok {
+					answers++
+				}
+			})
+		}
+		s.Sleep(100 * time.Millisecond)
+		if answers != 5 {
+			t.Fatalf("answers = %d", answers)
+		}
+		if reqs := n[0].arp.Stats().RequestsSent; reqs != 1 {
+			t.Fatalf("requests = %d, want 1", reqs)
+		}
+	})
+}
+
+func TestRetryThenFailure(t *testing.T) {
+	runARP(t, 1, arp.Config{RequestTimeout: 100 * time.Millisecond, Retries: 4}, func(s *sim.Scheduler, n []node) {
+		var failed bool
+		var failedAt sim.Time
+		n[0].arp.Resolve(ip.HostAddr(250), func(mac ethernet.Addr, ok bool) {
+			failed = !ok
+			failedAt = s.Now()
+		})
+		s.Sleep(5 * time.Second)
+		if !failed {
+			t.Fatal("resolution of absent host did not fail")
+		}
+		if n[0].arp.Stats().RequestsSent != 4 {
+			t.Fatalf("requests = %d, want 4", n[0].arp.Stats().RequestsSent)
+		}
+		if failedAt < sim.Time(400*time.Millisecond) {
+			t.Fatalf("failed too early: %v", time.Duration(failedAt))
+		}
+	})
+}
+
+func TestTargetLearnsRequesterFromRequest(t *testing.T) {
+	runARP(t, 2, arp.Config{}, func(s *sim.Scheduler, n []node) {
+		n[0].arp.Resolve(n[1].ipA, func(ethernet.Addr, bool) {})
+		s.Sleep(100 * time.Millisecond)
+		// RFC 826 merge: the answering host should now know the asker
+		// without any request of its own.
+		if mac, ok := n[1].arp.Lookup(n[0].ipA); !ok || mac != n[0].mac {
+			t.Fatalf("target did not learn requester: %s,%v", mac, ok)
+		}
+		if n[1].arp.Stats().RequestsSent != 0 {
+			t.Fatal("target sent an unnecessary request")
+		}
+	})
+}
+
+func TestEntryExpires(t *testing.T) {
+	runARP(t, 2, arp.Config{EntryTTL: time.Second}, func(s *sim.Scheduler, n []node) {
+		n[0].arp.Resolve(n[1].ipA, func(ethernet.Addr, bool) {})
+		s.Sleep(100 * time.Millisecond)
+		if _, ok := n[0].arp.Lookup(n[1].ipA); !ok {
+			t.Fatal("fresh entry missing")
+		}
+		s.Sleep(2 * time.Second)
+		if _, ok := n[0].arp.Lookup(n[1].ipA); ok {
+			t.Fatal("entry survived past its TTL")
+		}
+	})
+}
+
+func TestThirdPartyDoesNotAnswer(t *testing.T) {
+	runARP(t, 3, arp.Config{}, func(s *sim.Scheduler, n []node) {
+		n[0].arp.Resolve(n[1].ipA, func(ethernet.Addr, bool) {})
+		s.Sleep(100 * time.Millisecond)
+		if n[2].arp.Stats().RepliesSent != 0 {
+			t.Fatal("bystander answered a request for another host")
+		}
+		// But the bystander heard the broadcast and learned the asker.
+		if _, ok := n[2].arp.Lookup(n[0].ipA); !ok {
+			t.Fatal("bystander did not learn from broadcast")
+		}
+	})
+}

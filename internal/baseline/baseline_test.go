@@ -1,0 +1,299 @@
+package baseline_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/arp"
+	"repro/internal/baseline"
+	"repro/internal/basis"
+	"repro/internal/ethernet"
+	"repro/internal/ip"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/wire"
+)
+
+type blHost struct {
+	BL *baseline.TCP
+	ST *tcp.TCP // structured endpoint on the same network, for interop
+	A  ip.Addr
+}
+
+func runBL(t *testing.T, wcfg wire.Config, body func(s *sim.Scheduler, a, b blHost)) {
+	t.Helper()
+	s := sim.New(sim.Config{})
+	s.Run(func() {
+		seg := wire.NewSegment(s, wcfg, nil)
+		mk := func(n byte, structured bool) blHost {
+			addr := ip.HostAddr(n)
+			eth := ethernet.New(seg.NewPort(addr.String(), nil), ethernet.HostAddr(n), ethernet.Config{})
+			res := arp.New(s, eth, addr, arp.Config{})
+			res.AddStatic(ip.HostAddr(1), ethernet.HostAddr(1))
+			res.AddStatic(ip.HostAddr(2), ethernet.HostAddr(2))
+			ipl := ip.New(s, eth, res, ip.Config{Local: addr})
+			h := blHost{A: addr}
+			if structured {
+				h.ST = tcp.New(s, ipl.Network(ip.ProtoTCP), tcp.Config{})
+			} else {
+				h.BL = baseline.New(s, ipl.Network(ip.ProtoTCP), baseline.Config{})
+			}
+			return h
+		}
+		body(s, mk(1, false), mk(2, false))
+	})
+}
+
+func TestBaselineSelfTransfer(t *testing.T) {
+	runBL(t, wire.Config{}, func(s *sim.Scheduler, a, b blHost) {
+		var got bytes.Buffer
+		peerClosed := false
+		b.BL.Listen(80, func(c *baseline.Conn) baseline.Handler {
+			return baseline.Handler{
+				Data:       func(c *baseline.Conn, d []byte) { got.Write(d) },
+				PeerClosed: func(c *baseline.Conn) { peerClosed = true },
+			}
+		})
+		conn, err := a.BL.Open(b.A, 80, baseline.Handler{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, 100_000)
+		r := basis.NewRand(5)
+		for i := range data {
+			data[i] = byte(r.Uint64())
+		}
+		s.Fork("sender", func() { conn.Write(data); conn.Close() })
+		s.Sleep(10 * time.Minute)
+		if !bytes.Equal(got.Bytes(), data) {
+			t.Fatalf("received %d of %d bytes", got.Len(), len(data))
+		}
+		if !peerClosed {
+			t.Fatal("FIN lost")
+		}
+		if a.BL.Stats().Retransmits != 0 {
+			t.Fatalf("retransmits on clean wire: %d", a.BL.Stats().Retransmits)
+		}
+	})
+}
+
+func TestBaselineLossyTransfer(t *testing.T) {
+	runBL(t, wire.Config{Loss: 0.05, Seed: 77}, func(s *sim.Scheduler, a, b blHost) {
+		var got bytes.Buffer
+		b.BL.Listen(80, func(c *baseline.Conn) baseline.Handler {
+			return baseline.Handler{Data: func(c *baseline.Conn, d []byte) { got.Write(d) }}
+		})
+		conn, err := a.BL.Open(b.A, 80, baseline.Handler{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, 60_000)
+		r := basis.NewRand(6)
+		for i := range data {
+			data[i] = byte(r.Uint64())
+		}
+		s.Fork("sender", func() { conn.Write(data) })
+		s.Sleep(30 * time.Minute)
+		if !bytes.Equal(got.Bytes(), data) {
+			t.Fatalf("received %d of %d bytes", got.Len(), len(data))
+		}
+		if a.BL.Stats().Retransmits == 0 {
+			t.Fatal("no retransmits over lossy wire")
+		}
+	})
+}
+
+func TestBaselineRefusedByEmptyPort(t *testing.T) {
+	runBL(t, wire.Config{}, func(s *sim.Scheduler, a, b blHost) {
+		_, err := a.BL.Open(b.A, 9, baseline.Handler{})
+		if err != baseline.ErrRefused {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}
+
+func TestBaselinePrediction(t *testing.T) {
+	runBL(t, wire.Config{}, func(s *sim.Scheduler, a, b blHost) {
+		var got bytes.Buffer
+		b.BL.Listen(80, func(c *baseline.Conn) baseline.Handler {
+			return baseline.Handler{Data: func(c *baseline.Conn, d []byte) { got.Write(d) }}
+		})
+		conn, _ := a.BL.Open(b.A, 80, baseline.Handler{})
+		data := make([]byte, 100_000)
+		s.Fork("sender", func() { conn.Write(data) })
+		s.Sleep(5 * time.Minute)
+		if got.Len() != len(data) {
+			t.Fatalf("received %d", got.Len())
+		}
+		if b.BL.Stats().Predicted == 0 || a.BL.Stats().Predicted == 0 {
+			t.Fatalf("header prediction never hit: a=%d b=%d",
+				a.BL.Stats().Predicted, b.BL.Stats().Predicted)
+		}
+	})
+}
+
+// The decisive wire-format check: the structured TCP talks to the
+// baseline TCP, in both directions.
+func interop(t *testing.T, structuredClient bool) {
+	s := sim.New(sim.Config{})
+	s.Run(func() {
+		seg := wire.NewSegment(s, wire.Config{}, nil)
+		mkNet := func(n byte) (addr ip.Addr, net interface {
+			MTU() int
+		}, ipl *ip.IP) {
+			addr = ip.HostAddr(n)
+			eth := ethernet.New(seg.NewPort(addr.String(), nil), ethernet.HostAddr(n), ethernet.Config{})
+			res := arp.New(s, eth, addr, arp.Config{})
+			res.AddStatic(ip.HostAddr(1), ethernet.HostAddr(1))
+			res.AddStatic(ip.HostAddr(2), ethernet.HostAddr(2))
+			ipl = ip.New(s, eth, res, ip.Config{Local: addr})
+			return addr, nil, ipl
+		}
+		_, _, ipl1 := mkNet(1)
+		addr2, _, ipl2 := mkNet(2)
+
+		data := make([]byte, 50_000)
+		r := basis.NewRand(9)
+		for i := range data {
+			data[i] = byte(r.Uint64())
+		}
+		var got bytes.Buffer
+		peerClosed := false
+
+		if structuredClient {
+			// Baseline server, structured client.
+			bl := baseline.New(s, ipl2.Network(ip.ProtoTCP), baseline.Config{})
+			bl.Listen(80, func(c *baseline.Conn) baseline.Handler {
+				return baseline.Handler{
+					Data:       func(c *baseline.Conn, d []byte) { got.Write(d) },
+					PeerClosed: func(c *baseline.Conn) { peerClosed = true },
+				}
+			})
+			st := tcp.New(s, ipl1.Network(ip.ProtoTCP), tcp.Config{})
+			conn, err := st.Open(addr2, 80, tcp.Handler{})
+			if err != nil {
+				t.Fatalf("structured->baseline open: %v", err)
+			}
+			s.Fork("sender", func() { conn.Write(data); conn.Close() })
+		} else {
+			// Structured server, baseline client.
+			st := tcp.New(s, ipl2.Network(ip.ProtoTCP), tcp.Config{})
+			st.Listen(80, func(c *tcp.Conn) tcp.Handler {
+				return tcp.Handler{
+					Data:       func(c *tcp.Conn, d []byte) { got.Write(d) },
+					PeerClosed: func(c *tcp.Conn) { peerClosed = true },
+				}
+			})
+			bl := baseline.New(s, ipl1.Network(ip.ProtoTCP), baseline.Config{})
+			conn, err := bl.Open(addr2, 80, baseline.Handler{})
+			if err != nil {
+				t.Fatalf("baseline->structured open: %v", err)
+			}
+			s.Fork("sender", func() { conn.Write(data); conn.Close() })
+		}
+		s.Sleep(10 * time.Minute)
+		if !bytes.Equal(got.Bytes(), data) {
+			t.Fatalf("interop transfer broken: %d of %d bytes", got.Len(), len(data))
+		}
+		if !peerClosed {
+			t.Fatal("interop close handshake broken")
+		}
+	})
+}
+
+func TestInteropStructuredClientBaselineServer(t *testing.T) { interop(t, true) }
+func TestInteropBaselineClientStructuredServer(t *testing.T) { interop(t, false) }
+
+func TestBaselineBidirectionalEcho(t *testing.T) {
+	runBL(t, wire.Config{}, func(s *sim.Scheduler, a, b blHost) {
+		var got bytes.Buffer
+		b.BL.Listen(7, func(c *baseline.Conn) baseline.Handler {
+			return baseline.Handler{Data: func(c *baseline.Conn, d []byte) { c.Write(d) }}
+		})
+		conn, err := a.BL.Open(b.A, 7, baseline.Handler{
+			Data: func(c *baseline.Conn, d []byte) { got.Write(d) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.Write([]byte("ping"))
+		s.Sleep(time.Second)
+		if got.String() != "ping" {
+			t.Fatalf("echo got %q", got.String())
+		}
+		if !conn.Established() {
+			t.Fatal("Established() false on a live connection")
+		}
+	})
+}
+
+func TestBaselineCloseHandshakeStates(t *testing.T) {
+	runBL(t, wire.Config{}, func(s *sim.Scheduler, a, b blHost) {
+		var server *baseline.Conn
+		b.BL.Listen(80, func(c *baseline.Conn) baseline.Handler {
+			server = c
+			return baseline.Handler{PeerClosed: func(c *baseline.Conn) {}}
+		})
+		conn, _ := a.BL.Open(b.A, 80, baseline.Handler{})
+		if err := conn.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		s.Sleep(time.Second)
+		if err := server.Close(); err != nil {
+			t.Fatalf("server Close: %v", err)
+		}
+		s.Sleep(time.Second)
+		if conn.Err() != nil || server.Err() != nil {
+			t.Fatalf("errors after clean close: %v / %v", conn.Err(), server.Err())
+		}
+	})
+}
+
+func TestBaselineOutOfOrderReassembly(t *testing.T) {
+	runBL(t, wire.Config{Jitter: 0.3, JitterMax: 3 * time.Millisecond, Seed: 17}, func(s *sim.Scheduler, a, b blHost) {
+		var got bytes.Buffer
+		b.BL.Listen(80, func(c *baseline.Conn) baseline.Handler {
+			return baseline.Handler{Data: func(c *baseline.Conn, d []byte) { got.Write(d) }}
+		})
+		conn, _ := a.BL.Open(b.A, 80, baseline.Handler{})
+		data := make([]byte, 60_000)
+		r := basis.NewRand(12)
+		for i := range data {
+			data[i] = byte(r.Uint64())
+		}
+		s.Fork("w", func() { conn.Write(data) })
+		s.Sleep(10 * time.Minute)
+		if !bytes.Equal(got.Bytes(), data) {
+			t.Fatalf("reordered delivery broke the baseline: %d of %d", got.Len(), len(data))
+		}
+	})
+}
+
+func TestBaselineWriteAfterCloseRejected(t *testing.T) {
+	runBL(t, wire.Config{}, func(s *sim.Scheduler, a, b blHost) {
+		b.BL.Listen(80, func(c *baseline.Conn) baseline.Handler { return baseline.Handler{} })
+		conn, _ := a.BL.Open(b.A, 80, baseline.Handler{})
+		conn.Close()
+		if err := conn.Write([]byte("x")); err != baseline.ErrClosed {
+			t.Fatalf("Write after Close: %v", err)
+		}
+	})
+}
+
+func TestBaselineUserTimeoutOnDeadWire(t *testing.T) {
+	s := sim.New(sim.Config{})
+	s.Run(func() {
+		seg := wire.NewSegment(s, wire.Config{Loss: 1}, nil)
+		addr := ip.HostAddr(1)
+		eth := ethernet.New(seg.NewPort("a", nil), ethernet.HostAddr(1), ethernet.Config{})
+		res := arp.New(s, eth, addr, arp.Config{})
+		res.AddStatic(ip.HostAddr(2), ethernet.HostAddr(2))
+		ipl := ip.New(s, eth, res, ip.Config{Local: addr})
+		bl := baseline.New(s, ipl.Network(ip.ProtoTCP), baseline.Config{UserTimeout: 3 * time.Second})
+		_, err := bl.Open(ip.HostAddr(2), 80, baseline.Handler{})
+		if err != baseline.ErrTimeout {
+			t.Fatalf("open over dead wire: %v", err)
+		}
+	})
+}

@@ -1,0 +1,69 @@
+package basis
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestIndexedCopyBasic(t *testing.T) {
+	src := []byte("the quick brown fox")
+	dst := make([]byte, len(src))
+	if n := IndexedCopy(dst, src); n != len(src) {
+		t.Fatalf("n = %d", n)
+	}
+	if !bytes.Equal(dst, src) {
+		t.Fatal("IndexedCopy mangled data")
+	}
+}
+
+func TestWordCopyBasic(t *testing.T) {
+	src := []byte("the quick brown fox jumps over the lazy dog")
+	dst := make([]byte, len(src))
+	if n := WordCopy(dst, src); n != len(src) {
+		t.Fatalf("n = %d", n)
+	}
+	if !bytes.Equal(dst, src) {
+		t.Fatal("WordCopy mangled data")
+	}
+}
+
+func TestCopyShortDestination(t *testing.T) {
+	src := []byte("abcdefgh")
+	dst := make([]byte, 3)
+	if n := IndexedCopy(dst, src); n != 3 {
+		t.Fatalf("IndexedCopy n = %d", n)
+	}
+	if n := WordCopy(dst, src); n != 3 {
+		t.Fatalf("WordCopy n = %d", n)
+	}
+	if string(dst) != "abc" {
+		t.Fatalf("dst = %q", dst)
+	}
+}
+
+func TestCopyEmpty(t *testing.T) {
+	if n := IndexedCopy(nil, nil); n != 0 {
+		t.Fatal("IndexedCopy(nil,nil) != 0")
+	}
+	if n := WordCopy(nil, []byte("x")); n != 0 {
+		t.Fatal("WordCopy(nil, x) != 0")
+	}
+}
+
+// Property: both copy variants agree with the builtin for all inputs and
+// all length combinations, including tails shorter than a word.
+func TestCopyPropertyAgreesWithBuiltin(t *testing.T) {
+	f := func(src []byte, dlen uint8) bool {
+		dst1 := make([]byte, dlen)
+		dst2 := make([]byte, dlen)
+		dst3 := make([]byte, dlen)
+		n1 := IndexedCopy(dst1, src)
+		n2 := WordCopy(dst2, src)
+		n3 := copy(dst3, src)
+		return n1 == n3 && n2 == n3 && bytes.Equal(dst1, dst3) && bytes.Equal(dst2, dst3)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

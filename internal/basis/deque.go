@@ -1,0 +1,121 @@
+package basis
+
+// Deque is a double-ended queue, the paper's D: DEQ structure. TCP uses it
+// for the queue of unsent data (add at the back, segment from the front,
+// push back a partially-sent element) and for the retransmission queue
+// (acknowledged segments leave from the front, fresh segments join at the
+// back, and a timeout re-examines the front).
+//
+// The zero value is an empty deque ready for use.
+type Deque[T any] struct {
+	buf   []T
+	head  int
+	count int
+}
+
+// Len reports the number of elements.
+func (d *Deque[T]) Len() int { return d.count }
+
+// Empty reports whether the deque holds no elements.
+func (d *Deque[T]) Empty() bool { return d.count == 0 }
+
+// PushBack appends v at the back.
+func (d *Deque[T]) PushBack(v T) {
+	if d.count == len(d.buf) {
+		d.grow()
+	}
+	d.buf[(d.head+d.count)%len(d.buf)] = v
+	d.count++
+}
+
+// PushFront prepends v at the front.
+func (d *Deque[T]) PushFront(v T) {
+	if d.count == len(d.buf) {
+		d.grow()
+	}
+	d.head = (d.head - 1 + len(d.buf)) % len(d.buf)
+	d.buf[d.head] = v
+	d.count++
+}
+
+// PopFront removes and returns the front element; false if empty.
+func (d *Deque[T]) PopFront() (T, bool) {
+	var zero T
+	if d.count == 0 {
+		return zero, false
+	}
+	v := d.buf[d.head]
+	d.buf[d.head] = zero
+	d.head = (d.head + 1) % len(d.buf)
+	d.count--
+	return v, true
+}
+
+// PopBack removes and returns the back element; false if empty.
+func (d *Deque[T]) PopBack() (T, bool) {
+	var zero T
+	if d.count == 0 {
+		return zero, false
+	}
+	i := (d.head + d.count - 1) % len(d.buf)
+	v := d.buf[i]
+	d.buf[i] = zero
+	d.count--
+	return v, true
+}
+
+// Front returns the front element without removing it; false if empty.
+func (d *Deque[T]) Front() (T, bool) {
+	var zero T
+	if d.count == 0 {
+		return zero, false
+	}
+	return d.buf[d.head], true
+}
+
+// Back returns the back element without removing it; false if empty.
+func (d *Deque[T]) Back() (T, bool) {
+	var zero T
+	if d.count == 0 {
+		return zero, false
+	}
+	return d.buf[(d.head+d.count-1)%len(d.buf)], true
+}
+
+// At returns the i-th element from the front (0-based) without removing
+// it; false if i is out of range.
+func (d *Deque[T]) At(i int) (T, bool) {
+	var zero T
+	if i < 0 || i >= d.count {
+		return zero, false
+	}
+	return d.buf[(d.head+i)%len(d.buf)], true
+}
+
+// Do calls fn on each element from front to back without removing any.
+func (d *Deque[T]) Do(fn func(T)) {
+	for i := 0; i < d.count; i++ {
+		fn(d.buf[(d.head+i)%len(d.buf)])
+	}
+}
+
+// Clear discards all elements, retaining the backing store.
+func (d *Deque[T]) Clear() {
+	var zero T
+	for i := 0; i < d.count; i++ {
+		d.buf[(d.head+i)%len(d.buf)] = zero
+	}
+	d.head, d.count = 0, 0
+}
+
+func (d *Deque[T]) grow() {
+	n := len(d.buf) * 2
+	if n == 0 {
+		n = 8
+	}
+	buf := make([]T, n)
+	for i := 0; i < d.count; i++ {
+		buf[i] = d.buf[(d.head+i)%len(d.buf)]
+	}
+	d.buf, d.head = buf, 0
+}

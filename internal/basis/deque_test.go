@@ -1,0 +1,180 @@
+package basis
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDequeZeroValue(t *testing.T) {
+	var d Deque[int]
+	if !d.Empty() || d.Len() != 0 {
+		t.Fatal("zero Deque not empty")
+	}
+	if _, ok := d.PopFront(); ok {
+		t.Fatal("PopFront on empty deque reported ok")
+	}
+	if _, ok := d.PopBack(); ok {
+		t.Fatal("PopBack on empty deque reported ok")
+	}
+	if _, ok := d.Front(); ok {
+		t.Fatal("Front on empty deque reported ok")
+	}
+	if _, ok := d.Back(); ok {
+		t.Fatal("Back on empty deque reported ok")
+	}
+}
+
+func TestDequeAsQueue(t *testing.T) {
+	var d Deque[int]
+	for i := 0; i < 64; i++ {
+		d.PushBack(i)
+	}
+	for i := 0; i < 64; i++ {
+		v, ok := d.PopFront()
+		if !ok || v != i {
+			t.Fatalf("PopFront #%d = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestDequeAsStack(t *testing.T) {
+	var d Deque[int]
+	for i := 0; i < 64; i++ {
+		d.PushBack(i)
+	}
+	for i := 63; i >= 0; i-- {
+		v, ok := d.PopBack()
+		if !ok || v != i {
+			t.Fatalf("PopBack = %d,%v; want %d", v, ok, i)
+		}
+	}
+}
+
+func TestDequePushFront(t *testing.T) {
+	var d Deque[int]
+	// The TCP send path pushes a partially-consumed element back at the
+	// front; emulate that access pattern.
+	d.PushBack(2)
+	d.PushBack(3)
+	d.PushFront(1)
+	d.PushFront(0)
+	for i := 0; i < 4; i++ {
+		v, _ := d.PopFront()
+		if v != i {
+			t.Fatalf("got %d want %d", v, i)
+		}
+	}
+}
+
+func TestDequeFrontBackAt(t *testing.T) {
+	var d Deque[string]
+	d.PushBack("a")
+	d.PushBack("b")
+	d.PushBack("c")
+	if v, _ := d.Front(); v != "a" {
+		t.Fatalf("Front = %q", v)
+	}
+	if v, _ := d.Back(); v != "c" {
+		t.Fatalf("Back = %q", v)
+	}
+	if v, ok := d.At(1); !ok || v != "b" {
+		t.Fatalf("At(1) = %q,%v", v, ok)
+	}
+	if _, ok := d.At(3); ok {
+		t.Fatal("At(3) in a 3-element deque reported ok")
+	}
+	if _, ok := d.At(-1); ok {
+		t.Fatal("At(-1) reported ok")
+	}
+	if d.Len() != 3 {
+		t.Fatal("accessors consumed elements")
+	}
+}
+
+func TestDequeWrapsThroughGrowth(t *testing.T) {
+	var d Deque[int]
+	// Force head to rotate before growth so grow() must unwrap the ring.
+	for i := 0; i < 6; i++ {
+		d.PushBack(i)
+	}
+	for i := 0; i < 4; i++ {
+		d.PopFront()
+	}
+	for i := 6; i < 40; i++ {
+		d.PushBack(i)
+	}
+	for want := 4; want < 40; want++ {
+		v, ok := d.PopFront()
+		if !ok || v != want {
+			t.Fatalf("got %d,%v want %d", v, ok, want)
+		}
+	}
+}
+
+func TestDequeClearAndDo(t *testing.T) {
+	var d Deque[int]
+	for i := 0; i < 10; i++ {
+		d.PushBack(i)
+	}
+	sum := 0
+	d.Do(func(v int) { sum += v })
+	if sum != 45 {
+		t.Fatalf("Do sum = %d", sum)
+	}
+	d.Clear()
+	if !d.Empty() {
+		t.Fatal("Clear left elements")
+	}
+}
+
+// Property: a deque driven only from the back against a slice model
+// behaves identically (mirrors the retransmission-queue usage).
+func TestDequePropertyModelCheck(t *testing.T) {
+	f := func(ops []uint8, vals []uint16) bool {
+		var d Deque[uint16]
+		var model []uint16
+		vi := 0
+		for _, op := range ops {
+			switch op % 4 {
+			case 0, 1: // push back
+				if vi >= len(vals) {
+					continue
+				}
+				d.PushBack(vals[vi])
+				model = append(model, vals[vi])
+				vi++
+			case 2: // pop front
+				got, ok := d.PopFront()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				if !ok || got != model[0] {
+					return false
+				}
+				model = model[1:]
+			case 3: // pop back
+				got, ok := d.PopBack()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				if !ok || got != model[len(model)-1] {
+					return false
+				}
+				model = model[:len(model)-1]
+			}
+			if d.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,12 @@
+// Package basis provides the utility substrate the rest of the stack is
+// built on, mirroring the Fox Project's FOX_BASIS structure: FIFO queues,
+// double-ended queues, a binary-heap priority queue, deterministic
+// pseudo-random numbers, packet buffers with header headroom for the
+// single-copy data path, word-optimized byte copying, and an event-trace
+// facility (the do_prints / do_traces functor parameters of the paper's
+// Figure 4).
+//
+// Everything in this package is deliberately free of locks: the stack runs
+// on the non-preemptive coroutine scheduler in internal/sim, so — exactly
+// as the paper argues — data-structure locks are unnecessary.
+package basis

@@ -1,0 +1,80 @@
+package basis
+
+// FIFO is a first-in first-out queue, the paper's Q: FIFO structure.
+// It is implemented as a growable ring buffer so Enqueue and Dequeue are
+// amortized O(1) and steady-state operation performs no allocation, which
+// matters on the per-segment to_do path.
+//
+// The zero value is an empty queue ready for use.
+type FIFO[T any] struct {
+	buf   []T
+	head  int // index of the front element
+	count int
+}
+
+// Len reports the number of queued elements.
+func (q *FIFO[T]) Len() int { return q.count }
+
+// Empty reports whether the queue holds no elements.
+func (q *FIFO[T]) Empty() bool { return q.count == 0 }
+
+// Enqueue appends v at the tail of the queue.
+func (q *FIFO[T]) Enqueue(v T) {
+	if q.count == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.count)%len(q.buf)] = v
+	q.count++
+}
+
+// Dequeue removes and returns the front element. The second result is
+// false if the queue is empty.
+func (q *FIFO[T]) Dequeue() (T, bool) {
+	var zero T
+	if q.count == 0 {
+		return zero, false
+	}
+	v := q.buf[q.head]
+	q.buf[q.head] = zero // release references for the collector
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	return v, true
+}
+
+// Peek returns the front element without removing it. The second result is
+// false if the queue is empty.
+func (q *FIFO[T]) Peek() (T, bool) {
+	var zero T
+	if q.count == 0 {
+		return zero, false
+	}
+	return q.buf[q.head], true
+}
+
+// Clear discards all elements, retaining the backing store.
+func (q *FIFO[T]) Clear() {
+	var zero T
+	for i := 0; i < q.count; i++ {
+		q.buf[(q.head+i)%len(q.buf)] = zero
+	}
+	q.head, q.count = 0, 0
+}
+
+// Do calls fn on each element from front to back without removing any.
+func (q *FIFO[T]) Do(fn func(T)) {
+	for i := 0; i < q.count; i++ {
+		fn(q.buf[(q.head+i)%len(q.buf)])
+	}
+}
+
+func (q *FIFO[T]) grow() {
+	n := len(q.buf) * 2
+	if n == 0 {
+		n = 8
+	}
+	buf := make([]T, n)
+	for i := 0; i < q.count; i++ {
+		buf[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf, q.head = buf, 0
+}

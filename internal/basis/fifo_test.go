@@ -1,0 +1,133 @@
+package basis
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOZeroValue(t *testing.T) {
+	var q FIFO[int]
+	if !q.Empty() || q.Len() != 0 {
+		t.Fatalf("zero FIFO not empty: len=%d", q.Len())
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("Dequeue on empty FIFO reported ok")
+	}
+	if _, ok := q.Peek(); ok {
+		t.Fatal("Peek on empty FIFO reported ok")
+	}
+}
+
+func TestFIFOOrdering(t *testing.T) {
+	var q FIFO[int]
+	for i := 0; i < 100; i++ {
+		q.Enqueue(i)
+	}
+	if q.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", q.Len())
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("Dequeue #%d = %d,%v; want %d,true", i, v, ok, i)
+		}
+	}
+	if !q.Empty() {
+		t.Fatal("FIFO not empty after draining")
+	}
+}
+
+func TestFIFOInterleaved(t *testing.T) {
+	var q FIFO[int]
+	next := 0
+	expect := 0
+	// Interleave enqueues and dequeues so the ring wraps repeatedly.
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 3; i++ {
+			q.Enqueue(next)
+			next++
+		}
+		for i := 0; i < 2; i++ {
+			v, ok := q.Dequeue()
+			if !ok || v != expect {
+				t.Fatalf("round %d: got %d,%v want %d,true", round, v, ok, expect)
+			}
+			expect++
+		}
+	}
+	for !q.Empty() {
+		v, _ := q.Dequeue()
+		if v != expect {
+			t.Fatalf("drain: got %d want %d", v, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Fatalf("drained %d items, enqueued %d", expect, next)
+	}
+}
+
+func TestFIFOPeekDoesNotRemove(t *testing.T) {
+	var q FIFO[string]
+	q.Enqueue("a")
+	q.Enqueue("b")
+	if v, _ := q.Peek(); v != "a" {
+		t.Fatalf("Peek = %q, want a", v)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Peek changed Len to %d", q.Len())
+	}
+}
+
+func TestFIFOClear(t *testing.T) {
+	var q FIFO[int]
+	for i := 0; i < 20; i++ {
+		q.Enqueue(i)
+	}
+	q.Clear()
+	if !q.Empty() {
+		t.Fatal("Clear left elements")
+	}
+	q.Enqueue(7)
+	if v, _ := q.Dequeue(); v != 7 {
+		t.Fatalf("FIFO broken after Clear: got %d", v)
+	}
+}
+
+func TestFIFODo(t *testing.T) {
+	var q FIFO[int]
+	for i := 0; i < 5; i++ {
+		q.Enqueue(i * 10)
+	}
+	var seen []int
+	q.Do(func(v int) { seen = append(seen, v) })
+	for i, v := range seen {
+		if v != i*10 {
+			t.Fatalf("Do order wrong at %d: %v", i, seen)
+		}
+	}
+	if q.Len() != 5 {
+		t.Fatal("Do consumed elements")
+	}
+}
+
+// Property: for any sequence of values, enqueue-all then dequeue-all
+// returns the same sequence.
+func TestFIFOPropertyPreservesSequence(t *testing.T) {
+	f := func(vals []uint16) bool {
+		var q FIFO[uint16]
+		for _, v := range vals {
+			q.Enqueue(v)
+		}
+		for _, v := range vals {
+			got, ok := q.Dequeue()
+			if !ok || got != v {
+				return false
+			}
+		}
+		return q.Empty()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+package basis
+
+// Heap is a binary min-heap priority queue. The paper's scheduler keeps
+// its sleep queue in exactly this structure ("the sleep queue, a priority
+// queue implemented as a heap, is also quite fast"), and the paper proposes
+// replacing the scheduler's ready FIFO with a priority queue to prioritize
+// latency-sensitive actions; both uses are served by this type.
+//
+// less must define a strict weak ordering. Construct with NewHeap.
+type Heap[T any] struct {
+	items []T
+	less  func(a, b T) bool
+}
+
+// NewHeap returns an empty heap ordered by less (smallest first).
+func NewHeap[T any](less func(a, b T) bool) *Heap[T] {
+	return &Heap[T]{less: less}
+}
+
+// Len reports the number of elements.
+func (h *Heap[T]) Len() int { return len(h.items) }
+
+// Empty reports whether the heap holds no elements.
+func (h *Heap[T]) Empty() bool { return len(h.items) == 0 }
+
+// Push inserts v.
+func (h *Heap[T]) Push(v T) {
+	h.items = append(h.items, v)
+	h.up(len(h.items) - 1)
+}
+
+// Pop removes and returns the minimum element; false if empty.
+func (h *Heap[T]) Pop() (T, bool) {
+	var zero T
+	n := len(h.items)
+	if n == 0 {
+		return zero, false
+	}
+	min := h.items[0]
+	h.items[0] = h.items[n-1]
+	h.items[n-1] = zero
+	h.items = h.items[:n-1]
+	if len(h.items) > 0 {
+		h.down(0)
+	}
+	return min, true
+}
+
+// Min returns the minimum element without removing it; false if empty.
+func (h *Heap[T]) Min() (T, bool) {
+	var zero T
+	if len(h.items) == 0 {
+		return zero, false
+	}
+	return h.items[0], true
+}
+
+func (h *Heap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *Heap[T]) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(h.items[l], h.items[smallest]) {
+			smallest = l
+		}
+		if r < n && h.less(h.items[r], h.items[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,57 @@
+package basis
+
+// Rand is a small deterministic pseudo-random number generator
+// (xorshift64*). The simulated network's fault injection and the tests use
+// it instead of math/rand so that a run is reproducible from its seed alone
+// across Go releases — the reproduction analogue of running on an isolated
+// Ethernet where "only the exact sequence in which actions … are added to
+// the queue is undefined".
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed (0 is replaced by a fixed
+// non-zero constant, since the xorshift state must be non-zero).
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Uint32 returns the next 32 pseudo-random bits.
+func (r *Rand) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("basis.Rand.Intn: n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Chance reports true with probability p (clamped to [0, 1]).
+func (r *Rand) Chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}

@@ -1,0 +1,100 @@
+package basis
+
+import "testing"
+
+func TestRandDeterministic(t *testing.T) {
+	a := NewRand(42)
+	b := NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestRandSeedsDiffer(t *testing.T) {
+	a := NewRand(1)
+	b := NewRand(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical outputs", same)
+	}
+}
+
+func TestRandZeroSeedWorks(t *testing.T) {
+	r := NewRand(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced degenerate zero stream")
+	}
+}
+
+func TestRandIntnRange(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d", v)
+		}
+	}
+}
+
+func TestRandIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v", f)
+		}
+	}
+}
+
+func TestRandChanceExtremes(t *testing.T) {
+	r := NewRand(3)
+	for i := 0; i < 100; i++ {
+		if r.Chance(0) {
+			t.Fatal("Chance(0) fired")
+		}
+		if !r.Chance(1) {
+			t.Fatal("Chance(1) did not fire")
+		}
+	}
+}
+
+func TestRandChanceApproximatesP(t *testing.T) {
+	r := NewRand(11)
+	n, hits := 100000, 0
+	for i := 0; i < n; i++ {
+		if r.Chance(0.25) {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if got < 0.22 || got > 0.28 {
+		t.Fatalf("Chance(0.25) hit rate = %v", got)
+	}
+}
+
+func TestRandUint32NotConstantHigh(t *testing.T) {
+	r := NewRand(5)
+	seen := map[uint32]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint32()] = true
+	}
+	if len(seen) < 95 {
+		t.Fatalf("Uint32 produced only %d distinct values in 100 draws", len(seen))
+	}
+}

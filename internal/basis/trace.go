@@ -1,0 +1,53 @@
+package basis
+
+import (
+	"fmt"
+	"io"
+)
+
+// Tracer is the event-trace facility behind the paper's do_prints and
+// do_traces functor parameters (Fig. 4). Each protocol module owns a
+// Tracer named after it; when disabled a trace call costs one branch, so
+// production stacks can be assembled with tracing compiled in but off.
+//
+// Stamp, when non-nil, prefixes each line — the scheduler installs a
+// virtual-clock stamp so traces read like tcpdump output in simulated
+// time.
+type Tracer struct {
+	Name    string
+	Out     io.Writer
+	Enabled bool
+	Stamp   func() string
+}
+
+// NewTracer returns a tracer for the named module writing to out. A nil
+// out leaves the tracer permanently disabled.
+func NewTracer(name string, out io.Writer, enabled bool) *Tracer {
+	return &Tracer{Name: name, Out: out, Enabled: enabled && out != nil}
+}
+
+// On reports whether tracing is active; hot paths guard Printf calls
+// with it so a disabled tracer costs one branch and no argument
+// marshalling — the paper's do_prints=false compiled the prints away.
+func (t *Tracer) On() bool { return t != nil && t.Enabled && t.Out != nil }
+
+// Printf emits one trace line if the tracer is enabled.
+func (t *Tracer) Printf(format string, args ...any) {
+	if t == nil || !t.Enabled || t.Out == nil {
+		return
+	}
+	stamp := ""
+	if t.Stamp != nil {
+		stamp = t.Stamp() + " "
+	}
+	fmt.Fprintf(t.Out, "%s%s: %s\n", stamp, t.Name, fmt.Sprintf(format, args...))
+}
+
+// Sub returns a tracer for a named sub-module sharing this tracer's
+// output, enablement, and stamp.
+func (t *Tracer) Sub(name string) *Tracer {
+	if t == nil {
+		return nil
+	}
+	return &Tracer{Name: t.Name + "/" + name, Out: t.Out, Enabled: t.Enabled, Stamp: t.Stamp}
+}

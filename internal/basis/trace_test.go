@@ -1,0 +1,59 @@
+package basis
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTracerDisabledWritesNothing(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer("tcp", &buf, false)
+	tr.Printf("should not appear %d", 1)
+	if buf.Len() != 0 {
+		t.Fatalf("disabled tracer wrote %q", buf.String())
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Printf("must not panic")
+	sub := tr.Sub("x")
+	if sub != nil {
+		t.Fatal("nil tracer Sub returned non-nil")
+	}
+	sub.Printf("still must not panic")
+}
+
+func TestTracerNilOutputDisabled(t *testing.T) {
+	tr := NewTracer("ip", nil, true)
+	if tr.Enabled {
+		t.Fatal("tracer with nil output claims enabled")
+	}
+	tr.Printf("no sink, no panic")
+}
+
+func TestTracerFormatsNameAndStamp(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer("eth", &buf, true)
+	tr.Stamp = func() string { return "[17ms]" }
+	tr.Printf("frame %d sent", 3)
+	got := buf.String()
+	if got != "[17ms] eth: frame 3 sent\n" {
+		t.Fatalf("trace line = %q", got)
+	}
+}
+
+func TestTracerSubInheritsSettings(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer("tcp", &buf, true)
+	tr.Stamp = func() string { return "@" }
+	sub := tr.Sub("receive")
+	sub.Printf("segment")
+	if !strings.Contains(buf.String(), "tcp/receive: segment") {
+		t.Fatalf("sub trace line = %q", buf.String())
+	}
+	if !strings.HasPrefix(buf.String(), "@ ") {
+		t.Fatalf("sub lost stamp: %q", buf.String())
+	}
+}

@@ -1,0 +1,8 @@
+// Package core marks the location of the paper's primary contribution in
+// this repository's layout. The structured TCP itself lives in
+// repro/internal/tcp, named for what it is; DESIGN.md §4 records the
+// mapping. Everything the paper's Figure 9 module graph names — Tcb,
+// State, Receive, Send, Resend, Action, Main — is one file of that
+// package, and the quasi-synchronous control structure, the test
+// structure, and the fast paths are documented there.
+package core

@@ -1,0 +1,194 @@
+// Package decode pretty-prints raw frames from the simulated wire in
+// tcpdump style — Ethernet, ARP, IPv4 (with fragments), ICMP, UDP, and
+// TCP, the whole suite this repository implements. cmd/foxtrace uses it
+// for its raw mode; tests use it to assert what actually crossed the
+// wire rather than what a layer claims it sent.
+//
+// The decoder is deliberately independent of the protocol packages'
+// internal parsers: it re-derives everything from the bytes, so a
+// marshalling bug cannot hide from it.
+package decode
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// Frame decodes one Ethernet frame (including its trailing FCS) into a
+// single descriptive line.
+func Frame(data []byte) string {
+	if len(data) < 18 {
+		return fmt.Sprintf("runt frame (%d bytes)", len(data))
+	}
+	dst, src := mac(data[0:6]), mac(data[6:12])
+	etherType := binary.BigEndian.Uint16(data[12:14])
+	payload := data[14 : len(data)-4] // strip FCS
+	var inner string
+	switch etherType {
+	case 0x0800:
+		inner = IPv4(payload)
+	case 0x0806:
+		inner = ARP(payload)
+	case 0x88b5:
+		// The Special_Tcp composition: 2-byte length, then a bare TCP
+		// segment (see ethernet.Transport).
+		if len(payload) >= 2 {
+			n := int(binary.BigEndian.Uint16(payload[0:2]))
+			rest := payload[2:]
+			if n <= len(rest) {
+				inner = "FoxTCP " + TCP(rest[:n], n)
+			} else {
+				inner = "FoxTCP (bad length)"
+			}
+		} else {
+			inner = "FoxTCP (truncated)"
+		}
+	default:
+		inner = fmt.Sprintf("ethertype %#04x, %d bytes", etherType, len(payload))
+	}
+	return fmt.Sprintf("%s > %s: %s", src, dst, inner)
+}
+
+func mac(b []byte) string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", b[0], b[1], b[2], b[3], b[4], b[5])
+}
+
+func ip4(b []byte) string {
+	return fmt.Sprintf("%d.%d.%d.%d", b[0], b[1], b[2], b[3])
+}
+
+// ARP decodes an ARP packet body.
+func ARP(b []byte) string {
+	if len(b) < 28 {
+		return "ARP (truncated)"
+	}
+	op := binary.BigEndian.Uint16(b[6:8])
+	switch op {
+	case 1:
+		return fmt.Sprintf("ARP who-has %s tell %s", ip4(b[24:28]), ip4(b[14:18]))
+	case 2:
+		return fmt.Sprintf("ARP %s is-at %s", ip4(b[14:18]), mac(b[8:14]))
+	}
+	return fmt.Sprintf("ARP op %d", op)
+}
+
+// IPv4 decodes an IPv4 datagram (or fragment).
+func IPv4(b []byte) string {
+	if len(b) < 20 || b[0]>>4 != 4 {
+		return "IP (truncated or not v4)"
+	}
+	ihl := int(b[0]&0xf) * 4
+	totalLen := int(binary.BigEndian.Uint16(b[2:4]))
+	id := binary.BigEndian.Uint16(b[4:6])
+	ff := binary.BigEndian.Uint16(b[6:8])
+	fragOff := int(ff&0x1fff) * 8
+	mf := ff&0x2000 != 0
+	proto := b[9]
+	src, dst := ip4(b[12:16]), ip4(b[16:20])
+	if totalLen > len(b) || ihl > totalLen {
+		return fmt.Sprintf("IP %s > %s (bad length)", src, dst)
+	}
+	payload := b[ihl:totalLen]
+	if fragOff > 0 || mf {
+		return fmt.Sprintf("IP %s > %s frag id %d off %d%s len %d",
+			src, dst, id, fragOff, mfFlag(mf), len(payload))
+	}
+	switch proto {
+	case 1:
+		return fmt.Sprintf("IP %s > %s: %s", src, dst, ICMP(payload))
+	case 6:
+		return fmt.Sprintf("IP %s > %s: %s", src, dst, TCP(payload, len(payload)))
+	case 17:
+		return fmt.Sprintf("IP %s > %s: %s", src, dst, UDP(payload))
+	}
+	return fmt.Sprintf("IP %s > %s proto %d len %d", src, dst, proto, len(payload))
+}
+
+func mfFlag(mf bool) string {
+	if mf {
+		return "+"
+	}
+	return ""
+}
+
+// ICMP decodes an ICMP message.
+func ICMP(b []byte) string {
+	if len(b) < 8 {
+		return "ICMP (truncated)"
+	}
+	typ, code := b[0], b[1]
+	rest := binary.BigEndian.Uint32(b[4:8])
+	switch typ {
+	case 8:
+		return fmt.Sprintf("ICMP echo request id %d seq %d len %d", rest>>16, rest&0xffff, len(b)-8)
+	case 0:
+		return fmt.Sprintf("ICMP echo reply id %d seq %d len %d", rest>>16, rest&0xffff, len(b)-8)
+	case 3:
+		return fmt.Sprintf("ICMP destination unreachable code %d", code)
+	case 11:
+		return fmt.Sprintf("ICMP time exceeded code %d", code)
+	}
+	return fmt.Sprintf("ICMP type %d code %d", typ, code)
+}
+
+// UDP decodes a UDP datagram.
+func UDP(b []byte) string {
+	if len(b) < 8 {
+		return "UDP (truncated)"
+	}
+	return fmt.Sprintf("UDP %d > %d len %d",
+		binary.BigEndian.Uint16(b[0:2]),
+		binary.BigEndian.Uint16(b[2:4]),
+		int(binary.BigEndian.Uint16(b[4:6]))-8)
+}
+
+// TCP decodes a TCP segment; segLen is the number of valid bytes
+// (IP-supplied, since TCP has no length field).
+func TCP(b []byte, segLen int) string {
+	if len(b) < 20 || segLen < 20 {
+		return "TCP (truncated)"
+	}
+	b = b[:segLen]
+	off := int(b[12]>>4) * 4
+	if off < 20 || off > len(b) {
+		return "TCP (bad offset)"
+	}
+	flags := b[13]
+	var fl strings.Builder
+	for _, f := range []struct {
+		bit  byte
+		name string
+	}{{0x02, "S"}, {0x01, "F"}, {0x04, "R"}, {0x08, "P"}, {0x10, "."}, {0x20, "U"}} {
+		if flags&f.bit != 0 {
+			fl.WriteString(f.name)
+		}
+	}
+	s := fmt.Sprintf("TCP %d > %d [%s] seq %d",
+		binary.BigEndian.Uint16(b[0:2]),
+		binary.BigEndian.Uint16(b[2:4]),
+		fl.String(),
+		binary.BigEndian.Uint32(b[4:8]))
+	if flags&0x10 != 0 {
+		s += fmt.Sprintf(" ack %d", binary.BigEndian.Uint32(b[8:12]))
+	}
+	s += fmt.Sprintf(" win %d len %d", binary.BigEndian.Uint16(b[14:16]), len(b)-off)
+	// MSS option, the one this stack emits.
+	for o := b[20:off]; len(o) >= 2; {
+		if o[0] == 1 {
+			o = o[1:]
+			continue
+		}
+		if o[0] == 0 {
+			break
+		}
+		if o[0] == 2 && o[1] == 4 && len(o) >= 4 {
+			s += fmt.Sprintf(" <mss %d>", binary.BigEndian.Uint16(o[2:4]))
+		}
+		if int(o[1]) < 2 || int(o[1]) > len(o) {
+			break
+		}
+		o = o[o[1]:]
+	}
+	return s
+}

@@ -1,0 +1,138 @@
+package decode_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/foxnet"
+	"repro/internal/decode"
+)
+
+// capture runs a scenario and returns every decoded frame.
+func capture(t *testing.T, scenario func(s *foxnet.Scheduler, net *foxnet.Network)) []string {
+	t.Helper()
+	var lines []string
+	s := foxnet.NewScheduler(foxnet.SchedulerConfig{})
+	s.Run(func() {
+		net := foxnet.NewNetwork(s, foxnet.WireConfig{}, 2)
+		net.Tap(func(from string, data []byte) {
+			lines = append(lines, decode.Frame(data))
+		})
+		scenario(s, net)
+	})
+	return lines
+}
+
+func wantSome(t *testing.T, lines []string, substrs ...string) {
+	t.Helper()
+	for _, want := range substrs {
+		found := false
+		for _, l := range lines {
+			if strings.Contains(l, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("no decoded frame contains %q; got:\n%s", want, strings.Join(lines, "\n"))
+		}
+	}
+}
+
+func TestDecodeTCPHandshakeOffTheWire(t *testing.T) {
+	lines := capture(t, func(s *foxnet.Scheduler, net *foxnet.Network) {
+		net.Host(1).TCP.Listen(80, func(c *foxnet.Conn) foxnet.Handler { return foxnet.Handler{} })
+		conn, err := net.Host(0).TCP.Open(net.Host(1).Addr, 80, foxnet.Handler{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.Write([]byte("decode me"))
+		s.Sleep(time.Second)
+	})
+	wantSome(t, lines,
+		"ARP who-has 10.0.0.2",
+		"ARP 10.0.0.2 is-at",
+		"[S] seq",
+		"[S.] seq",
+		"<mss 1460>",
+		"len 9", // the 9-byte payload
+	)
+}
+
+func TestDecodeUDPAndICMP(t *testing.T) {
+	lines := capture(t, func(s *foxnet.Scheduler, net *foxnet.Network) {
+		net.Host(1).UDP.Bind(53, func(foxnet.Address, uint16, *foxnet.Packet) {})
+		net.Host(0).UDP.SendTo(net.Host(1).Addr, 3000, 53, []byte("query!"))
+		net.Host(0).Ping(s, net.Host(1).Addr, []byte("abc"))
+		s.Sleep(time.Second)
+	})
+	wantSome(t, lines,
+		"UDP 3000 > 53 len 6",
+		"ICMP echo request",
+		"ICMP echo reply",
+	)
+}
+
+func TestDecodeFragments(t *testing.T) {
+	lines := capture(t, func(s *foxnet.Scheduler, net *foxnet.Network) {
+		net.Host(1).UDP.Bind(9, func(foxnet.Address, uint16, *foxnet.Packet) {})
+		net.Host(0).UDP.SendTo(net.Host(1).Addr, 9, 9, make([]byte, 4000))
+		s.Sleep(time.Second)
+	})
+	wantSome(t, lines, "frag id", "off 0+", "off 1480+")
+}
+
+func TestDecodeSpecialTcpEthertype(t *testing.T) {
+	lines := capture(t, func(s *foxnet.Scheduler, net *foxnet.Network) {
+		sp0 := net.Host(0).TCPOverEthernet(s, foxnet.TCPConfig{})
+		sp1 := net.Host(1).TCPOverEthernet(s, foxnet.TCPConfig{})
+		sp1.Listen(99, func(c *foxnet.Conn) foxnet.Handler { return foxnet.Handler{} })
+		conn, err := sp0.Open(net.Host(1).MAC, 99, foxnet.Handler{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.Write([]byte("bare segment"))
+		s.Sleep(time.Second)
+	})
+	wantSome(t, lines, "FoxTCP TCP", "[S] seq", "len 12")
+}
+
+func TestDecodeMalformedInputsAreSafe(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		make([]byte, 5),
+		make([]byte, 17),
+		make([]byte, 18), // minimum frame, zeroed
+		append(make([]byte, 14), make([]byte, 10)...),
+	}
+	for i, c := range cases {
+		out := decode.Frame(c)
+		if out == "" {
+			t.Fatalf("case %d: empty decode", i)
+		}
+	}
+	if !strings.Contains(decode.IPv4(nil), "truncated") {
+		t.Fatal("nil IPv4 not flagged")
+	}
+	if !strings.Contains(decode.TCP(make([]byte, 10), 10), "truncated") {
+		t.Fatal("short TCP not flagged")
+	}
+	if !strings.Contains(decode.ICMP(nil), "truncated") {
+		t.Fatal("nil ICMP not flagged")
+	}
+	if !strings.Contains(decode.UDP(nil), "truncated") {
+		t.Fatal("nil UDP not flagged")
+	}
+	if !strings.Contains(decode.ARP(nil), "truncated") {
+		t.Fatal("nil ARP not flagged")
+	}
+}
+
+func TestDecodeRSTVisible(t *testing.T) {
+	lines := capture(t, func(s *foxnet.Scheduler, net *foxnet.Network) {
+		// SYN to a closed port: the RST must be decodable on the wire.
+		net.Host(0).TCP.Open(net.Host(1).Addr, 4444, foxnet.Handler{})
+	})
+	wantSome(t, lines, "[R")
+}

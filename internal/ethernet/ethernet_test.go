@@ -1,0 +1,224 @@
+package ethernet
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/basis"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+type host struct {
+	eth  *Ethernet
+	addr Addr
+}
+
+// twoHosts builds two link layers on a fresh segment inside a scheduler
+// run and hands them to body.
+func twoHosts(t *testing.T, wcfg wire.Config, ecfg Config, body func(s *sim.Scheduler, a, b host)) {
+	t.Helper()
+	s := sim.New(sim.Config{})
+	s.Run(func() {
+		seg := wire.NewSegment(s, wcfg, nil)
+		pa := seg.NewPort("a", nil)
+		pb := seg.NewPort("b", nil)
+		a := host{addr: HostAddr(1)}
+		b := host{addr: HostAddr(2)}
+		a.eth = New(pa, a.addr, ecfg)
+		b.eth = New(pb, b.addr, ecfg)
+		body(s, a, b)
+	})
+}
+
+func newPayload(data []byte) *basis.Packet {
+	return basis.NewPacket(Headroom, Tailroom, data)
+}
+
+func TestUnicastDelivery(t *testing.T) {
+	twoHosts(t, wire.Config{}, Config{}, func(s *sim.Scheduler, a, b host) {
+		var gotSrc Addr
+		var gotData []byte
+		b.eth.Register(0x1234, func(src, dst Addr, pkt *basis.Packet) {
+			gotSrc = src
+			gotData = append([]byte(nil), pkt.Bytes()...)
+		})
+		payload := []byte("link layer payload exceeding the 46-byte minimum !!")
+		if err := a.eth.Send(b.addr, 0x1234, newPayload(payload)); err != nil {
+			t.Fatal(err)
+		}
+		s.Sleep(10 * time.Millisecond)
+		if gotSrc != a.addr {
+			t.Fatalf("src = %s", gotSrc)
+		}
+		if !bytes.Equal(gotData, payload) {
+			t.Fatalf("payload = %q", gotData)
+		}
+	})
+}
+
+func TestShortPayloadPaddedAndTrimmedByUpperLayer(t *testing.T) {
+	twoHosts(t, wire.Config{}, Config{}, func(s *sim.Scheduler, a, b host) {
+		var got []byte
+		b.eth.Register(7, func(src, dst Addr, pkt *basis.Packet) {
+			got = append([]byte(nil), pkt.Bytes()...)
+		})
+		a.eth.Send(b.addr, 7, newPayload([]byte("tiny")))
+		s.Sleep(10 * time.Millisecond)
+		if len(got) != minPayload {
+			t.Fatalf("padded payload length = %d, want %d", len(got), minPayload)
+		}
+		if !bytes.HasPrefix(got, []byte("tiny")) {
+			t.Fatalf("payload prefix = %q", got[:8])
+		}
+		for _, by := range got[4:] {
+			if by != 0 {
+				t.Fatal("padding not zeroed")
+			}
+		}
+	})
+}
+
+func TestWrongDestinationFiltered(t *testing.T) {
+	twoHosts(t, wire.Config{}, Config{}, func(s *sim.Scheduler, a, b host) {
+		got := false
+		b.eth.Register(7, func(src, dst Addr, pkt *basis.Packet) { got = true })
+		a.eth.Send(HostAddr(99), 7, newPayload([]byte("not for b")))
+		s.Sleep(10 * time.Millisecond)
+		if got {
+			t.Fatal("frame for another MAC delivered")
+		}
+		if b.eth.Stats().RxWrongAddr != 1 {
+			t.Fatalf("RxWrongAddr = %d", b.eth.Stats().RxWrongAddr)
+		}
+	})
+}
+
+func TestBroadcastDelivered(t *testing.T) {
+	twoHosts(t, wire.Config{}, Config{}, func(s *sim.Scheduler, a, b host) {
+		var gotDst Addr
+		b.eth.Register(7, func(src, dst Addr, pkt *basis.Packet) { gotDst = dst })
+		a.eth.Send(Broadcast, 7, newPayload([]byte("to everyone")))
+		s.Sleep(10 * time.Millisecond)
+		if gotDst != Broadcast {
+			t.Fatalf("dst = %s", gotDst)
+		}
+	})
+}
+
+func TestCorruptedFrameDroppedByFCS(t *testing.T) {
+	twoHosts(t, wire.Config{Corrupt: 1, Seed: 3}, Config{}, func(s *sim.Scheduler, a, b host) {
+		got := false
+		b.eth.Register(7, func(src, dst Addr, pkt *basis.Packet) { got = true })
+		a.eth.Send(b.addr, 7, newPayload([]byte("will be corrupted")))
+		s.Sleep(10 * time.Millisecond)
+		if got {
+			t.Fatal("corrupted frame passed the FCS check")
+		}
+		if b.eth.Stats().RxBadFCS != 1 {
+			t.Fatalf("RxBadFCS = %d", b.eth.Stats().RxBadFCS)
+		}
+	})
+}
+
+func TestVerifyFCSDisabledLetsCorruptionThrough(t *testing.T) {
+	off := false
+	twoHosts(t, wire.Config{Corrupt: 1, Seed: 3}, Config{VerifyFCS: &off}, func(s *sim.Scheduler, a, b host) {
+		got := false
+		b.eth.Register(7, func(src, dst Addr, pkt *basis.Packet) { got = true })
+		a.eth.Send(b.addr, 7, newPayload([]byte("corrupted but unchecked..")))
+		s.Sleep(10 * time.Millisecond)
+		if !got {
+			// The corruption may have hit the header's dst MAC, in which
+			// case address filtering drops it; both outcomes are
+			// acceptable, but the FCS counter must stay zero.
+			if b.eth.Stats().RxBadFCS != 0 {
+				t.Fatal("FCS verified despite being disabled")
+			}
+		}
+	})
+}
+
+func TestUnknownEthertypeCounted(t *testing.T) {
+	twoHosts(t, wire.Config{}, Config{}, func(s *sim.Scheduler, a, b host) {
+		a.eth.Send(b.addr, 0xbeef, newPayload([]byte("nobody listens")))
+		s.Sleep(10 * time.Millisecond)
+		if b.eth.Stats().RxUnknownType != 1 {
+			t.Fatalf("RxUnknownType = %d", b.eth.Stats().RxUnknownType)
+		}
+	})
+}
+
+func TestOversizePayloadRejected(t *testing.T) {
+	twoHosts(t, wire.Config{}, Config{}, func(s *sim.Scheduler, a, b host) {
+		err := a.eth.Send(b.addr, 7, basis.NewPacket(Headroom, Tailroom, make([]byte, MTU+1)))
+		if err != ErrTooLarge {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}
+
+func TestEthertypeDemux(t *testing.T) {
+	twoHosts(t, wire.Config{}, Config{}, func(s *sim.Scheduler, a, b host) {
+		var got []uint16
+		b.eth.Register(0x0800, func(src, dst Addr, pkt *basis.Packet) { got = append(got, 0x0800) })
+		b.eth.Register(0x0806, func(src, dst Addr, pkt *basis.Packet) { got = append(got, 0x0806) })
+		a.eth.Send(b.addr, 0x0806, newPayload([]byte("arp-like payload")))
+		a.eth.Send(b.addr, 0x0800, newPayload([]byte("ip-like payload")))
+		s.Sleep(20 * time.Millisecond)
+		if len(got) != 2 || got[0] != 0x0806 || got[1] != 0x0800 {
+			t.Fatalf("demux order = %#v", got)
+		}
+	})
+}
+
+func TestTransportAdapterRoundTrip(t *testing.T) {
+	twoHosts(t, wire.Config{}, Config{}, func(s *sim.Scheduler, a, b host) {
+		ta := a.eth.Transport(TypeFoxTCP)
+		tb := b.eth.Transport(TypeFoxTCP)
+		var got []byte
+		tb.Attach(func(src protocol.Address, pkt *basis.Packet) {
+			if src.(Addr) != a.addr {
+				t.Errorf("transport src = %v", src)
+			}
+			got = append([]byte(nil), pkt.Bytes()...)
+		})
+		pkt := basis.NewPacket(ta.Headroom(), ta.Tailroom(), []byte("segment straight over ethernet, no IP at all"))
+		if err := ta.Send(b.addr, pkt); err != nil {
+			t.Fatal(err)
+		}
+		s.Sleep(10 * time.Millisecond)
+		if string(got) != "segment straight over ethernet, no IP at all" {
+			t.Fatalf("got %q", got)
+		}
+		if ta.PseudoHeaderChecksum(b.addr, 99) != 0 {
+			t.Fatal("ethernet transport claims a pseudo-header")
+		}
+		if ta.MTU() != MTU-2 || ta.Headroom() != Headroom+2 || ta.Tailroom() != Tailroom {
+			t.Fatal("transport geometry mismatch")
+		}
+	})
+}
+
+func TestTransportRejectsForeignAddressType(t *testing.T) {
+	twoHosts(t, wire.Config{}, Config{}, func(s *sim.Scheduler, a, b host) {
+		ta := a.eth.Transport(TypeFoxTCP)
+		err := ta.Send(fakeAddr("nope"), basis.NewPacket(Headroom, Tailroom, nil))
+		if err == nil {
+			t.Fatal("send to a non-MAC address succeeded")
+		}
+	})
+}
+
+type fakeAddr string
+
+func (f fakeAddr) String() string { return string(f) }
+
+func TestAddrString(t *testing.T) {
+	a := Addr{0x02, 0, 0xab, 1, 2, 3}
+	if a.String() != "02:00:ab:01:02:03" {
+		t.Fatalf("String = %s", a)
+	}
+}

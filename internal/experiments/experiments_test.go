@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fast returns options sized for unit testing (deterministic, small).
+func fast() Options {
+	return Options{Bytes: 100_000, NoCharge: true, Rounds: 10}
+}
+
+func TestThroughputStructuredCompletes(t *testing.T) {
+	r := Throughput(Structured, fast())
+	if r.Elapsed <= 0 {
+		t.Fatalf("elapsed = %v", r.Elapsed)
+	}
+	if r.ThroughputMbps <= 0 || r.ThroughputMbps > 10 {
+		t.Fatalf("throughput = %v Mb/s (wire is 10 Mb/s)", r.ThroughputMbps)
+	}
+	if r.Retransmits != 0 {
+		t.Fatalf("clean wire retransmits = %d", r.Retransmits)
+	}
+}
+
+func TestThroughputBaselineCompletes(t *testing.T) {
+	r := Throughput(XKernelBaseline, fast())
+	if r.ThroughputMbps <= 0 || r.ThroughputMbps > 10 {
+		t.Fatalf("throughput = %v Mb/s", r.ThroughputMbps)
+	}
+}
+
+func TestThroughputDeterministicWithoutCharging(t *testing.T) {
+	a := Throughput(Structured, fast())
+	b := Throughput(Structured, fast())
+	if a.Elapsed != b.Elapsed || a.SegsSent != b.SegsSent {
+		t.Fatalf("deterministic runs diverged: %v/%d vs %v/%d",
+			a.Elapsed, a.SegsSent, b.Elapsed, b.SegsSent)
+	}
+}
+
+func TestRoundTripBothImpls(t *testing.T) {
+	for _, impl := range []Impl{Structured, XKernelBaseline} {
+		r := RoundTrip(impl, fast())
+		if r.MeanRTT <= 0 || r.MeanRTT > time.Second {
+			t.Fatalf("%v mean RTT = %v", impl, r.MeanRTT)
+		}
+		if r.MinRTT > r.MeanRTT || r.MeanRTT > r.MaxRTT {
+			t.Fatalf("%v RTT ordering: min %v mean %v max %v", impl, r.MinRTT, r.MeanRTT, r.MaxRTT)
+		}
+	}
+}
+
+func TestCPUChargingSlowsVirtualTime(t *testing.T) {
+	o := fast()
+	det := Throughput(Structured, o)
+	o.NoCharge = false
+	o.CPUScale = 1000
+	charged := Throughput(Structured, o)
+	if charged.Elapsed <= det.Elapsed {
+		t.Fatalf("CPU charging did not lengthen the run: %v vs %v", charged.Elapsed, det.Elapsed)
+	}
+}
+
+func TestLossyThroughputRetransmits(t *testing.T) {
+	o := fast()
+	o.Loss = 0.02
+	o.Seed = 5
+	r := Throughput(Structured, o)
+	if r.Retransmits == 0 {
+		t.Fatal("no retransmits on a lossy wire")
+	}
+	if r.ThroughputMbps <= 0 {
+		t.Fatal("transfer did not complete")
+	}
+}
+
+func TestTable1Formats(t *testing.T) {
+	o := fast()
+	o.Bytes = 50_000
+	o.Rounds = 5
+	_, _, _, _, text := Table1(o)
+	for _, want := range []string{"Throughput (Mb/s)", "Round-Trip (ms)", "Fox Net", "x-kernel", "0.24"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("Table 1 missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestTable2ProfilesBothHosts(t *testing.T) {
+	o := fast()
+	o.Bytes = 50_000
+	r, text := Table2(o)
+	if r.Sender.Updates == 0 || r.Receiver.Updates == 0 {
+		t.Fatal("profiles empty")
+	}
+	for _, want := range []string{"Sender", "Receiver", "TCP", "checksum", "packet wait", "counters (est.)"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("Table 2 missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestGCExperimentRuns(t *testing.T) {
+	o := fast()
+	r := GCExperiment(o)
+	if r.Short.ThroughputMbps <= 0 || r.Long.ThroughputMbps <= 0 {
+		t.Fatal("GC experiment transfers failed")
+	}
+	if r.Long.Bytes != 5_000_000 {
+		t.Fatalf("long run bytes = %d", r.Long.Bytes)
+	}
+	if !strings.Contains(r.Text, "5 MB") {
+		t.Fatalf("report:\n%s", r.Text)
+	}
+}
+
+func TestAblationsAllComplete(t *testing.T) {
+	o := fast()
+	o.Bytes = 50_000
+	text := RunAblations(o)
+	for _, want := range []string{"paper defaults", "direct dispatch", "fast path off", "nagle off"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("ablations missing %q:\n%s", want, text)
+		}
+	}
+	// Every row must have a positive throughput (no variant wedges).
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, "0.00 Mb/s") {
+			t.Fatalf("an ablation produced zero throughput:\n%s", text)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// These tests pin down the calibration modes of DESIGN.md §3: the 1994
+// knobs must slow exactly whom they claim to slow.
+
+func charged() Options {
+	return Options{Bytes: 60_000, CPUScale: 1000, Rounds: 5}
+}
+
+func TestSMLFactorSlowsOnlyTheStructuredStack(t *testing.T) {
+	base := Throughput(Structured, charged())
+	o := charged()
+	o.SMLFactor = 8
+	slowed := Throughput(Structured, o)
+	if slowed.Elapsed < base.Elapsed*2 {
+		t.Fatalf("SMLFactor 8 barely slowed the Fox run: %v -> %v", base.Elapsed, slowed.Elapsed)
+	}
+
+	blBase := Throughput(XKernelBaseline, charged())
+	blO := charged()
+	blO.SMLFactor = 8
+	blSame := Throughput(XKernelBaseline, blO)
+	// The baseline must be unaffected (within CPU-measurement noise).
+	if blSame.Elapsed > blBase.Elapsed*2 {
+		t.Fatalf("SMLFactor leaked into the baseline: %v -> %v", blBase.Elapsed, blSame.Elapsed)
+	}
+}
+
+func TestSMLEraChargesDataPath(t *testing.T) {
+	// In deterministic mode the only virtual costs are wire + explicit
+	// charges, so the SMLEra per-KB constants must show up exactly.
+	det := Options{Bytes: 60_000, NoCharge: true}
+	base := Throughput(Structured, det)
+	era := det
+	era.SMLEra = true
+	charged := Throughput(Structured, era)
+	if charged.Elapsed <= base.Elapsed {
+		t.Fatalf("SMLEra did not lengthen the run: %v vs %v", charged.Elapsed, base.Elapsed)
+	}
+	// 60 kB copied once at 300 µs/KB is ≈17.6 ms of added sender time
+	// alone; the delta must be at least that.
+	if delta := charged.Elapsed - base.Elapsed; delta < 17*time.Millisecond {
+		t.Fatalf("SMLEra delta only %v", delta)
+	}
+}
+
+func TestDeterministicModesAreExactlyRepeatable(t *testing.T) {
+	for _, era := range []bool{false, true} {
+		o := Options{Bytes: 40_000, NoCharge: true, SMLEra: era}
+		a := Throughput(Structured, o)
+		b := Throughput(Structured, o)
+		if a.Elapsed != b.Elapsed {
+			t.Fatalf("era=%v: %v vs %v", era, a.Elapsed, b.Elapsed)
+		}
+	}
+}
+
+func TestRoundTripFasterWithoutDelayedAckInfluence(t *testing.T) {
+	// The echo application replies immediately, so the measured RTT must
+	// sit far below the 200 ms delayed-ack timer — the ack piggybacks.
+	r := RoundTrip(Structured, Options{Bytes: 1, NoCharge: true, Rounds: 20})
+	if r.MeanRTT >= 100*time.Millisecond {
+		t.Fatalf("RTT %v suggests delayed-ack stalls in the echo loop", r.MeanRTT)
+	}
+}
+
+func TestThroughputScalesWithWindow(t *testing.T) {
+	// Deterministic mode is window-limited: doubling the window must
+	// raise throughput materially (until the wire saturates).
+	small := Throughput(Structured, Options{Bytes: 200_000, NoCharge: true, Window: 2048})
+	large := Throughput(Structured, Options{Bytes: 200_000, NoCharge: true, Window: 16384})
+	if large.ThroughputMbps < small.ThroughputMbps*1.5 {
+		t.Fatalf("window 2k -> 16k moved throughput %0.2f -> %0.2f Mb/s",
+			small.ThroughputMbps, large.ThroughputMbps)
+	}
+}
+
+func TestBaselineBeatsOrMatchesStructuredUnderCharging(t *testing.T) {
+	// The Table 1 direction must hold on average; individual runs are
+	// noisy, so compare the best of three.
+	best := func(impl Impl) float64 {
+		b := 0.0
+		for i := 0; i < 3; i++ {
+			if r := Throughput(impl, charged()); r.ThroughputMbps > b {
+				b = r.ThroughputMbps
+			}
+		}
+		return b
+	}
+	fox, xk := best(Structured), best(XKernelBaseline)
+	if fox > xk*1.3 {
+		t.Fatalf("structured (%0.2f Mb/s) dramatically beat the baseline (%0.2f Mb/s)", fox, xk)
+	}
+}
+
+func TestWindowSweepShape(t *testing.T) {
+	pts, text := WindowSweep(Options{Bytes: 80_000, NoCharge: true}, []int{2048, 4096, 16384})
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Deterministic mode is window-limited: throughput must be
+	// non-decreasing in window size for both implementations once past
+	// the sub-MSS pathology.
+	if pts[2].Fox < pts[1].Fox || pts[2].XK < pts[1].XK {
+		t.Fatalf("throughput fell as the window grew:\n%s", text)
+	}
+	// Window 2048 (< 2*MSS) hits the delayed-ack pathology on both.
+	if pts[0].Fox > pts[1].Fox {
+		t.Fatalf("sub-MSS window outperformed a full window:\n%s", text)
+	}
+}
+
+func TestLossSweepMonotoneDecline(t *testing.T) {
+	pts, text := LossSweep(Options{Bytes: 60_000, NoCharge: true, Seed: 2}, []float64{0, 0.05})
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[1].Fox >= pts[0].Fox || pts[1].XK >= pts[0].XK {
+		t.Fatalf("loss did not reduce throughput:\n%s", text)
+	}
+	if pts[0].FoxRex != 0 || pts[1].FoxRex == 0 {
+		t.Fatalf("retransmission counts wrong:\n%s", text)
+	}
+}

@@ -1,0 +1,172 @@
+// Package icmp implements the control protocol the substrate needs to be
+// a complete standard stack: echo request/reply (ping), and generation
+// and counting of destination-unreachable and time-exceeded messages.
+// The paper's profile runs did not exercise ICMP, but a standard TCP/IP
+// suite carries it, and the examples use ping to demonstrate the stack.
+package icmp
+
+import (
+	"encoding/binary"
+	"time"
+
+	"repro/internal/basis"
+	"repro/internal/checksum"
+	"repro/internal/ethernet"
+	"repro/internal/ip"
+	"repro/internal/sim"
+	"repro/internal/timers"
+)
+
+// Message types.
+const (
+	TypeEchoReply       = 0
+	TypeDestUnreachable = 3
+	TypeEcho            = 8
+	TypeTimeExceeded    = 11
+)
+
+// Destination-unreachable codes.
+const (
+	CodeNetUnreachable  = 0
+	CodeHostUnreachable = 1
+	CodePortUnreachable = 3
+)
+
+const headerLen = 8
+
+// Stats counts ICMP activity.
+type Stats struct {
+	EchoRequests     uint64 // echo requests answered
+	EchoReplies      uint64 // replies received
+	UnreachableSent  uint64
+	UnreachableRecvd uint64
+	TimeExceededSent uint64
+	TimeExceededRcvd uint64
+	Malformed        uint64
+	BadChecksum      uint64
+}
+
+// Config parameterizes the layer.
+type Config struct {
+	// PingTimeout bounds how long a Ping waits. Default 5 s.
+	PingTimeout sim.Duration
+	Trace       *basis.Tracer
+}
+
+// ICMP is one host's control-protocol endpoint.
+type ICMP struct {
+	s       *sim.Scheduler
+	ipl     *ip.IP
+	cfg     Config
+	pending map[uint32]*pendingPing
+	stats   Stats
+	// Unreachable, when non-nil, observes received destination-
+	// unreachable messages (src, code).
+	Unreachable func(src ip.Addr, code byte)
+}
+
+type pendingPing struct {
+	sentAt sim.Time
+	cb     func(ok bool, rtt sim.Duration)
+	timer  *timers.Timer
+}
+
+// New attaches an ICMP endpoint to ipl. Echo requests are answered
+// automatically from then on, and if ipl forwards, TTL exhaustion emits
+// time-exceeded messages back toward the source.
+func New(s *sim.Scheduler, ipl *ip.IP, cfg Config) *ICMP {
+	if cfg.PingTimeout == 0 {
+		cfg.PingTimeout = 5 * time.Second
+	}
+	c := &ICMP{s: s, ipl: ipl, cfg: cfg, pending: make(map[uint32]*pendingPing)}
+	ipl.Register(ip.ProtoICMP, c.receive)
+	ipl.TimeExceeded = func(src ip.Addr, original []byte) {
+		quote := original
+		if len(quote) > 28 {
+			quote = quote[:28]
+		}
+		c.stats.TimeExceededSent++
+		c.send(src, TypeTimeExceeded, 0, 0, quote)
+	}
+	return c
+}
+
+// Stats returns a snapshot of the counters.
+func (c *ICMP) Stats() Stats { return c.stats }
+
+// Ping sends an echo request carrying payload and calls cb exactly once:
+// with the round-trip time on reply, or ok=false on timeout.
+func (c *ICMP) Ping(dst ip.Addr, id, seq uint16, payload []byte, cb func(ok bool, rtt sim.Duration)) {
+	key := uint32(id)<<16 | uint32(seq)
+	p := &pendingPing{sentAt: c.s.Now(), cb: cb}
+	p.timer = timers.Start(c.s, func() {
+		if c.pending[key] == p {
+			delete(c.pending, key)
+			cb(false, 0)
+		}
+	}, c.cfg.PingTimeout)
+	c.pending[key] = p
+	c.send(dst, TypeEcho, 0, key, payload)
+}
+
+// SendUnreachable emits a destination-unreachable toward dst quoting the
+// first eight bytes of the offending transport payload, as UDP does for
+// closed ports.
+func (c *ICMP) SendUnreachable(dst ip.Addr, code byte, original []byte) {
+	quote := original
+	if len(quote) > 8 {
+		quote = quote[:8]
+	}
+	c.stats.UnreachableSent++
+	c.send(dst, TypeDestUnreachable, code, 0, quote)
+}
+
+func (c *ICMP) send(dst ip.Addr, typ, code byte, rest uint32, payload []byte) {
+	pkt := basis.NewPacket(ip.Headroom+headerLen, ethernet.Tailroom, payload)
+	h := pkt.Push(headerLen)
+	h[0], h[1] = typ, code
+	h[2], h[3] = 0, 0
+	binary.BigEndian.PutUint32(h[4:8], rest)
+	ck := ^checksum.SumWide(0, pkt.Bytes())
+	binary.BigEndian.PutUint16(h[2:4], ck)
+	c.cfg.Trace.Printf("tx type %d code %d to %s len %d", typ, code, dst, pkt.Len())
+	c.ipl.Send(dst, ip.ProtoICMP, pkt)
+}
+
+func (c *ICMP) receive(src, dst ip.Addr, pkt *basis.Packet) {
+	b := pkt.Bytes()
+	if len(b) < headerLen {
+		c.stats.Malformed++
+		return
+	}
+	if checksum.SumWide(0, b) != 0xffff {
+		c.stats.BadChecksum++
+		return
+	}
+	typ, code := b[0], b[1]
+	rest := binary.BigEndian.Uint32(b[4:8])
+	switch typ {
+	case TypeEcho:
+		c.stats.EchoRequests++
+		c.cfg.Trace.Printf("echo request from %s, answering", src)
+		c.send(src, TypeEchoReply, 0, rest, b[headerLen:])
+	case TypeEchoReply:
+		if p, ok := c.pending[rest]; ok {
+			delete(c.pending, rest)
+			p.timer.Clear()
+			c.stats.EchoReplies++
+			p.cb(true, sim.Duration(c.s.Now()-p.sentAt))
+		}
+	case TypeTimeExceeded:
+		c.stats.TimeExceededRcvd++
+		c.cfg.Trace.Printf("time exceeded from %s", src)
+	case TypeDestUnreachable:
+		c.stats.UnreachableRecvd++
+		c.cfg.Trace.Printf("destination unreachable (code %d) from %s", code, src)
+		if c.Unreachable != nil {
+			c.Unreachable(src, code)
+		}
+	default:
+		c.cfg.Trace.Printf("type %d from %s ignored", typ, src)
+	}
+}

@@ -1,0 +1,126 @@
+package icmp_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/arp"
+	"repro/internal/basis"
+	"repro/internal/ethernet"
+	"repro/internal/icmp"
+	"repro/internal/ip"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+type pingHost struct {
+	icmp *icmp.ICMP
+	ipl  *ip.IP
+	ip   ip.Addr
+}
+
+// sendRawICMP injects arbitrary bytes as an ICMP message toward dst.
+func (h pingHost) sendRawICMP(dst ip.Addr, body []byte) {
+	h.ipl.Send(dst, ip.ProtoICMP, basis.NewPacket(ip.Headroom, ethernet.Tailroom, body))
+}
+
+func runICMP(t *testing.T, wcfg wire.Config, cfg icmp.Config, body func(s *sim.Scheduler, a, b pingHost)) {
+	t.Helper()
+	s := sim.New(sim.Config{})
+	s.Run(func() {
+		seg := wire.NewSegment(s, wcfg, nil)
+		mk := func(n byte) pingHost {
+			addr := ip.HostAddr(n)
+			eth := ethernet.New(seg.NewPort(addr.String(), nil), ethernet.HostAddr(n), ethernet.Config{})
+			resolver := arp.New(s, eth, addr, arp.Config{})
+			ipl := ip.New(s, eth, resolver, ip.Config{Local: addr})
+			return pingHost{icmp: icmp.New(s, ipl, cfg), ipl: ipl, ip: addr}
+		}
+		body(s, mk(1), mk(2))
+	})
+}
+
+func TestPingRoundTrip(t *testing.T) {
+	runICMP(t, wire.Config{}, icmp.Config{}, func(s *sim.Scheduler, a, b pingHost) {
+		var ok bool
+		var rtt sim.Duration
+		a.icmp.Ping(b.ip, 1, 1, []byte("ping payload"), func(o bool, r sim.Duration) { ok, rtt = o, r })
+		s.Sleep(time.Second)
+		if !ok {
+			t.Fatal("ping failed")
+		}
+		if rtt <= 0 || rtt > 100*time.Millisecond {
+			t.Fatalf("rtt = %v", rtt)
+		}
+		if b.icmp.Stats().EchoRequests != 1 || a.icmp.Stats().EchoReplies != 1 {
+			t.Fatalf("stats: b=%+v a=%+v", b.icmp.Stats(), a.icmp.Stats())
+		}
+	})
+}
+
+func TestPingTimeout(t *testing.T) {
+	runICMP(t, wire.Config{Loss: 1}, icmp.Config{PingTimeout: time.Second}, func(s *sim.Scheduler, a, b pingHost) {
+		var called, ok bool
+		a.icmp.Ping(b.ip, 1, 7, nil, func(o bool, _ sim.Duration) { called, ok = true, o })
+		s.Sleep(10 * time.Second)
+		if !called {
+			t.Fatal("timeout callback never ran")
+		}
+		if ok {
+			t.Fatal("ping claimed success over a dead wire")
+		}
+	})
+}
+
+func TestConcurrentPingsMatchBySequence(t *testing.T) {
+	runICMP(t, wire.Config{}, icmp.Config{}, func(s *sim.Scheduler, a, b pingHost) {
+		replies := 0
+		for seq := uint16(1); seq <= 5; seq++ {
+			a.icmp.Ping(b.ip, 9, seq, []byte{byte(seq)}, func(o bool, _ sim.Duration) {
+				if o {
+					replies++
+				}
+			})
+		}
+		s.Sleep(time.Second)
+		if replies != 5 {
+			t.Fatalf("replies = %d", replies)
+		}
+	})
+}
+
+func TestUnreachableDelivery(t *testing.T) {
+	runICMP(t, wire.Config{}, icmp.Config{}, func(s *sim.Scheduler, a, b pingHost) {
+		var gotCode byte = 0xff
+		var gotSrc ip.Addr
+		a.icmp.Unreachable = func(src ip.Addr, code byte) { gotSrc, gotCode = src, code }
+		b.icmp.SendUnreachable(a.ip, icmp.CodePortUnreachable, []byte("original datagram bytes"))
+		s.Sleep(time.Second)
+		if gotCode != icmp.CodePortUnreachable || gotSrc != b.ip {
+			t.Fatalf("got code %d from %s", gotCode, gotSrc)
+		}
+		if a.icmp.Stats().UnreachableRecvd != 1 {
+			t.Fatalf("UnreachableRecvd = %d", a.icmp.Stats().UnreachableRecvd)
+		}
+	})
+}
+
+func TestMalformedAndIgnoredTypesCounted(t *testing.T) {
+	runICMP(t, wire.Config{}, icmp.Config{}, func(s *sim.Scheduler, a, b pingHost) {
+		// Deliver junk straight to B's ICMP input through the IP layer:
+		// a 3-byte ICMP message is malformed.
+		// (Reaching receive via the network keeps the path realistic.)
+		// Build a raw proto-1 datagram with a short payload from A.
+		a.sendRawICMP(b.ip, []byte{8, 0, 0})
+		// And one with a broken checksum.
+		a.sendRawICMP(b.ip, []byte{8, 0, 0xde, 0xad, 0, 0, 0, 1, 'x'})
+		s.Sleep(time.Second)
+		st := b.icmp.Stats()
+		if st.Malformed != 1 {
+			t.Fatalf("Malformed = %d", st.Malformed)
+		}
+		if st.BadChecksum != 1 {
+			t.Fatalf("BadChecksum = %d", st.BadChecksum)
+		}
+	})
+}

@@ -1,0 +1,40 @@
+// Package ip implements IPv4: header marshalling, header checksum,
+// routing, fragmentation and reassembly, and protocol demultiplexing. It
+// is the stack's Ip functor (Fig. 3) and, through Network, supplies the
+// IP_AUX structure (Fig. 5) — source-address info, pseudo-header
+// checksum, and MTU — that the TCP and UDP functors both require.
+package ip
+
+import "fmt"
+
+// Addr is an IPv4 address.
+type Addr [4]byte
+
+// String formats the address in dotted decimal.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+}
+
+// Unspecified is the zero address 0.0.0.0.
+var Unspecified = Addr{}
+
+// LimitedBroadcast is 255.255.255.255.
+var LimitedBroadcast = Addr{255, 255, 255, 255}
+
+// HostAddr returns 10.0.0.n, convenient for assembling simulated hosts.
+func HostAddr(n byte) Addr { return Addr{10, 0, 0, n} }
+
+// IsUnspecified reports whether a is 0.0.0.0.
+func (a Addr) IsUnspecified() bool { return a == Unspecified }
+
+// Mask applies a netmask.
+func (a Addr) Mask(m Addr) Addr {
+	var r Addr
+	for i := range a {
+		r[i] = a[i] & m[i]
+	}
+	return r
+}
+
+// SameSubnet reports whether a and b share the subnet defined by mask m.
+func (a Addr) SameSubnet(b, m Addr) bool { return a.Mask(m) == b.Mask(m) }

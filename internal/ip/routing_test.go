@@ -1,0 +1,101 @@
+package ip_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/arp"
+	"repro/internal/basis"
+	"repro/internal/ethernet"
+	"repro/internal/ip"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// TestGatewayRouting: a host configured with a default gateway must
+// resolve the gateway's hardware address — not the (off-subnet)
+// destination's — and hand it the datagram unchanged, so the IP header
+// still names the final destination.
+func TestGatewayRouting(t *testing.T) {
+	s := sim.New(sim.Config{})
+	s.Run(func() {
+		seg := wire.NewSegment(s, wire.Config{}, nil)
+
+		// Host A at 10.0.0.1 with gateway 10.0.0.254.
+		ethA := ethernet.New(seg.NewPort("a", nil), ethernet.HostAddr(1), ethernet.Config{})
+		arpA := arp.New(s, ethA, ip.HostAddr(1), arp.Config{})
+		ipA := ip.New(s, ethA, arpA, ip.Config{
+			Local:   ip.HostAddr(1),
+			Gateway: ip.Addr{10, 0, 0, 254},
+		})
+
+		// The gateway box at 10.0.0.254: we use its IP layer only to
+		// observe that the datagram for 192.168.9.9 arrived at its MAC
+		// (a real router would forward; ours records).
+		gwMAC := ethernet.HostAddr(254)
+		ethGW := ethernet.New(seg.NewPort("gw", nil), gwMAC, ethernet.Config{})
+		arp.New(s, ethGW, ip.Addr{10, 0, 0, 254}, arp.Config{})
+		var sawDst ip.Addr
+		ethGW.Register(ethernet.TypeIPv4, func(src, dst ethernet.Addr, pkt *basis.Packet) {
+			b := pkt.Bytes()
+			copy(sawDst[:], b[16:20])
+		})
+
+		far := ip.Addr{192, 168, 9, 9}
+		ipA.Send(far, 200, basis.NewPacket(ip.Headroom, ethernet.Tailroom, []byte("via gateway")))
+		s.Sleep(100 * time.Millisecond)
+
+		if sawDst != far {
+			t.Fatalf("gateway received datagram for %s, want %s", sawDst, far)
+		}
+		if _, ok := arpA.Lookup(ip.Addr{10, 0, 0, 254}); !ok {
+			t.Fatal("host never resolved its gateway")
+		}
+		if _, ok := arpA.Lookup(far); ok {
+			t.Fatal("host ARPed for an off-subnet address")
+		}
+	})
+}
+
+// TestNoRouteDropsSilently: off-subnet destination, no gateway.
+func TestNoRouteDropsSilently(t *testing.T) {
+	s := sim.New(sim.Config{})
+	s.Run(func() {
+		seg := wire.NewSegment(s, wire.Config{}, nil)
+		eth := ethernet.New(seg.NewPort("a", nil), ethernet.HostAddr(1), ethernet.Config{})
+		res := arp.New(s, eth, ip.HostAddr(1), arp.Config{})
+		ipl := ip.New(s, eth, res, ip.Config{Local: ip.HostAddr(1)})
+		ipl.Send(ip.Addr{192, 168, 1, 1}, 200, basis.NewPacket(ip.Headroom, ethernet.Tailroom, []byte("nowhere")))
+		s.Sleep(100 * time.Millisecond)
+		if ipl.Stats().ResolveFailures != 1 {
+			t.Fatalf("ResolveFailures = %d", ipl.Stats().ResolveFailures)
+		}
+		if res.Stats().RequestsSent != 0 {
+			t.Fatal("ARP request sent for an unroutable destination")
+		}
+	})
+}
+
+// TestCustomNetmask: a /16 mask makes 10.0.x.y all on-link.
+func TestCustomNetmask(t *testing.T) {
+	s := sim.New(sim.Config{})
+	s.Run(func() {
+		seg := wire.NewSegment(s, wire.Config{}, nil)
+		mk := func(name string, addr ip.Addr, mac ethernet.Addr) (*ip.IP, *arp.ARP) {
+			eth := ethernet.New(seg.NewPort(name, nil), mac, ethernet.Config{})
+			res := arp.New(s, eth, addr, arp.Config{})
+			return ip.New(s, eth, res, ip.Config{Local: addr, Netmask: ip.Addr{255, 255, 0, 0}}), res
+		}
+		ipA, _ := mk("a", ip.Addr{10, 0, 1, 1}, ethernet.HostAddr(1))
+		ipB, _ := mk("b", ip.Addr{10, 0, 2, 2}, ethernet.HostAddr(2))
+		var got []byte
+		ipB.Register(200, func(src, dst ip.Addr, pkt *basis.Packet) {
+			got = append([]byte(nil), pkt.Bytes()...)
+		})
+		ipA.Send(ip.Addr{10, 0, 2, 2}, 200, basis.NewPacket(ip.Headroom, ethernet.Tailroom, []byte("cross-24 on-link")))
+		s.Sleep(100 * time.Millisecond)
+		if string(got) != "cross-24 on-link" {
+			t.Fatalf("got %q", got)
+		}
+	})
+}

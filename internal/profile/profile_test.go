@@ -1,0 +1,199 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestDisabledProfileIsFree(t *testing.T) {
+	s := sim.New(sim.Config{})
+	s.Run(func() {
+		p := New(s, false)
+		sec := p.Start(CatTCP)
+		sec.Stop() // nil section: must be safe
+		if p.Updates() != 0 {
+			t.Error("disabled profile counted updates")
+		}
+	})
+	var nilProf *Profile
+	nilProf.Reset()
+	nilProf.Add(CatIP, time.Second)
+	if nilProf.Enabled() {
+		t.Error("nil profile enabled")
+	}
+}
+
+func TestSectionAttributesChargedTime(t *testing.T) {
+	s := sim.New(sim.Config{})
+	s.Run(func() {
+		p := New(s, true)
+		sec := p.Start(CatChecksum)
+		s.Charge(40 * time.Microsecond)
+		sec.Stop()
+		r := p.Report()
+		if p.acc[CatChecksum] != 40*time.Microsecond {
+			t.Fatalf("checksum acc = %v", p.acc[CatChecksum])
+		}
+		if r.Total < 40*time.Microsecond {
+			t.Fatalf("total = %v", r.Total)
+		}
+	})
+}
+
+func TestNestedSectionsAreExclusive(t *testing.T) {
+	s := sim.New(sim.Config{})
+	s.Run(func() {
+		p := New(s, true)
+		outer := p.Start(CatIP)
+		s.Charge(10 * time.Microsecond)
+		inner := p.Start(CatChecksum)
+		s.Charge(30 * time.Microsecond)
+		inner.Stop()
+		s.Charge(5 * time.Microsecond)
+		outer.Stop()
+		if got := p.acc[CatIP]; got != 15*time.Microsecond {
+			t.Errorf("IP exclusive = %v, want 15µs", got)
+		}
+		if got := p.acc[CatChecksum]; got != 30*time.Microsecond {
+			t.Errorf("checksum = %v, want 30µs", got)
+		}
+	})
+}
+
+func TestSectionsOnDifferentThreadsIndependent(t *testing.T) {
+	s := sim.New(sim.Config{})
+	s.Run(func() {
+		p := New(s, true)
+		secMain := p.Start(CatTCP)
+		s.Fork("other", func() {
+			sec := p.Start(CatIP)
+			s.Charge(7 * time.Microsecond)
+			sec.Stop()
+		})
+		s.Charge(3 * time.Microsecond)
+		s.Yield() // other thread runs its section
+		secMain.Stop()
+		if p.acc[CatIP] != 7*time.Microsecond {
+			t.Errorf("IP = %v", p.acc[CatIP])
+		}
+		// Main's TCP section spans the other thread's charge too (it did
+		// not stop across the yield) — but the other thread's section is
+		// not its child, so TCP gets the full 10µs span.
+		if p.acc[CatTCP] != 10*time.Microsecond {
+			t.Errorf("TCP = %v", p.acc[CatTCP])
+		}
+	})
+}
+
+func TestWaitAttribution(t *testing.T) {
+	s := sim.New(sim.Config{})
+	s.Run(func() {
+		p := New(s, true)
+		c := sim.NewCond(s)
+		s.Fork("waker", func() {
+			s.Sleep(25 * time.Millisecond)
+			c.Signal()
+		})
+		sec := p.Start(CatPacketWait)
+		c.Wait()
+		sec.Stop()
+		if p.acc[CatPacketWait] != 25*time.Millisecond {
+			t.Errorf("packet wait = %v", p.acc[CatPacketWait])
+		}
+	})
+}
+
+func TestAddDirectCharge(t *testing.T) {
+	s := sim.New(sim.Config{})
+	s.Run(func() {
+		p := New(s, true)
+		p.Add(CatDevSend, 100*time.Microsecond)
+		p.Add(CatDevSend, -5) // ignored
+		if p.acc[CatDevSend] != 100*time.Microsecond {
+			t.Errorf("dev send = %v", p.acc[CatDevSend])
+		}
+		if p.counts[CatDevSend] != 1 {
+			t.Errorf("count = %d", p.counts[CatDevSend])
+		}
+	})
+}
+
+func TestReportPercentagesAndFormat(t *testing.T) {
+	s := sim.New(sim.Config{})
+	s.Run(func() {
+		p := New(s, true)
+		sec := p.Start(CatTCP)
+		s.Charge(50 * time.Microsecond)
+		sec.Stop()
+		s.Charge(50 * time.Microsecond) // unattributed
+		r := p.Report()
+		var tcpPct float64
+		for _, row := range r.Rows {
+			if row.Label == "TCP" {
+				tcpPct = row.Percent
+			}
+		}
+		if tcpPct < 45 || tcpPct > 55 {
+			t.Errorf("TCP percent = %.1f, want ~50", tcpPct)
+		}
+		out := r.Format("sender")
+		for _, want := range []string{"TCP", "checksum", "counters (est.)", "total", "packet wait"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("formatted report missing %q:\n%s", want, out)
+			}
+		}
+	})
+}
+
+func TestResetClearsAccumulators(t *testing.T) {
+	s := sim.New(sim.Config{})
+	s.Run(func() {
+		p := New(s, true)
+		sec := p.Start(CatCopy)
+		s.Charge(time.Millisecond)
+		sec.Stop()
+		p.Reset()
+		if p.acc[CatCopy] != 0 || p.Updates() != 0 {
+			t.Error("Reset did not clear")
+		}
+		r := p.Report()
+		if r.Total != 0 {
+			t.Errorf("total after immediate report = %v", r.Total)
+		}
+	})
+}
+
+func TestCategoryString(t *testing.T) {
+	if CatTCP.String() != "TCP" || CatGC.String() != "g.c." {
+		t.Fatal("category names wrong")
+	}
+	if Category(99).String() != "invalid" {
+		t.Fatal("out-of-range category name")
+	}
+}
+
+func TestCounterEstimateRow(t *testing.T) {
+	s := sim.New(sim.Config{})
+	s.Run(func() {
+		p := New(s, true)
+		for i := 0; i < 10; i++ {
+			p.Start(CatMisc).Stop()
+		}
+		r := p.Report()
+		if r.Updates != 10 {
+			t.Fatalf("updates = %d", r.Updates)
+		}
+		var est Row
+		for _, row := range r.Rows {
+			if row.Label == "counters (est.)" {
+				est = row
+			}
+		}
+		if est.Time != 10*CounterCost {
+			t.Fatalf("counter estimate = %v", est.Time)
+		}
+	})
+}

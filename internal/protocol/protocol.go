@@ -1,0 +1,69 @@
+// Package protocol defines the generic interfaces every layer of the
+// stack satisfies — the Go rendering of the paper's PROTOCOL signature
+// (Fig. 2) and of the auxiliary IP_AUX signature (Fig. 5) that TCP and UDP
+// require of whatever layer they run over.
+//
+// In SML the Fox Project derived per-protocol signatures from one generic
+// PROTOCOL signature and let the compiler verify every functor
+// composition. Go's analogue: each layer exposes concrete types, and the
+// compositional seams are small interfaces defined here. A transport
+// (TCP or UDP) is a "functor" over any Network — internal/ip provides one
+// per IP protocol number, and internal/ethernet's Transport adapter
+// provides one directly over the link layer, which is how the paper's
+// Fig. 3 Special_Tcp (TCP over Ethernet, no IP) is assembled.
+package protocol
+
+import "repro/internal/basis"
+
+// Address identifies a peer at some layer. Dynamic types must be
+// comparable so addresses can key Go maps — the role of the paper's
+// hash/eq functions in IP_AUX.
+type Address interface {
+	String() string
+}
+
+// Handler is the upcall type: received data is delivered to a higher
+// layer by calling the higher layer's handler ("upcalls", Clark, cited by
+// the paper as a design it adopts from the x-kernel).
+type Handler func(src Address, pkt *basis.Packet)
+
+// Network is what a transport protocol needs from the layer below it —
+// the union of the paper's `Lower: PROTOCOL` and `Aux: IP_AUX` functor
+// parameters (Figs. 4 and 5). internal/ip implements it for IPv4;
+// internal/ethernet implements it for raw Ethernet.
+type Network interface {
+	// LocalAddr is this host's address at the lower layer.
+	LocalAddr() Address
+
+	// Attach installs the upcall for every inbound packet carried for
+	// the attached transport; src is the sender's lower-layer address
+	// (the info function of IP_AUX).
+	Attach(h Handler)
+
+	// Send transmits pkt to dst. pkt must have been allocated with at
+	// least Headroom bytes of headroom and TailRoom bytes of tailroom.
+	Send(dst Address, pkt *basis.Packet) error
+
+	// MTU is the largest packet Send accepts without fragmentation at
+	// this layer (the mtu function of IP_AUX).
+	MTU() int
+
+	// Headroom and Tailroom are the header/trailer bytes this layer and
+	// everything below it will claim, so the transport can allocate
+	// single-copy packets.
+	Headroom() int
+	Tailroom() int
+
+	// PseudoHeaderChecksum returns the folded, non-inverted partial
+	// checksum of the layer's pseudo-header for a segment of `length`
+	// transport bytes to dst — the "check" function of IP_AUX. Layers
+	// without a pseudo-header (raw Ethernet) return 0.
+	PseudoHeaderChecksum(dst Address, length int) uint16
+}
+
+// Protocol is the minimal generic face every configured layer presents,
+// used by tooling that walks an assembled stack.
+type Protocol interface {
+	Name() string
+	MTU() int
+}

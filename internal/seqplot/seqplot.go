@@ -1,0 +1,209 @@
+// Package seqplot renders tcptrace-style sequence–time diagrams from
+// frames tapped off the simulated wire: data segments as vertical strokes
+// at their sequence range, ACKs as the advancing lower line, and
+// retransmissions highlighted — the classic picture for seeing windowing,
+// loss recovery, and silly-window stalls at a glance. Output is a
+// self-contained SVG.
+package seqplot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Event is one TCP segment observation in one direction of one flow.
+type Event struct {
+	At       sim.Time
+	Seq      uint32
+	Len      int
+	Ack      uint32
+	HasAck   bool
+	IsData   bool
+	Rexmit   bool
+	FINorSYN bool
+}
+
+// Collector accumulates the forward direction of one flow.
+type Collector struct {
+	srcPort, dstPort uint16
+	events           []Event
+	seen             map[uint32]bool // data sequence numbers already sent
+}
+
+// NewCollector watches segments from srcPort to dstPort (data direction)
+// and the reverse ACKs.
+func NewCollector(srcPort, dstPort uint16) *Collector {
+	return &Collector{srcPort: srcPort, dstPort: dstPort, seen: make(map[uint32]bool)}
+}
+
+// Tap is a wire-tap function (see wire.Segment.SetTap adapter in foxnet):
+// feed it every raw Ethernet frame together with its virtual timestamp.
+func (c *Collector) Tap(at sim.Time, frame []byte) {
+	// Ethernet(14) + IPv4 + TCP, FCS-trailed — anything else is skipped.
+	if len(frame) < 14+20+20+4 {
+		return
+	}
+	if binary.BigEndian.Uint16(frame[12:14]) != 0x0800 {
+		return
+	}
+	b := frame[14 : len(frame)-4]
+	if b[0]>>4 != 4 || b[9] != 6 {
+		return
+	}
+	ihl := int(b[0]&0xf) * 4
+	totalLen := int(binary.BigEndian.Uint16(b[2:4]))
+	if totalLen > len(b) || ihl+20 > totalLen {
+		return
+	}
+	t := b[ihl:totalLen]
+	sp := binary.BigEndian.Uint16(t[0:2])
+	dp := binary.BigEndian.Uint16(t[2:4])
+	off := int(t[12]>>4) * 4
+	if off < 20 || off > len(t) {
+		return
+	}
+	flags := t[13]
+	ev := Event{
+		At:       at,
+		Seq:      binary.BigEndian.Uint32(t[4:8]),
+		Ack:      binary.BigEndian.Uint32(t[8:12]),
+		HasAck:   flags&0x10 != 0,
+		Len:      len(t) - off,
+		FINorSYN: flags&0x03 != 0,
+	}
+	switch {
+	case sp == c.srcPort && dp == c.dstPort:
+		ev.IsData = true
+		if ev.Len > 0 {
+			if c.seen[ev.Seq] {
+				ev.Rexmit = true
+			}
+			c.seen[ev.Seq] = true
+		}
+		c.events = append(c.events, ev)
+	case sp == c.dstPort && dp == c.srcPort && ev.HasAck:
+		ev.IsData = false
+		c.events = append(c.events, ev)
+	}
+}
+
+// Events returns the observations so far, in arrival order.
+func (c *Collector) Events() []Event { return c.events }
+
+// WriteSVG renders the collected flow. Width and height are in pixels;
+// sensible defaults apply when zero.
+func (c *Collector) WriteSVG(w io.Writer, width, height int) error {
+	if width <= 0 {
+		width = 900
+	}
+	if height <= 0 {
+		height = 500
+	}
+	if len(c.events) == 0 {
+		_, err := fmt.Fprint(w, emptySVG(width, height))
+		return err
+	}
+
+	// Establish ranges relative to the first data seq (handles ISS
+	// offsets and wraps within a plot's worth of data).
+	var base uint32
+	haveBase := false
+	for _, e := range c.events {
+		if e.IsData {
+			base = e.Seq
+			haveBase = true
+			break
+		}
+	}
+	if !haveBase {
+		base = c.events[0].Seq
+	}
+	rel := func(s uint32) int64 { return int64(int32(s - base)) }
+
+	t0, t1 := c.events[0].At, c.events[0].At
+	var sMax int64
+	for _, e := range c.events {
+		if e.At < t0 {
+			t0 = e.At
+		}
+		if e.At > t1 {
+			t1 = e.At
+		}
+		top := rel(e.Seq) + int64(e.Len)
+		if !e.IsData && e.HasAck {
+			top = rel(e.Ack)
+		}
+		if top > sMax {
+			sMax = top
+		}
+	}
+	if t1 == t0 {
+		t1 = t0 + 1
+	}
+	if sMax == 0 {
+		sMax = 1
+	}
+
+	const mL, mR, mT, mB = 60, 20, 20, 40
+	px := func(at sim.Time) float64 {
+		return mL + float64(at-t0)/float64(t1-t0)*float64(width-mL-mR)
+	}
+	py := func(s int64) float64 {
+		return float64(height-mB) - float64(s)/float64(sMax)*float64(height-mT-mB)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", mL, height-mB, width-mR, height-mB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", mL, mT, mL, height-mB)
+	fmt.Fprintf(&b, `<text x="%d" y="%d">time (%v total)</text>`+"\n", mL, height-10, time.Duration(t1-t0).Round(time.Millisecond))
+	fmt.Fprintf(&b, `<text x="5" y="%d" transform="rotate(-90 12 %d)">sequence (bytes)</text>`+"\n", mT+110, mT+110)
+
+	// ACK line (sorted by time; it is monotone anyway).
+	acks := make([]Event, 0, len(c.events))
+	for _, e := range c.events {
+		if !e.IsData && e.HasAck {
+			acks = append(acks, e)
+		}
+	}
+	sort.Slice(acks, func(i, j int) bool { return acks[i].At < acks[j].At })
+	if len(acks) > 0 {
+		var pts strings.Builder
+		for _, e := range acks {
+			fmt.Fprintf(&pts, "%.1f,%.1f ", px(e.At), py(rel(e.Ack)))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="#2166ac" stroke-width="1"/>`+"\n", strings.TrimSpace(pts.String()))
+	}
+
+	// Data strokes.
+	for _, e := range c.events {
+		if !e.IsData || e.Len == 0 {
+			continue
+		}
+		color := "#333333"
+		if e.Rexmit {
+			color = "#d7301f"
+		}
+		x := px(e.At)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="2"/>`+"\n",
+			x, py(rel(e.Seq)), x, py(rel(e.Seq)+int64(e.Len)), color)
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" fill="#333333">| data</text>`+"\n", width-180, mT+12)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" fill="#d7301f">| retransmission</text>`+"\n", width-180, mT+26)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" fill="#2166ac">— ack line</text>`+"\n", width-180, mT+40)
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func emptySVG(w, h int) string {
+	return fmt.Sprintf(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d"><text x="20" y="30">no events</text></svg>`+"\n", w, h)
+}

@@ -1,0 +1,112 @@
+package seqplot_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/foxnet"
+	"repro/internal/seqplot"
+	"repro/internal/sim"
+)
+
+// runFlow captures one transfer's forward flow.
+func runFlow(t *testing.T, wcfg foxnet.WireConfig, size int) *seqplot.Collector {
+	t.Helper()
+	s := foxnet.NewScheduler(foxnet.SchedulerConfig{})
+	var col *seqplot.Collector
+	s.Run(func() {
+		net := foxnet.NewNetwork(s, wcfg, 2)
+		// A discarding upcall receiver: with a nil Data handler the
+		// connection would buffer in pull mode, close its window at
+		// 4096 bytes, and the plot would show persist probes instead of
+		// a flowing transfer (a scenario worth plotting, but not this
+		// test's).
+		net.Host(1).TCP.Listen(80, func(c *foxnet.Conn) foxnet.Handler {
+			return foxnet.Handler{Data: func(c *foxnet.Conn, d []byte) {}}
+		})
+		conn, err := net.Host(0).TCP.Open(net.Host(1).Addr, 80, foxnet.Handler{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		col = seqplot.NewCollector(conn.LocalPort(), 80)
+		net.Tap(func(from string, data []byte) { col.Tap(s.Now(), data) })
+		s.Fork("w", func() { conn.Write(make([]byte, size)) })
+		s.Sleep(5 * time.Minute)
+	})
+	return col
+}
+
+func TestCollectorSeesDataAndAcks(t *testing.T) {
+	col := runFlow(t, foxnet.WireConfig{}, 30_000)
+	data, acks := 0, 0
+	for _, e := range col.Events() {
+		if e.IsData && e.Len > 0 {
+			data++
+			if e.Rexmit {
+				t.Fatal("retransmission on a clean wire")
+			}
+		}
+		if !e.IsData && e.HasAck {
+			acks++
+		}
+	}
+	if data < 20 || acks < 10 {
+		t.Fatalf("events: %d data, %d acks", data, acks)
+	}
+}
+
+func TestCollectorMarksRetransmissions(t *testing.T) {
+	col := runFlow(t, foxnet.WireConfig{Loss: 0.08, Seed: 5}, 30_000)
+	rex := 0
+	for _, e := range col.Events() {
+		if e.Rexmit {
+			rex++
+		}
+	}
+	if rex == 0 {
+		t.Fatal("lossy flow shows no retransmissions")
+	}
+}
+
+func TestSVGOutputWellFormed(t *testing.T) {
+	col := runFlow(t, foxnet.WireConfig{Loss: 0.05, Seed: 9}, 20_000)
+	var buf bytes.Buffer
+	if err := col.WriteSVG(&buf, 800, 400); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "polyline", "#d7301f", "stroke"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<line") < 10 {
+		t.Fatal("suspiciously few strokes")
+	}
+}
+
+func TestSVGEmptyCollector(t *testing.T) {
+	col := seqplot.NewCollector(1, 2)
+	var buf bytes.Buffer
+	if err := col.WriteSVG(&buf, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no events") {
+		t.Fatalf("empty SVG = %q", buf.String())
+	}
+}
+
+func TestTapIgnoresNonTCP(t *testing.T) {
+	col := seqplot.NewCollector(1, 2)
+	col.Tap(0, nil)
+	col.Tap(0, make([]byte, 10))
+	arp := make([]byte, 64)
+	arp[12], arp[13] = 0x08, 0x06
+	col.Tap(0, arp)
+	if len(col.Events()) != 0 {
+		t.Fatalf("non-TCP frames produced %d events", len(col.Events()))
+	}
+	_ = sim.Time(0)
+}

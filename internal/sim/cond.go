@@ -1,0 +1,50 @@
+package sim
+
+import "repro/internal/basis"
+
+// Cond is a condition variable for coroutine threads. Because the
+// scheduler is non-preemptive there is no associated mutex and no spurious
+// wakeup: a thread that returns from Wait was explicitly signaled. This is
+// the "synchronization … required in particular cases" the paper mentions,
+// e.g. ensuring no data is delivered on a connection before the
+// corresponding open has returned to the caller.
+type Cond struct {
+	s       *Scheduler
+	waiters basis.FIFO[*Thread]
+}
+
+// NewCond returns a condition variable on s.
+func NewCond(s *Scheduler) *Cond {
+	return &Cond{s: s}
+}
+
+// Wait suspends the current thread until another thread calls Signal or
+// Broadcast. Callers must re-check their predicate in a loop: between the
+// signal and this thread's next turn, earlier-queued threads may run.
+func (c *Cond) Wait() {
+	c.waiters.Enqueue(c.s.current)
+	c.s.block()
+}
+
+// Signal makes the longest-waiting thread ready. The caller keeps the CPU.
+// It is a no-op when no thread waits.
+func (c *Cond) Signal() {
+	if t, ok := c.waiters.Dequeue(); ok {
+		c.s.unblock(t)
+	}
+}
+
+// Broadcast makes every waiting thread ready, in wait order. The caller
+// keeps the CPU.
+func (c *Cond) Broadcast() {
+	for {
+		t, ok := c.waiters.Dequeue()
+		if !ok {
+			return
+		}
+		c.s.unblock(t)
+	}
+}
+
+// Waiters reports the number of waiting threads.
+func (c *Cond) Waiters() int { return c.waiters.Len() }

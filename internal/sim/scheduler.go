@@ -1,0 +1,537 @@
+// Package sim provides the non-preemptive coroutine scheduler the paper's
+// TCP is built on (the COROUTINE functor parameter of Fig. 4), together
+// with the virtual clock that replaces the paper's DECstation wall clock.
+//
+// The paper implements its scheduler "entirely in SML using continuations";
+// thread switch costs only a few function calls and, because the scheduler
+// is non-preemptive, "data structure locks are therefore not necessary".
+// This package reproduces those semantics on top of goroutines: every
+// thread is a goroutine, but a channel-handoff protocol guarantees that
+// exactly one of them executes at any moment and that control moves only
+// at explicit scheduler calls (Fork, Yield, Sleep, condition waits). No
+// code in this repository takes a lock.
+//
+// Time is virtual. The clock advances when a thread sleeps past the last
+// runnable instant, when a caller charges an explicit cost (Charge), and —
+// if CPU charging is enabled — by the measured real execution time of each
+// thread scaled by Config.CPUScale, which stands in for running the same
+// code on 1994 hardware. With CPU charging disabled (the default) runs are
+// bit-for-bit deterministic, which is what the paper's quasi-synchronous
+// design promises: "once the actions have been placed on the queue the
+// behavior of TCP is completely deterministic and testable."
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/basis"
+)
+
+// Time is an absolute virtual time in nanoseconds since scheduler start.
+type Time int64
+
+// Duration re-exports time.Duration for virtual intervals; virtual and
+// real durations share units, differing only in which clock consumes them.
+type Duration = time.Duration
+
+// String formats a virtual time like "1.234ms".
+func (t Time) String() string { return time.Duration(t).String() }
+
+// threadState tracks where a thread currently lives.
+type threadState uint8
+
+const (
+	stateReady threadState = iota
+	stateRunning
+	stateSleeping
+	stateBlocked
+	stateDead
+)
+
+func (s threadState) String() string {
+	switch s {
+	case stateReady:
+		return "ready"
+	case stateRunning:
+		return "running"
+	case stateSleeping:
+		return "sleeping"
+	case stateBlocked:
+		return "blocked"
+	case stateDead:
+		return "dead"
+	}
+	return "invalid"
+}
+
+// Thread is a cooperatively-scheduled thread of control.
+type Thread struct {
+	name      string
+	prio      int
+	seq       uint64
+	state     threadState
+	resume    chan struct{}
+	sched     *Scheduler
+	startReal time.Time // when this thread last received the CPU
+	factor    float64   // per-thread CPU charge multiplier (inherited)
+	killed    bool      // set by shutdown before the kill resume
+}
+
+// Name returns the thread's diagnostic name.
+func (t *Thread) Name() string { return t.name }
+
+// errKilled unwinds a parked thread when the scheduler shuts down.
+type killedError struct{}
+
+func (killedError) Error() string { return "sim: thread killed by scheduler shutdown" }
+
+var errKilled = killedError{}
+
+type sleeper struct {
+	wake Time
+	seq  uint64
+	t    *Thread
+}
+
+// Config parameterizes a Scheduler.
+type Config struct {
+	// ChargeCPU, when true, advances the virtual clock by the measured
+	// real execution time of each thread (scaled by CPUScale) every time
+	// it gives up the CPU. When false the clock moves only by Sleep and
+	// Charge, and runs are deterministic.
+	ChargeCPU bool
+
+	// CPUScale multiplies measured real durations before charging them.
+	// The default 1000 calibrates a modern core to the paper's DECstation
+	// 5000/125 (an empty function call: ~1.2 ns today vs the paper's
+	// 1.2 µs).
+	CPUScale float64
+
+	// Priority, when true, orders the ready queue by thread priority
+	// (lower value runs first) instead of round-robin FIFO — the
+	// replacement the paper proposes for latency-critical actions.
+	Priority bool
+
+	// ForkCost and SwitchCost are explicit virtual charges applied per
+	// Fork and per context switch, usable to model the paper's ~30 µs
+	// create+switch cost in deterministic runs. Both default to zero.
+	ForkCost   Duration
+	SwitchCost Duration
+}
+
+// Scheduler owns a set of coroutine threads and the virtual clock.
+type Scheduler struct {
+	cfg      Config
+	now      Time
+	readyQ   basis.FIFO[*Thread]
+	readyPQ  *basis.Heap[*Thread]
+	sleepers *basis.Heap[sleeper]
+	current  *Thread
+	seq      uint64
+	live     int // threads not dead (including current)
+	blocked  int
+	sleeping int
+	threads  []*Thread // every forked thread, for serialized shutdown
+	main     *Thread
+	unwound  chan struct{}
+	stopped  bool
+	fatal    any // panic value carried from a worker thread to Run
+
+	switches uint64 // context-switch count, for the E-sched experiment
+	forks    uint64
+
+	// unwinding tracks forked goroutines so shutdown can wait for every
+	// kill-unwind to finish before Run returns; without it, deferred
+	// user code in dying threads would run concurrently with whatever
+	// follows Run — the one place the handoff discipline wouldn't hold.
+	unwinding sync.WaitGroup
+}
+
+// New returns a scheduler with the given configuration.
+func New(cfg Config) *Scheduler {
+	if cfg.CPUScale == 0 {
+		cfg.CPUScale = 1000
+	}
+	s := &Scheduler{
+		cfg: cfg,
+		sleepers: basis.NewHeap[sleeper](func(a, b sleeper) bool {
+			if a.wake != b.wake {
+				return a.wake < b.wake
+			}
+			return a.seq < b.seq
+		}),
+		unwound: make(chan struct{}),
+	}
+	if cfg.Priority {
+		s.readyPQ = basis.NewHeap[*Thread](func(a, b *Thread) bool {
+			if a.prio != b.prio {
+				return a.prio < b.prio
+			}
+			return a.seq < b.seq
+		})
+	}
+	return s
+}
+
+// Now returns the current virtual time, first charging the running
+// thread's accumulated CPU time if CPU charging is enabled, so timestamps
+// taken mid-computation are accurate.
+func (s *Scheduler) Now() Time {
+	s.syncClock()
+	return s.now
+}
+
+// Charge advances the virtual clock by d on behalf of the current thread,
+// modeling a cost the real code does not pay (for example the paper's
+// per-packet Mach IPC send).
+func (s *Scheduler) Charge(d Duration) {
+	if d > 0 {
+		s.now += Time(d)
+	}
+}
+
+// Exclude runs fn without charging its real CPU time to the virtual
+// clock. It models work that happened outside the paper's measured task
+// — the Mach kernel's own copy at the device boundary, or benchmark
+// bookkeeping — whose simulation cost must not leak into virtual time.
+// No-op beyond calling fn when CPU charging is off.
+func (s *Scheduler) Exclude(fn func()) {
+	s.syncClock()
+	fn()
+	if s.cfg.ChargeCPU && s.current != nil {
+		s.current.startReal = time.Now()
+	}
+}
+
+// Switches reports how many context switches have occurred.
+func (s *Scheduler) Switches() uint64 { return s.switches }
+
+// Forks reports how many threads have been created.
+func (s *Scheduler) Forks() uint64 { return s.forks }
+
+// Current returns the running thread (nil outside Run).
+func (s *Scheduler) Current() *Thread { return s.current }
+
+// Stamp returns a trace prefix with the current virtual time, suitable for
+// basis.Tracer.Stamp.
+func (s *Scheduler) Stamp() string {
+	return fmt.Sprintf("[%10v]", time.Duration(s.Now()))
+}
+
+// syncClock charges the current thread's measured CPU time to the clock.
+func (s *Scheduler) syncClock() {
+	if !s.cfg.ChargeCPU || s.current == nil {
+		return
+	}
+	nowReal := time.Now()
+	dt := nowReal.Sub(s.current.startReal)
+	if dt > 0 {
+		f := s.current.factor
+		if f == 0 {
+			f = 1
+		}
+		s.now += Time(float64(dt) * s.cfg.CPUScale * f)
+	}
+	s.current.startReal = nowReal
+}
+
+// SetChargeFactor sets the current thread's CPU charge multiplier;
+// threads it forks from now on inherit it. The experiments package uses
+// it to model 1994 SML/NJ code generation: every cycle a Fox host
+// executes costs factor× what the same cycle costs the C baseline.
+func (s *Scheduler) SetChargeFactor(f float64) {
+	s.syncClock()
+	if s.current != nil {
+		s.current.factor = f
+	}
+}
+
+// ChargeFactor returns the current thread's multiplier (1 if unset).
+func (s *Scheduler) ChargeFactor() float64 {
+	if s.current == nil || s.current.factor == 0 {
+		return 1
+	}
+	return s.current.factor
+}
+
+// Run executes fn as the main thread and services all forked threads until
+// fn returns. Any still-live threads are then killed (their goroutines
+// unwound), so Run leaks nothing. If any thread panics, Run re-panics with
+// that value after shutting the scheduler down.
+func (s *Scheduler) Run(fn func()) {
+	if s.current != nil || s.stopped {
+		panic("sim: Run called twice or on a stopped scheduler")
+	}
+	main := &Thread{name: "main", resume: make(chan struct{}, 1), sched: s, state: stateRunning, seq: s.nextSeq()}
+	s.current = main
+	s.main = main
+	s.live = 1
+	main.startReal = time.Now()
+
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, killed := r.(killedError); !killed && s.fatal == nil {
+					s.fatal = r
+				}
+			}
+		}()
+		fn()
+	}()
+
+	s.shutdown()
+	if s.fatal != nil {
+		panic(s.fatal)
+	}
+}
+
+// Fork creates a new thread running fn and places it at the tail of the
+// ready queue; the caller keeps the CPU (the paper's "fork operation …
+// takes unit time"). The thread inherits priority 0.
+func (s *Scheduler) Fork(name string, fn func()) *Thread {
+	return s.ForkPrio(name, 0, fn)
+}
+
+// ForkPrio creates a thread with an explicit priority; lower values run
+// first when the scheduler was configured with Priority.
+func (s *Scheduler) ForkPrio(name string, prio int, fn func()) *Thread {
+	s.ensureRunnable("Fork")
+	t := &Thread{name: name, prio: prio, resume: make(chan struct{}, 1), sched: s, state: stateReady, seq: s.nextSeq()}
+	if s.current != nil {
+		t.factor = s.current.factor
+	}
+	s.live++
+	s.forks++
+	s.Charge(s.cfg.ForkCost)
+	s.threads = append(s.threads, t)
+	s.unwinding.Add(1)
+	go s.threadBody(t, fn)
+	s.pushReady(t)
+	return t
+}
+
+// threadBody is the goroutine wrapper for a forked thread: it parks until
+// first dispatched, runs fn, and exits through the scheduler.
+func (s *Scheduler) threadBody(t *Thread, fn func()) {
+	defer s.unwinding.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			if _, killed := r.(killedError); killed {
+				t.state = stateDead
+				if t.killed {
+					// shutdown is waiting for this exact unwind to
+					// finish; nothing else runs until we signal.
+					s.unwound <- struct{}{}
+				}
+				return
+			}
+			// Carry the panic to Run: record it and hand the CPU onward.
+			s.fatal = r
+			t.state = stateDead
+			s.live--
+			s.dispatchNextOrFinish(t)
+		}
+	}()
+	t.park() // wait to be scheduled the first time
+	fn()
+	s.exit(t)
+}
+
+// park suspends the calling goroutine until its thread is resumed. A
+// resume with the killed flag set is shutdown's order to unwind.
+func (t *Thread) park() {
+	<-t.resume
+	if t.killed {
+		panic(errKilled)
+	}
+	t.state = stateRunning
+	t.startReal = time.Now()
+}
+
+// Yield places the current thread at the tail of the ready queue and runs
+// the next ready thread.
+func (s *Scheduler) Yield() {
+	s.ensureRunnable("Yield")
+	cur := s.current
+	s.syncClock()
+	cur.state = stateReady
+	s.pushReady(cur)
+	s.reschedule(cur)
+}
+
+// Sleep suspends the current thread for at least d of virtual time.
+// Non-positive durations yield.
+func (s *Scheduler) Sleep(d Duration) {
+	s.ensureRunnable("Sleep")
+	if d <= 0 {
+		s.Yield()
+		return
+	}
+	cur := s.current
+	s.syncClock()
+	cur.state = stateSleeping
+	s.sleeping++
+	s.sleepers.Push(sleeper{wake: s.now + Time(d), seq: s.nextSeq(), t: cur})
+	s.reschedule(cur)
+}
+
+// block suspends the current thread until some other thread unblocks it.
+func (s *Scheduler) block() {
+	s.ensureRunnable("block")
+	cur := s.current
+	s.syncClock()
+	cur.state = stateBlocked
+	s.blocked++
+	s.reschedule(cur)
+}
+
+// unblock moves a blocked thread to the ready queue. The caller keeps the
+// CPU, mirroring the paper's design where actions never wait.
+func (s *Scheduler) unblock(t *Thread) {
+	if t.state != stateBlocked {
+		panic(fmt.Sprintf("sim: unblock of %s thread %q", t.state, t.name))
+	}
+	s.blocked--
+	t.state = stateReady
+	t.seq = s.nextSeq()
+	s.pushReady(t)
+}
+
+// exit terminates the calling thread, dispatching the next runnable one.
+func (s *Scheduler) exit(t *Thread) {
+	s.syncClock()
+	t.state = stateDead
+	s.live--
+	s.dispatchNextOrFinish(t)
+}
+
+// reschedule hands the CPU from cur (already re-queued, asleep, or
+// blocked) to the next runnable thread, then parks cur until its turn.
+func (s *Scheduler) reschedule(cur *Thread) {
+	next := s.next()
+	s.switches++
+	s.Charge(s.cfg.SwitchCost)
+	if next == cur {
+		cur.state = stateRunning
+		return
+	}
+	s.current = next
+	next.resume <- struct{}{}
+	cur.park()
+}
+
+// dispatchNextOrFinish is reschedule for a dying thread: it never parks.
+// If nothing remains runnable it wakes Run's main thread if possible, or
+// declares the run finished.
+func (s *Scheduler) dispatchNextOrFinish(t *Thread) {
+	if s.live == 0 {
+		return // the main thread was the last one; Run unwinds normally
+	}
+	if s.fatal != nil {
+		// Carry control back to main so Run can re-panic; the remaining
+		// threads are killed one at a time by shutdown afterwards.
+		s.stopped = true
+		if s.main.state != stateRunning && s.main.state != stateDead {
+			s.main.killed = true
+			s.main.resume <- struct{}{}
+		}
+		return
+	}
+	next := s.next()
+	s.switches++
+	s.current = next
+	next.resume <- struct{}{}
+}
+
+// next picks the next thread to run, advancing the virtual clock over idle
+// gaps. It panics with a thread dump on total deadlock.
+func (s *Scheduler) next() *Thread {
+	for {
+		if t, ok := s.popReady(); ok {
+			return t
+		}
+		if s.sleepers.Empty() {
+			panic(s.deadlockReport())
+		}
+		// Jump the clock to the earliest wake time and release every
+		// sleeper due at that instant, in FIFO seq order (the heap
+		// tiebreak guarantees it).
+		first, _ := s.sleepers.Pop()
+		if first.wake > s.now {
+			s.now = first.wake
+		}
+		s.sleeping--
+		first.t.state = stateReady
+		s.pushReady(first.t)
+		for {
+			peek, ok := s.sleepers.Min()
+			if !ok || peek.wake > s.now {
+				break
+			}
+			s.sleepers.Pop()
+			s.sleeping--
+			peek.t.state = stateReady
+			s.pushReady(peek.t)
+		}
+	}
+}
+
+func (s *Scheduler) pushReady(t *Thread) {
+	if s.readyPQ != nil {
+		s.readyPQ.Push(t)
+		return
+	}
+	s.readyQ.Enqueue(t)
+}
+
+func (s *Scheduler) popReady() (*Thread, bool) {
+	if s.readyPQ != nil {
+		return s.readyPQ.Pop()
+	}
+	return s.readyQ.Dequeue()
+}
+
+func (s *Scheduler) nextSeq() uint64 {
+	s.seq++
+	return s.seq
+}
+
+func (s *Scheduler) ensureRunnable(op string) {
+	if s.stopped {
+		panic(errKilled)
+	}
+	if s.current == nil {
+		panic("sim: " + op + " called outside Run")
+	}
+}
+
+// shutdown kills every remaining thread after the main function returns,
+// one at a time — each killed goroutine finishes unwinding (deferred
+// functions included) before the next is woken, preserving the
+// one-thread-at-a-time discipline even while dying — so Run returns only
+// once nothing of the simulation is still executing.
+func (s *Scheduler) shutdown() {
+	s.stopped = true
+	s.current = nil
+	for _, t := range s.threads {
+		if t.state == stateDead {
+			continue
+		}
+		t.killed = true
+		t.resume <- struct{}{}
+		<-s.unwound
+	}
+	s.unwinding.Wait()
+}
+
+func (s *Scheduler) deadlockReport() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim: deadlock at %v: no ready or sleeping threads (%d blocked)", time.Duration(s.now), s.blocked)
+	if s.current != nil {
+		fmt.Fprintf(&b, "; current=%q", s.current.name)
+	}
+	return b.String()
+}

@@ -1,0 +1,97 @@
+package tcp
+
+import (
+	"fmt"
+
+	"repro/internal/basis"
+	"repro/internal/sim"
+)
+
+// action is the paper's tcp_action datatype (Fig. 8): everything that can
+// appear on a connection's to_do queue. "Executing an operation computes
+// the corresponding actions and queues them onto the connection's to_do
+// queue"; the executor in conn.go then performs them one at a time.
+// Actions are designed not to wait; anything that must happen later is
+// expressed by starting a timer or queueing another action.
+type action interface {
+	actionName() string
+}
+
+// actProcessData carries an internalized incoming segment to the Receive
+// module (the paper's Process_Data).
+type actProcessData struct {
+	seg *segment
+}
+
+// actSendSegment carries a fully-formed outgoing segment to the Action
+// module for externalization (the paper's Send_Segment). pkt, when
+// non-nil, is a packet the Send module already copied the payload into —
+// the single copy of the send path; when nil (control segments and
+// retransmissions) the Action module allocates one.
+type actSendSegment struct {
+	seg *segment
+	pkt *basis.Packet
+}
+
+// actUserData delivers in-sequence data to the user (the paper's
+// User_Data).
+type actUserData struct {
+	data []byte
+}
+
+// actUserError delivers an error (reset, timeout) to the user.
+type actUserError struct {
+	err error
+}
+
+// actSetTimer starts one of the connection's timers (Set_Timer).
+type actSetTimer struct {
+	which timerID
+	d     sim.Duration
+}
+
+// actClearTimer cancels one of the connection's timers (Clear_Timer).
+type actClearTimer struct {
+	which timerID
+}
+
+// actTimerExpired is enqueued by a timer's handler thread; the State and
+// Resend modules act on it synchronously (Timer_Expiration).
+type actTimerExpired struct {
+	which timerID
+}
+
+// actMaybeSend asks the Send module to segmentize whatever the window
+// now permits.
+type actMaybeSend struct{}
+
+// actCompleteOpen unblocks a user waiting in Open.
+type actCompleteOpen struct {
+	err error
+}
+
+// actCompleteClose unblocks a user waiting in Close.
+type actCompleteClose struct {
+	err error
+}
+
+// actPeerClosed reports the peer's FIN to the user.
+type actPeerClosed struct{}
+
+// actDeleteTCB removes the connection from the endpoint's demux table.
+type actDeleteTCB struct{}
+
+func (actProcessData) actionName() string  { return "Process_Data" }
+func (actSendSegment) actionName() string  { return "Send_Segment" }
+func (actUserData) actionName() string     { return "User_Data" }
+func (actUserError) actionName() string    { return "User_Error" }
+func (a actSetTimer) actionName() string   { return fmt.Sprintf("Set_Timer(%v)", a.which) }
+func (a actClearTimer) actionName() string { return fmt.Sprintf("Clear_Timer(%v)", a.which) }
+func (a actTimerExpired) actionName() string {
+	return fmt.Sprintf("Timer_Expiration(%v)", a.which)
+}
+func (actMaybeSend) actionName() string     { return "Maybe_Send" }
+func (actCompleteOpen) actionName() string  { return "Complete_Open" }
+func (actCompleteClose) actionName() string { return "Complete_Close" }
+func (actPeerClosed) actionName() string    { return "Peer_Closed" }
+func (actDeleteTCB) actionName() string     { return "Delete_TCB" }

@@ -1,0 +1,111 @@
+package tcp
+
+// Per-segment microbenchmarks: the precise cost of the paper's structural
+// choices, measured at the receiveSegment boundary with the wire and IP
+// layers out of the picture. EXPERIMENTS.md quotes these as the
+// structure-only decomposition of Table 1.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// benchConn builds an established connection over the fake network and
+// returns a feeder that injects consecutive in-order data segments.
+func benchConn(s *sim.Scheduler, cfg Config) (c *Conn, feed func(data []byte)) {
+	_, c, _ = harness(s, StateEstab, cfg)
+	c.handler = Handler{Data: func(c *Conn, d []byte) {}}
+	next := c.tcb.rcvNxt
+	feed = func(data []byte) {
+		sg := &segment{
+			srcPort: 80, dstPort: 4000,
+			seq: next, ack: c.tcb.sndUna, flags: flagACK,
+			wnd: 4096, data: data,
+		}
+		next += seq(len(data))
+		c.enqueue(actProcessData{seg: sg})
+		c.run()
+	}
+	return c, feed
+}
+
+func benchSegments(b *testing.B, cfg Config) {
+	s := sim.New(sim.Config{})
+	s.Run(func() {
+		_, feed := benchConn(s, cfg)
+		data := make([]byte, 1000) // one MSS on the fake network
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			feed(data)
+			if i%1024 == 1023 {
+				// Advance virtual time so cleared delayed-ack timer
+				// threads wake and exit; otherwise they accumulate in
+				// the sleep heap (the bench never sleeps) and goroutine
+				// pileup, not segment processing, dominates.
+				b.StopTimer()
+				s.Sleep(time.Second)
+				b.StartTimer()
+			}
+		}
+	})
+}
+
+// BenchmarkReceiveSegment measures one in-order data segment through the
+// full quasi-synchronous machinery, under the design toggles.
+func BenchmarkReceiveSegment(b *testing.B) {
+	b.Run("PaperDefaults", func(b *testing.B) {
+		benchSegments(b, Config{})
+	})
+	b.Run("FastPathOff", func(b *testing.B) {
+		benchSegments(b, Config{FastPath: Disable})
+	})
+	b.Run("DirectDispatch", func(b *testing.B) {
+		benchSegments(b, Config{DirectDispatch: true})
+	})
+	b.Run("DirectDispatchFastPathOff", func(b *testing.B) {
+		benchSegments(b, Config{DirectDispatch: true, FastPath: Disable})
+	})
+}
+
+// BenchmarkSendSegment measures segmentizing and emitting one MSS of
+// queued data (the single-copy send path) through the action queue.
+func BenchmarkSendSegment(b *testing.B) {
+	s := sim.New(sim.Config{})
+	s.Run(func() {
+		_, c, fn := harness(s, StateEstab, Config{})
+		data := make([]byte, 1000)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.tcb.queuePush(data)
+			c.enqueue(actMaybeSend{})
+			c.run()
+			// Keep the window open: pretend everything was acked.
+			c.tcb.sndUna = c.tcb.sndNxt
+			c.tcb.rexmitQ.Clear()
+			if i%64 == 0 {
+				fn.take() // drop accumulated segments
+			}
+			if i%1024 == 1023 {
+				b.StopTimer()
+				s.Sleep(time.Second) // drain cleared timer threads
+				b.StartTimer()
+			}
+		}
+	})
+}
+
+// BenchmarkActionQueue isolates the to_do machinery itself: enqueue and
+// drain one no-op-ish action.
+func BenchmarkActionQueue(b *testing.B) {
+	s := sim.New(sim.Config{})
+	s.Run(func() {
+		_, c, _ := harness(s, StateEstab, Config{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.enqueue(actClearTimer{which: timerDelayedAck})
+			c.run()
+		}
+	})
+}

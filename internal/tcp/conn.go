@@ -1,0 +1,279 @@
+package tcp
+
+import (
+	"repro/internal/profile"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+)
+
+// Conn is one TCP connection. Every mutation of its TCB happens inside
+// the quasi-synchronous executor below: operations and asynchronous
+// events enqueue actions; run drains them. The thread that enqueues is
+// the thread that drains — the design choice the paper makes explicit:
+// "the thread executing an operation then executes actions, one at a
+// time, until at least those actions it placed on the queue have
+// completed execution."
+type Conn struct {
+	t       *TCP
+	key     connKey
+	state   State
+	tcb     *TCB
+	handler Handler
+
+	executing bool
+
+	// Synchronization with user threads (paper footnote 3).
+	openCond  *sim.Cond
+	closeCond *sim.Cond
+	bufCond   *sim.Cond
+	readCond  *sim.Cond
+
+	// Pull-model receive state (read.go); used when Handler.Data is nil.
+	recv recvState
+
+	openDone  bool
+	openErr   error
+	closeDone bool
+	closeErr  error
+	termErr   error // terminal error, sticky
+	deleted   bool
+}
+
+func newConn(t *TCP, key connKey) *Conn {
+	c := &Conn{
+		t:     t,
+		key:   key,
+		state: StateClosed,
+		tcb:   newTCB(&t.cfg, t.s.Now()),
+	}
+	c.openCond = sim.NewCond(t.s)
+	c.closeCond = sim.NewCond(t.s)
+	c.bufCond = sim.NewCond(t.s)
+	c.readCond = sim.NewCond(t.s)
+	return c
+}
+
+// State reports the connection state.
+func (c *Conn) State() State { return c.state }
+
+// LocalPort and RemotePort report the connection's ports; RemoteAddr its
+// peer.
+func (c *Conn) LocalPort() uint16            { return c.key.lport }
+func (c *Conn) RemotePort() uint16           { return c.key.rport }
+func (c *Conn) RemoteAddr() protocol.Address { return c.key.raddr }
+
+// Err returns the connection's terminal error, if any.
+func (c *Conn) Err() error { return c.termErr }
+
+// SetHandler replaces the connection's upcall set — the staged-handler
+// idiom: a user that opened with a minimal handler can install a richer
+// one once the connection is established.
+func (c *Conn) SetHandler(h Handler) { c.handler = h }
+
+// MSS reports the effective send maximum segment size.
+func (c *Conn) MSS() int { return c.tcb.mss }
+
+// enqueue appends an action to the to_do queue.
+func (c *Conn) enqueue(a action) {
+	if c.t.cfg.DirectDispatch {
+		// Ablation mode: no queue, direct (reentrant) dispatch.
+		c.perform(a)
+		return
+	}
+	c.tcb.toDo.Enqueue(a)
+}
+
+// run drains the to_do queue unless an outer frame of the same thread is
+// already draining it — the executor of the paper's Figure 7.
+func (c *Conn) run() {
+	if c.t.cfg.DirectDispatch || c.executing {
+		return
+	}
+	c.executing = true
+	for {
+		a, ok := c.tcb.toDo.Dequeue()
+		if !ok {
+			break
+		}
+		if c.t.cfg.Trace.On() {
+			c.t.cfg.Trace.Printf("conn %v: %s (queue %d)", c.key, a.actionName(), c.tcb.toDo.Len())
+		}
+		c.perform(a)
+	}
+	c.executing = false
+}
+
+// perform executes one action. Dispatch order mirrors Fig. 8.
+func (c *Conn) perform(a action) {
+	switch a := a.(type) {
+	case actProcessData:
+		c.receiveSegment(a.seg)
+	case actSendSegment:
+		c.emit(a.seg, a.pkt)
+	case actUserData:
+		c.t.stats.BytesReceived += uint64(len(a.data))
+		if c.handler.Data != nil {
+			c.handler.Data(c, a.data)
+		} else {
+			c.bufferData(a.data)
+		}
+	case actUserError:
+		c.failConnection(a.err)
+	case actSetTimer:
+		c.setTimer(a.which, a.d)
+	case actClearTimer:
+		c.clearTimer(a.which)
+	case actTimerExpired:
+		c.timerExpired(a.which)
+	case actMaybeSend:
+		c.sendModule()
+	case actCompleteOpen:
+		if !c.openDone {
+			c.openDone = true
+			c.openErr = a.err
+			c.openCond.Broadcast()
+			if a.err == nil && c.handler.Established != nil {
+				c.handler.Established(c)
+			}
+		}
+	case actCompleteClose:
+		if !c.closeDone {
+			c.closeDone = true
+			c.closeErr = a.err
+			c.closeCond.Broadcast()
+		}
+	case actPeerClosed:
+		c.recv.eof = true
+		c.readCond.Broadcast()
+		if c.handler.PeerClosed != nil {
+			c.handler.PeerClosed(c)
+		}
+	case actDeleteTCB:
+		c.deleteTCB()
+	}
+}
+
+// failConnection delivers a terminal error to every waiter and tears the
+// connection down.
+func (c *Conn) failConnection(err error) {
+	if c.termErr == nil {
+		c.termErr = err
+	}
+	c.state = StateClosed
+	if !c.openDone {
+		c.openDone = true
+		c.openErr = err
+		c.openCond.Broadcast()
+	}
+	if !c.closeDone {
+		c.closeDone = true
+		c.closeErr = err
+		c.closeCond.Broadcast()
+	}
+	c.bufCond.Broadcast()
+	c.readCond.Broadcast()
+	if c.handler.Error != nil {
+		c.handler.Error(c, err)
+	}
+	c.enqueue(actDeleteTCB{})
+}
+
+// deleteTCB clears timers and removes the connection from the demux map.
+func (c *Conn) deleteTCB() {
+	if c.deleted {
+		return
+	}
+	c.deleted = true
+	c.state = StateClosed
+	for id := timerID(0); id < numTimers; id++ {
+		c.clearTimer(id)
+	}
+	if c.t.conns[c.key] == c {
+		delete(c.t.conns, c.key)
+	}
+	c.bufCond.Broadcast()
+}
+
+// Write queues data for transmission, blocking the calling thread while
+// the send buffer is full. The implementation references data's bytes
+// only until they are segmentized (copied once into a packet); callers
+// must not mutate the slice before Write returns.
+func (c *Conn) Write(data []byte) error {
+	for len(data) > 0 {
+		if c.termErr != nil {
+			return c.termErr
+		}
+		if c.tcb.finQueued || c.state == StateClosed && c.openDone {
+			return ErrClosed
+		}
+		space := c.t.cfg.SendBufferLimit - c.tcb.queuedBytes
+		if space <= 0 {
+			c.bufCond.Wait()
+			continue
+		}
+		n := len(data)
+		if n > space {
+			n = space
+		}
+		sec := c.t.cfg.Prof.Start(profile.CatTCP)
+		c.tcb.queuePush(data[:n])
+		c.enqueue(actMaybeSend{})
+		c.run()
+		sec.Stop()
+		data = data[n:]
+	}
+	return nil
+}
+
+// WriteUrgent queues data like Write but marks its final byte as the
+// urgent point; outgoing segments carry URG until it is sent. The peer's
+// Handler.Urgent upcall reports the advancing urgent pointer; data still
+// arrives in-band through Handler.Data, as modern stacks deliver it.
+func (c *Conn) WriteUrgent(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	c.tcb.sndUpSeq = c.tcb.sndNxt + seq(c.tcb.queuedBytes) + seq(len(data))
+	c.tcb.urgentPending = true
+	return c.Write(data)
+}
+
+// Close initiates a graceful close (FIN after all queued data) and
+// blocks until our FIN is acknowledged or the connection fails.
+func (c *Conn) Close() error {
+	if c.termErr != nil {
+		return c.termErr
+	}
+	if c.tcb.finQueued {
+		// Second close: just wait with the first.
+	} else {
+		sec := c.t.cfg.Prof.Start(profile.CatTCP)
+		c.stateClose()
+		c.run()
+		sec.Stop()
+	}
+	for !c.closeDone {
+		c.closeCond.Wait()
+	}
+	return c.closeErr
+}
+
+// Shutdown initiates a graceful close without waiting for the FIN to be
+// acknowledged. Use it from inside upcalls — Close would block the
+// device thread that is delivering the upcall, which can never then
+// receive the acknowledgment it is waiting for.
+func (c *Conn) Shutdown() {
+	if c.termErr != nil || c.tcb.finQueued {
+		return
+	}
+	c.stateClose()
+	c.run()
+}
+
+// Abort resets the connection: RST to the peer, error to every waiter.
+func (c *Conn) Abort() {
+	sec := c.t.cfg.Prof.Start(profile.CatTCP)
+	c.stateAbort(ErrAborted)
+	c.run()
+	sec.Stop()
+}

@@ -1,0 +1,171 @@
+package tcp
+
+// Robustness property tests: arbitrary segment sequences must never
+// panic the state machine, corrupt the TCB's core invariants, or deliver
+// bytes out of order. This is RFC 793's robustness principle made
+// checkable, and it leans directly on the quasi-synchronous design: any
+// interleaving of arrivals is just a sequence of Process_Data actions.
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// arbSegment derives a quasi-plausible segment from fuzz bytes: fields
+// are biased toward the neighborhood of the harness's sequence space so
+// in-window, edge-of-window, and far-out values all occur.
+func arbSegment(b [8]byte, payload []byte) *segment {
+	sg := &segment{srcPort: 80, dstPort: 4000}
+	// Bias seq near rcv_nxt=5001 and ack near snd_nxt=1001.
+	sg.seq = 5001 + seq(int32(int8(b[0])))*16
+	sg.ack = 1001 + seq(int32(int8(b[1])))*16
+	sg.flags = b[2] & 0x3f
+	sg.wnd = uint16(b[3]) << 4
+	sg.up = uint16(b[4])
+	if b[5]&1 == 0 {
+		sg.flags |= flagACK // most real segments carry ACK
+	}
+	if len(payload) > 0 && b[6]&3 != 0 {
+		sg.data = payload
+	}
+	return sg
+}
+
+func TestFuzzSegmentsNeverPanic(t *testing.T) {
+	states := []State{
+		StateSynSent, StateSynActive, StateSynPassive, StateEstab,
+		StateFinWait1, StateFinWait2, StateCloseWait, StateClosing,
+		StateLastAck, StateTimeWait,
+	}
+	f := func(raw [][8]byte, payload []byte, stateIdx uint8) bool {
+		st := states[int(stateIdx)%len(states)]
+		ok := true
+		s := sim.New(sim.Config{})
+		s.Run(func() {
+			_, c, _ := harness(s, st, Config{})
+			for _, rb := range raw {
+				inject(c, arbSegment(rb, payload))
+				if c.deleted {
+					break
+				}
+				tcb := c.tcb
+				// Core invariants the standard implies:
+				// snd_una never runs ahead of snd_nxt,
+				if seqGT(tcb.sndUna, tcb.sndNxt) {
+					ok = false
+					return
+				}
+				// the out-of-order queue never holds in-order data,
+				if len(tcb.outOfOrder) > 0 && seqLEQ(tcb.outOfOrder[0].seq+seq(len(tcb.outOfOrder[0].data)), tcb.rcvNxt) {
+					ok = false
+					return
+				}
+				// and the retransmission queue stays sorted & beyond una.
+				prev := tcb.sndUna
+				sorted := true
+				tcb.rexmitQ.Do(func(sg *segment) {
+					if seqLT(sg.seq, prev) {
+						sorted = false
+					}
+					prev = sg.seq
+				})
+				if !sorted {
+					ok = false
+					return
+				}
+			}
+		})
+		return ok
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: however arrivals are sliced, duplicated, and reordered, the
+// receiver delivers exactly the original byte stream.
+func TestFuzzReassemblyDeliversInOrder(t *testing.T) {
+	f := func(stream []byte, order []uint8, dup []bool) bool {
+		if len(stream) == 0 {
+			return true
+		}
+		// Slice the stream into segments of 1..64 bytes.
+		type piece struct {
+			off  int
+			data []byte
+		}
+		var pieces []piece
+		for off := 0; off < len(stream); {
+			n := 7
+			if len(order) > 0 {
+				n = 1 + int(order[off%len(order)]%64)
+			}
+			if off+n > len(stream) {
+				n = len(stream) - off
+			}
+			pieces = append(pieces, piece{off: off, data: stream[off : off+n]})
+			off += n
+		}
+		// Deterministically shuffle by the fuzz input.
+		for i := range pieces {
+			j := 0
+			if len(order) > 0 {
+				j = int(order[i%len(order)]) % len(pieces)
+			}
+			pieces[i], pieces[j] = pieces[j], pieces[i]
+		}
+
+		var delivered []byte
+		ok := true
+		s := sim.New(sim.Config{})
+		s.Run(func() {
+			_, c, _ := harness(s, StateEstab, Config{})
+			c.tcb.rcvWnd = 1 << 20 // window never the limiting factor here
+			c.handler = Handler{Data: func(c *Conn, d []byte) {
+				delivered = append(delivered, d...)
+			}}
+			sendPiece := func(p piece) {
+				inject(c, &segment{
+					seq: 5001 + seq(p.off), ack: 1001,
+					flags: flagACK, wnd: 4096,
+					data: p.data,
+				})
+			}
+			for i, p := range pieces {
+				sendPiece(p)
+				if len(dup) > 0 && dup[i%len(dup)] {
+					sendPiece(p) // duplicate delivery
+				}
+			}
+			ok = string(delivered) == string(stream)
+		})
+		return ok
+	}
+	cfg := &quick.Config{MaxCount: 150}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the ISS clock is monotone across connection creations, as
+// RFC 793's 4 µs clock requires.
+func TestISSMonotone(t *testing.T) {
+	s := sim.New(sim.Config{})
+	s.Run(func() {
+		fn := &fakeNet{local: "local"}
+		ep := New(s, fn, Config{})
+		prev := ep.chooseISS()
+		for i := 0; i < 100; i++ {
+			s.Sleep(time.Duration(7) * time.Microsecond)
+			cur := ep.chooseISS()
+			if !seqGT(cur, prev) {
+				t.Fatalf("ISS not monotone: %d then %d", prev, cur)
+			}
+			prev = cur
+		}
+	})
+}

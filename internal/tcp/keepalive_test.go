@@ -1,0 +1,123 @@
+package tcp_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/basis"
+	"repro/internal/ethernet"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/wire"
+)
+
+func kaConfig() tcp.Config {
+	return tcp.Config{
+		Keepalive:      true,
+		KeepaliveIdle:  2 * time.Second,
+		KeepaliveCount: 3,
+	}
+}
+
+func TestKeepaliveProbesIdleConnection(t *testing.T) {
+	runPair(t, wire.Config{}, kaConfig(), func(s *sim.Scheduler, a, b tcpHost) {
+		b.TCP.Listen(80, func(c *tcp.Conn) tcp.Handler { return tcp.Handler{} })
+		conn, _ := a.TCP.Open(b.A, 80, tcp.Handler{})
+		before := a.TCP.Stats().SegsSent
+		s.Sleep(5 * time.Second) // idle across two keepalive intervals
+		probes := a.TCP.Stats().SegsSent - before
+		if probes == 0 {
+			t.Fatal("no keepalive probes on an idle connection")
+		}
+		// The live peer answered every probe, so the connection holds.
+		if conn.State() != tcp.StateEstab || conn.Err() != nil {
+			t.Fatalf("state %v err %v", conn.State(), conn.Err())
+		}
+	})
+}
+
+func TestKeepaliveFailsDeadPeer(t *testing.T) {
+	// Establish, then power the peer off: its link layer stops handing
+	// frames up, so probes go unanswered and the keepalive machinery
+	// must eventually fail the connection with a timeout.
+	runPair(t, wire.Config{}, kaConfig(), func(s *sim.Scheduler, a, b tcpHost) {
+		b.TCP.Listen(80, func(c *tcp.Conn) tcp.Handler { return tcp.Handler{} })
+		var gotErr error
+		conn, err := a.TCP.Open(b.A, 80, tcp.Handler{
+			Error: func(c *tcp.Conn, e error) { gotErr = e },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Sleep(100 * time.Millisecond)
+		// "Deafen" host b: a dead IPv4 upcall swallows everything it
+		// hears, though it can still transmit. Both ends run keepalive,
+		// so the connection dies one of two ways: our probes go
+		// unanswered (ErrTimeout), or the deaf peer's own keepalive
+		// gives up first and its RST reaches us (ErrReset). Either way
+		// the dead connection must be detected and torn down.
+		b.Eth.Register(ethernet.TypeIPv4, func(src, dst ethernet.Addr, pkt *basis.Packet) {})
+		s.Sleep(time.Minute)
+		if gotErr != tcp.ErrTimeout && gotErr != tcp.ErrReset {
+			t.Fatalf("keepalive error = %v, want ErrTimeout or ErrReset", gotErr)
+		}
+		if conn.State() != tcp.StateClosed {
+			t.Fatalf("state = %v", conn.State())
+		}
+	})
+}
+
+func TestKeepaliveOffByDefault(t *testing.T) {
+	runPair(t, wire.Config{}, tcp.Config{}, func(s *sim.Scheduler, a, b tcpHost) {
+		b.TCP.Listen(80, func(c *tcp.Conn) tcp.Handler { return tcp.Handler{} })
+		a.TCP.Open(b.A, 80, tcp.Handler{})
+		before := a.TCP.Stats().SegsSent
+		s.Sleep(5 * time.Hour)
+		if sent := a.TCP.Stats().SegsSent - before; sent != 0 {
+			t.Fatalf("default config sent %d segments while idle", sent)
+		}
+	})
+}
+
+func TestKeepaliveResetByTraffic(t *testing.T) {
+	runPair(t, wire.Config{}, kaConfig(), func(s *sim.Scheduler, a, b tcpHost) {
+		var rc collector
+		b.TCP.Listen(80, func(c *tcp.Conn) tcp.Handler { return rc.handler() })
+		conn, _ := a.TCP.Open(b.A, 80, tcp.Handler{})
+		// Write every second: traffic keeps arriving (acks), so the
+		// 2-second keepalive never probes with its seq-1 signature.
+		for i := 0; i < 6; i++ {
+			conn.Write([]byte("tick"))
+			s.Sleep(time.Second)
+		}
+		if conn.Err() != nil {
+			t.Fatalf("busy connection failed: %v", conn.Err())
+		}
+		if rc.buf.Len() != 24 {
+			t.Fatalf("delivered %d bytes", rc.buf.Len())
+		}
+	})
+}
+
+func TestUrgentPointerDelivered(t *testing.T) {
+	runPair(t, wire.Config{}, tcp.Config{}, func(s *sim.Scheduler, a, b tcpHost) {
+		urgentSeen := 0
+		var rc collector
+		h := rc.handler()
+		h.Urgent = func(c *tcp.Conn) { urgentSeen++ }
+		b.TCP.Listen(80, func(c *tcp.Conn) tcp.Handler { return h })
+		conn, _ := a.TCP.Open(b.A, 80, tcp.Handler{})
+		conn.Write([]byte("normal "))
+		s.Sleep(time.Second)
+		if err := conn.WriteUrgent([]byte("INTERRUPT")); err != nil {
+			t.Fatal(err)
+		}
+		s.Sleep(time.Second)
+		if urgentSeen == 0 {
+			t.Fatal("urgent pointer never reported")
+		}
+		if rc.buf.String() != "normal INTERRUPT" {
+			t.Fatalf("in-band delivery = %q", rc.buf.String())
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package tcp_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/wire"
+)
+
+// TestConnectionTableDoesNotLeak: repeated connect/transfer/close cycles
+// must leave the demux tables empty once every TIME-WAIT has expired —
+// the storage-management claim of the paper (automatic reclamation, no
+// leaks) checked at the connection-state level.
+func TestConnectionTableDoesNotLeak(t *testing.T) {
+	cfg := tcp.Config{MSL: 200 * time.Millisecond}
+	runPair(t, wire.Config{}, cfg, func(s *sim.Scheduler, a, b tcpHost) {
+		b.TCP.Listen(80, func(c *tcp.Conn) tcp.Handler {
+			return tcp.Handler{PeerClosed: func(c *tcp.Conn) { c.Shutdown() }}
+		})
+		for i := 0; i < 20; i++ {
+			conn, err := a.TCP.Open(b.A, 80, tcp.Handler{})
+			if err != nil {
+				t.Fatalf("cycle %d open: %v", i, err)
+			}
+			conn.Write(make([]byte, 3000))
+			if err := conn.Close(); err != nil {
+				t.Fatalf("cycle %d close: %v", i, err)
+			}
+		}
+		s.Sleep(5 * time.Second) // all 2MSL quarantines expire
+		if n := a.TCP.ActiveConns(); n != 0 {
+			t.Fatalf("client endpoint leaked %d connections", n)
+		}
+		if n := b.TCP.ActiveConns(); n != 0 {
+			t.Fatalf("server endpoint leaked %d connections", n)
+		}
+	})
+}
+
+// TestAbortedConnectionsReclaimed: aborts and refusals must also clean
+// the table.
+func TestAbortedConnectionsReclaimed(t *testing.T) {
+	runPair(t, wire.Config{}, tcp.Config{}, func(s *sim.Scheduler, a, b tcpHost) {
+		b.TCP.Listen(80, func(c *tcp.Conn) tcp.Handler { return tcp.Handler{} })
+		for i := 0; i < 10; i++ {
+			conn, err := a.TCP.Open(b.A, 80, tcp.Handler{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			conn.Abort()
+		}
+		for i := 0; i < 5; i++ {
+			a.TCP.Open(b.A, 9999, tcp.Handler{}) // refused
+		}
+		s.Sleep(5 * time.Second)
+		if n := a.TCP.ActiveConns(); n != 0 {
+			t.Fatalf("client leaked %d connections after aborts", n)
+		}
+		if n := b.TCP.ActiveConns(); n != 0 {
+			t.Fatalf("server leaked %d connections after aborts", n)
+		}
+	})
+}

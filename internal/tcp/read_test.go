@@ -1,0 +1,220 @@
+package tcp_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/basis"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/wire"
+)
+
+func TestReadPullModelRoundTrip(t *testing.T) {
+	runPair(t, wire.Config{}, tcp.Config{}, func(s *sim.Scheduler, a, b tcpHost) {
+		var server *tcp.Conn
+		b.TCP.Listen(80, func(c *tcp.Conn) tcp.Handler {
+			server = c
+			return tcp.Handler{} // no Data upcall: pull model
+		})
+		conn, _ := a.TCP.Open(b.A, 80, tcp.Handler{})
+		msg := []byte("pulled, not pushed")
+		conn.Write(msg)
+		s.Sleep(100 * time.Millisecond)
+		dst := make([]byte, 64)
+		n, err := server.Read(dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(dst[:n]) != string(msg) {
+			t.Fatalf("read %q", dst[:n])
+		}
+	})
+}
+
+func TestReadBlocksUntilDataArrives(t *testing.T) {
+	runPair(t, wire.Config{}, tcp.Config{}, func(s *sim.Scheduler, a, b tcpHost) {
+		var server *tcp.Conn
+		b.TCP.Listen(80, func(c *tcp.Conn) tcp.Handler { server = c; return tcp.Handler{} })
+		conn, _ := a.TCP.Open(b.A, 80, tcp.Handler{})
+		var readAt sim.Time
+		s.Fork("reader", func() {
+			dst := make([]byte, 16)
+			server.Read(dst)
+			readAt = s.Now()
+		})
+		s.Sleep(300 * time.Millisecond) // reader is parked
+		conn.Write([]byte("wake up"))
+		s.Sleep(time.Second)
+		if readAt < sim.Time(300*time.Millisecond) {
+			t.Fatalf("Read returned at %v, before data existed", time.Duration(readAt))
+		}
+	})
+}
+
+func TestReadEOFAfterPeerClose(t *testing.T) {
+	runPair(t, wire.Config{}, tcp.Config{}, func(s *sim.Scheduler, a, b tcpHost) {
+		var server *tcp.Conn
+		b.TCP.Listen(80, func(c *tcp.Conn) tcp.Handler { server = c; return tcp.Handler{} })
+		conn, _ := a.TCP.Open(b.A, 80, tcp.Handler{})
+		conn.Write([]byte("last words"))
+		conn.Close()
+		s.Sleep(time.Second)
+		// Buffered data still readable after the FIN...
+		dst := make([]byte, 64)
+		n, err := server.Read(dst)
+		if err != nil || string(dst[:n]) != "last words" {
+			t.Fatalf("read %q, %v", dst[:n], err)
+		}
+		// ...then EOF.
+		if _, err := server.Read(dst); err != io.EOF {
+			t.Fatalf("err = %v, want io.EOF", err)
+		}
+	})
+}
+
+func TestSlowReaderThrottlesSenderViaWindow(t *testing.T) {
+	cfg := tcp.Config{InitialWindow: 4096}
+	runPair(t, wire.Config{}, cfg, func(s *sim.Scheduler, a, b tcpHost) {
+		var server *tcp.Conn
+		b.TCP.Listen(80, func(c *tcp.Conn) tcp.Handler { server = c; return tcp.Handler{} })
+		conn, _ := a.TCP.Open(b.A, 80, tcp.Handler{})
+		total := 64_000
+		sent := 0
+		s.Fork("writer", func() {
+			data := make([]byte, total)
+			for sent < total {
+				chunk := 4096
+				if sent+chunk > total {
+					chunk = total - sent
+				}
+				conn.Write(data[sent : sent+chunk])
+				sent += chunk
+			}
+		})
+		// No reader yet: the sender's Write calls drain into its send
+		// buffer, but actual transmission stops at one receive window.
+		s.Sleep(10 * time.Second)
+		if server.Buffered() > 4096 {
+			t.Fatalf("receiver buffered %d > window", server.Buffered())
+		}
+		if onWire := a.TCP.Stats().BytesSent; onWire >= uint64(total) {
+			t.Fatalf("sender transmitted %d bytes against a stalled reader", onWire)
+		}
+		// Now read everything; the window reopens and the transfer ends.
+		var got bytes.Buffer
+		s.Fork("reader", func() {
+			dst := make([]byte, 1024)
+			for got.Len() < total {
+				n, err := server.Read(dst)
+				if err != nil {
+					t.Errorf("Read: %v", err)
+					return
+				}
+				got.Write(dst[:n])
+			}
+		})
+		s.Sleep(5 * time.Minute)
+		if got.Len() != total {
+			t.Fatalf("read %d of %d", got.Len(), total)
+		}
+		if sent != total {
+			t.Fatalf("sender finished %d of %d", sent, total)
+		}
+	})
+}
+
+func TestZeroWindowReopensWithWindowUpdate(t *testing.T) {
+	cfg := tcp.Config{InitialWindow: 2048}
+	runPair(t, wire.Config{}, cfg, func(s *sim.Scheduler, a, b tcpHost) {
+		var server *tcp.Conn
+		b.TCP.Listen(80, func(c *tcp.Conn) tcp.Handler { server = c; return tcp.Handler{} })
+		conn, _ := a.TCP.Open(b.A, 80, tcp.Handler{})
+		s.Fork("writer", func() { conn.Write(make([]byte, 8192)) })
+		s.Sleep(10 * time.Second)
+		// The receiver's window is pinched closed around 2048 buffered.
+		if server.Buffered() == 0 {
+			t.Fatal("nothing buffered")
+		}
+		stalled := server.Buffered()
+		// One large read must reopen the window and volunteer an update
+		// — the transfer resumes without waiting for a persist probe.
+		dst := make([]byte, 8192)
+		server.ReadFull(dst[:stalled])
+		s.Sleep(5 * time.Second)
+		if server.Buffered() == 0 && stalled >= 8192 {
+			return
+		}
+		// Drain the rest.
+		rest := 8192 - stalled
+		if n, err := server.ReadFull(dst[:rest]); err != nil || n != rest {
+			t.Fatalf("drain: %d, %v", n, err)
+		}
+	})
+}
+
+func TestReadRejectsMixedModel(t *testing.T) {
+	runPair(t, wire.Config{}, tcp.Config{}, func(s *sim.Scheduler, a, b tcpHost) {
+		var server *tcp.Conn
+		b.TCP.Listen(80, func(c *tcp.Conn) tcp.Handler {
+			server = c
+			return tcp.Handler{Data: func(*tcp.Conn, []byte) {}}
+		})
+		a.TCP.Open(b.A, 80, tcp.Handler{})
+		s.Sleep(100 * time.Millisecond)
+		if _, err := server.Read(make([]byte, 1)); err == nil {
+			t.Fatal("Read succeeded on an upcall-model connection")
+		}
+	})
+}
+
+func TestReadErrorOnReset(t *testing.T) {
+	runPair(t, wire.Config{}, tcp.Config{}, func(s *sim.Scheduler, a, b tcpHost) {
+		var server *tcp.Conn
+		b.TCP.Listen(80, func(c *tcp.Conn) tcp.Handler { server = c; return tcp.Handler{} })
+		conn, _ := a.TCP.Open(b.A, 80, tcp.Handler{})
+		var readErr error
+		returned := false
+		s.Fork("reader", func() {
+			_, readErr = server.Read(make([]byte, 8))
+			returned = true
+		})
+		s.Sleep(100 * time.Millisecond)
+		conn.Abort()
+		s.Sleep(time.Second)
+		if !returned {
+			t.Fatal("Read never returned after reset")
+		}
+		if readErr != tcp.ErrReset {
+			t.Fatalf("Read error = %v", readErr)
+		}
+	})
+}
+
+func TestPullModelBulkIntegrity(t *testing.T) {
+	runPair(t, wire.Config{Loss: 0.03, Seed: 8}, tcp.Config{}, func(s *sim.Scheduler, a, b tcpHost) {
+		var server *tcp.Conn
+		b.TCP.Listen(80, func(c *tcp.Conn) tcp.Handler { server = c; return tcp.Handler{} })
+		conn, _ := a.TCP.Open(b.A, 80, tcp.Handler{})
+		data := make([]byte, 60_000)
+		r := basis.NewRand(4)
+		for i := range data {
+			data[i] = byte(r.Uint64())
+		}
+		s.Fork("writer", func() { conn.Write(data); conn.Close() })
+		got := make([]byte, len(data))
+		done := false
+		s.Fork("reader", func() {
+			if n, err := server.ReadFull(got); err != nil && err != io.EOF {
+				t.Errorf("ReadFull: %d, %v", n, err)
+			}
+			done = true
+		})
+		s.Sleep(20 * time.Minute)
+		if !done || !bytes.Equal(got, data) {
+			t.Fatalf("pull-model lossy transfer broken (done=%v)", done)
+		}
+	})
+}

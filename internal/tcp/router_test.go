@@ -1,0 +1,67 @@
+package tcp_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/arp"
+	"repro/internal/basis"
+	"repro/internal/ethernet"
+	"repro/internal/ip"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/wire"
+)
+
+// TestTCPThroughRouter: a full TCP conversation between two /25 subnets
+// joined by a forwarding host. Every segment (SYNs, data, ACKs, FINs)
+// transits the router with its TTL rewritten, so this exercises the whole
+// stack across a multi-hop path.
+func TestTCPThroughRouter(t *testing.T) {
+	s := sim.New(sim.Config{})
+	s.Run(func() {
+		seg := wire.NewSegment(s, wire.Config{}, nil)
+		mask25 := ip.Addr{255, 255, 255, 128}
+		gw := ip.Addr{10, 0, 0, 126}
+		mk := func(n byte, addr ip.Addr, cfg ip.Config) (*tcp.TCP, *ip.IP) {
+			eth := ethernet.New(seg.NewPort(addr.String(), nil), ethernet.HostAddr(n), ethernet.Config{})
+			res := arp.New(s, eth, addr, arp.Config{})
+			cfg.Local = addr
+			ipl := ip.New(s, eth, res, cfg)
+			return tcp.New(s, ipl.Network(ip.ProtoTCP), tcp.Config{}), ipl
+		}
+		tcpA, _ := mk(1, ip.Addr{10, 0, 0, 1}, ip.Config{Netmask: mask25, Gateway: gw})
+		_, ipR := mk(126, gw, ip.Config{Netmask: ip.Addr{255, 255, 255, 0}, Forward: true})
+		tcpB, _ := mk(2, ip.Addr{10, 0, 0, 129}, ip.Config{Netmask: mask25, Gateway: gw})
+
+		var got bytes.Buffer
+		peerClosed := false
+		tcpB.Listen(80, func(c *tcp.Conn) tcp.Handler {
+			return tcp.Handler{
+				Data:       func(c *tcp.Conn, d []byte) { got.Write(d) },
+				PeerClosed: func(c *tcp.Conn) { peerClosed = true },
+			}
+		})
+		conn, err := tcpA.Open(ip.Addr{10, 0, 0, 129}, 80, tcp.Handler{})
+		if err != nil {
+			t.Fatalf("multi-hop open: %v", err)
+		}
+		data := make([]byte, 40_000)
+		r := basis.NewRand(55)
+		for i := range data {
+			data[i] = byte(r.Uint64())
+		}
+		s.Fork("w", func() { conn.Write(data); conn.Close() })
+		s.Sleep(5 * time.Minute)
+		if !bytes.Equal(got.Bytes(), data) {
+			t.Fatalf("multi-hop transfer broken: %d of %d", got.Len(), len(data))
+		}
+		if !peerClosed {
+			t.Fatal("FIN lost crossing the router")
+		}
+		if ipR.Stats().Forwarded < 30 {
+			t.Fatalf("router only forwarded %d datagrams", ipR.Stats().Forwarded)
+		}
+	})
+}

@@ -1,0 +1,188 @@
+package tcp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"repro/internal/basis"
+	"repro/internal/checksum"
+	"repro/internal/sim"
+)
+
+// Header flags.
+const (
+	flagFIN = 1 << 0
+	flagSYN = 1 << 1
+	flagRST = 1 << 2
+	flagPSH = 1 << 3
+	flagACK = 1 << 4
+	flagURG = 1 << 5
+)
+
+const (
+	headerLen = 20
+	optMSS    = 2
+	optEnd    = 0
+	optNop    = 1
+)
+
+// segment is the internal form of one TCP segment — what the Action
+// module's internalize produces from wire bytes and externalize consumes
+// to produce wire bytes. The trailing bookkeeping fields serve the Resend
+// module when the segment sits on the retransmission queue.
+type segment struct {
+	srcPort uint16
+	dstPort uint16
+	seq     seq
+	ack     seq
+	flags   uint8
+	wnd     uint16
+	up      uint16 // urgent pointer (carried, minimally interpreted)
+	mss     uint16 // MSS option value; 0 when absent
+	data    []byte
+
+	// Resend bookkeeping.
+	sentAt      sim.Time // last (re)transmission time
+	firstSentAt sim.Time
+	rexmits     int
+	timed       bool // this transmission is the RTT measurement sample
+}
+
+// seqLen is the sequence-space length: data plus one for SYN and FIN.
+func (sg *segment) seqLen() uint32 {
+	n := uint32(len(sg.data))
+	if sg.flags&flagSYN != 0 {
+		n++
+	}
+	if sg.flags&flagFIN != 0 {
+		n++
+	}
+	return n
+}
+
+func (sg *segment) has(f uint8) bool { return sg.flags&f != 0 }
+
+// String renders the segment tcpdump-style for traces and tests.
+func (sg *segment) String() string {
+	var fl strings.Builder
+	for _, f := range []struct {
+		bit  uint8
+		name string
+	}{{flagSYN, "S"}, {flagFIN, "F"}, {flagRST, "R"}, {flagPSH, "P"}, {flagACK, "."}, {flagURG, "U"}} {
+		if sg.flags&f.bit != 0 {
+			fl.WriteString(f.name)
+		}
+	}
+	s := fmt.Sprintf("%d > %d [%s] seq %d", sg.srcPort, sg.dstPort, fl.String(), sg.seq)
+	if sg.has(flagACK) {
+		s += fmt.Sprintf(" ack %d", sg.ack)
+	}
+	s += fmt.Sprintf(" win %d len %d", sg.wnd, len(sg.data))
+	if sg.mss != 0 {
+		s += fmt.Sprintf(" <mss %d>", sg.mss)
+	}
+	return s
+}
+
+// headerBytes is the on-wire header size including options.
+func (sg *segment) headerBytes() int {
+	if sg.mss != 0 {
+		return headerLen + 4
+	}
+	return headerLen
+}
+
+// marshal writes the segment's header in place in front of pkt's current
+// view (which must already hold exactly sg.data) and fills the checksum
+// using the supplied pseudo-header partial sum; when compute is false the
+// checksum field is left zero. This is the externalization half of the
+// paper's Action module.
+func (sg *segment) marshal(pkt *basis.Packet, pseudo uint16, compute bool) {
+	hlen := sg.headerBytes()
+	h := pkt.Push(hlen)
+	binary.BigEndian.PutUint16(h[0:2], sg.srcPort)
+	binary.BigEndian.PutUint16(h[2:4], sg.dstPort)
+	binary.BigEndian.PutUint32(h[4:8], sg.seq)
+	binary.BigEndian.PutUint32(h[8:12], sg.ack)
+	h[12] = byte(hlen/4) << 4
+	h[13] = sg.flags
+	binary.BigEndian.PutUint16(h[14:16], sg.wnd)
+	h[16], h[17] = 0, 0
+	binary.BigEndian.PutUint16(h[18:20], sg.up)
+	if sg.mss != 0 {
+		h[20], h[21] = optMSS, 4
+		binary.BigEndian.PutUint16(h[22:24], sg.mss)
+	}
+	if compute {
+		var acc checksum.Accumulator
+		acc.AddUint16(pseudo)
+		acc.Add(pkt.Bytes())
+		binary.BigEndian.PutUint16(h[16:18], acc.Checksum())
+	}
+}
+
+// errSegment describes why internalization rejected wire bytes.
+type errSegment string
+
+func (e errSegment) Error() string { return "tcp: " + string(e) }
+
+// unmarshal parses wire bytes into a segment, verifying the checksum
+// against the pseudo-header partial sum when verify is true. On success
+// pkt's view is advanced past the header so that it holds exactly the
+// segment text, which sg.data aliases (the receive path's zero-copy
+// delivery). This is the internalization half of the Action module.
+func unmarshal(pkt *basis.Packet, pseudo uint16, verify bool) (*segment, error) {
+	b := pkt.Bytes()
+	if len(b) < headerLen {
+		return nil, errSegment("short segment")
+	}
+	dataOff := int(b[12]>>4) * 4
+	if dataOff < headerLen || dataOff > len(b) {
+		return nil, errSegment("bad data offset")
+	}
+	if verify && binary.BigEndian.Uint16(b[16:18]) != 0 {
+		var acc checksum.Accumulator
+		acc.AddUint16(pseudo)
+		acc.Add(b)
+		if acc.Partial() != 0xffff {
+			return nil, errSegment("bad checksum")
+		}
+	}
+	sg := &segment{
+		srcPort: binary.BigEndian.Uint16(b[0:2]),
+		dstPort: binary.BigEndian.Uint16(b[2:4]),
+		seq:     binary.BigEndian.Uint32(b[4:8]),
+		ack:     binary.BigEndian.Uint32(b[8:12]),
+		flags:   b[13] & 0x3f,
+		wnd:     binary.BigEndian.Uint16(b[14:16]),
+		up:      binary.BigEndian.Uint16(b[18:20]),
+	}
+	// Parse options (we understand only MSS; others are skipped).
+	opts := b[headerLen:dataOff]
+	for len(opts) > 0 {
+		switch opts[0] {
+		case optEnd:
+			opts = nil
+		case optNop:
+			opts = opts[1:]
+		case optMSS:
+			if len(opts) >= 4 && opts[1] == 4 {
+				sg.mss = binary.BigEndian.Uint16(opts[2:4])
+			}
+			opts = skipOption(opts)
+		default:
+			opts = skipOption(opts)
+		}
+	}
+	pkt.Pull(dataOff)
+	sg.data = pkt.Bytes()
+	return sg, nil
+}
+
+func skipOption(opts []byte) []byte {
+	if len(opts) < 2 || int(opts[1]) < 2 || int(opts[1]) > len(opts) {
+		return nil // malformed option list: stop parsing
+	}
+	return opts[opts[1]:]
+}

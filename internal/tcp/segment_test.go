@@ -1,0 +1,186 @@
+package tcp
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/basis"
+)
+
+func roundTrip(t *testing.T, sg *segment, pseudo uint16, verify bool) *segment {
+	t.Helper()
+	pkt := basis.NewPacket(sg.headerBytes(), 0, sg.data)
+	sg.marshal(pkt, pseudo, true)
+	got, err := unmarshal(pkt, pseudo, verify)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	return got
+}
+
+func TestSegmentMarshalRoundTrip(t *testing.T) {
+	sg := &segment{
+		srcPort: 4000, dstPort: 80,
+		seq: 0xdeadbeef, ack: 0x12345678,
+		flags: flagACK | flagPSH, wnd: 4096, up: 7,
+		data: []byte("segment payload"),
+	}
+	got := roundTrip(t, sg, 0x1234, true)
+	if got.srcPort != 4000 || got.dstPort != 80 ||
+		got.seq != 0xdeadbeef || got.ack != 0x12345678 ||
+		got.flags != flagACK|flagPSH || got.wnd != 4096 || got.up != 7 {
+		t.Fatalf("fields corrupted: %+v", got)
+	}
+	if !bytes.Equal(got.data, sg.data) {
+		t.Fatalf("data = %q", got.data)
+	}
+}
+
+func TestSegmentMSSOption(t *testing.T) {
+	sg := &segment{srcPort: 1, dstPort: 2, flags: flagSYN, mss: 1460}
+	got := roundTrip(t, sg, 0, true)
+	if got.mss != 1460 {
+		t.Fatalf("mss = %d", got.mss)
+	}
+	if got.headerBytes() != 24 {
+		t.Fatalf("headerBytes = %d", got.headerBytes())
+	}
+}
+
+func TestSegmentChecksumRejectsCorruption(t *testing.T) {
+	sg := &segment{srcPort: 1, dstPort: 2, flags: flagACK, data: []byte("intact")}
+	pkt := basis.NewPacket(headerLen, 0, sg.data)
+	sg.marshal(pkt, 0x42, true)
+	pkt.Bytes()[headerLen] ^= 0x01 // flip a payload bit
+	if _, err := unmarshal(pkt, 0x42, true); err == nil {
+		t.Fatal("corrupted segment accepted")
+	}
+}
+
+func TestSegmentChecksumPseudoHeaderMismatch(t *testing.T) {
+	// The same bytes verified against a different pseudo-header (a
+	// misdelivered segment) must fail.
+	sg := &segment{srcPort: 1, dstPort: 2, flags: flagACK, data: []byte("hello")}
+	pkt := basis.NewPacket(headerLen, 0, sg.data)
+	sg.marshal(pkt, 0x1111, true)
+	if _, err := unmarshal(pkt, 0x2222, true); err == nil {
+		t.Fatal("segment accepted under wrong pseudo-header")
+	}
+}
+
+func TestSegmentVerifySkippedWhenChecksumZero(t *testing.T) {
+	// compute_checksums=false senders leave the field zero; receivers
+	// must not reject such segments even when verifying.
+	sg := &segment{srcPort: 1, dstPort: 2, flags: flagACK, data: []byte("nocheck")}
+	pkt := basis.NewPacket(headerLen, 0, sg.data)
+	sg.marshal(pkt, 0, false)
+	got, err := unmarshal(pkt, 0x9999, true)
+	if err != nil {
+		t.Fatalf("zero-checksum segment rejected: %v", err)
+	}
+	if string(got.data) != "nocheck" {
+		t.Fatalf("data = %q", got.data)
+	}
+}
+
+func TestSegmentMalformed(t *testing.T) {
+	if _, err := unmarshal(basis.FromWire(make([]byte, 10)), 0, false); err == nil {
+		t.Fatal("short segment accepted")
+	}
+	// Data offset pointing past the end.
+	b := make([]byte, headerLen)
+	b[12] = 0xf0 // offset 60 > 20
+	if _, err := unmarshal(basis.FromWire(b), 0, false); err == nil {
+		t.Fatal("bad data offset accepted")
+	}
+	// Data offset below the minimum.
+	b = make([]byte, headerLen)
+	b[12] = 0x10 // offset 4
+	if _, err := unmarshal(basis.FromWire(b), 0, false); err == nil {
+		t.Fatal("undersized data offset accepted")
+	}
+}
+
+func TestSegmentUnknownOptionsSkipped(t *testing.T) {
+	// Hand-build a header with a NOP, an unknown option, then MSS.
+	sg := &segment{srcPort: 9, dstPort: 10, flags: flagSYN}
+	pkt := basis.AllocPacket(headerLen+12, 0, 0)
+	h := pkt.Push(headerLen + 12)
+	h[0], h[1] = 0, 9
+	h[2], h[3] = 0, 10
+	h[12] = byte((headerLen+12)/4) << 4
+	h[13] = flagSYN
+	opts := h[headerLen:]
+	opts[0] = optNop
+	opts[1], opts[2], opts[3] = 99, 4, 0 // unknown kind 99, len 4
+	opts[4] = 0
+	opts[5], opts[6], opts[7], opts[8] = optMSS, 4, 0x05, 0xb4 // 1460
+	opts[9] = optEnd
+	_ = sg
+	got, err := unmarshal(pkt, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.mss != 1460 {
+		t.Fatalf("mss through unknown options = %d", got.mss)
+	}
+}
+
+func TestSegmentMalformedOptionListStops(t *testing.T) {
+	pkt := basis.AllocPacket(headerLen+4, 0, 0)
+	h := pkt.Push(headerLen + 4)
+	h[12] = byte((headerLen+4)/4) << 4
+	h[13] = flagACK
+	h[headerLen] = optMSS
+	h[headerLen+1] = 0 // illegal length 0: parser must stop, not loop
+	if _, err := unmarshal(pkt, 0, false); err != nil {
+		t.Fatalf("malformed options need not reject the segment: %v", err)
+	}
+}
+
+func TestSeqLen(t *testing.T) {
+	if (&segment{}).seqLen() != 0 {
+		t.Error("empty segment seqLen")
+	}
+	if (&segment{flags: flagSYN}).seqLen() != 1 {
+		t.Error("SYN seqLen")
+	}
+	if (&segment{flags: flagSYN | flagFIN, data: []byte("ab")}).seqLen() != 4 {
+		t.Error("SYN+FIN+data seqLen")
+	}
+}
+
+func TestSegmentString(t *testing.T) {
+	sg := &segment{srcPort: 1, dstPort: 2, flags: flagSYN | flagACK, seq: 5, ack: 6, wnd: 100, mss: 536}
+	s := sg.String()
+	for _, want := range []string{"[S.]", "seq 5", "ack 6", "win 100", "mss 536"} {
+		if !bytes.Contains([]byte(s), []byte(want)) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+// Property: marshal∘unmarshal is the identity on all field values, with
+// checksum verification enabled, for arbitrary payloads and fields.
+func TestSegmentPropertyRoundTrip(t *testing.T) {
+	f := func(sp, dp uint16, sq, ak uint32, flags uint8, wnd uint16, data []byte, pseudo uint16) bool {
+		sg := &segment{
+			srcPort: sp, dstPort: dp, seq: sq, ack: ak,
+			flags: flags & 0x3f, wnd: wnd, data: data,
+		}
+		pkt := basis.NewPacket(sg.headerBytes(), 0, data)
+		sg.marshal(pkt, pseudo, true)
+		got, err := unmarshal(pkt, pseudo, true)
+		if err != nil {
+			return false
+		}
+		return got.srcPort == sp && got.dstPort == dp && got.seq == sq &&
+			got.ack == ak && got.flags == flags&0x3f && got.wnd == wnd &&
+			bytes.Equal(got.data, data)
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,191 @@
+package tcp
+
+import (
+	"repro/internal/basis"
+	"repro/internal/profile"
+)
+
+// This file is the paper's Send module: it "segments outgoing data and
+// places corresponding Send_Segment actions onto the to_do queue."
+
+// canCarryData reports whether the state allows sending new data.
+func (c *Conn) canCarryData() bool {
+	switch c.state {
+	case StateEstab, StateCloseWait:
+		return true
+	}
+	return false
+}
+
+// sendModule is the Maybe_Send action: segmentize whatever the offered
+// window, the congestion window, Nagle, and sender silly-window
+// avoidance permit; append a FIN when the user has closed and the queue
+// has drained; and finally emit a pure ACK if one is owed and nothing
+// else carried it.
+func (c *Conn) sendModule() {
+	tcb := c.tcb
+	sentAny := false
+
+	if c.canCarryData() {
+		for tcb.queuedBytes > 0 {
+			wnd := tcb.sendWindow(c.t.cfg.congestionControl())
+			flight := tcb.flightSize()
+			if flight >= wnd {
+				if wnd == 0 && flight == 0 && tcb.timer[timerPersist] == nil {
+					// Zero window with nothing in flight: arm the
+					// persist timer so a lost update cannot wedge us.
+					c.enqueue(actSetTimer{which: timerPersist, d: c.persistBackoff()})
+				}
+				break
+			}
+			avail := int(wnd - flight)
+			n := min(avail, tcb.mss, tcb.queuedBytes)
+			if n <= 0 {
+				break
+			}
+			if n < tcb.mss && n < tcb.queuedBytes && flight > 0 {
+				// Sub-MSS send that does not drain the queue: pure
+				// sender SWS avoidance — wait unless it is at least
+				// half the largest window we have seen. With nothing
+				// in flight we send anyway (RFC 1122's idle rule), or
+				// sender and receiver could deadlock waiting on each
+				// other's silly-window thresholds.
+				if tcb.maxWnd > 0 && uint32(n) < tcb.maxWnd/2 {
+					break
+				}
+			}
+			if n < tcb.mss && n == tcb.queuedBytes && flight > 0 && c.t.cfg.nagle() {
+				// Nagle: a small final piece waits while anything is
+				// outstanding.
+				break
+			}
+			c.sendData(n)
+			c.clearAckDebt()
+			sentAny = true
+		}
+	}
+
+	// FIN goes out once the queue is empty (it consumes one sequence
+	// number; we allow it regardless of window, as BSD did).
+	if tcb.finQueued && !tcb.finSent && tcb.queuedBytes == 0 &&
+		c.state != StateClosed && c.state != StateListen && c.state != StateSynSent {
+		c.sendFin()
+		c.clearAckDebt()
+		sentAny = true
+	}
+
+	// A pending ACK that nothing piggybacked: send it now if it is due,
+	// or arm the delayed-ack timer.
+	if !sentAny {
+		if tcb.ackNow || (tcb.ackPending && !c.t.cfg.delayedAcks()) {
+			c.sendPureAck()
+		} else if tcb.ackPending && tcb.timer[timerDelayedAck] == nil {
+			c.enqueue(actSetTimer{which: timerDelayedAck, d: c.t.cfg.AckDelay})
+		}
+	}
+}
+
+// sendData emits one data segment of n bytes from the send queue. The
+// payload is copied exactly once, from the user's queued buffers into
+// the packet the segment will travel in.
+func (c *Conn) sendData(n int) {
+	tcb := c.tcb
+	now := c.t.s.Now()
+
+	cp := c.t.cfg.Prof.Start(profile.CatCopy)
+	pkt := basis.AllocPacket(c.t.net.Headroom()+headerLen, c.t.net.Tailroom(), n)
+	tcb.queueTake(pkt.Bytes(), n)
+	cp.Stop()
+	c.chargeDataPath(profile.CatCopy, c.t.cfg.DataPath.CopyPerKB, n)
+
+	sg := &segment{
+		srcPort: c.key.lport, dstPort: c.key.rport,
+		seq: tcb.sndNxt, flags: flagACK,
+		data:        pkt.Bytes(),
+		sentAt:      now,
+		firstSentAt: now,
+	}
+	if tcb.queuedBytes == 0 {
+		sg.flags |= flagPSH
+	}
+	// Urgent mode: while unsent urgent data remains ahead, every segment
+	// carries URG with the pointer to the end of the urgent data
+	// (RFC 793 with the RFC 1122 §4.2.2.4 correction: the pointer names
+	// the last urgent byte).
+	if tcb.urgentPending {
+		if seqGT(tcb.sndUpSeq, sg.seq) {
+			sg.flags |= flagURG
+			sg.up = uint16(tcb.sndUpSeq - sg.seq)
+		}
+		if seqGEQ(sg.seq+uint32(n), tcb.sndUpSeq) {
+			tcb.urgentPending = false
+		}
+	}
+	tcb.sndNxt += uint32(n)
+	c.t.stats.BytesSent += uint64(n)
+
+	// RTT timing: one sample in flight at a time (Karn's scheme).
+	if !c.timingInFlight() {
+		sg.timed = true
+	}
+	tcb.rexmitQ.PushBack(sg)
+	if tcb.timer[timerRexmit] == nil {
+		c.enqueue(actSetTimer{which: timerRexmit, d: c.currentRTO()})
+	}
+	c.enqueue(actSendSegment{seg: sg, pkt: pkt})
+	// Queue space freed: wake writers blocked on the send buffer.
+	c.bufCond.Broadcast()
+}
+
+// sendFin emits our FIN and performs the associated state transition.
+func (c *Conn) sendFin() {
+	tcb := c.tcb
+	now := c.t.s.Now()
+	sg := &segment{
+		srcPort: c.key.lport, dstPort: c.key.rport,
+		seq: tcb.sndNxt, flags: flagFIN | flagACK,
+		sentAt: now, firstSentAt: now,
+	}
+	tcb.finSent = true
+	tcb.finSeq = tcb.sndNxt
+	tcb.sndNxt++
+	tcb.rexmitQ.PushBack(sg)
+	if tcb.timer[timerRexmit] == nil {
+		c.enqueue(actSetTimer{which: timerRexmit, d: c.currentRTO()})
+	}
+	c.stateFinSent()
+	c.enqueue(actSendSegment{seg: sg})
+}
+
+// sendPureAck emits an empty ACK segment. The acknowledgment debt is
+// settled at decision time, not emission time, so a second Maybe_Send
+// sitting behind this one on the to_do queue cannot emit a duplicate.
+func (c *Conn) sendPureAck() {
+	c.clearAckDebt()
+	sg := &segment{
+		srcPort: c.key.lport, dstPort: c.key.rport,
+		seq: c.tcb.sndNxt, flags: flagACK,
+	}
+	c.enqueue(actSendSegment{seg: sg})
+}
+
+// clearAckDebt marks any pending acknowledgment as satisfied.
+func (c *Conn) clearAckDebt() {
+	tcb := c.tcb
+	tcb.ackPending = false
+	tcb.ackNow = false
+	tcb.unackedSegs = 0
+	c.clearTimer(timerDelayedAck)
+}
+
+// timingInFlight reports whether some unretransmitted segment on the
+// queue is the current RTT sample.
+func (c *Conn) timingInFlight() bool {
+	timing := false
+	c.tcb.rexmitQ.Do(func(sg *segment) {
+		if sg.timed && sg.rexmits == 0 {
+			timing = true
+		}
+	})
+	return timing
+}

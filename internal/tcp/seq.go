@@ -1,0 +1,56 @@
+// Package tcp is the paper's primary contribution: a structured
+// implementation of the Transmission Control Protocol (RFC 793 with the
+// RFC 1122 corrections), decomposed exactly as the paper's Figure 9
+// module graph is:
+//
+//	tcb.go     — the Tcb module (Fig. 6): connection states, the TCB, and
+//	             the to_do action queue
+//	actions.go — the tcp_action datatype (Fig. 8)
+//	state.go   — the State module: open/close/abort and timer-driven
+//	             state manipulation
+//	receive.go — the Receive module: RFC 793's "SEGMENT ARRIVES" DAG,
+//	             with functions as the labels of its merge points
+//	send.go    — the Send module: segmentation of outgoing data
+//	resend.go  — the Resend module: the retransmission queue and the
+//	             Karn/Jacobson round-trip computations
+//	action.go  — the Action module: timers and segment externalization/
+//	             internalization
+//	conn.go    — the Main module: the quasi-synchronous executor and the
+//	             user operations
+//	fastpath.go— the fast-path receive and send routines that "handle the
+//	             normal cases quickly, and defer to the full code for the
+//	             less common cases"
+//
+// The control structure is quasi-synchronous: message receptions and
+// timer expirations only enqueue actions on the owning connection's to_do
+// queue; the queue is drained synchronously, so once actions are queued,
+// behavior is deterministic and each module is testable in isolation by
+// comparing the TCB it produces with the TCB the standard requires.
+package tcp
+
+// seq is a TCP sequence number; all comparisons are modulo 2^32.
+type seq = uint32
+
+// seqLT reports a < b in sequence space.
+func seqLT(a, b seq) bool { return int32(a-b) < 0 }
+
+// seqLEQ reports a <= b in sequence space.
+func seqLEQ(a, b seq) bool { return int32(a-b) <= 0 }
+
+// seqGT reports a > b in sequence space.
+func seqGT(a, b seq) bool { return int32(a-b) > 0 }
+
+// seqGEQ reports a >= b in sequence space.
+func seqGEQ(a, b seq) bool { return int32(a-b) >= 0 }
+
+// seqMax returns the later of a and b in sequence space.
+func seqMax(a, b seq) seq {
+	if seqGT(a, b) {
+		return a
+	}
+	return b
+}
+
+// seqBetween reports lo <= x < hi in sequence space — RFC 793's window
+// acceptance comparisons.
+func seqBetween(lo, x, hi seq) bool { return seqLEQ(lo, x) && seqLT(x, hi) }

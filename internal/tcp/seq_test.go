@@ -1,0 +1,98 @@
+package tcp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSeqComparisonsNearWrap(t *testing.T) {
+	const top = ^seq(0) // 2^32-1
+	cases := []struct {
+		a, b seq
+		lt   bool
+	}{
+		{0, 1, true},
+		{1, 0, false},
+		{top, 0, true}, // wraparound: 2^32-1 < 0
+		{0, top, false},
+		{top - 10, top, true},
+		{0x7fffffff, 0x80000000, true},
+		{5, 5, false},
+	}
+	for _, c := range cases {
+		if seqLT(c.a, c.b) != c.lt {
+			t.Errorf("seqLT(%d,%d) = %v", c.a, c.b, !c.lt)
+		}
+		if seqGT(c.b, c.a) != c.lt {
+			t.Errorf("seqGT(%d,%d) = %v", c.b, c.a, !c.lt)
+		}
+	}
+	if !seqLEQ(7, 7) || !seqGEQ(7, 7) {
+		t.Error("LEQ/GEQ not reflexive")
+	}
+}
+
+func TestSeqBetween(t *testing.T) {
+	if !seqBetween(10, 10, 20) {
+		t.Error("lower bound inclusive failed")
+	}
+	if seqBetween(10, 20, 20) {
+		t.Error("upper bound exclusive failed")
+	}
+	// Window straddling the wrap point.
+	lo := ^seq(0) - 5
+	if !seqBetween(lo, 2, lo+10) {
+		t.Error("wrap-straddling window rejected member")
+	}
+	if seqBetween(lo, 100, lo+10) {
+		t.Error("wrap-straddling window accepted outsider")
+	}
+}
+
+func TestSeqMax(t *testing.T) {
+	if seqMax(3, 9) != 9 || seqMax(9, 3) != 9 {
+		t.Error("seqMax basic")
+	}
+	if seqMax(^seq(0), 1) != 1 {
+		t.Error("seqMax across wrap: 1 is after 2^32-1")
+	}
+}
+
+// Property: for offsets within half the sequence space, a+k is always
+// "greater than" a, regardless of wraparound.
+func TestSeqPropertyForwardOffsets(t *testing.T) {
+	f := func(a seq, k uint32) bool {
+		k = k % (1 << 31)
+		if k == 0 {
+			return !seqGT(a, a) && seqLEQ(a, a)
+		}
+		return seqGT(a+k, a) && seqLT(a, a+k)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: exactly one of <, ==, > holds (trichotomy) whenever the
+// distance is not exactly 2^31.
+func TestSeqPropertyTrichotomy(t *testing.T) {
+	f := func(a, b seq) bool {
+		if a-b == 1<<31 {
+			return true // the one ambiguous antipodal distance
+		}
+		n := 0
+		if seqLT(a, b) {
+			n++
+		}
+		if a == b {
+			n++
+		}
+		if seqGT(a, b) {
+			n++
+		}
+		return n == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,179 @@
+package tcp
+
+// This file is the paper's State module: "the main state manipulations
+// required on connection open, close, or abort, and also when a timer
+// expires" (timer dispatch itself lives with the Action module; the
+// state consequences live here and in resend.go).
+
+// stateActiveOpen performs the active OPEN of RFC 793: choose an ISS,
+// move to SYN-SENT, and queue the SYN (with our MSS option) for
+// transmission and retransmission.
+func (c *Conn) stateActiveOpen() {
+	tcb := c.tcb
+	now := c.t.s.Now()
+	iss := c.t.chooseISS()
+	tcb.iss = iss
+	tcb.sndUna = iss
+	tcb.sndNxt = iss + 1
+	tcb.cwnd = uint32(tcb.mss)
+	tcb.ssthresh = 0xffff
+	c.state = StateSynSent
+
+	syn := &segment{
+		srcPort: c.key.lport, dstPort: c.key.rport,
+		seq: iss, flags: flagSYN,
+		mss:    c.t.localMSS(),
+		sentAt: now, firstSentAt: now, timed: true,
+	}
+	tcb.rexmitQ.PushBack(syn)
+	c.enqueue(actSendSegment{seg: syn})
+	c.enqueue(actSetTimer{which: timerRexmit, d: tcb.rto})
+	c.enqueue(actSetTimer{which: timerUser, d: c.t.cfg.UserTimeout})
+	c.t.cfg.Trace.Printf("conn %v: active open, iss %d", c.key, iss)
+}
+
+// statePassiveSyn performs the LISTEN-state SYN processing: record the
+// peer's sequence space, choose our ISS, move to Syn_Passive, and queue
+// the SYN,ACK.
+func (c *Conn) statePassiveSyn(sg *segment) {
+	tcb := c.tcb
+	now := c.t.s.Now()
+	tcb.irs = sg.seq
+	tcb.rcvNxt = sg.seq + 1
+	if sg.mss != 0 {
+		tcb.mss = min(int(sg.mss), c.t.MTU())
+	}
+	tcb.sndWnd = uint32(sg.wnd)
+	tcb.sndWl1 = sg.seq
+	tcb.maxWnd = uint32(sg.wnd)
+
+	iss := c.t.chooseISS()
+	tcb.iss = iss
+	tcb.sndUna = iss
+	tcb.sndNxt = iss + 1
+	tcb.sndWl2 = iss
+	tcb.cwnd = uint32(tcb.mss)
+	tcb.ssthresh = 0xffff
+	c.state = StateSynPassive
+
+	synAck := &segment{
+		srcPort: c.key.lport, dstPort: c.key.rport,
+		seq: iss, ack: tcb.rcvNxt, flags: flagSYN | flagACK,
+		mss:    c.t.localMSS(),
+		sentAt: now, firstSentAt: now, timed: true,
+	}
+	tcb.rexmitQ.PushBack(synAck)
+	c.enqueue(actSendSegment{seg: synAck})
+	c.enqueue(actSetTimer{which: timerRexmit, d: tcb.rto})
+	c.enqueue(actSetTimer{which: timerUser, d: c.t.cfg.UserTimeout})
+	c.t.cfg.Trace.Printf("conn %v: passive open, iss %d irs %d", c.key, iss, tcb.irs)
+}
+
+// stateEstablish moves a synchronizing connection to ESTABLISHED and
+// releases the opener.
+func (c *Conn) stateEstablish() {
+	c.state = StateEstab
+	c.enqueue(actClearTimer{which: timerUser})
+	if c.t.cfg.Keepalive {
+		c.tcb.lastRecv = c.t.s.Now()
+		c.enqueue(actSetTimer{which: timerKeepalive, d: c.t.cfg.KeepaliveIdle})
+	}
+	c.enqueue(actCompleteOpen{})
+	c.enqueue(actMaybeSend{})
+	// Data that arrived with the SYN was held out of order; it is
+	// deliverable now (and is queued behind Complete_Open, honoring the
+	// no-data-before-open-returns rule).
+	c.drainOutOfOrder()
+	c.t.cfg.Trace.Printf("conn %v: established", c.key)
+}
+
+// stateClose performs the user CLOSE call: in the synchronizing states it
+// abandons the attempt; afterwards it queues a FIN behind any unsent
+// data.
+func (c *Conn) stateClose() {
+	switch c.state {
+	case StateClosed, StateListen:
+		c.enqueue(actCompleteClose{})
+		c.enqueue(actDeleteTCB{})
+	case StateSynSent:
+		// RFC 793: CLOSE in SYN-SENT deletes the TCB.
+		c.enqueue(actCompleteOpen{err: ErrClosed})
+		c.enqueue(actCompleteClose{})
+		c.enqueue(actDeleteTCB{})
+	default:
+		c.tcb.finQueued = true
+		c.enqueue(actMaybeSend{})
+	}
+}
+
+// stateFinSent records the state transition triggered by actually
+// emitting our FIN (the Send module calls it once, when the FIN leaves).
+func (c *Conn) stateFinSent() {
+	switch c.state {
+	case StateSynActive, StateSynPassive, StateEstab:
+		c.state = StateFinWait1
+	case StateCloseWait:
+		c.state = StateLastAck
+	}
+	c.t.cfg.Trace.Printf("conn %v: FIN sent, now %v", c.key, c.state)
+}
+
+// stateOurFinAcked records the transition when the peer acknowledges our
+// FIN.
+func (c *Conn) stateOurFinAcked() {
+	switch c.state {
+	case StateFinWait1:
+		c.state = StateFinWait2
+		c.enqueue(actCompleteClose{})
+	case StateClosing:
+		c.enterTimeWait()
+	case StateLastAck:
+		c.enqueue(actCompleteClose{})
+		c.enqueue(actDeleteTCB{})
+	}
+}
+
+// statePeerFin records the transition when the peer's FIN becomes
+// in-order; checkFin has already advanced rcvNxt and scheduled the ACK.
+func (c *Conn) statePeerFin() {
+	c.enqueue(actPeerClosed{})
+	switch c.state {
+	case StateSynActive, StateSynPassive, StateEstab:
+		c.state = StateCloseWait
+	case StateFinWait1:
+		// If our FIN had been acknowledged we would be in FIN-WAIT-2
+		// by now (ack processing precedes FIN processing), so this is
+		// a simultaneous close.
+		c.state = StateClosing
+	case StateFinWait2:
+		c.enterTimeWait()
+	case StateTimeWait:
+		// Retransmitted FIN: restart the 2MSL timer.
+		c.enqueue(actSetTimer{which: timerTimeWait, d: c.twoMSL()})
+	}
+	c.t.cfg.Trace.Printf("conn %v: peer FIN, now %v", c.key, c.state)
+}
+
+// enterTimeWait starts the 2×MSL quarantine.
+func (c *Conn) enterTimeWait() {
+	c.state = StateTimeWait
+	c.enqueue(actClearTimer{which: timerRexmit})
+	c.enqueue(actClearTimer{which: timerPersist})
+	c.enqueue(actSetTimer{which: timerTimeWait, d: c.twoMSL()})
+	c.enqueue(actCompleteClose{})
+}
+
+// stateAbort performs the user ABORT call (and internal aborts such as
+// the user timeout): RST to a synchronized peer, error to every waiter.
+func (c *Conn) stateAbort(err error) {
+	switch c.state {
+	case StateSynActive, StateSynPassive, StateEstab,
+		StateFinWait1, StateFinWait2, StateCloseWait:
+		rst := &segment{
+			srcPort: c.key.lport, dstPort: c.key.rport,
+			seq: c.tcb.sndNxt, flags: flagRST | flagACK, ack: c.tcb.rcvNxt,
+		}
+		c.enqueue(actSendSegment{seg: rst})
+	}
+	c.enqueue(actUserError{err: err})
+}

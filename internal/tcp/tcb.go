@@ -1,0 +1,215 @@
+package tcp
+
+import (
+	"repro/internal/basis"
+	"repro/internal/sim"
+	"repro/internal/timers"
+)
+
+// State is the connection state of RFC 793's state machine, with the
+// paper's refinement (Fig. 6) of splitting Syn_Received into the active-
+// and passive-open variants Syn_Active and Syn_Passive.
+type State int
+
+const (
+	StateClosed State = iota
+	StateListen
+	StateSynSent
+	StateSynActive  // Syn_Received reached from an active open
+	StateSynPassive // Syn_Received reached from a passive open
+	StateEstab
+	StateFinWait1
+	StateFinWait2
+	StateCloseWait
+	StateClosing
+	StateLastAck
+	StateTimeWait
+)
+
+var stateNames = [...]string{
+	"Closed", "Listen", "Syn_Sent", "Syn_Active", "Syn_Passive", "Estab",
+	"Fin_Wait_1", "Fin_Wait_2", "Close_Wait", "Closing", "Last_Ack", "Time_Wait",
+}
+
+// String returns the paper's constructor name for the state.
+func (s State) String() string {
+	if s < 0 || int(s) >= len(stateNames) {
+		return "invalid"
+	}
+	return stateNames[s]
+}
+
+// synchronized reports whether the state is past the three-way handshake.
+func (s State) synchronized() bool {
+	return s >= StateEstab
+}
+
+// timerID names the per-connection timers the Action module manages.
+type timerID int
+
+const (
+	timerRexmit timerID = iota
+	timerDelayedAck
+	timerPersist
+	timerTimeWait
+	timerUser
+	timerKeepalive
+	numTimers
+)
+
+var timerNames = [numTimers]string{"rexmit", "delayed-ack", "persist", "time-wait", "user", "keepalive"}
+
+func (t timerID) String() string {
+	if t < 0 || t >= numTimers {
+		return "invalid"
+	}
+	return timerNames[t]
+}
+
+// sendItem is one element of the queue of user data awaiting
+// segmentation (the paper's `queued: Send_Packet.T D.T ref`).
+type sendItem struct {
+	data []byte
+}
+
+// TCB is the Transmission Control Block (Fig. 6): every variable RFC 793
+// names, the send and receive queues, and — the paper's central design
+// element — the to_do queue holding "the actions that must be done on
+// behalf of this TCP connection".
+type TCB struct {
+	// Send sequence space (RFC 793 §3.2).
+	iss    seq
+	sndUna seq
+	sndNxt seq
+	sndWnd uint32
+	sndUp  seq
+	sndWl1 seq // seq of the segment used for the last window update
+	sndWl2 seq // ack of the segment used for the last window update
+	maxWnd uint32
+
+	// Receive sequence space.
+	irs    seq
+	rcvNxt seq
+	rcvWnd uint32
+	rcvUp  seq
+
+	// Effective send MSS (min of ours and the peer's announced MSS).
+	mss int
+
+	// Outgoing user data not yet segmentized, and its total bytes.
+	queued      basis.Deque[sendItem]
+	queuedBytes int
+	queuedFront int // bytes of queued's front item already consumed
+
+	// Retransmission queue: segments sent but not fully acknowledged.
+	rexmitQ basis.Deque[*segment]
+
+	// Out-of-order segments held for later (the paper's
+	// `out_of_order: tcp_in Q.T ref`), kept sorted by seq.
+	outOfOrder []*segment
+
+	// to_do contains the actions to perform.
+	toDo basis.FIFO[action]
+
+	// Round-trip timing (Resend module; Karn & Jacobson).
+	srtt    sim.Duration
+	rttvar  sim.Duration
+	rto     sim.Duration
+	backoff int
+
+	// Congestion control (Van Jacobson; the Tahoe variant contemporary
+	// with the paper), active when Config.CongestionControl is set.
+	cwnd     uint32
+	ssthresh uint32
+	dupAcks  int
+
+	// Timers, managed only by the Action module.
+	timer [numTimers]*timers.Timer
+
+	// Delayed-ACK bookkeeping: ackPending means an ACK is owed and may
+	// be delayed; ackNow forces it out on the next send pass;
+	// unackedSegs counts segments since the last ACK (RFC 1122 wants an
+	// ACK at least every second full segment).
+	ackPending  bool
+	ackNow      bool
+	unackedSegs int
+
+	// FIN bookkeeping.
+	finQueued bool // user closed; FIN goes out when queued drains
+	finSent   bool
+	finSeq    seq // sequence number of our FIN, valid once finSent
+
+	// Time of the most recent forward progress (ACK advancing sndUna),
+	// for the user-timeout check.
+	lastProgress sim.Time
+
+	// lastAdvWnd is the receive window most recently advertised to the
+	// peer, for deciding when a reopening is worth a volunteered update.
+	lastAdvWnd uint32
+
+	// Keepalive bookkeeping: when the peer was last heard from, and how
+	// many successive probes have gone unanswered.
+	lastRecv        sim.Time
+	keepaliveProbes int
+
+	// Urgent-mode bookkeeping: the sequence number one past the last
+	// byte of urgent data queued by WriteUrgent (valid while
+	// urgentPending).
+	sndUpSeq      seq
+	urgentPending bool
+}
+
+// newTCB returns a TCB with the paper's configuration applied.
+func newTCB(cfg *Config, now sim.Time) *TCB {
+	t := &TCB{
+		rcvWnd:       uint32(cfg.InitialWindow),
+		maxWnd:       0,
+		mss:          defaultMSS,
+		rto:          cfg.InitialRTO,
+		lastProgress: now,
+	}
+	return t
+}
+
+// flightSize is the amount of data sent but not yet acknowledged.
+func (t *TCB) flightSize() uint32 { return t.sndNxt - t.sndUna }
+
+// sendWindow is the usable window: the peer's advertised window, further
+// limited by the congestion window when congestion control is on.
+func (t *TCB) sendWindow(cc bool) uint32 {
+	w := t.sndWnd
+	if cc && t.cwnd < w {
+		w = t.cwnd
+	}
+	return w
+}
+
+// queuePush appends user data for transmission.
+func (t *TCB) queuePush(data []byte) {
+	t.queued.PushBack(sendItem{data: data})
+	t.queuedBytes += len(data)
+}
+
+// queueTake removes up to max bytes from the front of the send queue,
+// copying them into dst (which must have length >= max). It returns the
+// number of bytes taken. This is the send path's single data copy.
+func (t *TCB) queueTake(dst []byte, max int) int {
+	taken := 0
+	for taken < max {
+		front, ok := t.queued.Front()
+		if !ok {
+			break
+		}
+		avail := front.data[t.queuedFront:]
+		n := copy(dst[taken:max], avail)
+		taken += n
+		if n == len(avail) {
+			t.queued.PopFront()
+			t.queuedFront = 0
+		} else {
+			t.queuedFront += n
+		}
+	}
+	t.queuedBytes -= taken
+	return taken
+}

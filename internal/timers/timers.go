@@ -1,0 +1,47 @@
+// Package timers reproduces the paper's Figure 11: the entire timer
+// facility — start, clear, expiration — built from nothing but the
+// scheduler's fork and sleep plus one heap-allocated boolean of shared
+// state captured in a closure. The paper singles this out as evidence that
+// higher-order functions plus fast thread creation make traditionally slow
+// timer code "simple and fast".
+package timers
+
+import "repro/internal/sim"
+
+// Timer is the updatable cell returned by Start; Clear sets it, and the
+// forked thread checks it after sleeping.
+type Timer struct {
+	cleared bool
+}
+
+// Start forks a thread that sleeps for d of virtual time and then invokes
+// handler — unless the returned timer was cleared in the meantime. This is
+// a direct transliteration of the paper's `start`:
+//
+//	fun start (handler, ms) =
+//	  let val cleared = ref false
+//	      fun sleep () = (Scheduler.sleep (ms);
+//	                      if !cleared then () else handler ())
+//	  in Scheduler.fork (Scheduler.Normal sleep); cleared end
+func Start(s *sim.Scheduler, handler func(), d sim.Duration) *Timer {
+	t := &Timer{}
+	s.Fork("timer", func() {
+		s.Sleep(d)
+		if !t.cleared {
+			handler()
+		}
+	})
+	return t
+}
+
+// Clear prevents the handler from running if it has not run yet. Clearing
+// an expired or already-cleared timer is a no-op; the thread, if still
+// sleeping, wakes, observes the flag, and exits silently.
+func (t *Timer) Clear() {
+	if t != nil {
+		t.cleared = true
+	}
+}
+
+// Cleared reports whether Clear was called.
+func (t *Timer) Cleared() bool { return t != nil && t.cleared }

@@ -1,0 +1,109 @@
+package timers
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestTimerFiresAtDeadline(t *testing.T) {
+	s := sim.New(sim.Config{})
+	var firedAt sim.Time = -1
+	s.Run(func() {
+		Start(s, func() { firedAt = s.Now() }, 20*time.Millisecond)
+		s.Sleep(50 * time.Millisecond)
+	})
+	if firedAt != sim.Time(20*time.Millisecond) {
+		t.Fatalf("fired at %v", time.Duration(firedAt))
+	}
+}
+
+func TestClearedTimerDoesNotFire(t *testing.T) {
+	s := sim.New(sim.Config{})
+	fired := false
+	s.Run(func() {
+		tm := Start(s, func() { fired = true }, 10*time.Millisecond)
+		s.Sleep(5 * time.Millisecond)
+		tm.Clear()
+		s.Sleep(20 * time.Millisecond)
+	})
+	if fired {
+		t.Fatal("cleared timer fired")
+	}
+}
+
+func TestClearAfterExpiryIsNoop(t *testing.T) {
+	s := sim.New(sim.Config{})
+	fired := 0
+	s.Run(func() {
+		tm := Start(s, func() { fired++ }, 1*time.Millisecond)
+		s.Sleep(10 * time.Millisecond)
+		tm.Clear() // too late, and must not panic or double-fire
+		s.Sleep(10 * time.Millisecond)
+	})
+	if fired != 1 {
+		t.Fatalf("fired %d times", fired)
+	}
+}
+
+func TestClearNilTimerSafe(t *testing.T) {
+	var tm *Timer
+	tm.Clear()
+	if tm.Cleared() {
+		t.Fatal("nil timer claims cleared")
+	}
+}
+
+func TestManyTimersFireInDeadlineOrder(t *testing.T) {
+	s := sim.New(sim.Config{})
+	var order []int
+	s.Run(func() {
+		delays := []time.Duration{30, 10, 20, 40, 5}
+		for i, d := range delays {
+			i := i
+			Start(s, func() { order = append(order, i) }, d*time.Millisecond)
+		}
+		s.Sleep(100 * time.Millisecond)
+	})
+	want := []int{4, 1, 2, 0, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fire order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTimerRestartPattern(t *testing.T) {
+	// TCP's retransmission timer is "restarted" by clear-then-start; the
+	// old thread must stay silent.
+	s := sim.New(sim.Config{})
+	var fires []sim.Time
+	s.Run(func() {
+		h := func() { fires = append(fires, s.Now()) }
+		tm := Start(s, h, 10*time.Millisecond)
+		s.Sleep(6 * time.Millisecond)
+		tm.Clear()
+		tm = Start(s, h, 10*time.Millisecond) // fires at t=16ms
+		s.Sleep(30 * time.Millisecond)
+		tm.Clear()
+	})
+	if len(fires) != 1 || fires[0] != sim.Time(16*time.Millisecond) {
+		t.Fatalf("fires = %v", fires)
+	}
+}
+
+func TestClearedReflectsState(t *testing.T) {
+	s := sim.New(sim.Config{})
+	s.Run(func() {
+		tm := Start(s, func() {}, time.Millisecond)
+		if tm.Cleared() {
+			t.Error("fresh timer claims cleared")
+		}
+		tm.Clear()
+		if !tm.Cleared() {
+			t.Error("cleared timer denies it")
+		}
+		s.Sleep(2 * time.Millisecond)
+	})
+}

@@ -1,0 +1,171 @@
+// Package udp implements UDP as a functor over any protocol.Network —
+// exactly the composition the paper requires when it notes that a
+// structure satisfying IP_AUX "must be supplied as a parameter to the UDP
+// functor as well" (Fig. 5). The same UDP code therefore runs over IPv4
+// or directly over Ethernet.
+package udp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/basis"
+	"repro/internal/checksum"
+	"repro/internal/profile"
+	"repro/internal/protocol"
+)
+
+const headerLen = 8
+
+// Handler receives one datagram's payload with its source endpoint.
+type Handler func(src protocol.Address, srcPort uint16, pkt *basis.Packet)
+
+// Config parameterizes the layer — the UDP functor's value parameters.
+type Config struct {
+	// ComputeChecksums controls whether datagrams are sent with (and
+	// verified against) the UDP checksum; the protocol makes it
+	// optional, and over a CRC-verified link it can be disabled as the
+	// paper's Fig. 3 does for its special TCP stack.
+	ComputeChecksums bool
+	Trace            *basis.Tracer
+	Prof             *profile.Profile
+}
+
+// Stats counts UDP activity.
+type Stats struct {
+	Sent        uint64
+	Received    uint64
+	BadChecksum uint64
+	BadLength   uint64
+	NoListener  uint64
+}
+
+// UDP is one host's UDP layer over one lower network.
+type UDP struct {
+	net      protocol.Network
+	cfg      Config
+	handlers map[uint16]Handler
+	stats    Stats
+	// NoListenerUpcall, when non-nil, observes datagrams for closed
+	// ports (source address and quoted payload) so a caller can emit
+	// ICMP port-unreachable.
+	NoListenerUpcall func(src protocol.Address, original []byte)
+}
+
+// New attaches a UDP layer to net.
+func New(net protocol.Network, cfg Config) *UDP {
+	u := &UDP{net: net, cfg: cfg, handlers: make(map[uint16]Handler)}
+	net.Attach(u.receive)
+	return u
+}
+
+// Name implements protocol.Protocol.
+func (u *UDP) Name() string { return "udp" }
+
+// MTU reports the largest datagram payload a single lower-layer packet
+// carries.
+func (u *UDP) MTU() int { return u.net.MTU() - headerLen }
+
+// Stats returns a snapshot of the counters.
+func (u *UDP) Stats() Stats { return u.stats }
+
+// ErrPortInUse reports a Bind to an occupied port.
+var ErrPortInUse = errors.New("udp: port in use")
+
+// Bind installs h as the listener on port.
+func (u *UDP) Bind(port uint16, h Handler) error {
+	if _, ok := u.handlers[port]; ok {
+		return ErrPortInUse
+	}
+	u.handlers[port] = h
+	return nil
+}
+
+// Unbind removes the listener on port.
+func (u *UDP) Unbind(port uint16) { delete(u.handlers, port) }
+
+// SendTo transmits one datagram. The payload is copied once into a packet
+// with full lower-layer headroom.
+func (u *UDP) SendTo(dst protocol.Address, srcPort, dstPort uint16, data []byte) error {
+	sec := u.cfg.Prof.Start(profile.CatMisc)
+	defer sec.Stop()
+	cpsec := u.cfg.Prof.Start(profile.CatCopy)
+	pkt := basis.NewPacket(u.net.Headroom()+headerLen, u.net.Tailroom(), data)
+	cpsec.Stop()
+	h := pkt.Push(headerLen)
+	binary.BigEndian.PutUint16(h[0:2], srcPort)
+	binary.BigEndian.PutUint16(h[2:4], dstPort)
+	binary.BigEndian.PutUint16(h[4:6], uint16(pkt.Len()))
+	h[6], h[7] = 0, 0
+	if u.cfg.ComputeChecksums {
+		cks := u.cfg.Prof.Start(profile.CatChecksum)
+		var acc checksum.Accumulator
+		acc.AddUint16(u.net.PseudoHeaderChecksum(dst, pkt.Len()))
+		acc.Add(pkt.Bytes())
+		ck := acc.Checksum()
+		if ck == 0 {
+			ck = 0xffff // a computed zero is transmitted as all-ones
+		}
+		binary.BigEndian.PutUint16(h[6:8], ck)
+		cks.Stop()
+	}
+	u.stats.Sent++
+	u.cfg.Trace.Printf("tx %d -> %s:%d len %d", srcPort, dst, dstPort, pkt.Len())
+	return u.net.Send(dst, pkt)
+}
+
+func (u *UDP) receive(src protocol.Address, pkt *basis.Packet) {
+	sec := u.cfg.Prof.Start(profile.CatMisc)
+	b := pkt.Bytes()
+	if len(b) < headerLen {
+		u.stats.BadLength++
+		sec.Stop()
+		return
+	}
+	length := int(binary.BigEndian.Uint16(b[4:6]))
+	if length < headerLen || length > len(b) {
+		u.stats.BadLength++
+		sec.Stop()
+		return
+	}
+	pkt.TrimTo(length)
+	b = pkt.Bytes()
+	wireCk := binary.BigEndian.Uint16(b[6:8])
+	if u.cfg.ComputeChecksums && wireCk != 0 {
+		cks := u.cfg.Prof.Start(profile.CatChecksum)
+		var acc checksum.Accumulator
+		acc.AddUint16(u.net.PseudoHeaderChecksum(src, length))
+		acc.Add(b)
+		ok := acc.Partial() == 0xffff
+		cks.Stop()
+		if !ok {
+			u.stats.BadChecksum++
+			u.cfg.Trace.Printf("rx bad checksum from %s, dropped", src)
+			sec.Stop()
+			return
+		}
+	}
+	srcPort := binary.BigEndian.Uint16(b[0:2])
+	dstPort := binary.BigEndian.Uint16(b[2:4])
+	handler, ok := u.handlers[dstPort]
+	if !ok {
+		u.stats.NoListener++
+		u.cfg.Trace.Printf("rx for closed port %d from %s", dstPort, src)
+		if u.NoListenerUpcall != nil {
+			u.NoListenerUpcall(src, b)
+		}
+		sec.Stop()
+		return
+	}
+	u.stats.Received++
+	pkt.Pull(headerLen)
+	u.cfg.Trace.Printf("rx %s:%d -> %d len %d", src, srcPort, dstPort, pkt.Len())
+	sec.Stop()
+	handler(src, srcPort, pkt)
+}
+
+// String describes the layer.
+func (u *UDP) String() string {
+	return fmt.Sprintf("udp[over %s, %d ports bound]", u.net.LocalAddr(), len(u.handlers))
+}

@@ -1,0 +1,288 @@
+// Package wire simulates the physical substrate the paper ran on: an
+// isolated 10 Mb/s Ethernet connecting two DECstations, reached through
+// Mach 3.0 IPC. A Segment is a shared medium that serializes one frame at
+// a time at the configured bandwidth and delivers it to every other
+// attached Port after a propagation delay; a Port is the device endpoint a
+// protocol stack attaches to.
+//
+// Substitution notes (see DESIGN.md §3): the medium runs in virtual time
+// on the scheduler, so transmission and propagation delays are exact and
+// deterministic; the per-send cost of crossing into the kernel (the
+// paper's "Mach send" profile row) is modeled as an explicit virtual
+// charge; and the one data copy the paper attributes to the kernel at the
+// device boundary is performed for real (the frame is cloned as it enters
+// the medium). Fault injection — loss, duplication, corruption, jitter
+// reordering — is driven by a deterministic PRNG so every failure run is
+// reproducible from its seed.
+package wire
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/basis"
+	"repro/internal/profile"
+	"repro/internal/sim"
+)
+
+// MaxFrame is the largest frame the medium accepts: 1500 bytes of payload
+// plus the 14-byte Ethernet header and 4-byte FCS.
+const MaxFrame = 1518
+
+// Config parameterizes a Segment.
+type Config struct {
+	// BitsPerSecond is the medium bandwidth. Default 10 Mb/s, the
+	// paper's Ethernet.
+	BitsPerSecond int64
+	// Propagation is the one-way propagation delay. Default 10 µs.
+	Propagation sim.Duration
+	// SendCost is the virtual cost charged to a host for handing one
+	// frame to the device — the paper's Mach IPC send. Default 400 µs,
+	// calibrated in EXPERIMENTS.md against Table 2's "Mach send" row.
+	SendCost sim.Duration
+	// Seed drives the fault PRNG. Runs are deterministic per seed.
+	Seed uint64
+	// Loss, Duplicate and Corrupt are per-frame fault probabilities.
+	Loss, Duplicate, Corrupt float64
+	// Jitter is the probability that a frame's delivery is delayed by a
+	// random extra amount up to JitterMax, which reorders it behind
+	// later frames.
+	Jitter    float64
+	JitterMax sim.Duration
+}
+
+func (c *Config) fill() {
+	if c.BitsPerSecond == 0 {
+		c.BitsPerSecond = 10_000_000
+	}
+	if c.Propagation == 0 {
+		c.Propagation = 10 * time.Microsecond
+	}
+	if c.SendCost == 0 {
+		c.SendCost = 400 * time.Microsecond
+	}
+	if c.JitterMax == 0 {
+		c.JitterMax = 2 * time.Millisecond
+	}
+}
+
+// Stats counts segment activity; tests and examples read it.
+type Stats struct {
+	Sent       uint64 // frames offered by hosts
+	Delivered  uint64 // frame deliveries (receiving ports × frames)
+	Lost       uint64
+	Duplicated uint64
+	Corrupted  uint64
+	Jittered   uint64
+	Oversize   uint64 // frames rejected for exceeding MaxFrame
+}
+
+// Segment is one shared broadcast medium.
+type Segment struct {
+	s     *sim.Scheduler
+	cfg   Config
+	rng   *basis.Rand
+	ports []*Port
+	txq   basis.FIFO[txFrame]
+	txC   *sim.Cond
+	stats Stats
+	trace *basis.Tracer
+	tap   func(from string, data []byte)
+}
+
+type txFrame struct {
+	from *Port
+	data []byte
+}
+
+type delivery struct {
+	availAt sim.Time
+	data    []byte
+}
+
+// Port is a host's attachment to a segment. Exactly as in the paper's
+// stack, received frames are pushed up through a handler upcall running on
+// the port's own device thread.
+type Port struct {
+	seg     *Segment
+	name    string
+	prof    *profile.Profile
+	handler func(*basis.Packet)
+	inq     basis.FIFO[delivery]
+	inC     *sim.Cond
+	down    bool
+}
+
+// NewSegment creates a segment and starts its medium thread. It must be
+// called from inside the scheduler's Run.
+func NewSegment(s *sim.Scheduler, cfg Config, trace *basis.Tracer) *Segment {
+	cfg.fill()
+	seg := &Segment{s: s, cfg: cfg, rng: basis.NewRand(cfg.Seed), trace: trace}
+	seg.txC = sim.NewCond(s)
+	s.Fork("wire", seg.mediumLoop)
+	return seg
+}
+
+// Stats returns a snapshot of the segment's counters.
+func (seg *Segment) Stats() Stats { return seg.stats }
+
+// SetTap installs an observer that sees every frame as it leaves the
+// medium's transmit queue, before fault injection — a passive network
+// analyzer clipped onto the simulated cable. The tap runs on the medium
+// thread outside virtual-time charging, so observation is free.
+func (seg *Segment) SetTap(tap func(from string, data []byte)) { seg.tap = tap }
+
+// NewPort attaches a new host port named name. Device-send and
+// packet-wait time is attributed to prof when non-nil.
+func (seg *Segment) NewPort(name string, prof *profile.Profile) *Port {
+	p := &Port{seg: seg, name: name, prof: prof}
+	p.inC = sim.NewCond(seg.s)
+	seg.ports = append(seg.ports, p)
+	seg.s.Fork("dev-recv:"+name, p.recvLoop)
+	return p
+}
+
+// SetHandler installs the receive upcall. Frames arriving while no
+// handler is installed are dropped.
+func (p *Port) SetHandler(h func(*basis.Packet)) { p.handler = h }
+
+// SetUp raises or lowers the interface. A down port transmits nothing and
+// hears nothing — the cable-pull fault. Traffic during the outage is
+// simply lost; the protocols above must recover, and the tests check that
+// they do.
+func (p *Port) SetUp(up bool) { p.down = !up }
+
+// Up reports whether the interface is raised.
+func (p *Port) Up() bool { return !p.down }
+
+// MaxFrame reports the largest frame this port accepts.
+func (p *Port) MaxFrame() int { return MaxFrame }
+
+// Name returns the port's diagnostic name.
+func (p *Port) Name() string { return p.name }
+
+// Scheduler returns the scheduler the segment runs on.
+func (seg *Segment) Scheduler() *sim.Scheduler { return seg.s }
+
+// Send offers a frame to the medium. The frame is copied at this boundary
+// (the paper's kernel copy) and the configured device-send cost is charged
+// to the calling host. Oversize frames are counted and dropped, as a real
+// controller would refuse them.
+func (p *Port) Send(pkt *basis.Packet) {
+	seg := p.seg
+	if p.down {
+		return // carrier lost: the controller drops the frame silently
+	}
+	sec := p.prof.Start(profile.CatDevSend)
+	seg.s.Charge(seg.cfg.SendCost)
+	if pkt.Len() > MaxFrame {
+		seg.stats.Oversize++
+		sec.Stop()
+		return
+	}
+	// The boundary copy is the kernel's work in the paper's setup — it
+	// happens, but its simulation cost stays off the host's clock (the
+	// explicit SendCost models the whole kernel crossing).
+	seg.s.Exclude(func() {
+		data := make([]byte, pkt.Len())
+		copy(data, pkt.Bytes())
+		seg.stats.Sent++
+		seg.txq.Enqueue(txFrame{from: p, data: data})
+		seg.txC.Signal()
+	})
+	sec.Stop()
+	if seg.trace.On() {
+		seg.trace.Printf("%s tx %d bytes (queue %d)", p.name, len(pkt.Bytes()), seg.txq.Len())
+	}
+}
+
+// mediumLoop serializes frames onto the medium one at a time — the shared
+// Ethernet — applying bandwidth delay, faults, and propagation.
+func (seg *Segment) mediumLoop() {
+	for {
+		for seg.txq.Empty() {
+			seg.txC.Wait()
+		}
+		f, _ := seg.txq.Dequeue()
+		if seg.tap != nil {
+			seg.s.Exclude(func() { seg.tap(f.from.name, f.data) })
+		}
+		txTime := sim.Duration(int64(len(f.data)) * 8 * int64(time.Second) / seg.cfg.BitsPerSecond)
+		seg.s.Sleep(txTime)
+
+		if seg.rng.Chance(seg.cfg.Loss) {
+			seg.stats.Lost++
+			seg.trace.Printf("frame from %s lost (%d bytes)", f.from.name, len(f.data))
+			continue
+		}
+		copies := 1
+		if seg.rng.Chance(seg.cfg.Duplicate) {
+			copies = 2
+			seg.stats.Duplicated++
+		}
+		for i := 0; i < copies; i++ {
+			data := f.data
+			if i > 0 {
+				data = append([]byte(nil), f.data...)
+			}
+			if seg.rng.Chance(seg.cfg.Corrupt) && len(data) > 0 {
+				data = append([]byte(nil), data...)
+				data[seg.rng.Intn(len(data))] ^= 0xff
+				seg.stats.Corrupted++
+			}
+			availAt := seg.s.Now() + sim.Time(seg.cfg.Propagation)
+			if seg.rng.Chance(seg.cfg.Jitter) {
+				extra := sim.Duration(seg.rng.Intn(int(seg.cfg.JitterMax)))
+				availAt += sim.Time(extra)
+				seg.stats.Jittered++
+			}
+			for _, port := range seg.ports {
+				if port == f.from {
+					continue
+				}
+				// Each receiving controller gets its own buffer: one
+				// more copy would be wrong — a broadcast medium induces
+				// N receive buffers, so copy per receiver as hardware
+				// DMA does.
+				buf := data
+				if len(seg.ports) > 2 {
+					buf = append([]byte(nil), data...)
+				}
+				port.inq.Enqueue(delivery{availAt: availAt, data: buf})
+				port.inC.Signal()
+				seg.stats.Delivered++
+			}
+		}
+	}
+}
+
+// recvLoop waits for deliveries and runs the upcall chain. Waiting time is
+// the paper's "packet wait" profile row.
+func (p *Port) recvLoop() {
+	for {
+		for p.inq.Empty() {
+			sec := p.prof.Start(profile.CatPacketWait)
+			p.inC.Wait()
+			sec.Stop()
+		}
+		d, _ := p.inq.Dequeue()
+		if wait := sim.Duration(d.availAt - p.seg.s.Now()); wait > 0 {
+			sec := p.prof.Start(profile.CatPacketWait)
+			p.seg.s.Sleep(wait)
+			sec.Stop()
+		}
+		if p.handler == nil || p.down {
+			continue
+		}
+		if p.seg.trace.On() {
+			p.seg.trace.Printf("%s rx %d bytes", p.name, len(d.data))
+		}
+		p.handler(basis.FromWire(d.data))
+	}
+}
+
+// String describes the segment configuration.
+func (seg *Segment) String() string {
+	return fmt.Sprintf("segment[%d Mb/s, prop %v, %d ports]",
+		seg.cfg.BitsPerSecond/1_000_000, seg.cfg.Propagation, len(seg.ports))
+}

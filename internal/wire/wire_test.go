@@ -1,0 +1,258 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/basis"
+	"repro/internal/sim"
+)
+
+func runNet(t *testing.T, cfg Config, body func(s *sim.Scheduler, seg *Segment)) {
+	t.Helper()
+	s := sim.New(sim.Config{})
+	s.Run(func() {
+		seg := NewSegment(s, cfg, nil)
+		body(s, seg)
+	})
+}
+
+func TestFrameDelivery(t *testing.T) {
+	runNet(t, Config{}, func(s *sim.Scheduler, seg *Segment) {
+		a := seg.NewPort("a", nil)
+		b := seg.NewPort("b", nil)
+		var got []byte
+		b.SetHandler(func(p *basis.Packet) { got = append([]byte(nil), p.Bytes()...) })
+		a.Send(basis.NewPacket(0, 0, []byte("hello wire")))
+		s.Sleep(10 * time.Millisecond)
+		if !bytes.Equal(got, []byte("hello wire")) {
+			t.Fatalf("received %q", got)
+		}
+		if a.MaxFrame() != MaxFrame {
+			t.Fatalf("MaxFrame = %d", a.MaxFrame())
+		}
+	})
+}
+
+func TestSenderDoesNotHearItself(t *testing.T) {
+	runNet(t, Config{}, func(s *sim.Scheduler, seg *Segment) {
+		a := seg.NewPort("a", nil)
+		seg.NewPort("b", nil)
+		heard := false
+		a.SetHandler(func(p *basis.Packet) { heard = true })
+		a.Send(basis.NewPacket(0, 0, []byte("x")))
+		s.Sleep(10 * time.Millisecond)
+		if heard {
+			t.Fatal("sender received its own frame")
+		}
+	})
+}
+
+func TestBroadcastReachesAllOtherPorts(t *testing.T) {
+	runNet(t, Config{}, func(s *sim.Scheduler, seg *Segment) {
+		a := seg.NewPort("a", nil)
+		var got [3][]byte
+		for i := 0; i < 3; i++ {
+			i := i
+			p := seg.NewPort("r", nil)
+			p.SetHandler(func(pk *basis.Packet) { got[i] = append([]byte(nil), pk.Bytes()...) })
+		}
+		a.Send(basis.NewPacket(0, 0, []byte("all")))
+		s.Sleep(10 * time.Millisecond)
+		for i := range got {
+			if string(got[i]) != "all" {
+				t.Fatalf("port %d got %q", i, got[i])
+			}
+		}
+		if seg.Stats().Delivered != 3 {
+			t.Fatalf("Delivered = %d", seg.Stats().Delivered)
+		}
+	})
+}
+
+func TestBandwidthDelay(t *testing.T) {
+	// 1250 payload bytes at 10 Mb/s = exactly 1 ms of serialization,
+	// plus the 10 µs default propagation and the device send cost.
+	runNet(t, Config{SendCost: time.Microsecond}, func(s *sim.Scheduler, seg *Segment) {
+		a := seg.NewPort("a", nil)
+		b := seg.NewPort("b", nil)
+		var arrival sim.Time = -1
+		b.SetHandler(func(p *basis.Packet) { arrival = s.Now() })
+		start := s.Now()
+		a.Send(basis.NewPacket(0, 0, make([]byte, 1250)))
+		s.Sleep(20 * time.Millisecond)
+		if arrival < 0 {
+			t.Fatal("frame not delivered")
+		}
+		elapsed := time.Duration(arrival - start)
+		want := time.Millisecond + 10*time.Microsecond + time.Microsecond
+		if elapsed < want || elapsed > want+100*time.Microsecond {
+			t.Fatalf("delivery after %v, want ≈%v", elapsed, want)
+		}
+	})
+}
+
+func TestMediumSerializesFrames(t *testing.T) {
+	// Two frames sent back-to-back must arrive one serialization time
+	// apart: the medium transmits one frame at a time.
+	runNet(t, Config{SendCost: time.Microsecond}, func(s *sim.Scheduler, seg *Segment) {
+		a := seg.NewPort("a", nil)
+		b := seg.NewPort("b", nil)
+		var arrivals []sim.Time
+		b.SetHandler(func(p *basis.Packet) { arrivals = append(arrivals, s.Now()) })
+		a.Send(basis.NewPacket(0, 0, make([]byte, 1250)))
+		a.Send(basis.NewPacket(0, 0, make([]byte, 1250)))
+		s.Sleep(50 * time.Millisecond)
+		if len(arrivals) != 2 {
+			t.Fatalf("got %d arrivals", len(arrivals))
+		}
+		gap := time.Duration(arrivals[1] - arrivals[0])
+		if gap < time.Millisecond {
+			t.Fatalf("frames only %v apart; medium did not serialize", gap)
+		}
+	})
+}
+
+func TestOversizeFrameDropped(t *testing.T) {
+	runNet(t, Config{}, func(s *sim.Scheduler, seg *Segment) {
+		a := seg.NewPort("a", nil)
+		b := seg.NewPort("b", nil)
+		got := false
+		b.SetHandler(func(p *basis.Packet) { got = true })
+		a.Send(basis.NewPacket(0, 0, make([]byte, MaxFrame+1)))
+		s.Sleep(30 * time.Millisecond)
+		if got {
+			t.Fatal("oversize frame delivered")
+		}
+		if seg.Stats().Oversize != 1 {
+			t.Fatalf("Oversize = %d", seg.Stats().Oversize)
+		}
+	})
+}
+
+func TestLossDropsAllWithProbabilityOne(t *testing.T) {
+	runNet(t, Config{Loss: 1}, func(s *sim.Scheduler, seg *Segment) {
+		a := seg.NewPort("a", nil)
+		b := seg.NewPort("b", nil)
+		got := 0
+		b.SetHandler(func(p *basis.Packet) { got++ })
+		for i := 0; i < 5; i++ {
+			a.Send(basis.NewPacket(0, 0, []byte("doomed")))
+		}
+		s.Sleep(50 * time.Millisecond)
+		if got != 0 {
+			t.Fatalf("delivered %d frames through a fully lossy wire", got)
+		}
+		if seg.Stats().Lost != 5 {
+			t.Fatalf("Lost = %d", seg.Stats().Lost)
+		}
+	})
+}
+
+func TestDuplicationDeliversTwice(t *testing.T) {
+	runNet(t, Config{Duplicate: 1}, func(s *sim.Scheduler, seg *Segment) {
+		a := seg.NewPort("a", nil)
+		b := seg.NewPort("b", nil)
+		got := 0
+		b.SetHandler(func(p *basis.Packet) { got++ })
+		a.Send(basis.NewPacket(0, 0, []byte("twice")))
+		s.Sleep(30 * time.Millisecond)
+		if got != 2 {
+			t.Fatalf("delivered %d copies, want 2", got)
+		}
+	})
+}
+
+func TestCorruptionFlipsBytes(t *testing.T) {
+	runNet(t, Config{Corrupt: 1, Seed: 7}, func(s *sim.Scheduler, seg *Segment) {
+		a := seg.NewPort("a", nil)
+		b := seg.NewPort("b", nil)
+		orig := []byte("pristine data here")
+		var got []byte
+		b.SetHandler(func(p *basis.Packet) { got = append([]byte(nil), p.Bytes()...) })
+		a.Send(basis.NewPacket(0, 0, orig))
+		s.Sleep(30 * time.Millisecond)
+		if got == nil {
+			t.Fatal("corrupted frame not delivered at all")
+		}
+		if bytes.Equal(got, orig) {
+			t.Fatal("frame marked corrupted but arrived intact")
+		}
+	})
+}
+
+func TestDeterministicFaultSequence(t *testing.T) {
+	run := func() Stats {
+		var st Stats
+		runNet(t, Config{Loss: 0.3, Seed: 99}, func(s *sim.Scheduler, seg *Segment) {
+			a := seg.NewPort("a", nil)
+			seg.NewPort("b", nil).SetHandler(func(p *basis.Packet) {})
+			for i := 0; i < 50; i++ {
+				a.Send(basis.NewPacket(0, 0, []byte("frame")))
+			}
+			s.Sleep(time.Second)
+			st = seg.Stats()
+		})
+		return st
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed produced different stats: %+v vs %+v", a, b)
+	}
+	if a.Lost == 0 || a.Lost == 50 {
+		t.Fatalf("loss = %d of 50; probability not applied", a.Lost)
+	}
+}
+
+func TestNoHandlerDropsSilently(t *testing.T) {
+	runNet(t, Config{}, func(s *sim.Scheduler, seg *Segment) {
+		a := seg.NewPort("a", nil)
+		seg.NewPort("b", nil) // never installs a handler
+		a.Send(basis.NewPacket(0, 0, []byte("void")))
+		s.Sleep(10 * time.Millisecond)
+	})
+}
+
+func TestSendChargesDeviceCost(t *testing.T) {
+	runNet(t, Config{SendCost: 5 * time.Millisecond}, func(s *sim.Scheduler, seg *Segment) {
+		a := seg.NewPort("a", nil)
+		seg.NewPort("b", nil)
+		before := s.Now()
+		a.Send(basis.NewPacket(0, 0, []byte("x")))
+		if d := time.Duration(s.Now() - before); d != 5*time.Millisecond {
+			t.Fatalf("send charged %v", d)
+		}
+	})
+}
+
+func TestPortDownDropsBothDirections(t *testing.T) {
+	runNet(t, Config{}, func(s *sim.Scheduler, seg *Segment) {
+		a := seg.NewPort("a", nil)
+		b := seg.NewPort("b", nil)
+		got := 0
+		b.SetHandler(func(p *basis.Packet) { got++ })
+		b.SetUp(false)
+		a.Send(basis.NewPacket(0, 0, []byte("into the dark")))
+		s.Sleep(10 * time.Millisecond)
+		if got != 0 {
+			t.Fatal("down port received a frame")
+		}
+		a.SetUp(false)
+		a.Send(basis.NewPacket(0, 0, []byte("from the dark")))
+		s.Sleep(10 * time.Millisecond)
+		if seg.Stats().Sent != 1 {
+			t.Fatalf("down port transmitted (Sent=%d)", seg.Stats().Sent)
+		}
+		a.SetUp(true)
+		b.SetUp(true)
+		if !a.Up() || !b.Up() {
+			t.Fatal("Up() disagrees")
+		}
+		a.Send(basis.NewPacket(0, 0, []byte("daylight")))
+		s.Sleep(10 * time.Millisecond)
+		if got != 1 {
+			t.Fatalf("restored link delivered %d frames", got)
+		}
+	})
+}
