@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test check bench fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the full gate: static analysis plus every test under the race
+# detector. The stats package's atomic/plain split is exercised here —
+# TestAtomicUnderRace hammers registered counters from many goroutines
+# while snapshots run concurrently.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+fmt:
+	gofmt -w .

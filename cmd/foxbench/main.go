@@ -10,6 +10,9 @@
 // Flags -bytes, -window, -scale, -loss, -seed, -rounds adjust the
 // workload; defaults reproduce the paper's setup (10^6 bytes, 4096-byte
 // window, 10 Mb/s wire, CPU scaled 1000× to a DECstation 5000/125).
+//
+// -json renders the requested tables (1 and/or 2) as a versioned
+// foxbench/v1 document instead of text; -o writes it to a file.
 package main
 
 import (
@@ -37,6 +40,8 @@ func main() {
 	rounds := flag.Int("rounds", 100, "round trips for the RTT experiment")
 	smlera := flag.Bool("smlera", false, "charge the paper's 1994 per-KB copy/checksum costs (Table 1 full-factor mode)")
 	smlfactor := flag.Float64("smlfactor", 0, "multiply Fox hosts' CPU charges, modeling SML/NJ code generation (try 5)")
+	jsonOut := flag.Bool("json", false, "emit table results as JSON (tables 1 and 2 only)")
+	outPath := flag.String("o", "", "write JSON to this file instead of stdout")
 	flag.Parse()
 
 	o := experiments.Options{
@@ -49,6 +54,36 @@ func main() {
 		Rounds:    *rounds,
 		SMLEra:    *smlera,
 		SMLFactor: *smlfactor,
+	}
+
+	if *jsonOut {
+		var reports []experiments.Report
+		if *table == 1 || *all {
+			r, _ := experiments.Table1Report(o)
+			reports = append(reports, r)
+		}
+		if *table == 2 || *all {
+			r, _ := experiments.Table2Report(o)
+			reports = append(reports, r)
+		}
+		if len(reports) == 0 {
+			fmt.Fprintln(os.Stderr, "foxbench: -json requires -table 1, -table 2, or -all")
+			os.Exit(2)
+		}
+		b, err := experiments.NewDocument(o, reports...).Marshal()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "foxbench:", err)
+			os.Exit(1)
+		}
+		if *outPath != "" {
+			if err := os.WriteFile(*outPath, b, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "foxbench:", err)
+				os.Exit(1)
+			}
+			return
+		}
+		os.Stdout.Write(b)
+		return
 	}
 
 	ran := false

@@ -1,0 +1,199 @@
+// Command foxstat runs a scenario on the simulated stack and prints the
+// stack-wide statistics the metrics registry collected: RFC 2011/2012-style
+// MIB counter groups for every layer of every host, per-connection TCP
+// statistics out of the TCB, scheduler and wire substrate counters, and the
+// structured event ring (state transitions, retransmissions, RTO backoff,
+// zero windows, RSTs).
+//
+//	foxstat                      handshake, transfer, close on a lossless wire
+//	foxstat -scenario lossy      the same transfer on a 10% lossy wire (seed 7)
+//	foxstat -json                machine-readable output
+//	foxstat -json -o stats.json  written to a file
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/foxnet"
+	"repro/internal/stats"
+)
+
+type connJSON struct {
+	Name          string `json:"name"`
+	State         string `json:"state"`
+	BytesIn       uint64 `json:"bytes_in"`
+	BytesOut      uint64 `json:"bytes_out"`
+	SegsIn        uint64 `json:"segs_in"`
+	SegsOut       uint64 `json:"segs_out"`
+	Retransmits   uint64 `json:"retransmits"`
+	DupAcks       uint64 `json:"dup_acks"`
+	SRTTNS        int64  `json:"srtt_ns"`
+	RTTVarNS      int64  `json:"rttvar_ns"`
+	RTONS         int64  `json:"rto_ns"`
+	SendWindow    uint32 `json:"send_window"`
+	CongWindow    uint32 `json:"cong_window"`
+	RecvWindow    uint32 `json:"recv_window"`
+	ToDoHighWater int    `json:"to_do_high_water"`
+}
+
+type hostJSON struct {
+	Snapshot    json.RawMessage `json:"snapshot"`
+	Connections []connJSON      `json:"connections"`
+	Events      []stats.Event   `json:"events"`
+}
+
+type docJSON struct {
+	Scenario  string          `json:"scenario"`
+	Bytes     int             `json:"bytes"`
+	Hosts     []hostJSON      `json:"hosts"`
+	Substrate json.RawMessage `json:"substrate"`
+}
+
+func main() {
+	scenario := flag.String("scenario", "transfer", "transfer | lossy")
+	bytes := flag.Int("bytes", 64_000, "payload size for the transfer")
+	jsonOut := flag.Bool("json", false, "emit JSON instead of text")
+	outPath := flag.String("o", "", "write output to this file instead of stdout")
+	flag.Parse()
+
+	wcfg := foxnet.WireConfig{}
+	switch *scenario {
+	case "transfer":
+	case "lossy":
+		wcfg.Loss = 0.10
+		wcfg.Seed = 7
+	default:
+		fmt.Fprintln(os.Stderr, "unknown scenario:", *scenario)
+		os.Exit(2)
+	}
+
+	s := foxnet.NewScheduler(foxnet.SchedulerConfig{})
+	var net *foxnet.Network
+	var conns []*foxnet.Conn
+	substrate := foxnet.NewRegistry("net")
+
+	s.Run(func() {
+		net = foxnet.NewNetwork(s, wcfg, 2, nil, nil)
+		net.RegisterSubstrateMetrics(substrate)
+		a, b := net.Host(0), net.Host(1)
+
+		b.TCP.Listen(80, func(c *foxnet.Conn) foxnet.Handler {
+			conns = append(conns, c)
+			return foxnet.Handler{
+				Data:       func(c *foxnet.Conn, d []byte) {},
+				PeerClosed: func(c *foxnet.Conn) { c.Shutdown() },
+			}
+		})
+		conn, err := a.TCP.Open(b.Addr, 80, foxnet.Handler{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "open:", err)
+			os.Exit(1)
+		}
+		conns = append(conns, conn)
+		conn.Write(make([]byte, *bytes))
+		conn.Close()
+		// Long enough for retransmissions and TIME-WAIT on the lossy wire.
+		s.Sleep(30 * time.Second)
+	})
+
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "foxstat:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	if *jsonOut {
+		writeJSON(out, net, conns, substrate, *scenario, *bytes)
+		return
+	}
+	writeText(out, net, conns, substrate)
+}
+
+// connsOf returns the connections whose endpoint lives on h's TCP.
+func connsOf(h *foxnet.Host, conns []*foxnet.Conn) []*foxnet.Conn {
+	var out []*foxnet.Conn
+	for _, c := range conns {
+		if c.Endpoint() == h.TCP {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func writeText(out io.Writer, net *foxnet.Network, conns []*foxnet.Conn, substrate *foxnet.Registry) {
+	for _, h := range net.Hosts {
+		fmt.Fprint(out, h.Stats.Snapshot().Text())
+		for _, c := range connsOf(h, conns) {
+			st := c.Stats()
+			fmt.Fprintf(out, "conn %s\n", c.Name())
+			fmt.Fprintf(out, "  state %v  in %d B / %d segs  out %d B / %d segs\n",
+				st.State, st.BytesIn, st.SegsIn, st.BytesOut, st.SegsOut)
+			fmt.Fprintf(out, "  srtt %v  rttvar %v  rto %v\n", st.SRTT, st.RTTVar, st.RTO)
+			fmt.Fprintf(out, "  rexmits %d  dupacks %d  snd_wnd %d  cwnd %d  rcv_wnd %d  to_do hw %d\n",
+				st.Retransmits, st.DupAcks, st.SendWindow, st.CongWindow, st.RecvWindow, st.ToDoHighWater)
+		}
+		ring := h.Stats.Ring()
+		if n := ring.Len(); n > 0 {
+			fmt.Fprintf(out, "events (%d of %d recorded)\n", n, ring.Total())
+			for _, e := range ring.Events() {
+				conn := e.Conn
+				if conn == "" {
+					conn = "-"
+				}
+				fmt.Fprintf(out, "  %12v %-8s %-24s %s\n",
+					time.Duration(e.At), e.Kind, conn, e.Detail)
+			}
+		}
+		fmt.Fprintln(out)
+	}
+	fmt.Fprint(out, substrate.Snapshot().Text())
+}
+
+func writeJSON(out io.Writer, net *foxnet.Network, conns []*foxnet.Conn, substrate *foxnet.Registry, scenario string, bytes int) {
+	doc := docJSON{Scenario: scenario, Bytes: bytes}
+	for _, h := range net.Hosts {
+		snap, err := h.Stats.Snapshot().JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "foxstat:", err)
+			os.Exit(1)
+		}
+		hj := hostJSON{Snapshot: snap, Events: h.Stats.Ring().Events()}
+		for _, c := range connsOf(h, conns) {
+			st := c.Stats()
+			hj.Connections = append(hj.Connections, connJSON{
+				Name:    c.Name(),
+				State:   st.State.String(),
+				BytesIn: st.BytesIn, BytesOut: st.BytesOut,
+				SegsIn: st.SegsIn, SegsOut: st.SegsOut,
+				Retransmits: st.Retransmits, DupAcks: st.DupAcks,
+				SRTTNS: int64(st.SRTT), RTTVarNS: int64(st.RTTVar), RTONS: int64(st.RTO),
+				SendWindow: st.SendWindow, CongWindow: st.CongWindow, RecvWindow: st.RecvWindow,
+				ToDoHighWater: st.ToDoHighWater,
+			})
+		}
+		doc.Hosts = append(doc.Hosts, hj)
+	}
+	snap, err := substrate.Snapshot().JSON()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "foxstat:", err)
+		os.Exit(1)
+	}
+	doc.Substrate = snap
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "foxstat:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(out, strings.TrimRight(string(b), "\n"))
+}

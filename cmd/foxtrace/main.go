@@ -7,6 +7,7 @@
 //	foxtrace -scenario lossy       retransmission and recovery on a 10% lossy wire
 //	foxtrace -scenario special     the Fig. 3 TCP-over-Ethernet stack
 //	foxtrace -scenario ping        ARP resolution and ICMP echo
+//	foxtrace -events               append each host's structured event ring
 package main
 
 import (
@@ -27,10 +28,12 @@ func main() {
 	raw := flag.Bool("raw", false, "decode raw frames off the wire instead of layer traces")
 	pcapPath := flag.String("pcap", "", "also write the raw frames to a libpcap file (open it in Wireshark)")
 	svgPath := flag.String("svg", "", "also write a tcptrace-style sequence-time diagram (SVG)")
+	events := flag.Bool("events", false, "dump each host's structured event ring after the run")
 	flag.Parse()
 
 	s := foxnet.NewScheduler(foxnet.SchedulerConfig{})
 	trace := foxnet.NewTracer("fox", os.Stdout, !*raw)
+	var hosts []*foxnet.Host
 
 	s.Run(func() {
 		wcfg := foxnet.WireConfig{}
@@ -70,6 +73,7 @@ func main() {
 			})
 		}
 		a, b := net.Host(0), net.Host(1)
+		hosts = net.Hosts
 		defer func() {
 			if plot == nil || *svgPath == "" {
 				return
@@ -123,4 +127,18 @@ func main() {
 			os.Exit(2)
 		}
 	})
+
+	if *events {
+		for _, h := range hosts {
+			ring := h.Stats.Ring()
+			fmt.Printf("# %s events (%d of %d recorded)\n", h.Name, ring.Len(), ring.Total())
+			for _, e := range ring.Events() {
+				conn := e.Conn
+				if conn == "" {
+					conn = "-"
+				}
+				fmt.Printf("  %12v %-8s %-24s %s\n", time.Duration(e.At), e.Kind, conn, e.Detail)
+			}
+		}
+	}
 }

@@ -30,6 +30,7 @@ import (
 	"repro/internal/profile"
 	"repro/internal/protocol"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/tcp"
 	"repro/internal/udp"
 	"repro/internal/wire"
@@ -66,6 +67,12 @@ type (
 	Tracer = basis.Tracer
 	// Profile is the Table 2 counter set.
 	Profile = profile.Profile
+	// Registry aggregates one host's metric groups and event ring.
+	Registry = stats.Registry
+	// ConnStats is a per-connection statistics snapshot.
+	ConnStats = tcp.ConnStats
+	// Event is one structured event from a host's ring.
+	Event = stats.Event
 	// Address is any layer's peer address.
 	Address = protocol.Address
 )
@@ -75,6 +82,10 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler { return sim.New(cfg) }
 
 // NewTracer returns a trace sink for stack assembly.
 var NewTracer = basis.NewTracer
+
+// NewRegistry returns a fresh metrics registry (see HostConfig.Metrics and
+// Network.RegisterSubstrateMetrics).
+var NewRegistry = stats.NewRegistry
 
 // HostConfig customizes one host in a network.
 type HostConfig struct {
@@ -98,6 +109,10 @@ type HostConfig struct {
 	Forward bool
 	// Trace, when non-nil, receives do_traces output for every layer.
 	Trace *Tracer
+	// Metrics, when non-nil, is the registry this host's counter groups
+	// and event ring are installed into; when nil, addHost creates one.
+	// Either way it ends up in Host.Stats.
+	Metrics *stats.Registry
 }
 
 // Host is one simulated machine running the standard stack.
@@ -114,6 +129,10 @@ type Host struct {
 	UDP  *udp.UDP
 	TCP  *tcp.TCP
 	Prof *Profile
+	// Stats aggregates this host's MIB counter groups (tcp, ip, icmp,
+	// udp, arp, eth) and the structured event ring. Snapshot it any time;
+	// the groups are atomic.
+	Stats *stats.Registry
 }
 
 // Network is a simulated Ethernet segment with attached hosts.
@@ -160,6 +179,26 @@ func (n *Network) addHost(id byte, hc HostConfig) *Host {
 	if hc.Profile {
 		h.Prof = profile.New(s, true)
 	}
+	reg := hc.Metrics
+	if reg == nil {
+		reg = stats.NewRegistry(h.Name)
+	}
+	h.Stats = reg
+	mib := struct {
+		tcp  *stats.TCPMIB
+		ip   *stats.IPMIB
+		icmp *stats.ICMPMIB
+		udp  *stats.UDPMIB
+		arp  *stats.ARPMIB
+		eth  *stats.EthMIB
+	}{new(stats.TCPMIB), new(stats.IPMIB), new(stats.ICMPMIB),
+		new(stats.UDPMIB), new(stats.ARPMIB), new(stats.EthMIB)}
+	reg.Register("tcp", mib.tcp)
+	reg.Register("ip", mib.ip)
+	reg.Register("icmp", mib.icmp)
+	reg.Register("udp", mib.udp)
+	reg.Register("arp", mib.arp)
+	reg.Register("eth", mib.eth)
 	sub := func(name string) *Tracer {
 		if hc.Trace == nil {
 			return nil
@@ -169,8 +208,8 @@ func (n *Network) addHost(id byte, hc HostConfig) *Host {
 		return t
 	}
 	h.Port = n.Segment.NewPort(h.Name, h.Prof)
-	h.Eth = ethernet.New(h.Port, h.MAC, ethernet.Config{Trace: sub("eth"), Prof: h.Prof})
-	h.ARP = arp.New(s, h.Eth, h.Addr, arp.Config{Trace: sub("arp")})
+	h.Eth = ethernet.New(h.Port, h.MAC, ethernet.Config{Trace: sub("eth"), Prof: h.Prof, Metrics: mib.eth})
+	h.ARP = arp.New(s, h.Eth, h.Addr, arp.Config{Trace: sub("arp"), Metrics: mib.arp})
 	h.IP = ip.New(s, h.Eth, h.ARP, ip.Config{
 		Local:   h.Addr,
 		Netmask: hc.Netmask,
@@ -178,14 +217,16 @@ func (n *Network) addHost(id byte, hc HostConfig) *Host {
 		Forward: hc.Forward,
 		Trace:   sub("ip"),
 		Prof:    h.Prof,
+		Metrics: mib.ip,
 	})
-	h.ICMP = icmp.New(s, h.IP, icmp.Config{Trace: sub("icmp")})
+	h.ICMP = icmp.New(s, h.IP, icmp.Config{Trace: sub("icmp"), Metrics: mib.icmp})
 
 	ucfg := hc.UDP
 	if ucfg.Trace == nil {
 		ucfg.Trace = sub("udp")
 	}
 	ucfg.Prof = h.Prof
+	ucfg.Metrics = mib.udp
 	h.UDP = udp.New(h.IP.Network(ip.ProtoUDP), ucfg)
 	// Datagrams for closed ports answer with ICMP port-unreachable, as
 	// a standard stack does.
@@ -200,8 +241,44 @@ func (n *Network) addHost(id byte, hc HostConfig) *Host {
 		tcfg.Trace = sub("tcp")
 	}
 	tcfg.Prof = h.Prof
+	if tcfg.Metrics == nil {
+		tcfg.Metrics = mib.tcp
+	}
+	if tcfg.Events == nil {
+		tcfg.Events = reg.Ring()
+	}
 	h.TCP = tcp.New(s, h.IP.Network(ip.ProtoTCP), tcfg)
 	return h
+}
+
+// RegisterSubstrateMetrics adds "sched" and "wire" groups — scheduler
+// fork/switch/timer counts and segment delivery statistics — to r. These
+// sources keep plain counters that the simulation mutates, so snapshot r
+// only after Run returns (or from inside the simulation), never from a
+// concurrent goroutine.
+func (n *Network) RegisterSubstrateMetrics(r *stats.Registry) {
+	s := n.S
+	r.RegisterFunc("sched", func() []stats.Sample {
+		return []stats.Sample{
+			{Name: "Forks", Value: float64(s.Forks())},
+			{Name: "Switches", Value: float64(s.Switches())},
+			{Name: "TimerFires", Value: float64(s.TimerFires())},
+			{Name: "ReadyHighWater", Value: float64(s.ReadyHighWater())},
+		}
+	})
+	seg := n.Segment
+	r.RegisterFunc("wire", func() []stats.Sample {
+		ws := seg.Stats()
+		return []stats.Sample{
+			{Name: "Sent", Value: float64(ws.Sent)},
+			{Name: "Delivered", Value: float64(ws.Delivered)},
+			{Name: "Lost", Value: float64(ws.Lost)},
+			{Name: "Duplicated", Value: float64(ws.Duplicated)},
+			{Name: "Corrupted", Value: float64(ws.Corrupted)},
+			{Name: "Jittered", Value: float64(ws.Jittered)},
+			{Name: "Oversize", Value: float64(ws.Oversize)},
+		}
+	})
 }
 
 // Host returns host i (zero-based).

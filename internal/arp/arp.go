@@ -15,6 +15,7 @@ import (
 	"repro/internal/ethernet"
 	"repro/internal/ip"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/timers"
 )
 
@@ -35,6 +36,9 @@ type Config struct {
 	// EntryTTL is how long a learned mapping stays valid. Default 10min.
 	EntryTTL sim.Duration
 	Trace    *basis.Tracer
+	// Metrics is the resolver's counter group; fill allocates a detached
+	// one when none is supplied.
+	Metrics *stats.ARPMIB
 }
 
 func (c *Config) fill() {
@@ -46,6 +50,9 @@ func (c *Config) fill() {
 	}
 	if c.EntryTTL == 0 {
 		c.EntryTTL = 10 * time.Minute
+	}
+	if c.Metrics == nil {
+		c.Metrics = new(stats.ARPMIB)
 	}
 }
 
@@ -132,6 +139,7 @@ func (a *ARP) Resolve(addr ip.Addr, ready func(mac ethernet.Addr, ok bool)) {
 func (a *ARP) sendRequest(addr ip.Addr, p *pending) {
 	p.tries++
 	a.stats.RequestsSent++
+	a.cfg.Metrics.OutRequests.Inc()
 	a.cfg.Trace.Printf("who-has %s (try %d)", addr, p.tries)
 	a.send(opRequest, ethernet.Broadcast, ethernet.Addr{}, addr)
 	p.timer = timers.Start(a.s, func() {
@@ -141,6 +149,7 @@ func (a *ARP) sendRequest(addr ip.Addr, p *pending) {
 		if p.tries >= a.cfg.Retries {
 			delete(a.pending, addr)
 			a.stats.Failures++
+			a.cfg.Metrics.Failures.Inc()
 			a.cfg.Trace.Printf("resolution of %s failed after %d tries", addr, p.tries)
 			for _, w := range p.waiters {
 				w(ethernet.Addr{}, false)
@@ -170,12 +179,14 @@ func (a *ARP) receive(src, dst ethernet.Addr, pkt *basis.Packet) {
 	b := pkt.Bytes()
 	if len(b) < packetLen {
 		a.stats.Malformed++
+		a.cfg.Metrics.Malformed.Inc()
 		return
 	}
 	if binary.BigEndian.Uint16(b[0:2]) != hwEthernet ||
 		binary.BigEndian.Uint16(b[2:4]) != ethernet.TypeIPv4 ||
 		b[4] != 6 || b[5] != 4 {
 		a.stats.Malformed++
+		a.cfg.Metrics.Malformed.Inc()
 		return
 	}
 	op := binary.BigEndian.Uint16(b[6:8])
@@ -193,21 +204,26 @@ func (a *ARP) receive(src, dst ethernet.Addr, pkt *basis.Packet) {
 
 	switch op {
 	case opRequest:
+		a.cfg.Metrics.InRequests.Inc()
 		if tpa == a.localIP {
 			a.stats.RepliesSent++
+			a.cfg.Metrics.OutReplies.Inc()
 			a.cfg.Trace.Printf("%s is-at %s (answering %s)", a.localIP, a.eth.LocalAddr(), spa)
 			a.send(opReply, sha, sha, spa)
 		}
 	case opReply:
 		a.stats.RepliesReceived++
+		a.cfg.Metrics.InReplies.Inc()
 	default:
 		a.stats.Malformed++
+		a.cfg.Metrics.Malformed.Inc()
 	}
 }
 
 func (a *ARP) learn(addr ip.Addr, mac ethernet.Addr) {
 	if e, ok := a.cache[addr]; !ok || e.mac != mac || a.s.Now() >= e.expires {
 		a.stats.Learned++
+		a.cfg.Metrics.Learned.Inc()
 	}
 	a.cache[addr] = entry{mac: mac, expires: a.s.Now() + sim.Time(a.cfg.EntryTTL)}
 	if p, ok := a.pending[addr]; ok {

@@ -31,9 +31,11 @@ func NewTracer(name string, out io.Writer, enabled bool) *Tracer {
 // marshalling — the paper's do_prints=false compiled the prints away.
 func (t *Tracer) On() bool { return t != nil && t.Enabled && t.Out != nil }
 
-// Printf emits one trace line if the tracer is enabled.
+// Printf emits one trace line if the tracer is enabled. It shares On's
+// invariant exactly: a literal Tracer{Enabled: true} with no Out is off,
+// not a panic.
 func (t *Tracer) Printf(format string, args ...any) {
-	if t == nil || !t.Enabled || t.Out == nil {
+	if !t.On() {
 		return
 	}
 	stamp := ""
@@ -44,10 +46,12 @@ func (t *Tracer) Printf(format string, args ...any) {
 }
 
 // Sub returns a tracer for a named sub-module sharing this tracer's
-// output, enablement, and stamp.
+// output, effective enablement, and stamp. Enablement is normalized
+// through On, so a child of a Tracer{Enabled: true} literal with no Out
+// reports off just like its parent instead of carrying the stale flag.
 func (t *Tracer) Sub(name string) *Tracer {
 	if t == nil {
 		return nil
 	}
-	return &Tracer{Name: t.Name + "/" + name, Out: t.Out, Enabled: t.Enabled, Stamp: t.Stamp}
+	return &Tracer{Name: t.Name + "/" + name, Out: t.Out, Enabled: t.On(), Stamp: t.Stamp}
 }

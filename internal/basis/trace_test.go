@@ -44,6 +44,42 @@ func TestTracerFormatsNameAndStamp(t *testing.T) {
 	}
 }
 
+// A Tracer built as a literal with Enabled set but no Out must behave
+// exactly like a disabled one everywhere: On, Printf, and any Sub built
+// from it.
+func TestTracerLiteralWithoutOutIsOff(t *testing.T) {
+	tr := &Tracer{Name: "tcp", Enabled: true}
+	if tr.On() {
+		t.Fatal("Tracer{Enabled: true, Out: nil} claims On")
+	}
+	tr.Printf("no sink, no panic")
+	sub := tr.Sub("receive")
+	if sub.On() {
+		t.Fatal("Sub of out-less tracer claims On")
+	}
+	if sub.Enabled {
+		t.Fatal("Sub copied the stale Enabled flag instead of normalizing through On")
+	}
+	sub.Printf("still no panic")
+}
+
+func TestTracerSubPropagatesStampAndEnablement(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer("tcp", &buf, true)
+	tr.Stamp = func() string { return "@" }
+	sub := tr.Sub("send")
+	if !sub.On() {
+		t.Fatal("Sub of an enabled tracer is off")
+	}
+	if sub.Stamp == nil {
+		t.Fatal("Sub dropped the stamp")
+	}
+	off := NewTracer("tcp", &buf, false).Sub("send")
+	if off.On() || off.Enabled {
+		t.Fatal("Sub of a disabled tracer is on")
+	}
+}
+
 func TestTracerSubInheritsSettings(t *testing.T) {
 	var buf bytes.Buffer
 	tr := NewTracer("tcp", &buf, true)

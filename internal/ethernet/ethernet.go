@@ -20,6 +20,7 @@ import (
 	"repro/internal/basis"
 	"repro/internal/profile"
 	"repro/internal/protocol"
+	"repro/internal/stats"
 	"repro/internal/wire"
 )
 
@@ -82,6 +83,9 @@ type Config struct {
 	VerifyFCS *bool
 	Trace     *basis.Tracer
 	Prof      *profile.Profile
+	// Metrics is the interfaces-group counter set; New allocates a
+	// detached one when none is supplied.
+	Metrics *stats.EthMIB
 }
 
 // Ethernet is one host's link layer on one port.
@@ -93,6 +97,7 @@ type Ethernet struct {
 	trace     *basis.Tracer
 	prof      *profile.Profile
 	stats     Stats
+	mib       *stats.EthMIB
 }
 
 // New attaches a link layer with address local to port.
@@ -101,6 +106,9 @@ func New(port *wire.Port, local Addr, cfg Config) *Ethernet {
 	if cfg.VerifyFCS != nil {
 		verify = *cfg.VerifyFCS
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = new(stats.EthMIB)
+	}
 	e := &Ethernet{
 		port:      port,
 		local:     local,
@@ -108,6 +116,7 @@ func New(port *wire.Port, local Addr, cfg Config) *Ethernet {
 		handlers:  make(map[uint16]Handler),
 		trace:     cfg.Trace,
 		prof:      cfg.Prof,
+		mib:       cfg.Metrics,
 	}
 	port.SetHandler(e.receive)
 	return e
@@ -156,6 +165,8 @@ func (e *Ethernet) Send(dst Addr, etherType uint16, pkt *basis.Packet) error {
 	fcs := crc32.ChecksumIEEE(pkt.Bytes())
 	binary.LittleEndian.PutUint32(pkt.Extend(fcsLen), fcs)
 	e.stats.TxFrames++
+	e.mib.OutFrames.Inc()
+	e.mib.OutOctets.Add(uint64(pkt.Len()))
 	if e.trace.On() {
 		e.trace.Printf("tx %s -> %s type %#04x len %d", e.local, dst, etherType, pkt.Len())
 	}
@@ -168,6 +179,7 @@ func (e *Ethernet) receive(pkt *basis.Packet) {
 	sec := e.prof.Start(profile.CatEth)
 	if pkt.Len() < headerLen+fcsLen {
 		e.stats.RxRunt++
+		e.mib.InRunts.Inc()
 		sec.Stop()
 		return
 	}
@@ -176,6 +188,7 @@ func (e *Ethernet) receive(pkt *basis.Packet) {
 		want := binary.LittleEndian.Uint32(body[len(body)-fcsLen:])
 		if crc32.ChecksumIEEE(body[:len(body)-fcsLen]) != want {
 			e.stats.RxBadFCS++
+			e.mib.InErrors.Inc()
 			e.trace.Printf("rx bad FCS, dropped (%d bytes)", pkt.Len())
 			sec.Stop()
 			return
@@ -189,17 +202,21 @@ func (e *Ethernet) receive(pkt *basis.Packet) {
 	etherType := binary.BigEndian.Uint16(h[12:14])
 	if dst != e.local && dst != Broadcast {
 		e.stats.RxWrongAddr++
+		e.mib.InDiscards.Inc()
 		sec.Stop()
 		return
 	}
 	handler, ok := e.handlers[etherType]
 	if !ok {
 		e.stats.RxUnknownType++
+		e.mib.InUnknownProtos.Inc()
 		e.trace.Printf("rx unknown ethertype %#04x from %s", etherType, src)
 		sec.Stop()
 		return
 	}
 	e.stats.RxFrames++
+	e.mib.InFrames.Inc()
+	e.mib.InOctets.Add(uint64(pkt.Len()))
 	if e.trace.On() {
 		e.trace.Printf("rx %s -> %s type %#04x len %d", src, dst, etherType, pkt.Len())
 	}

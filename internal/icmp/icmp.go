@@ -14,6 +14,7 @@ import (
 	"repro/internal/ethernet"
 	"repro/internal/ip"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/timers"
 )
 
@@ -51,6 +52,9 @@ type Config struct {
 	// PingTimeout bounds how long a Ping waits. Default 5 s.
 	PingTimeout sim.Duration
 	Trace       *basis.Tracer
+	// Metrics is the RFC 2011-style icmp counter group; New allocates a
+	// detached one when none is supplied.
+	Metrics *stats.ICMPMIB
 }
 
 // ICMP is one host's control-protocol endpoint.
@@ -77,6 +81,9 @@ type pendingPing struct {
 func New(s *sim.Scheduler, ipl *ip.IP, cfg Config) *ICMP {
 	if cfg.PingTimeout == 0 {
 		cfg.PingTimeout = 5 * time.Second
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = new(stats.ICMPMIB)
 	}
 	c := &ICMP{s: s, ipl: ipl, cfg: cfg, pending: make(map[uint32]*pendingPing)}
 	ipl.Register(ip.ProtoICMP, c.receive)
@@ -129,18 +136,33 @@ func (c *ICMP) send(dst ip.Addr, typ, code byte, rest uint32, payload []byte) {
 	binary.BigEndian.PutUint32(h[4:8], rest)
 	ck := ^checksum.SumWide(0, pkt.Bytes())
 	binary.BigEndian.PutUint16(h[2:4], ck)
+	m := c.cfg.Metrics
+	m.OutMsgs.Inc()
+	switch typ {
+	case TypeEcho:
+		m.OutEchos.Inc()
+	case TypeEchoReply:
+		m.OutEchoReps.Inc()
+	case TypeDestUnreachable:
+		m.OutDestUnreachs.Inc()
+	case TypeTimeExceeded:
+		m.OutTimeExcds.Inc()
+	}
 	c.cfg.Trace.Printf("tx type %d code %d to %s len %d", typ, code, dst, pkt.Len())
 	c.ipl.Send(dst, ip.ProtoICMP, pkt)
 }
 
 func (c *ICMP) receive(src, dst ip.Addr, pkt *basis.Packet) {
 	b := pkt.Bytes()
+	c.cfg.Metrics.InMsgs.Inc()
 	if len(b) < headerLen {
 		c.stats.Malformed++
+		c.cfg.Metrics.InErrors.Inc()
 		return
 	}
 	if checksum.SumWide(0, b) != 0xffff {
 		c.stats.BadChecksum++
+		c.cfg.Metrics.InErrors.Inc()
 		return
 	}
 	typ, code := b[0], b[1]
@@ -148,9 +170,11 @@ func (c *ICMP) receive(src, dst ip.Addr, pkt *basis.Packet) {
 	switch typ {
 	case TypeEcho:
 		c.stats.EchoRequests++
+		c.cfg.Metrics.InEchos.Inc()
 		c.cfg.Trace.Printf("echo request from %s, answering", src)
 		c.send(src, TypeEchoReply, 0, rest, b[headerLen:])
 	case TypeEchoReply:
+		c.cfg.Metrics.InEchoReps.Inc()
 		if p, ok := c.pending[rest]; ok {
 			delete(c.pending, rest)
 			p.timer.Clear()
@@ -159,9 +183,11 @@ func (c *ICMP) receive(src, dst ip.Addr, pkt *basis.Packet) {
 		}
 	case TypeTimeExceeded:
 		c.stats.TimeExceededRcvd++
+		c.cfg.Metrics.InTimeExcds.Inc()
 		c.cfg.Trace.Printf("time exceeded from %s", src)
 	case TypeDestUnreachable:
 		c.stats.UnreachableRecvd++
+		c.cfg.Metrics.InDestUnreachs.Inc()
 		c.cfg.Trace.Printf("destination unreachable (code %d) from %s", code, src)
 		if c.Unreachable != nil {
 			c.Unreachable(src, code)

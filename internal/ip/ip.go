@@ -12,6 +12,7 @@ import (
 	"repro/internal/profile"
 	"repro/internal/protocol"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/timers"
 )
 
@@ -56,6 +57,9 @@ type Config struct {
 	ReassemblyTimeout sim.Duration
 	Trace             *basis.Tracer
 	Prof              *profile.Profile
+	// Metrics is the RFC 2011-style ip counter group; fill allocates a
+	// detached one when none is supplied.
+	Metrics *stats.IPMIB
 }
 
 func (c *Config) fill() {
@@ -67,6 +71,9 @@ func (c *Config) fill() {
 	}
 	if c.ReassemblyTimeout == 0 {
 		c.ReassemblyTimeout = 60 * time.Second
+	}
+	if c.Metrics == nil {
+		c.Metrics = new(stats.IPMIB)
 	}
 }
 
@@ -159,7 +166,9 @@ var ErrTooLarge = errors.New("ip: datagram exceeds 65535 bytes")
 func (p *IP) Send(dst Addr, proto byte, pkt *basis.Packet) error {
 	sec := p.cfg.Prof.Start(profile.CatIP)
 	defer sec.Stop()
+	p.cfg.Metrics.OutRequests.Inc()
 	if pkt.Len() > 0xffff-headerLen {
+		p.cfg.Metrics.OutDiscards.Inc()
 		return ErrTooLarge
 	}
 	p.ident++
@@ -174,6 +183,7 @@ func (p *IP) Send(dst Addr, proto byte, pkt *basis.Packet) error {
 	// additional copies may be required; we accept one copy per
 	// fragment here, as it did.
 	chunk := (linkMTU - headerLen) &^ 7
+	p.cfg.Metrics.FragOKs.Inc()
 	data := pkt.Bytes()
 	for off := 0; off < len(data); off += chunk {
 		end := off + chunk
@@ -184,6 +194,7 @@ func (p *IP) Send(dst Addr, proto byte, pkt *basis.Packet) error {
 		}
 		fp := basis.NewPacket(Headroom, ethernet.Tailroom, data[off:end])
 		p.stats.FragmentsSent++
+		p.cfg.Metrics.FragCreates.Inc()
 		p.sendOne(dst, proto, id, off/8, more, fp)
 	}
 	return nil
@@ -227,6 +238,7 @@ func (p *IP) sendOne(dst Addr, proto byte, id uint16, fragOff8 int, moreFrags bo
 		if p.cfg.Gateway.IsUnspecified() {
 			p.cfg.Trace.Printf("no route to %s, dropped", dst)
 			p.stats.ResolveFailures++
+			p.cfg.Metrics.OutNoRoutes.Inc()
 			return
 		}
 		next = p.cfg.Gateway
@@ -234,6 +246,7 @@ func (p *IP) sendOne(dst Addr, proto byte, id uint16, fragOff8 int, moreFrags bo
 	p.resolver.Resolve(next, func(mac ethernet.Addr, ok bool) {
 		if !ok {
 			p.stats.ResolveFailures++
+			p.cfg.Metrics.OutDiscards.Inc()
 			p.cfg.Trace.Printf("cannot resolve %s, dropped", next)
 			return
 		}
@@ -252,9 +265,11 @@ func (p *IP) subnetBroadcast() Addr {
 // receive is the link-layer upcall: validate, reassemble, demultiplex.
 func (p *IP) receive(_, _ ethernet.Addr, pkt *basis.Packet) {
 	sec := p.cfg.Prof.Start(profile.CatIP)
+	p.cfg.Metrics.InReceives.Inc()
 	b := pkt.Bytes()
 	if len(b) < headerLen || b[0]>>4 != 4 {
 		p.stats.BadHeader++
+		p.cfg.Metrics.InHdrErrors.Inc()
 		sec.Stop()
 		return
 	}
@@ -262,6 +277,7 @@ func (p *IP) receive(_, _ ethernet.Addr, pkt *basis.Packet) {
 	totalLen := int(binary.BigEndian.Uint16(b[2:4]))
 	if ihl < headerLen || totalLen < ihl || len(b) < totalLen {
 		p.stats.BadHeader++
+		p.cfg.Metrics.InHdrErrors.Inc()
 		sec.Stop()
 		return
 	}
@@ -270,6 +286,7 @@ func (p *IP) receive(_, _ ethernet.Addr, pkt *basis.Packet) {
 	cksec.Stop()
 	if !ok {
 		p.stats.BadChecksum++
+		p.cfg.Metrics.InHdrErrors.Inc()
 		p.cfg.Trace.Printf("rx bad header checksum, dropped")
 		sec.Stop()
 		return
@@ -284,6 +301,7 @@ func (p *IP) receive(_, _ ethernet.Addr, pkt *basis.Packet) {
 			p.forward(src, dst, pkt)
 		} else {
 			p.stats.NotLocal++
+			p.cfg.Metrics.InAddrErrors.Inc()
 		}
 		sec.Stop()
 		return
@@ -297,22 +315,26 @@ func (p *IP) receive(_, _ ethernet.Addr, pkt *basis.Packet) {
 
 	if fragOff != 0 || moreFrags {
 		p.stats.FragmentsReceived++
+		p.cfg.Metrics.ReasmReqds.Inc()
 		pkt = p.reassemble(reasmKey{src, dst, proto, id}, fragOff, moreFrags, pkt)
 		if pkt == nil {
 			sec.Stop()
 			return
 		}
 		p.stats.Reassembled++
+		p.cfg.Metrics.ReasmOKs.Inc()
 	}
 
 	handler, okh := p.handlers[proto]
 	if !okh {
 		p.stats.UnknownProto++
+		p.cfg.Metrics.InUnknownProtos.Inc()
 		p.cfg.Trace.Printf("rx unknown protocol %d from %s", proto, src)
 		sec.Stop()
 		return
 	}
 	p.stats.Received++
+	p.cfg.Metrics.InDelivers.Inc()
 	if p.cfg.Trace.On() {
 		p.cfg.Trace.Printf("rx %s -> %s proto %d len %d", src, dst, proto, pkt.Len())
 	}
@@ -328,6 +350,7 @@ func (p *IP) forward(src, dst Addr, pkt *basis.Packet) {
 	b := pkt.Bytes()
 	if b[8] <= 1 {
 		p.stats.TTLExpired++
+		p.cfg.Metrics.InHdrErrors.Inc()
 		p.cfg.Trace.Printf("TTL expired forwarding %s -> %s", src, dst)
 		if p.TimeExceeded != nil {
 			p.TimeExceeded(src, b)
@@ -348,15 +371,18 @@ func (p *IP) forward(src, dst Addr, pkt *basis.Packet) {
 	if !p.cfg.Local.SameSubnet(dst, p.cfg.Netmask) {
 		if p.cfg.Gateway.IsUnspecified() {
 			p.stats.ResolveFailures++
+			p.cfg.Metrics.OutNoRoutes.Inc()
 			return
 		}
 		next = p.cfg.Gateway
 	}
 	p.stats.Forwarded++
+	p.cfg.Metrics.ForwDatagrams.Inc()
 	p.cfg.Trace.Printf("forward %s -> %s via %s ttl %d", src, dst, next, fb[8])
 	p.resolver.Resolve(next, func(mac ethernet.Addr, ok bool) {
 		if !ok {
 			p.stats.ResolveFailures++
+			p.cfg.Metrics.OutDiscards.Inc()
 			return
 		}
 		p.eth.Send(mac, ethernet.TypeIPv4, fwd)
@@ -374,6 +400,7 @@ func (p *IP) reassemble(key reasmKey, off int, more bool, pkt *basis.Packet) *ba
 			if p.reasm[key] == r {
 				delete(p.reasm, key)
 				p.stats.ReassemblyTimeouts++
+				p.cfg.Metrics.ReasmFails.Inc()
 				p.cfg.Trace.Printf("reassembly of id %d from %s timed out", key.id, key.src)
 			}
 		}, p.cfg.ReassemblyTimeout)

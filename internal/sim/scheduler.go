@@ -140,8 +140,10 @@ type Scheduler struct {
 	stopped  bool
 	fatal    any // panic value carried from a worker thread to Run
 
-	switches uint64 // context-switch count, for the E-sched experiment
-	forks    uint64
+	switches   uint64 // context-switch count, for the E-sched experiment
+	forks      uint64
+	timerFires uint64 // expired (uncleared) timers, noted by the timers layer
+	readyHW    int    // run-queue length high-water mark
 
 	// unwinding tracks forked goroutines so shutdown can wait for every
 	// kill-unwind to finish before Run returns; without it, deferred
@@ -211,6 +213,17 @@ func (s *Scheduler) Switches() uint64 { return s.switches }
 
 // Forks reports how many threads have been created.
 func (s *Scheduler) Forks() uint64 { return s.forks }
+
+// NoteTimerFire records one timer expiration whose handler actually ran.
+// The timers layer calls it; the scheduler itself has no timer concept
+// beyond Sleep.
+func (s *Scheduler) NoteTimerFire() { s.timerFires++ }
+
+// TimerFires reports how many timer handlers have run.
+func (s *Scheduler) TimerFires() uint64 { return s.timerFires }
+
+// ReadyHighWater reports the deepest the run queue has been.
+func (s *Scheduler) ReadyHighWater() int { return s.readyHW }
 
 // Current returns the running thread (nil outside Run).
 func (s *Scheduler) Current() *Thread { return s.current }
@@ -482,9 +495,15 @@ func (s *Scheduler) next() *Thread {
 func (s *Scheduler) pushReady(t *Thread) {
 	if s.readyPQ != nil {
 		s.readyPQ.Push(t)
+		if n := s.readyPQ.Len(); n > s.readyHW {
+			s.readyHW = n
+		}
 		return
 	}
 	s.readyQ.Enqueue(t)
+	if n := s.readyQ.Len(); n > s.readyHW {
+		s.readyHW = n
+	}
 }
 
 func (s *Scheduler) popReady() (*Thread, bool) {

@@ -1,0 +1,107 @@
+package stats
+
+// EventKind classifies a structured stack event.
+type EventKind uint8
+
+const (
+	// EvStateTransition records a TCP state-machine move; Detail is
+	// "FROM -> TO".
+	EvStateTransition EventKind = iota
+	// EvRetransmit records a segment retransmission (timeout or fast).
+	EvRetransmit
+	// EvRTOBackoff records an exponential RTO backoff step.
+	EvRTOBackoff
+	// EvZeroWindow records the peer's window closing to zero (persist
+	// timer armed).
+	EvZeroWindow
+	// EvRST records a reset sent or received; Detail says which.
+	EvRST
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvStateTransition:
+		return "state"
+	case EvRetransmit:
+		return "rexmit"
+	case EvRTOBackoff:
+		return "backoff"
+	case EvZeroWindow:
+		return "zerowin"
+	case EvRST:
+		return "rst"
+	}
+	return "event?"
+}
+
+// Event is one entry in an EventRing. At is a virtual-time timestamp in
+// nanoseconds (sim.Time's representation); the stats package stays
+// ignorant of the scheduler so it depends on nothing.
+type Event struct {
+	At     int64     `json:"at_ns"`
+	Kind   EventKind `json:"-"`
+	KindS  string    `json:"kind"`
+	Conn   string    `json:"conn,omitempty"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// EventRing is a fixed-size overwrite-oldest buffer of Events. It is
+// plain (no atomics): every writer runs inside the quasi-synchronous
+// executor where the scheduler's handoff protocol provides
+// happens-before, and readers run on-scheduler or after Run returns.
+// Add on a nil ring is a cheap no-op, matching the Tracer discipline.
+type EventRing struct {
+	buf  []Event
+	next uint64 // total events ever added; next slot is next % len(buf)
+}
+
+// NewEventRing returns a ring holding the most recent n events.
+func NewEventRing(n int) *EventRing {
+	if n <= 0 {
+		n = RingSize
+	}
+	return &EventRing{buf: make([]Event, n)}
+}
+
+// Add appends an event, overwriting the oldest when full.
+func (r *EventRing) Add(at int64, kind EventKind, conn, detail string) {
+	if r == nil {
+		return
+	}
+	r.buf[r.next%uint64(len(r.buf))] = Event{At: at, Kind: kind, KindS: kind.String(), Conn: conn, Detail: detail}
+	r.next++
+}
+
+// Len reports how many events the ring currently holds.
+func (r *EventRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	if r.next < uint64(len(r.buf)) {
+		return int(r.next)
+	}
+	return len(r.buf)
+}
+
+// Total reports how many events were ever added, including overwritten
+// ones.
+func (r *EventRing) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.next
+}
+
+// Events returns the retained events oldest-first, as a copy.
+func (r *EventRing) Events() []Event {
+	n := r.Len()
+	if n == 0 {
+		return nil
+	}
+	out := make([]Event, 0, n)
+	start := r.next - uint64(n)
+	for i := uint64(0); i < uint64(n); i++ {
+		out = append(out, r.buf[(start+i)%uint64(len(r.buf))])
+	}
+	return out
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/basis"
 	"repro/internal/profile"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/timers"
 )
 
@@ -129,8 +130,20 @@ func (c *Conn) emit(sg *segment, pkt *basis.Packet) {
 	}
 	if sg.has(flagRST) {
 		c.t.stats.RSTSent++
+		c.t.cfg.Metrics.OutRsts.Inc()
+		c.event(stats.EvRST, "sent")
 	}
 	c.t.stats.SegsSent++
+	// RFC 2012 splits output: OutSegs excludes retransmissions, which
+	// RetransSegs counts instead. A segment re-emitted from the
+	// retransmission queue has rexmits > 0.
+	if sg.rexmits > 0 {
+		c.t.cfg.Metrics.RetransSegs.Inc()
+		c.tcb.rexmits++
+	} else {
+		c.t.cfg.Metrics.OutSegs.Inc()
+		c.tcb.segsOut++
+	}
 	if c.t.cfg.Trace.On() {
 		c.t.cfg.Trace.Printf("tx %v %s", c.key.raddr, sg)
 	}

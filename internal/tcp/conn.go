@@ -4,6 +4,7 @@ import (
 	"repro/internal/profile"
 	"repro/internal/protocol"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // Conn is one TCP connection. Every mutation of its TCB happens inside
@@ -16,6 +17,7 @@ import (
 type Conn struct {
 	t       *TCP
 	key     connKey
+	name    string // key rendered once, for event labels
 	state   State
 	tcb     *TCB
 	handler Handler
@@ -43,6 +45,7 @@ func newConn(t *TCP, key connKey) *Conn {
 	c := &Conn{
 		t:     t,
 		key:   key,
+		name:  key.String(),
 		state: StateClosed,
 		tcb:   newTCB(&t.cfg, t.s.Now()),
 	}
@@ -55,6 +58,107 @@ func newConn(t *TCP, key connKey) *Conn {
 
 // State reports the connection state.
 func (c *Conn) State() State { return c.state }
+
+// inEstabGroup reports whether a state counts toward RFC 2012's
+// tcpCurrEstab (ESTABLISHED or CLOSE-WAIT).
+func inEstabGroup(s State) bool { return s == StateEstab || s == StateCloseWait }
+
+// setState is the single door through which every state-machine move
+// passes. Centralizing it here keeps the RFC 2012 connection-table
+// counters (CurrEstab, ActiveOpens, PassiveOpens, AttemptFails,
+// EstabResets) and the structured event record exact by construction —
+// no transition can forget its accounting.
+func (c *Conn) setState(to State) {
+	from := c.state
+	if from == to {
+		return
+	}
+	c.state = to
+	m := c.t.cfg.Metrics
+	if inEstabGroup(from) != inEstabGroup(to) {
+		if inEstabGroup(to) {
+			m.CurrEstab.Inc()
+		} else {
+			m.CurrEstab.Dec()
+		}
+	}
+	switch to {
+	case StateSynSent:
+		m.ActiveOpens.Inc()
+	case StateSynPassive:
+		m.PassiveOpens.Inc()
+	case StateClosed, StateListen:
+		switch from {
+		case StateSynSent, StateSynActive, StateSynPassive:
+			m.AttemptFails.Inc()
+		case StateEstab, StateCloseWait:
+			m.EstabResets.Inc()
+		}
+	}
+	if ev := c.t.cfg.Events; ev != nil {
+		ev.Add(int64(c.t.s.Now()), stats.EvStateTransition, c.name, from.String()+" -> "+to.String())
+	}
+}
+
+// event records a structured event for this connection. Call sites that
+// format a detail string guard on Events != nil first so a host without
+// a ring pays one branch and no formatting.
+func (c *Conn) event(kind stats.EventKind, detail string) {
+	if ev := c.t.cfg.Events; ev != nil {
+		ev.Add(int64(c.t.s.Now()), kind, c.name, detail)
+	}
+}
+
+// ConnStats is a snapshot of one connection's counters and estimators —
+// the per-connection visibility Laminar-style TCP work depends on. The
+// underlying fields are plain (not atomic): they are mutated only inside
+// the quasi-synchronous executor, so reading them on-scheduler or after
+// the simulation ends is race-free by the handoff discipline.
+type ConnStats struct {
+	State         State
+	BytesIn       uint64 // payload bytes delivered in order to the user
+	BytesOut      uint64 // payload bytes handed to the wire (excl. rexmits)
+	SegsIn        uint64 // segments processed by this connection
+	SegsOut       uint64 // segments emitted, excluding retransmissions
+	Retransmits   uint64
+	DupAcks       uint64 // duplicate ACKs received
+	SRTT          sim.Duration
+	RTTVar        sim.Duration
+	RTO           sim.Duration
+	SendWindow    uint32 // peer's most recent advertised window
+	CongWindow    uint32
+	RecvWindow    uint32 // our receive window
+	ToDoHighWater int    // deepest the to_do queue has been
+}
+
+// Stats snapshots the connection's statistics. Valid even after the
+// connection is deleted from the demux table: the TCB survives, so
+// post-run inspection (foxstat, tests) sees final values.
+func (c *Conn) Stats() ConnStats {
+	tcb := c.tcb
+	return ConnStats{
+		State:         c.state,
+		BytesIn:       tcb.bytesIn,
+		BytesOut:      tcb.bytesOut,
+		SegsIn:        tcb.segsIn,
+		SegsOut:       tcb.segsOut,
+		Retransmits:   tcb.rexmits,
+		DupAcks:       tcb.dupAcksSeen,
+		SRTT:          tcb.srtt,
+		RTTVar:        tcb.rttvar,
+		RTO:           tcb.rto,
+		SendWindow:    tcb.sndWnd,
+		CongWindow:    tcb.cwnd,
+		RecvWindow:    tcb.rcvWnd,
+		ToDoHighWater: tcb.toDoHW,
+	}
+}
+
+// Name returns the connection's diagnostic label, as used in events.
+func (c *Conn) Name() string { return c.name }
+
+// Endpoint returns the TCP instance this connection belongs to.
+func (c *Conn) Endpoint() *TCP { return c.t }
 
 // LocalPort and RemotePort report the connection's ports; RemoteAddr its
 // peer.
@@ -81,6 +185,9 @@ func (c *Conn) enqueue(a action) {
 		return
 	}
 	c.tcb.toDo.Enqueue(a)
+	if n := c.tcb.toDo.Len(); n > c.tcb.toDoHW {
+		c.tcb.toDoHW = n
+	}
 }
 
 // run drains the to_do queue unless an outer frame of the same thread is
@@ -112,6 +219,7 @@ func (c *Conn) perform(a action) {
 		c.emit(a.seg, a.pkt)
 	case actUserData:
 		c.t.stats.BytesReceived += uint64(len(a.data))
+		c.tcb.bytesIn += uint64(len(a.data))
 		if c.handler.Data != nil {
 			c.handler.Data(c, a.data)
 		} else {
@@ -159,7 +267,7 @@ func (c *Conn) failConnection(err error) {
 	if c.termErr == nil {
 		c.termErr = err
 	}
-	c.state = StateClosed
+	c.setState(StateClosed)
 	if !c.openDone {
 		c.openDone = true
 		c.openErr = err
@@ -184,7 +292,7 @@ func (c *Conn) deleteTCB() {
 		return
 	}
 	c.deleted = true
-	c.state = StateClosed
+	c.setState(StateClosed)
 	for id := timerID(0); id < numTimers; id++ {
 		c.clearTimer(id)
 	}

@@ -1,5 +1,7 @@
 package tcp
 
+import "repro/internal/stats"
+
 // This file is the paper's Receive module. The standard describes segment
 // arrival "as a procedure with branch points and merge points, but no
 // loops (a directed acyclic graph)"; the paper implements "exactly the
@@ -11,6 +13,7 @@ package tcp
 func (c *Conn) receiveSegment(sg *segment) {
 	c.tcb.lastRecv = c.t.s.Now()
 	c.tcb.keepaliveProbes = 0
+	c.tcb.segsIn++
 	switch c.state {
 	case StateClosed:
 		// The connection object lingers (e.g. a late segment raced a
@@ -129,7 +132,7 @@ func (c *Conn) rcvSynSent(sg *segment) {
 		return
 	}
 	// Simultaneous open: our SYN and theirs crossed.
-	c.state = StateSynActive
+	c.setState(StateSynActive)
 	// The queued SYN must henceforth acknowledge theirs.
 	if front, ok := tcb.rexmitQ.Front(); ok && front.has(flagSYN) {
 		front.flags |= flagACK
@@ -229,6 +232,7 @@ func (c *Conn) checkSequence(sg *segment) bool {
 // handleRst is the second step's per-state consequence.
 func (c *Conn) handleRst() {
 	c.t.stats.RSTReceived++
+	c.event(stats.EvRST, "received")
 	switch c.state {
 	case StateSynPassive:
 		// Passive open returns quietly to LISTEN (the listener is still

@@ -1,7 +1,11 @@
 package tcp
 
 import (
+	"fmt"
+	"time"
+
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // This file is the paper's Resend module: it "implement[s] the round-trip
@@ -88,6 +92,7 @@ func (c *Conn) rttSample(m sim.Duration) {
 	if tcb.rto > c.t.cfg.MaxRTO {
 		tcb.rto = c.t.cfg.MaxRTO
 	}
+	c.t.cfg.Metrics.RttUsec.Observe(uint64(tcb.srtt / time.Microsecond))
 }
 
 // currentRTO applies the exponential backoff to the base RTO.
@@ -122,6 +127,12 @@ func (c *Conn) resendTimeout() {
 	front.rexmits++
 	front.sentAt = now
 	c.t.stats.Retransmits++
+	if c.t.cfg.Events != nil {
+		c.event(stats.EvRetransmit, fmt.Sprintf("timeout seq %d #%d", front.seq, front.rexmits))
+		if tcb.backoff > 1 {
+			c.event(stats.EvRTOBackoff, fmt.Sprintf("backoff %d rto %v", tcb.backoff, c.currentRTO()))
+		}
+	}
 	c.t.cfg.Trace.Printf("conn %v: rexmit #%d seq %d (rto %v)", c.key, front.rexmits, front.seq, c.currentRTO())
 	c.enqueue(actSendSegment{seg: front})
 	c.enqueue(actSetTimer{which: timerRexmit, d: c.currentRTO()})
@@ -146,6 +157,7 @@ func (c *Conn) congestionLoss() {
 func (c *Conn) dupAck() {
 	tcb := c.tcb
 	c.t.stats.DupAcksSeen++
+	tcb.dupAcksSeen++
 	if !c.t.cfg.congestionControl() {
 		return
 	}
@@ -161,6 +173,9 @@ func (c *Conn) dupAck() {
 	front.rexmits++
 	front.sentAt = c.t.s.Now()
 	c.t.stats.Retransmits++
+	if c.t.cfg.Events != nil {
+		c.event(stats.EvRetransmit, fmt.Sprintf("fast seq %d", front.seq))
+	}
 	c.t.cfg.Trace.Printf("conn %v: fast retransmit seq %d", c.key, front.seq)
 	c.enqueue(actSendSegment{seg: front})
 	c.enqueue(actSetTimer{which: timerRexmit, d: c.currentRTO()})

@@ -3,6 +3,7 @@ package tcp
 import (
 	"repro/internal/basis"
 	"repro/internal/profile"
+	"repro/internal/stats"
 )
 
 // This file is the paper's Send module: it "segments outgoing data and
@@ -34,6 +35,7 @@ func (c *Conn) sendModule() {
 				if wnd == 0 && flight == 0 && tcb.timer[timerPersist] == nil {
 					// Zero window with nothing in flight: arm the
 					// persist timer so a lost update cannot wedge us.
+					c.event(stats.EvZeroWindow, "persist timer armed")
 					c.enqueue(actSetTimer{which: timerPersist, d: c.persistBackoff()})
 				}
 				break
@@ -123,6 +125,7 @@ func (c *Conn) sendData(n int) {
 	}
 	tcb.sndNxt += uint32(n)
 	c.t.stats.BytesSent += uint64(n)
+	tcb.bytesOut += uint64(n)
 
 	// RTT timing: one sample in flight at a time (Karn's scheme).
 	if !c.timingInFlight() {

@@ -17,7 +17,7 @@ func (c *Conn) stateActiveOpen() {
 	tcb.sndNxt = iss + 1
 	tcb.cwnd = uint32(tcb.mss)
 	tcb.ssthresh = 0xffff
-	c.state = StateSynSent
+	c.setState(StateSynSent)
 
 	syn := &segment{
 		srcPort: c.key.lport, dstPort: c.key.rport,
@@ -54,7 +54,7 @@ func (c *Conn) statePassiveSyn(sg *segment) {
 	tcb.sndWl2 = iss
 	tcb.cwnd = uint32(tcb.mss)
 	tcb.ssthresh = 0xffff
-	c.state = StateSynPassive
+	c.setState(StateSynPassive)
 
 	synAck := &segment{
 		srcPort: c.key.lport, dstPort: c.key.rport,
@@ -72,7 +72,7 @@ func (c *Conn) statePassiveSyn(sg *segment) {
 // stateEstablish moves a synchronizing connection to ESTABLISHED and
 // releases the opener.
 func (c *Conn) stateEstablish() {
-	c.state = StateEstab
+	c.setState(StateEstab)
 	c.enqueue(actClearTimer{which: timerUser})
 	if c.t.cfg.Keepalive {
 		c.tcb.lastRecv = c.t.s.Now()
@@ -111,9 +111,9 @@ func (c *Conn) stateClose() {
 func (c *Conn) stateFinSent() {
 	switch c.state {
 	case StateSynActive, StateSynPassive, StateEstab:
-		c.state = StateFinWait1
+		c.setState(StateFinWait1)
 	case StateCloseWait:
-		c.state = StateLastAck
+		c.setState(StateLastAck)
 	}
 	c.t.cfg.Trace.Printf("conn %v: FIN sent, now %v", c.key, c.state)
 }
@@ -123,7 +123,7 @@ func (c *Conn) stateFinSent() {
 func (c *Conn) stateOurFinAcked() {
 	switch c.state {
 	case StateFinWait1:
-		c.state = StateFinWait2
+		c.setState(StateFinWait2)
 		c.enqueue(actCompleteClose{})
 	case StateClosing:
 		c.enterTimeWait()
@@ -139,12 +139,12 @@ func (c *Conn) statePeerFin() {
 	c.enqueue(actPeerClosed{})
 	switch c.state {
 	case StateSynActive, StateSynPassive, StateEstab:
-		c.state = StateCloseWait
+		c.setState(StateCloseWait)
 	case StateFinWait1:
 		// If our FIN had been acknowledged we would be in FIN-WAIT-2
 		// by now (ack processing precedes FIN processing), so this is
 		// a simultaneous close.
-		c.state = StateClosing
+		c.setState(StateClosing)
 	case StateFinWait2:
 		c.enterTimeWait()
 	case StateTimeWait:
@@ -156,7 +156,7 @@ func (c *Conn) statePeerFin() {
 
 // enterTimeWait starts the 2×MSL quarantine.
 func (c *Conn) enterTimeWait() {
-	c.state = StateTimeWait
+	c.setState(StateTimeWait)
 	c.enqueue(actClearTimer{which: timerRexmit})
 	c.enqueue(actClearTimer{which: timerPersist})
 	c.enqueue(actSetTimer{which: timerTimeWait, d: c.twoMSL()})

@@ -157,6 +157,17 @@ type TCB struct {
 	// urgentPending).
 	sndUpSeq      seq
 	urgentPending bool
+
+	// Per-connection statistics (Conn.Stats). Plain fields: every writer
+	// runs inside the quasi-synchronous executor, so the scheduler's
+	// handoff discipline makes them race-free without atomics.
+	bytesIn     uint64
+	bytesOut    uint64
+	segsIn      uint64
+	segsOut     uint64
+	rexmits     uint64
+	dupAcksSeen uint64
+	toDoHW      int // to_do queue depth high-water mark
 }
 
 // newTCB returns a TCB with the paper's configuration applied.

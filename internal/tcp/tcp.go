@@ -9,6 +9,7 @@ import (
 	"repro/internal/profile"
 	"repro/internal/protocol"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // defaultMSS is RFC 1122's default effective send MSS when the peer
@@ -96,6 +97,16 @@ type Config struct {
 
 	Trace *basis.Tracer // val do_prints / do_traces
 	Prof  *profile.Profile
+
+	// Metrics is the endpoint's RFC 2012-style counter group. fill
+	// allocates a detached group when none is supplied, so the increment
+	// sites are unconditional; installing the group into a stats.Registry
+	// is what makes it visible.
+	Metrics *stats.TCPMIB
+	// Events, when non-nil, receives structured events (state
+	// transitions, retransmits, RTO backoff, zero-window, RST). Nil costs
+	// one branch per event site, like a disabled Tracer.
+	Events *stats.EventRing
 }
 
 // DataPathCosts carries per-kilobyte virtual charges for data-touching
@@ -145,6 +156,9 @@ func (c *Config) fill() {
 	}
 	if c.KeepaliveCount == 0 {
 		c.KeepaliveCount = 3
+	}
+	if c.Metrics == nil {
+		c.Metrics = new(stats.TCPMIB)
 	}
 }
 
@@ -305,12 +319,16 @@ func (t *TCP) handler(src protocol.Address, pkt *basis.Packet) {
 		t.s.Charge(d)
 		csec.Stop()
 	}
+	// RFC 2012: InSegs counts all received segments, including errored
+	// ones; InErrs counts the errored subset.
+	t.cfg.Metrics.InSegs.Inc()
 	if err != nil {
 		if err.Error() == "tcp: bad checksum" {
 			t.stats.BadChecksum++
 		} else {
 			t.stats.BadSegment++
 		}
+		t.cfg.Metrics.InErrs.Inc()
 		t.cfg.Trace.Printf("rx dropped: %v", err)
 		return
 	}
@@ -337,7 +355,7 @@ func (t *TCP) handler(src protocol.Address, pkt *basis.Packet) {
 func (t *TCP) dispatchUnknown(key connKey, sg *segment) *Conn {
 	if l, ok := t.listeners[key.lport]; ok {
 		c := newConn(t, key)
-		c.state = StateListen
+		c.setState(StateListen)
 		t.conns[key] = c
 		c.handler = l.accept(c)
 		t.stats.ConnsAccepted++
@@ -373,6 +391,13 @@ func (t *TCP) emitRaw(dst protocol.Address, sg *segment) {
 	}
 	sg.marshal(pkt, pseudo, t.cfg.computeChecksums())
 	t.stats.SegsSent++
+	t.cfg.Metrics.OutSegs.Inc()
+	if sg.has(flagRST) {
+		t.cfg.Metrics.OutRsts.Inc()
+		if ev := t.cfg.Events; ev != nil {
+			ev.Add(int64(t.s.Now()), stats.EvRST, "", fmt.Sprintf("sent to %v (no connection)", dst))
+		}
+	}
 	t.cfg.Trace.Printf("tx %v %s", dst, sg)
 	t.net.Send(dst, pkt)
 }

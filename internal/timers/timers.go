@@ -28,6 +28,7 @@ func Start(s *sim.Scheduler, handler func(), d sim.Duration) *Timer {
 	s.Fork("timer", func() {
 		s.Sleep(d)
 		if !t.cleared {
+			s.NoteTimerFire()
 			handler()
 		}
 	})

@@ -14,6 +14,7 @@ import (
 	"repro/internal/checksum"
 	"repro/internal/profile"
 	"repro/internal/protocol"
+	"repro/internal/stats"
 )
 
 const headerLen = 8
@@ -30,6 +31,9 @@ type Config struct {
 	ComputeChecksums bool
 	Trace            *basis.Tracer
 	Prof             *profile.Profile
+	// Metrics is the RFC 2013-style udp counter group; New allocates a
+	// detached one when none is supplied.
+	Metrics *stats.UDPMIB
 }
 
 // Stats counts UDP activity.
@@ -55,6 +59,9 @@ type UDP struct {
 
 // New attaches a UDP layer to net.
 func New(net protocol.Network, cfg Config) *UDP {
+	if cfg.Metrics == nil {
+		cfg.Metrics = new(stats.UDPMIB)
+	}
 	u := &UDP{net: net, cfg: cfg, handlers: make(map[uint16]Handler)}
 	net.Attach(u.receive)
 	return u
@@ -111,6 +118,7 @@ func (u *UDP) SendTo(dst protocol.Address, srcPort, dstPort uint16, data []byte)
 		cks.Stop()
 	}
 	u.stats.Sent++
+	u.cfg.Metrics.OutDatagrams.Inc()
 	u.cfg.Trace.Printf("tx %d -> %s:%d len %d", srcPort, dst, dstPort, pkt.Len())
 	return u.net.Send(dst, pkt)
 }
@@ -120,12 +128,14 @@ func (u *UDP) receive(src protocol.Address, pkt *basis.Packet) {
 	b := pkt.Bytes()
 	if len(b) < headerLen {
 		u.stats.BadLength++
+		u.cfg.Metrics.InErrors.Inc()
 		sec.Stop()
 		return
 	}
 	length := int(binary.BigEndian.Uint16(b[4:6]))
 	if length < headerLen || length > len(b) {
 		u.stats.BadLength++
+		u.cfg.Metrics.InErrors.Inc()
 		sec.Stop()
 		return
 	}
@@ -141,6 +151,7 @@ func (u *UDP) receive(src protocol.Address, pkt *basis.Packet) {
 		cks.Stop()
 		if !ok {
 			u.stats.BadChecksum++
+			u.cfg.Metrics.InErrors.Inc()
 			u.cfg.Trace.Printf("rx bad checksum from %s, dropped", src)
 			sec.Stop()
 			return
@@ -151,6 +162,7 @@ func (u *UDP) receive(src protocol.Address, pkt *basis.Packet) {
 	handler, ok := u.handlers[dstPort]
 	if !ok {
 		u.stats.NoListener++
+		u.cfg.Metrics.NoPorts.Inc()
 		u.cfg.Trace.Printf("rx for closed port %d from %s", dstPort, src)
 		if u.NoListenerUpcall != nil {
 			u.NoListenerUpcall(src, b)
@@ -159,6 +171,7 @@ func (u *UDP) receive(src protocol.Address, pkt *basis.Packet) {
 		return
 	}
 	u.stats.Received++
+	u.cfg.Metrics.InDatagrams.Inc()
 	pkt.Pull(headerLen)
 	u.cfg.Trace.Printf("rx %s:%d -> %d len %d", src, srcPort, dstPort, pkt.Len())
 	sec.Stop()
