@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench fmt
+.PHONY: build test check lint foxvet bench fmt
 
 build:
 	$(GO) build ./...
@@ -8,13 +8,23 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the full gate: static analysis plus every test under the race
-# detector. The stats package's atomic/plain split is exercised here —
-# TestAtomicUnderRace hammers registered counters from many goroutines
-# while snapshots run concurrently.
+# foxvet runs the tree's own analyzers (internal/analysis, assembled by
+# cmd/foxvet): seqcmp, singledoor, quasisync, layering, atomiccounter.
+# See the "Static invariants" section of README.md.
+foxvet:
+	$(GO) run ./cmd/foxvet ./...
+
+# check is the full gate: go vet, the structural analyzers, and every
+# test under the race detector. The stats package's atomic/plain split is
+# exercised here — TestAtomicUnderRace hammers registered counters from
+# many goroutines while snapshots run concurrently.
 check:
 	$(GO) vet ./...
+	$(GO) run ./cmd/foxvet ./...
 	$(GO) test -race ./...
+
+# lint is an alias for check, for fingers trained on other repos.
+lint: check
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -1,0 +1,201 @@
+// Package analysis is a self-contained, stdlib-only analogue of
+// golang.org/x/tools/go/analysis: the Analyzer/Pass/Diagnostic trio, a
+// driver that runs analyzers over type-checked packages, and a
+// `//foxvet:allow <name>` suppression directive.
+//
+// The paper's thesis is that protocol structure should be checked by the
+// compiler, not by code review: in SML, functor instantiation verifies
+// layer composition and the module language makes the quasi-synchronous
+// control discipline explicit. Go's type system cannot express those
+// invariants directly, so this package carries them as analysis passes —
+// the Go analogue of the paper's functor-level checking. The concrete
+// passes live in the subpackages (seqcmp, singledoor, quasisync,
+// layering, atomiccounter) and are assembled by cmd/foxvet.
+//
+// The API deliberately mirrors x/tools so the passes could be rehosted on
+// the upstream framework without rewriting their Run functions; it is
+// reimplemented here because this repository builds offline against the
+// standard library alone.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one analysis pass: a name (also the key the
+// //foxvet:allow directive uses), documentation, and the Run function.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and directives. It
+	// must be a valid identifier.
+	Name string
+
+	// Doc is the analyzer's documentation; the first line is shown by
+	// `foxvet -list`.
+	Doc string
+
+	// Run applies the analyzer to one package and reports diagnostics
+	// through the pass. The returned value is ignored by this driver
+	// (kept for x/tools API shape).
+	Run func(*Pass) (any, error)
+}
+
+// Pass carries one package's parsed and type-checked state to an
+// analyzer's Run function.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// report receives every diagnostic; the driver filters suppressed
+	// ones and collects the rest.
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding, anchored to a position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Report emits a diagnostic.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	p.report(d)
+}
+
+// Reportf emits a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Package is a loaded, type-checked package as the loader produces it and
+// the driver consumes it.
+type Package struct {
+	Path  string // import path
+	Dir   string // directory the files came from
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics sorted by position. Diagnostics on a line carrying a
+// `//foxvet:allow <name>` comment — or inside a function whose doc
+// comment carries one — are suppressed for that analyzer.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		allow := buildAllowIndex(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.report = func(d Diagnostic) {
+				if !allow.allowed(a.Name, pkg.Fset, d.Pos) {
+					out = append(out, d)
+				}
+			}
+			if _, err := a.Run(pass); err != nil {
+				return out, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out, nil
+}
+
+// allowIndex records where //foxvet:allow directives appear: by
+// (file, line) for same-line suppression, and by function extent for
+// doc-comment suppression.
+type allowIndex struct {
+	lines map[lineKey]map[string]bool // analyzer set per directive line
+	spans []allowSpan
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type allowSpan struct {
+	start, end token.Pos
+	names      map[string]bool
+}
+
+// directive parses a //foxvet:allow comment, returning the analyzer
+// names it lists (nil when c is not a directive).
+func directive(c *ast.Comment) map[string]bool {
+	const prefix = "//foxvet:allow"
+	if !strings.HasPrefix(c.Text, prefix) {
+		return nil
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(c.Text, prefix))
+	names := map[string]bool{}
+	for _, n := range strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' }) {
+		names[n] = true
+	}
+	return names
+}
+
+func buildAllowIndex(pkg *Package) *allowIndex {
+	idx := &allowIndex{lines: map[lineKey]map[string]bool{}}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names := directive(c)
+				if names == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := lineKey{file: pos.Filename, line: pos.Line}
+				if idx.lines[key] == nil {
+					idx.lines[key] = map[string]bool{}
+				}
+				for n := range names {
+					idx.lines[key][n] = true
+				}
+			}
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					if names := directive(c); names != nil {
+						idx.spans = append(idx.spans, allowSpan{start: fd.Pos(), end: fd.End(), names: names})
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func (idx *allowIndex) allowed(analyzer string, fset *token.FileSet, pos token.Pos) bool {
+	if !pos.IsValid() {
+		return false
+	}
+	p := fset.Position(pos)
+	if names, ok := idx.lines[lineKey{file: p.Filename, line: p.Line}]; ok && names[analyzer] {
+		return true
+	}
+	for _, s := range idx.spans {
+		if pos >= s.start && pos < s.end && s.names[analyzer] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,14 @@
+package stats
+
+// No want comments: the approved idioms — method calls on fields,
+// pointers, and group allocation — produce no diagnostics.
+
+func approved(m *TCPMIB) uint64 {
+	m.InSegs.Inc()
+	m.Estab.Add(1)
+	p := &m.OutSegs // pointers do not tear the atomics
+	p.Inc()
+	g := new(TCPMIB) // allocating a whole group is fine
+	g.InSegs.Inc()
+	return m.InSegs.Load()
+}

@@ -1,0 +1,13 @@
+package layering_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/layering"
+)
+
+func TestLayering(t *testing.T) {
+	analysistest.Run(t, "testdata", layering.Analyzer,
+		"arp", "udp", "tcp", "ip", "stats", "foxnet")
+}

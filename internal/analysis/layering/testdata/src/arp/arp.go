@@ -1,0 +1,4 @@
+// Package arp composes downward only: no diagnostics.
+package arp
+
+import _ "ethernet"

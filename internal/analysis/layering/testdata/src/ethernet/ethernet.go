@@ -1,0 +1,2 @@
+// Package ethernet is the bottom protocol layer.
+package ethernet

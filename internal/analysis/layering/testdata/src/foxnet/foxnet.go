@@ -1,0 +1,10 @@
+// Package foxnet is the top of the stack: importing every layer below is
+// the approved composition, so this file carries no want comments.
+package foxnet
+
+import (
+	_ "arp"
+	_ "ethernet"
+	_ "ip"
+	_ "tcp"
+)

@@ -1,0 +1,7 @@
+// Package ip must not import upward.
+package ip
+
+import (
+	_ "ethernet"
+	_ "tcp" // want "composes strictly downward"
+)

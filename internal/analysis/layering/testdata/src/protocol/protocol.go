@@ -1,0 +1,5 @@
+// Package protocol stands for the signatures package: infrastructure
+// every layer may import.
+package protocol
+
+type Network interface{ MTU() int }

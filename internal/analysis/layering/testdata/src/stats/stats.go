@@ -1,0 +1,4 @@
+// Package stats is infrastructure: it sits below the whole stack.
+package stats
+
+import _ "tcp" // want "infrastructure package .stats. imports protocol layer"

@@ -1,0 +1,7 @@
+// Package tcp must not import a peer transport.
+package tcp
+
+import (
+	_ "protocol"
+	_ "udp" // want "imports peer layer"
+)

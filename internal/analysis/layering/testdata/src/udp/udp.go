@@ -1,0 +1,7 @@
+// Package udp is a transport composed over the protocol signatures.
+package udp
+
+import (
+	_ "ethernet"
+	_ "protocol"
+)

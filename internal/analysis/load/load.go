@@ -1,0 +1,295 @@
+// Package load parses and type-checks packages for the analysis driver
+// using only the standard library: go/build for build-constraint-aware
+// file lists, go/parser + go/types for checking, and the compiler's
+// source importer for the standard library. It resolves this module's own
+// import paths by walking the tree, so it works offline — no module
+// proxy, no export data.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Resolver maps an import path to the directory holding its sources.
+// Paths it does not claim fall through to the standard library importer.
+type Resolver interface {
+	Resolve(importPath string) (dir string, ok bool)
+}
+
+// ModuleResolver resolves import paths inside one Go module rooted at
+// Root with module path ModPath.
+type ModuleResolver struct {
+	Root    string
+	ModPath string
+}
+
+func (m ModuleResolver) Resolve(path string) (string, bool) {
+	if path == m.ModPath {
+		return m.Root, true
+	}
+	if rest, ok := strings.CutPrefix(path, m.ModPath+"/"); ok {
+		return filepath.Join(m.Root, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
+
+// TreeResolver resolves import paths GOPATH-style against Root/src — the
+// layout analysistest uses for its testdata packages.
+type TreeResolver struct {
+	Root string
+}
+
+func (t TreeResolver) Resolve(path string) (string, bool) {
+	dir := filepath.Join(t.Root, "src", filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		return dir, true
+	}
+	return "", false
+}
+
+// Loader loads and type-checks packages, caching by import path. It
+// implements types.Importer, so packages it loads can import each other.
+type Loader struct {
+	Resolver Resolver
+	// IncludeTests adds in-package _test.go files of directly loaded
+	// packages (dependencies always load without tests).
+	IncludeTests bool
+
+	fset    *token.FileSet
+	cache   map[string]*analysis.Package
+	loading map[string]bool
+	stdlib  types.Importer
+}
+
+// NewLoader returns a loader over the given resolver.
+func NewLoader(r Resolver) *Loader {
+	return &Loader{
+		Resolver: r,
+		fset:     token.NewFileSet(),
+		cache:    map[string]*analysis.Package{},
+		loading:  map[string]bool{},
+	}
+}
+
+// Fset returns the file set all loaded packages share.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Import implements types.Importer for the type checker's benefit.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := l.Resolver.Resolve(path); ok {
+		pkg, err := l.load(path, false)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if l.stdlib == nil {
+		l.stdlib = importer.ForCompiler(l.fset, "source", nil)
+	}
+	return l.stdlib.Import(path)
+}
+
+// Load loads the named import paths (which the resolver must claim) as
+// root packages, honoring IncludeTests.
+func (l *Loader) Load(paths ...string) ([]*analysis.Package, error) {
+	var out []*analysis.Package
+	for _, p := range paths {
+		pkg, err := l.load(p, l.IncludeTests)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+func (l *Loader) load(path string, includeTests bool) (*analysis.Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir, ok := l.Resolver.Resolve(path)
+	if !ok {
+		return nil, fmt.Errorf("cannot resolve %q", path)
+	}
+	names, err := goFiles(dir, includeTests)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("%s: no Go files in %s", path, dir)
+	}
+
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErr error
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			if typeErr == nil {
+				typeErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if typeErr != nil {
+		return nil, typeErr
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	pkg := &analysis.Package{
+		Path:  path,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// goFiles lists the buildable Go sources of dir in deterministic order,
+// applying the usual build constraints via go/build.
+func goFiles(dir string, includeTests bool) ([]string, error) {
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		if _, ok := err.(*build.NoGoError); ok {
+			return nil, nil
+		}
+		return nil, err
+	}
+	names := append([]string{}, bp.GoFiles...)
+	if includeTests {
+		names = append(names, bp.TestGoFiles...)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// LoadModule loads the packages matched by patterns within the module
+// that contains dir. Patterns follow the go tool's shape: "./..." and
+// "./x/..." walk; "./x" names one directory. Directories named testdata
+// or vendor, and hidden or underscore-prefixed directories, are skipped.
+func LoadModule(dir string, includeTests bool, patterns ...string) ([]*analysis.Package, *Loader, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	l := NewLoader(ModuleResolver{Root: root, ModPath: modPath})
+	l.IncludeTests = includeTests
+
+	seen := map[string]bool{}
+	var paths []string
+	add := func(d string) error {
+		names, err := goFiles(d, false)
+		if err != nil || len(names) == 0 {
+			return err // nil for dirs with no Go files
+		}
+		rel, err := filepath.Rel(root, d)
+		if err != nil {
+			return err
+		}
+		p := modPath
+		if rel != "." {
+			p = modPath + "/" + filepath.ToSlash(rel)
+		}
+		if !seen[p] {
+			seen[p] = true
+			paths = append(paths, p)
+		}
+		return nil
+	}
+
+	for _, pat := range patterns {
+		base, walk := strings.CutSuffix(pat, "...")
+		base = filepath.Join(dir, strings.TrimSuffix(base, "/"))
+		if !walk {
+			if err := add(base); err != nil {
+				return nil, nil, err
+			}
+			continue
+		}
+		err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != base && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return add(p)
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	pkgs, err := l.Load(paths...)
+	return pkgs, l, err
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("no module line in %s/go.mod", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}

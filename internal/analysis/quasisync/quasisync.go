@@ -1,0 +1,213 @@
+// Package quasisync machine-checks the paper's central control-structure
+// rule: asynchronous events are only allowed to *enqueue* tcp_actions;
+// the to_do queue is drained synchronously by the thread that enqueued.
+// "Message receptions and timer expirations only enqueue actions on the
+// owning connection's to_do queue" — that is what makes behavior
+// deterministic and each module testable in isolation.
+//
+// Concretely: code reachable from an asynchronous entry point — a timer
+// callback handed to internal/timers' Start, or a wire-delivery handler
+// handed to a lower layer's Attach — must not call into the synchronous
+// Receive/Send/Resend modules (the functions declared in receive.go,
+// send.go, resend.go, fastpath.go). The only sanctioned doors are the
+// executor's enqueue/run/perform, which the traversal treats as a
+// boundary and does not look inside.
+//
+// The call graph is static and intra-package: direct calls and method
+// calls resolve; calls through stored function values do not, matching
+// the structure of the stack (the async seams are exactly the callback
+// registrations this pass uses as roots).
+package quasisync
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the quasisync pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "quasisync",
+	Doc:  "async entry points (timer callbacks, wire delivery) may only enqueue tcp_actions, never call Receive/Send/Resend directly",
+	Run:  run,
+}
+
+// protectedFiles hold the synchronous modules: functions declared in them
+// may only run from the to_do drain.
+var protectedFiles = map[string]bool{
+	"receive.go":  true,
+	"send.go":     true,
+	"resend.go":   true,
+	"fastpath.go": true,
+}
+
+// boundary names the executor functions async code may call; the
+// traversal stops at them instead of descending into the drain.
+var boundary = map[string]bool{
+	"enqueue": true,
+	"run":     true,
+	"perform": true,
+}
+
+// registrar reports whether the called function is an async registration
+// point, returning a label for diagnostics and which arguments carry the
+// asynchronously-invoked callbacks.
+func registrar(fn *types.Func) (label string, ok bool) {
+	switch {
+	case fn.Name() == "Start" && fn.Pkg() != nil && fn.Pkg().Name() == "timers":
+		return "timer callback (timers.Start)", true
+	case fn.Name() == "Attach":
+		return "wire delivery handler (Attach)", true
+	}
+	return "", false
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	decls map[*types.Func]*ast.FuncDecl
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	c := &checker{pass: pass, decls: map[*types.Func]*ast.FuncDecl{}}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				c.decls[fn] = fd
+			}
+		}
+	}
+
+	// Find the async roots: function values passed to a registrar.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := c.callee(call)
+			if fn == nil {
+				return true
+			}
+			label, ok := registrar(fn)
+			if !ok {
+				return true
+			}
+			for _, arg := range call.Args {
+				if tv, ok := pass.TypesInfo.Types[arg]; ok {
+					if _, isFunc := tv.Type.Underlying().(*types.Signature); isFunc {
+						c.checkRoot(arg, label)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// callee resolves the statically-known target of a call, or nil.
+func (c *checker) callee(call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = c.pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = c.pass.TypesInfo.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// checkRoot traverses from one registered callback expression.
+func (c *checker) checkRoot(arg ast.Expr, label string) {
+	seen := map[*types.Func]bool{}
+	switch a := arg.(type) {
+	case *ast.FuncLit:
+		c.walkBody(a.Body, label, seen)
+	case *ast.Ident, *ast.SelectorExpr:
+		var obj types.Object
+		if id, ok := a.(*ast.Ident); ok {
+			obj = c.pass.TypesInfo.Uses[id]
+		} else {
+			obj = c.pass.TypesInfo.Uses[a.(*ast.SelectorExpr).Sel]
+		}
+		if fn, ok := obj.(*types.Func); ok {
+			c.visit(fn, label, seen)
+		}
+	}
+}
+
+func (c *checker) visit(fn *types.Func, label string, seen map[*types.Func]bool) {
+	if seen[fn] || boundary[fn.Name()] {
+		return
+	}
+	seen[fn] = true
+	if fd, ok := c.decls[fn]; ok {
+		c.walkBody(fd.Body, label, seen)
+	}
+}
+
+// walkBody scans one reachable body: protected callees are reported,
+// boundary callees are skipped, everything else with a known
+// declaration is traversed. Nested function literals are walked too —
+// a closure built on the async path runs on the async path.
+func (c *checker) walkBody(body ast.Node, label string, seen map[*types.Func]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := c.callee(call)
+		if fn == nil {
+			return true
+		}
+		if file := c.declFile(fn); file != "" && protectedFiles[file] {
+			c.pass.Reportf(call.Pos(),
+				"%s is reachable from an async entry point (%s) and calls %s, declared in %s — a synchronous Receive/Send/Resend module; enqueue a tcp_action on to_do instead",
+				enclosingName(c.pass, call), label, fn.Name(), file)
+			return true
+		}
+		if boundary[fn.Name()] {
+			return true
+		}
+		c.visit(fn, label, seen)
+		return true
+	})
+}
+
+// declFile returns the base name of the file declaring fn, when fn is
+// declared in the package under analysis.
+func (c *checker) declFile(fn *types.Func) string {
+	fd, ok := c.decls[fn]
+	if !ok {
+		return ""
+	}
+	return filepath.Base(c.pass.Fset.Position(fd.Pos()).Filename)
+}
+
+// enclosingName names the function declaration containing pos, for
+// diagnostics.
+func enclosingName(pass *analysis.Pass, n ast.Node) string {
+	for _, f := range pass.Files {
+		if n.Pos() < f.Pos() || n.Pos() >= f.End() {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if n.Pos() >= fd.Pos() && n.Pos() < fd.End() {
+				return fd.Name.Name
+			}
+		}
+		return "a function literal"
+	}
+	return "code"
+}

@@ -1,0 +1,8 @@
+package quasisync
+
+// receiveSegment stands for the Receive module: synchronous-only.
+func (c *Conn) receiveSegment() {
+	c.processText()
+}
+
+func (c *Conn) processText() {}

@@ -1,0 +1,4 @@
+package quasisync
+
+// sendModule stands for the Send module: synchronous-only.
+func (c *Conn) sendModule() {}

@@ -1,0 +1,73 @@
+// Package seqcmp flags wrap-unsafe arithmetic on TCP sequence-space
+// values: raw ordered comparisons (<, <=, >, >=) and bare subtraction of
+// two sequence numbers. RFC 793 sequence numbers live on a 2^32 ring —
+// `sg.seq < tcb.rcvNxt` gives the wrong answer once the space wraps, and
+// the bug stays invisible for the first 4 GiB of traffic. All ordering
+// must go through the wrap-safe helpers (seqLT, seqLEQ, seqGT, seqGEQ,
+// seqBetween) and all distance computations through seqSub.
+//
+// The check is sound, not heuristic, because internal/tcp declares
+// `type seq uint32` as a defined type: any value the type checker sees
+// as `seq` is sequence space, however it was computed. Equality and
+// offset arithmetic (seq + n, seq + 1) are wrap-safe and stay allowed.
+package seqcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// TypeName is the defined type the analyzer treats as sequence space.
+const TypeName = "seq"
+
+// Analyzer is the seqcmp pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "seqcmp",
+	Doc:  "flag raw ordered comparisons and bare subtraction on TCP sequence-space values",
+	Run:  run,
+}
+
+// isSeq reports whether t is a defined type named TypeName with
+// underlying uint32.
+func isSeq(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != TypeName {
+		return false
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Uint32
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			x := pass.TypesInfo.Types[be.X]
+			y := pass.TypesInfo.Types[be.Y]
+			switch be.Op {
+			case token.LSS, token.LEQ, token.GTR, token.GEQ:
+				if isSeq(x.Type) || isSeq(y.Type) {
+					pass.Reportf(be.OpPos,
+						"raw %s comparison of sequence-space values; use the wrap-safe helpers seqLT/seqLEQ/seqGT/seqGEQ/seqBetween",
+						be.Op)
+				}
+			case token.SUB:
+				// A constant operand is offset arithmetic (seq - 1),
+				// which is wrap-safe; two live sequence numbers
+				// subtracted is a distance and must use seqSub.
+				if isSeq(x.Type) && isSeq(y.Type) && x.Value == nil && y.Value == nil {
+					pass.Reportf(be.OpPos,
+						"bare subtraction of sequence-space values; use seqSub for ring distances")
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

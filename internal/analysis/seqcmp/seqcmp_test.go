@@ -1,0 +1,12 @@
+package seqcmp_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/seqcmp"
+)
+
+func TestSeqcmp(t *testing.T) {
+	analysistest.Run(t, "testdata", seqcmp.Analyzer, "seqcmp")
+}

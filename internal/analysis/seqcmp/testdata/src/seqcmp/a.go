@@ -1,0 +1,42 @@
+// Package seqcmp exercises the seqcmp analyzer: raw ordered comparisons
+// and bare subtraction of sequence-space values are diagnosed.
+package seqcmp
+
+type seq uint32
+
+// seqSub is the ring distance helper; the directive marks the one
+// sanctioned bare subtraction.
+//
+//foxvet:allow seqcmp
+func seqSub(a, b seq) uint32 { return uint32(a - b) }
+
+func seqLT(a, b seq) bool  { return int32(seqSub(a, b)) < 0 }
+func seqLEQ(a, b seq) bool { return int32(seqSub(a, b)) <= 0 }
+
+func violations(a, b seq, ns []seq) {
+	if a < b { // want "raw < comparison of sequence-space values"
+		_ = a
+	}
+	if a <= b { // want "raw <= comparison of sequence-space values"
+		_ = a
+	}
+	if a > b { // want "raw > comparison of sequence-space values"
+		_ = a
+	}
+	if b >= a { // want "raw >= comparison of sequence-space values"
+		_ = a
+	}
+	_ = a - b // want "bare subtraction of sequence-space values"
+	for _, n := range ns {
+		if n < a { // want "raw < comparison of sequence-space values"
+			_ = n
+		}
+	}
+	_ = int(a + 10 - b) // want "bare subtraction of sequence-space values"
+}
+
+func mixed(a seq, w uint32) {
+	if a < seq(w) { // want "raw < comparison of sequence-space values"
+		_ = a
+	}
+}

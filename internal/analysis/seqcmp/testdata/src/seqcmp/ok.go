@@ -1,0 +1,24 @@
+package seqcmp
+
+// This file carries no want comments: it asserts the analyzer accepts
+// the approved idioms — wrap-safe helpers, equality, offset arithmetic,
+// and plain-integer comparisons.
+
+func approved(a, b seq, w uint32, data []byte) {
+	if seqLT(a, b) || seqLEQ(b, a) {
+		_ = a
+	}
+	if a == b || a != b { // equality is wrap-safe
+		_ = a
+	}
+	_ = a + seq(len(data)) // offsets are wrap-safe
+	_ = a + seq(w) + 1
+	_ = a - 1 // constant offset, not a ring distance
+	_ = seqSub(a, b)
+	if w < 10 { // plain integers are untouched
+		_ = w
+	}
+	if uint32(len(data)) <= w {
+		_ = w
+	}
+}

@@ -1,0 +1,128 @@
+// Package singledoor enforces the single-door rule on the TCP connection
+// state field: every transition of Conn.state must pass through
+// (*Conn).setState. PR 1 made setState the one place that keeps the
+// RFC 2012 connection-table counters (CurrEstab, ActiveOpens,
+// PassiveOpens, AttemptFails, EstabResets) and the structured event
+// record exact by construction; a direct write anywhere else silently
+// corrupts that accounting. The constructor may still seed the field in
+// its composite literal (a connection is born Closed, which is not a
+// transition).
+package singledoor
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Configuration: the guarded struct/field and the functions allowed to
+// touch it.
+const (
+	structName = "Conn"
+	fieldName  = "state"
+	doorFunc   = "setState" // may assign c.state
+	ctorFunc   = "newConn"  // may seed state in a Conn composite literal
+)
+
+// Analyzer is the singledoor pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "singledoor",
+	Doc:  "require every write of Conn.state to go through (*Conn).setState",
+	Run:  run,
+}
+
+// isConnType reports whether t (after stripping pointers) is a named
+// struct type called Conn that has a `state` field — the shape the rule
+// guards, wherever it is declared.
+func isConnType(t types.Type) bool {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != structName {
+		return false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == fieldName {
+			return true
+		}
+	}
+	return false
+}
+
+// isStateSelector reports whether e is a selector for the guarded field.
+func isStateSelector(info *types.Info, e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != fieldName {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	return ok && isConnType(tv.Type)
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if isStateSelector(pass.TypesInfo, lhs) && name != doorFunc {
+					pass.Reportf(lhs.Pos(),
+						"write to %s.%s outside (*%s).%s; every state transition must pass through the single door",
+						structName, fieldName, structName, doorFunc)
+				}
+			}
+		case *ast.IncDecStmt:
+			if isStateSelector(pass.TypesInfo, n.X) && name != doorFunc {
+				pass.Reportf(n.X.Pos(),
+					"write to %s.%s outside (*%s).%s; every state transition must pass through the single door",
+					structName, fieldName, structName, doorFunc)
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" && isStateSelector(pass.TypesInfo, n.X) {
+				pass.Reportf(n.X.Pos(),
+					"address of %s.%s taken; aliasing the field lets writes bypass (*%s).%s",
+					structName, fieldName, structName, doorFunc)
+			}
+		case *ast.CompositeLit:
+			tv, ok := pass.TypesInfo.Types[n]
+			if !ok || !isConnType(tv.Type) || name == ctorFunc {
+				return true
+			}
+			for _, elt := range n.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if key, ok := kv.Key.(*ast.Ident); ok && key.Name == fieldName {
+					pass.Reportf(kv.Pos(),
+						"%s literal sets %s outside %s; construct through %s and transition through (*%s).%s",
+						structName, fieldName, ctorFunc, ctorFunc, structName, doorFunc)
+				}
+			}
+		}
+		return true
+	})
+}

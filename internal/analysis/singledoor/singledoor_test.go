@@ -1,0 +1,12 @@
+package singledoor_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/singledoor"
+)
+
+func TestSingledoor(t *testing.T) {
+	analysistest.Run(t, "testdata", singledoor.Analyzer, "singledoor")
+}

@@ -1,0 +1,40 @@
+// Package singledoor exercises the singledoor analyzer: Conn.state may
+// be written only inside (*Conn).setState (and seeded in newConn).
+package singledoor
+
+type State int
+
+const (
+	StateClosed State = iota
+	StateListen
+	StateEstab
+)
+
+type Conn struct {
+	state State
+	other int
+}
+
+// newConn may seed the field: a connection is born Closed, which is not
+// a transition.
+func newConn() *Conn {
+	return &Conn{state: StateClosed}
+}
+
+// setState is the single door.
+func (c *Conn) setState(to State) {
+	c.state = to
+}
+
+func violations(c *Conn) {
+	c.state = StateEstab // want "write to Conn.state outside"
+	p := &c.state        // want "address of Conn.state taken"
+	_ = p
+	c.state++                     // want "write to Conn.state outside"
+	d := Conn{state: StateListen} // want "Conn literal sets state outside newConn"
+	_ = d
+}
+
+func swap(a, b *Conn) {
+	a.state, b.other = b.state, 1 // want "write to Conn.state outside"
+}

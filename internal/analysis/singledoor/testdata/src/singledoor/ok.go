@@ -1,0 +1,14 @@
+package singledoor
+
+// No want comments: the approved idioms — transitioning through
+// setState, reading the field, and writing unguarded fields — produce no
+// diagnostics.
+
+func approved(c *Conn) {
+	c.setState(StateEstab)
+	if c.state == StateEstab { // reads are free
+		c.other = 7 // other fields are unguarded
+	}
+	d := newConn()
+	d.setState(StateListen)
+}

@@ -13,7 +13,7 @@ import (
 
 	"repro/internal/basis"
 	"repro/internal/ethernet"
-	"repro/internal/ip"
+	"repro/internal/protocol"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/timers"
@@ -81,20 +81,20 @@ type pending struct {
 type ARP struct {
 	s       *sim.Scheduler
 	eth     *ethernet.Ethernet
-	localIP ip.Addr
+	localIP protocol.IPv4
 	cfg     Config
-	cache   map[ip.Addr]entry
-	pending map[ip.Addr]*pending
+	cache   map[protocol.IPv4]entry
+	pending map[protocol.IPv4]*pending
 	stats   Stats
 }
 
 // New attaches a resolver for localIP to eth.
-func New(s *sim.Scheduler, eth *ethernet.Ethernet, localIP ip.Addr, cfg Config) *ARP {
+func New(s *sim.Scheduler, eth *ethernet.Ethernet, localIP protocol.IPv4, cfg Config) *ARP {
 	cfg.fill()
 	a := &ARP{
 		s: s, eth: eth, localIP: localIP, cfg: cfg,
-		cache:   make(map[ip.Addr]entry),
-		pending: make(map[ip.Addr]*pending),
+		cache:   make(map[protocol.IPv4]entry),
+		pending: make(map[protocol.IPv4]*pending),
 	}
 	eth.Register(ethernet.TypeARP, a.receive)
 	return a
@@ -104,12 +104,12 @@ func New(s *sim.Scheduler, eth *ethernet.Ethernet, localIP ip.Addr, cfg Config) 
 func (a *ARP) Stats() Stats { return a.stats }
 
 // AddStatic installs a permanent mapping.
-func (a *ARP) AddStatic(addr ip.Addr, mac ethernet.Addr) {
+func (a *ARP) AddStatic(addr protocol.IPv4, mac ethernet.Addr) {
 	a.cache[addr] = entry{mac: mac, expires: sim.Time(1<<63 - 1)}
 }
 
 // Lookup returns the cached mapping, if fresh.
-func (a *ARP) Lookup(addr ip.Addr) (ethernet.Addr, bool) {
+func (a *ARP) Lookup(addr protocol.IPv4) (ethernet.Addr, bool) {
 	e, ok := a.cache[addr]
 	if !ok || a.s.Now() >= e.expires {
 		return ethernet.Addr{}, false
@@ -122,7 +122,7 @@ func (a *ARP) Lookup(addr ip.Addr) (ethernet.Addr, bool) {
 // out and ready runs when the reply arrives, or with ok=false after the
 // retry budget is exhausted. Multiple resolutions for one address share
 // one request exchange.
-func (a *ARP) Resolve(addr ip.Addr, ready func(mac ethernet.Addr, ok bool)) {
+func (a *ARP) Resolve(addr protocol.IPv4, ready func(mac ethernet.Addr, ok bool)) {
 	if mac, ok := a.Lookup(addr); ok {
 		ready(mac, true)
 		return
@@ -136,7 +136,7 @@ func (a *ARP) Resolve(addr ip.Addr, ready func(mac ethernet.Addr, ok bool)) {
 	a.sendRequest(addr, p)
 }
 
-func (a *ARP) sendRequest(addr ip.Addr, p *pending) {
+func (a *ARP) sendRequest(addr protocol.IPv4, p *pending) {
 	p.tries++
 	a.stats.RequestsSent++
 	a.cfg.Metrics.OutRequests.Inc()
@@ -160,7 +160,7 @@ func (a *ARP) sendRequest(addr ip.Addr, p *pending) {
 	}, a.cfg.RequestTimeout)
 }
 
-func (a *ARP) send(op uint16, ethDst, tha ethernet.Addr, tpa ip.Addr) {
+func (a *ARP) send(op uint16, ethDst, tha ethernet.Addr, tpa protocol.IPv4) {
 	pkt := basis.AllocPacket(ethernet.Headroom, ethernet.Tailroom, packetLen)
 	b := pkt.Bytes()
 	binary.BigEndian.PutUint16(b[0:2], hwEthernet)
@@ -191,7 +191,7 @@ func (a *ARP) receive(src, dst ethernet.Addr, pkt *basis.Packet) {
 	}
 	op := binary.BigEndian.Uint16(b[6:8])
 	var sha ethernet.Addr
-	var spa, tpa ip.Addr
+	var spa, tpa protocol.IPv4
 	copy(sha[:], b[8:14])
 	copy(spa[:], b[14:18])
 	copy(tpa[:], b[24:28])
@@ -220,7 +220,7 @@ func (a *ARP) receive(src, dst ethernet.Addr, pkt *basis.Packet) {
 	}
 }
 
-func (a *ARP) learn(addr ip.Addr, mac ethernet.Addr) {
+func (a *ARP) learn(addr protocol.IPv4, mac ethernet.Addr) {
 	if e, ok := a.cache[addr]; !ok || e.mac != mac || a.s.Now() >= e.expires {
 		a.stats.Learned++
 		a.cfg.Metrics.Learned.Inc()

@@ -5,36 +5,19 @@
 // checksum, and MTU — that the TCP and UDP functors both require.
 package ip
 
-import "fmt"
+import "repro/internal/protocol"
 
-// Addr is an IPv4 address.
-type Addr [4]byte
-
-// String formats the address in dotted decimal.
-func (a Addr) String() string {
-	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
-}
+// Addr is an IPv4 address. The concrete type lives in internal/protocol
+// (as protocol.IPv4) because layers below IP — ARP — also speak IPv4
+// addresses, and the Fig. 9 module graph forbids them importing upward;
+// the alias keeps ip.Addr as the idiomatic name above IP.
+type Addr = protocol.IPv4
 
 // Unspecified is the zero address 0.0.0.0.
-var Unspecified = Addr{}
+var Unspecified = protocol.UnspecifiedIPv4
 
 // LimitedBroadcast is 255.255.255.255.
-var LimitedBroadcast = Addr{255, 255, 255, 255}
+var LimitedBroadcast = protocol.LimitedBroadcastIPv4
 
 // HostAddr returns 10.0.0.n, convenient for assembling simulated hosts.
 func HostAddr(n byte) Addr { return Addr{10, 0, 0, n} }
-
-// IsUnspecified reports whether a is 0.0.0.0.
-func (a Addr) IsUnspecified() bool { return a == Unspecified }
-
-// Mask applies a netmask.
-func (a Addr) Mask(m Addr) Addr {
-	var r Addr
-	for i := range a {
-		r[i] = a[i] & m[i]
-	}
-	return r
-}
-
-// SameSubnet reports whether a and b share the subnet defined by mask m.
-func (a Addr) SameSubnet(b, m Addr) bool { return a.Mask(m) == b.Mask(m) }

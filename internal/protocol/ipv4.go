@@ -1,0 +1,36 @@
+package protocol
+
+import "fmt"
+
+// IPv4 is an IPv4 address. It lives here — not in internal/ip — because
+// it is part of the compositional vocabulary of the stack: ARP resolves
+// IPv4 addresses to link addresses from *below* IP in the Fig. 9 module
+// graph, so the address type must sit in the shared signature layer or
+// arp would have to import upward. internal/ip aliases it as ip.Addr.
+type IPv4 [4]byte
+
+// String formats the address in dotted decimal.
+func (a IPv4) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+}
+
+// UnspecifiedIPv4 is the zero address 0.0.0.0.
+var UnspecifiedIPv4 = IPv4{}
+
+// LimitedBroadcastIPv4 is 255.255.255.255.
+var LimitedBroadcastIPv4 = IPv4{255, 255, 255, 255}
+
+// IsUnspecified reports whether a is 0.0.0.0.
+func (a IPv4) IsUnspecified() bool { return a == UnspecifiedIPv4 }
+
+// Mask applies a netmask.
+func (a IPv4) Mask(m IPv4) IPv4 {
+	var r IPv4
+	for i := range a {
+		r[i] = a[i] & m[i]
+	}
+	return r
+}
+
+// SameSubnet reports whether a and b share the subnet defined by mask m.
+func (a IPv4) SameSubnet(b, m IPv4) bool { return a.Mask(m) == b.Mask(m) }

@@ -209,7 +209,7 @@ func (c *Conn) checkSequence(sg *segment) bool {
 	}
 	// Trim data that falls before the window...
 	if seqLT(sg.seq, tcb.rcvNxt) && len(sg.data) > 0 {
-		cut := int(tcb.rcvNxt - sg.seq)
+		cut := int(seqSub(tcb.rcvNxt, sg.seq))
 		if cut >= len(sg.data) {
 			sg.data = nil
 		} else {
@@ -219,7 +219,7 @@ func (c *Conn) checkSequence(sg *segment) bool {
 	}
 	// ...and beyond it (a FIN past the edge is deferred with its data).
 	if end := sg.seq + seq(len(sg.data)); seqGT(end, tcb.rcvNxt+seq(wnd)) {
-		keep := int(tcb.rcvNxt + seq(wnd) - sg.seq)
+		keep := int(seqSub(tcb.rcvNxt+seq(wnd), sg.seq))
 		if keep < 0 {
 			keep = 0
 		}
@@ -390,7 +390,7 @@ func (c *Conn) drainOutOfOrder() {
 		tcb.outOfOrder = tcb.outOfOrder[1:]
 		end := q.seq + seq(len(q.data))
 		if seqGT(end, tcb.rcvNxt) {
-			c.deliver(q.data[tcb.rcvNxt-q.seq:])
+			c.deliver(q.data[seqSub(tcb.rcvNxt, q.seq):])
 		}
 		if q.has(flagFIN) {
 			c.checkFin(q)

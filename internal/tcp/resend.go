@@ -24,7 +24,7 @@ func (c *Conn) ackAdvance(ack seq) {
 		if !ok {
 			break
 		}
-		if seqGT(front.seq+front.seqLen(), ack) {
+		if seqGT(front.seq+seq(front.seqLen()), ack) {
 			break
 		}
 		if front.timed && front.rexmits == 0 {

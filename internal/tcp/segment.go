@@ -103,8 +103,8 @@ func (sg *segment) marshal(pkt *basis.Packet, pseudo uint16, compute bool) {
 	h := pkt.Push(hlen)
 	binary.BigEndian.PutUint16(h[0:2], sg.srcPort)
 	binary.BigEndian.PutUint16(h[2:4], sg.dstPort)
-	binary.BigEndian.PutUint32(h[4:8], sg.seq)
-	binary.BigEndian.PutUint32(h[8:12], sg.ack)
+	binary.BigEndian.PutUint32(h[4:8], uint32(sg.seq))
+	binary.BigEndian.PutUint32(h[8:12], uint32(sg.ack))
 	h[12] = byte(hlen/4) << 4
 	h[13] = sg.flags
 	binary.BigEndian.PutUint16(h[14:16], sg.wnd)
@@ -152,8 +152,8 @@ func unmarshal(pkt *basis.Packet, pseudo uint16, verify bool) (*segment, error) 
 	sg := &segment{
 		srcPort: binary.BigEndian.Uint16(b[0:2]),
 		dstPort: binary.BigEndian.Uint16(b[2:4]),
-		seq:     binary.BigEndian.Uint32(b[4:8]),
-		ack:     binary.BigEndian.Uint32(b[8:12]),
+		seq:     seq(binary.BigEndian.Uint32(b[4:8])),
+		ack:     seq(binary.BigEndian.Uint32(b[8:12])),
 		flags:   b[13] & 0x3f,
 		wnd:     binary.BigEndian.Uint16(b[14:16]),
 		up:      binary.BigEndian.Uint16(b[18:20]),

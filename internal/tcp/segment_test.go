@@ -166,7 +166,7 @@ func TestSegmentString(t *testing.T) {
 func TestSegmentPropertyRoundTrip(t *testing.T) {
 	f := func(sp, dp uint16, sq, ak uint32, flags uint8, wnd uint16, data []byte, pseudo uint16) bool {
 		sg := &segment{
-			srcPort: sp, dstPort: dp, seq: sq, ack: ak,
+			srcPort: sp, dstPort: dp, seq: seq(sq), ack: seq(ak),
 			flags: flags & 0x3f, wnd: wnd, data: data,
 		}
 		pkt := basis.NewPacket(sg.headerBytes(), 0, data)
@@ -175,8 +175,8 @@ func TestSegmentPropertyRoundTrip(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return got.srcPort == sp && got.dstPort == dp && got.seq == sq &&
-			got.ack == ak && got.flags == flags&0x3f && got.wnd == wnd &&
+		return got.srcPort == sp && got.dstPort == dp && got.seq == seq(sq) &&
+			got.ack == seq(ak) && got.flags == flags&0x3f && got.wnd == wnd &&
 			bytes.Equal(got.data, data)
 	}
 	cfg := &quick.Config{MaxCount: 300}

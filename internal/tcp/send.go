@@ -117,13 +117,13 @@ func (c *Conn) sendData(n int) {
 	if tcb.urgentPending {
 		if seqGT(tcb.sndUpSeq, sg.seq) {
 			sg.flags |= flagURG
-			sg.up = uint16(tcb.sndUpSeq - sg.seq)
+			sg.up = uint16(seqSub(tcb.sndUpSeq, sg.seq))
 		}
-		if seqGEQ(sg.seq+uint32(n), tcb.sndUpSeq) {
+		if seqGEQ(sg.seq+seq(n), tcb.sndUpSeq) {
 			tcb.urgentPending = false
 		}
 	}
-	tcb.sndNxt += uint32(n)
+	tcb.sndNxt += seq(n)
 	c.t.stats.BytesSent += uint64(n)
 	tcb.bytesOut += uint64(n)
 

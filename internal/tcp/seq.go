@@ -28,20 +28,30 @@
 // comparing the TCB it produces with the TCB the standard requires.
 package tcp
 
-// seq is a TCP sequence number; all comparisons are modulo 2^32.
-type seq = uint32
+// seq is a TCP sequence number; all comparisons are modulo 2^32. It is
+// a defined type (not an alias) so the seqcmp analyzer can see sequence
+// space in go/types: raw ordered comparisons and bare subtraction on
+// seq values are compile-adjacent errors, caught by `make check`.
+type seq uint32
+
+// seqSub returns the ring distance a-b as a plain width. It is the one
+// sanctioned subtraction in sequence space; callers get flagged by
+// seqcmp if they subtract seq values directly.
+//
+//foxvet:allow seqcmp
+func seqSub(a, b seq) uint32 { return uint32(a) - uint32(b) }
 
 // seqLT reports a < b in sequence space.
-func seqLT(a, b seq) bool { return int32(a-b) < 0 }
+func seqLT(a, b seq) bool { return int32(seqSub(a, b)) < 0 }
 
 // seqLEQ reports a <= b in sequence space.
-func seqLEQ(a, b seq) bool { return int32(a-b) <= 0 }
+func seqLEQ(a, b seq) bool { return int32(seqSub(a, b)) <= 0 }
 
 // seqGT reports a > b in sequence space.
-func seqGT(a, b seq) bool { return int32(a-b) > 0 }
+func seqGT(a, b seq) bool { return int32(seqSub(a, b)) > 0 }
 
 // seqGEQ reports a >= b in sequence space.
-func seqGEQ(a, b seq) bool { return int32(a-b) >= 0 }
+func seqGEQ(a, b seq) bool { return int32(seqSub(a, b)) >= 0 }
 
 // seqMax returns the later of a and b in sequence space.
 func seqMax(a, b seq) seq {

@@ -66,7 +66,7 @@ func TestSeqPropertyForwardOffsets(t *testing.T) {
 		if k == 0 {
 			return !seqGT(a, a) && seqLEQ(a, a)
 		}
-		return seqGT(a+k, a) && seqLT(a, a+k)
+		return seqGT(a+seq(k), a) && seqLT(a, a+seq(k))
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

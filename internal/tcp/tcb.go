@@ -183,7 +183,7 @@ func newTCB(cfg *Config, now sim.Time) *TCB {
 }
 
 // flightSize is the amount of data sent but not yet acknowledged.
-func (t *TCB) flightSize() uint32 { return t.sndNxt - t.sndUna }
+func (t *TCB) flightSize() uint32 { return seqSub(t.sndNxt, t.sndUna) }
 
 // sendWindow is the usable window: the peer's advertised window, further
 // limited by the congestion window when congestion control is on.

@@ -374,7 +374,7 @@ func (t *TCP) dispatchUnknown(key connKey, sg *segment) *Conn {
 	} else {
 		rst.flags = flagRST | flagACK
 		rst.seq = 0
-		rst.ack = sg.seq + sg.seqLen()
+		rst.ack = sg.seq + seq(sg.seqLen())
 	}
 	t.stats.RSTSent++
 	t.emitRaw(key.raddr, rst)
