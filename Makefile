@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check lint foxvet bench fmt
+.PHONY: build test check lint foxvet foxvet-json statemachine-dot bench fmt
 
 build:
 	$(GO) build ./...
@@ -9,10 +9,23 @@ test:
 	$(GO) test ./...
 
 # foxvet runs the tree's own analyzers (internal/analysis, assembled by
-# cmd/foxvet): seqcmp, singledoor, quasisync, layering, atomiccounter.
+# cmd/foxvet): seqcmp, singledoor, quasisync, layering, atomiccounter,
+# statemachine, noblock, hotpathalloc.
 # See the "Static invariants" section of README.md.
 foxvet:
 	$(GO) run ./cmd/foxvet ./...
+
+# foxvet-json writes the findings as a JSON array to foxvet.json — the
+# artifact CI uploads on every run.
+foxvet-json:
+	$(GO) run ./cmd/foxvet -json ./... > foxvet.json; \
+	status=$$?; cat foxvet.json; exit $$status
+
+# statemachine-dot prints the setState transition relation extracted
+# from internal/tcp as Graphviz, annotated against the RFC 793 table.
+# Pipe it through dot -Tsvg to render.
+statemachine-dot:
+	$(GO) run ./cmd/foxvet -statemachine-dot ./...
 
 # check is the full gate: go vet, the structural analyzers, and every
 # test under the race detector. The stats package's atomic/plain split is

@@ -76,6 +76,7 @@ func main() {
 	s := foxnet.NewScheduler(foxnet.SchedulerConfig{})
 	var net *foxnet.Network
 	var conns []*foxnet.Conn
+	var openErr error
 	substrate := foxnet.NewRegistry("net")
 
 	s.Run(func() {
@@ -92,8 +93,10 @@ func main() {
 		})
 		conn, err := a.TCP.Open(b.Addr, 80, foxnet.Handler{})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "open:", err)
-			os.Exit(1)
+			// Exiting belongs to the OS side of the program; the
+			// coroutine only records the failure (foxvet noblock).
+			openErr = err
+			return
 		}
 		conns = append(conns, conn)
 		conn.Write(make([]byte, *bytes))
@@ -101,6 +104,10 @@ func main() {
 		// Long enough for retransmissions and TIME-WAIT on the lossy wire.
 		s.Sleep(30 * time.Second)
 	})
+	if openErr != nil {
+		fmt.Fprintln(os.Stderr, "open:", openErr)
+		os.Exit(1)
+	}
 
 	out := io.Writer(os.Stdout)
 	if *outPath != "" {

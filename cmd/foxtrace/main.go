@@ -31,9 +31,31 @@ func main() {
 	events := flag.Bool("events", false, "dump each host's structured event ring after the run")
 	flag.Parse()
 
+	switch *scenario {
+	case "transfer", "lossy", "special", "ping":
+	default:
+		fmt.Fprintln(os.Stderr, "unknown scenario:", *scenario)
+		os.Exit(2)
+	}
+
+	// File creation and process exit stay on the OS side of the Run
+	// boundary: the coroutine body must not block or terminate the
+	// process out from under the scheduler (foxvet noblock).
+	var pw *pcap.Writer
+	if *pcapPath != "" {
+		f, err := os.Create(*pcapPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pcap:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		pw = pcap.NewWriter(f)
+	}
+
 	s := foxnet.NewScheduler(foxnet.SchedulerConfig{})
 	trace := foxnet.NewTracer("fox", os.Stdout, !*raw)
 	var hosts []*foxnet.Host
+	var plot *seqplot.Collector
 
 	s.Run(func() {
 		wcfg := foxnet.WireConfig{}
@@ -45,20 +67,6 @@ func main() {
 			&foxnet.HostConfig{Trace: trace},
 			&foxnet.HostConfig{Trace: trace},
 		)
-		var pw *pcap.Writer
-		if *pcapPath != "" {
-			f, err := os.Create(*pcapPath)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "pcap:", err)
-				os.Exit(1)
-			}
-			defer f.Close()
-			pw = pcap.NewWriter(f)
-			defer func() {
-				fmt.Fprintf(os.Stderr, "wrote %d packets to %s\n", pw.Packets(), *pcapPath)
-			}()
-		}
-		var plot *seqplot.Collector
 		if *raw || pw != nil || *svgPath != "" {
 			net.Tap(func(from string, data []byte) {
 				if *raw {
@@ -74,20 +82,6 @@ func main() {
 		}
 		a, b := net.Host(0), net.Host(1)
 		hosts = net.Hosts
-		defer func() {
-			if plot == nil || *svgPath == "" {
-				return
-			}
-			f, err := os.Create(*svgPath)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "svg:", err)
-				return
-			}
-			defer f.Close()
-			if err := plot.WriteSVG(f, 0, 0); err == nil {
-				fmt.Fprintf(os.Stderr, "wrote %d flow events to %s\n", len(plot.Events()), *svgPath)
-			}
-		}()
 
 		switch *scenario {
 		case "transfer", "lossy":
@@ -122,11 +116,23 @@ func main() {
 		case "ping":
 			rtt, ok := a.Ping(s, b.Addr, []byte("trace me"))
 			fmt.Printf("ping: ok=%v rtt=%v\n", ok, rtt)
-		default:
-			fmt.Fprintln(os.Stderr, "unknown scenario:", *scenario)
-			os.Exit(2)
 		}
 	})
+
+	if pw != nil {
+		fmt.Fprintf(os.Stderr, "wrote %d packets to %s\n", pw.Packets(), *pcapPath)
+	}
+	if plot != nil && *svgPath != "" {
+		f, err := os.Create(*svgPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "svg:", err)
+		} else {
+			if err := plot.WriteSVG(f, 0, 0); err == nil {
+				fmt.Fprintf(os.Stderr, "wrote %d flow events to %s\n", len(plot.Events()), *svgPath)
+			}
+			f.Close()
+		}
+	}
 
 	if *events {
 		for _, h := range hosts {

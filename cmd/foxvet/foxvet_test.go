@@ -1,0 +1,84 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// moduleRoot resolves the repository root; the loader wants an absolute
+// directory, the way main passes the cwd.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestRealModuleClean runs the full multichecker over the module the way
+// CI does and requires zero findings: every invariant the analyzers
+// encode must actually hold in the tree that ships them.
+func TestRealModuleClean(t *testing.T) {
+	var out, errOut strings.Builder
+	code, err := vet(options{
+		patterns: []string{"./..."},
+		dir:      moduleRoot(t),
+		stdout:   &out,
+		stderr:   &errOut,
+	})
+	if err != nil {
+		t.Fatalf("vet: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("foxvet found violations in the real module:\n%s%s", errOut.String(), out.String())
+	}
+}
+
+// TestJSONOutput checks the -json path produces a well-formed (possibly
+// empty) array on a clean tree.
+func TestJSONOutput(t *testing.T) {
+	var out, errOut strings.Builder
+	code, err := vet(options{
+		jsonOut:  true,
+		patterns: []string{"./..."},
+		dir:      moduleRoot(t),
+		stdout:   &out,
+		stderr:   &errOut,
+	})
+	if err != nil {
+		t.Fatalf("vet: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("unexpected findings:\n%s", out.String())
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Fatalf("expected empty JSON array on a clean tree, got %q", got)
+	}
+}
+
+// TestStateMachineDot checks the -statemachine-dot path extracts the
+// real machine and renders Graphviz.
+func TestStateMachineDot(t *testing.T) {
+	var out, errOut strings.Builder
+	code, err := vet(options{
+		dot:      true,
+		patterns: []string{"./..."},
+		dir:      moduleRoot(t),
+		stdout:   &out,
+		stderr:   &errOut,
+	})
+	if err != nil {
+		t.Fatalf("vet: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("unexpected exit code %d", code)
+	}
+	dot := out.String()
+	for _, want := range []string{"digraph", "Listen", "Estab", "TimeWait"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("dot output missing %q:\n%s", want, dot)
+		}
+	}
+}

@@ -1,22 +1,30 @@
-// Command foxvet is the repro tree's multichecker: it runs the five
+// Command foxvet is the repro tree's multichecker: it runs the eight
 // structural analyzers from internal/analysis over the module and exits
 // non-zero on any diagnostic. The passes machine-check the invariants
 // the paper got from ML's module system — wrap-safe sequence arithmetic
-// (seqcmp), the single-door state machine (singledoor), the
-// quasi-synchronous event discipline (quasisync), the Fig. 9 layer DAG
-// (layering) — plus the atomic-counter contract from the metrics PR
-// (atomiccounter).
+// (seqcmp), the single-door state machine (singledoor), its RFC 793
+// conformance (statemachine), the quasi-synchronous event discipline
+// (quasisync), its scheduler-blocking dual (noblock), the single-copy
+// data path (hotpathalloc), the Fig. 9 layer DAG (layering) — plus the
+// atomic-counter contract from the metrics PR (atomiccounter).
 //
 // Usage:
 //
-//	foxvet [-tests] [-list] [packages...]
+//	foxvet [-tests] [-list] [-json] [-statemachine-dot] [packages...]
 //
 // Package patterns follow the usual shape: ./... walks the module,
 // import paths name single packages. With no arguments foxvet runs on
 // ./... relative to the current directory.
+//
+// -json emits findings as a JSON array ({file, line, col, analyzer,
+// message}) on stdout for CI artifact upload; the exit status still
+// reflects whether findings exist. -statemachine-dot extracts the
+// setState transition relation from the loaded packages and prints it
+// as Graphviz annotated against the RFC 793 table, then exits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -25,26 +33,55 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/atomiccounter"
+	"repro/internal/analysis/hotpathalloc"
 	"repro/internal/analysis/layering"
 	"repro/internal/analysis/load"
+	"repro/internal/analysis/noblock"
 	"repro/internal/analysis/quasisync"
 	"repro/internal/analysis/seqcmp"
 	"repro/internal/analysis/singledoor"
+	"repro/internal/analysis/statemachine"
 )
 
 var analyzers = []*analysis.Analyzer{
 	atomiccounter.Analyzer,
+	hotpathalloc.Analyzer,
 	layering.Analyzer,
+	noblock.Analyzer,
 	quasisync.Analyzer,
 	seqcmp.Analyzer,
 	singledoor.Analyzer,
+	statemachine.Analyzer,
+}
+
+// options collects everything main parses from the command line, so the
+// run logic is callable from tests.
+type options struct {
+	tests    bool
+	jsonOut  bool
+	dot      bool
+	patterns []string
+	dir      string
+	stdout   io.Writer
+	stderr   io.Writer
+}
+
+// finding is the JSON shape one diagnostic exports.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 func main() {
 	tests := flag.Bool("tests", false, "also analyze _test.go files")
 	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON on stdout")
+	dot := flag.Bool("statemachine-dot", false, "print the extracted TCP state machine as Graphviz and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: foxvet [-tests] [-list] [packages...]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: foxvet [-tests] [-list] [-json] [-statemachine-dot] [packages...]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Registered analyzers:\n")
 		printAnalyzers(flag.CommandLine.Output())
 		flag.PrintDefaults()
@@ -56,34 +93,83 @@ func main() {
 		return
 	}
 
-	patterns := flag.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
-
 	cwd, err := os.Getwd()
 	if err != nil {
 		fatalf("foxvet: %v", err)
 	}
-	pkgs, _, err := load.LoadModule(cwd, *tests, patterns...)
+	opts := options{
+		tests:    *tests,
+		jsonOut:  *jsonOut,
+		dot:      *dot,
+		patterns: flag.Args(),
+		dir:      cwd,
+		stdout:   os.Stdout,
+		stderr:   os.Stderr,
+	}
+	code, err := vet(opts)
 	if err != nil {
 		fatalf("foxvet: %v", err)
+	}
+	os.Exit(code)
+}
+
+// vet loads the requested packages, runs the multichecker (or the dot
+// extraction), and returns the process exit code.
+func vet(opts options) (int, error) {
+	patterns := opts.patterns
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, _, err := load.LoadModule(opts.dir, opts.tests, patterns...)
+	if err != nil {
+		return 0, err
 	}
 	if len(pkgs) == 0 {
-		return
+		return 0, nil
 	}
+
+	if opts.dot {
+		m := statemachine.Extract(pkgs)
+		if m == nil {
+			return 0, fmt.Errorf("no state machine found in the loaded packages")
+		}
+		fmt.Fprint(opts.stdout, m.Dot())
+		return 0, nil
+	}
+
 	diags, err := analysis.Run(pkgs, analyzers)
 	if err != nil {
-		fatalf("foxvet: %v", err)
+		return 0, err
 	}
 	// The loader threads one FileSet through every package, so any
 	// package's Fset resolves any diagnostic's position.
-	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", pkgs[0].Fset.Position(d.Pos), d.Analyzer, d.Message)
+	fset := pkgs[0].Fset
+	if opts.jsonOut {
+		findings := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			pos := fset.Position(d.Pos)
+			findings = append(findings, finding{
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(opts.stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(findings); err != nil {
+			return 0, err
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(opts.stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
 	}
 	if len(diags) > 0 {
-		os.Exit(1)
+		return 1, nil
 	}
+	return 0, nil
 }
 
 func printAnalyzers(w io.Writer) {

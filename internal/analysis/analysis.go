@@ -54,9 +54,50 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Shared is the module-wide view: every package the driver loaded,
+	// plus a memo cache that lives for the whole Run. Whole-program
+	// passes (callgraph construction, cross-package reachability) build
+	// their state once here instead of once per package.
+	Shared *Shared
+
 	// report receives every diagnostic; the driver filters suppressed
 	// ones and collects the rest.
 	report func(Diagnostic)
+}
+
+// Shared is driver-wide state handed to every pass: all loaded packages
+// and a memo cache keyed by string. Because the loader caches packages,
+// types.Object identities are stable across the packages here, so
+// module-wide indexes (a callgraph keyed by *types.Func) are sound.
+type Shared struct {
+	Packages []*Package
+
+	memo map[string]any
+}
+
+// Memo returns the cached value for key, building it on first use. All
+// analyzers running under one driver invocation share the cache; the
+// conventional key is the building package's import path.
+func (s *Shared) Memo(key string, build func() any) any {
+	if s.memo == nil {
+		s.memo = map[string]any{}
+	}
+	v, ok := s.memo[key]
+	if !ok {
+		v = build()
+		s.memo[key] = v
+	}
+	return v
+}
+
+// PackageOf returns the loaded Package whose types object is pkg, or nil.
+func (s *Shared) PackageOf(pkg *types.Package) *Package {
+	for _, p := range s.Packages {
+		if p.Types == pkg {
+			return p
+		}
+	}
+	return nil
 }
 
 // Diagnostic is one finding, anchored to a position.
@@ -94,6 +135,7 @@ type Package struct {
 // comment carries one — are suppressed for that analyzer.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var out []Diagnostic
+	shared := &Shared{Packages: pkgs}
 	for _, pkg := range pkgs {
 		allow := buildAllowIndex(pkg)
 		for _, a := range analyzers {
@@ -103,6 +145,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				Shared:    shared,
 			}
 			pass.report = func(d Diagnostic) {
 				if !allow.allowed(a.Name, pkg.Fset, d.Pos) {

@@ -1,0 +1,186 @@
+// Package callgraph builds a module-wide static call graph over the
+// packages the analysis driver loaded.
+//
+// Nodes are function declarations (keyed by *types.Func — the loader
+// caches packages, so object identity holds across the module) plus
+// anonymous function literals (keyed by *ast.FuncLit). Edges are the
+// statically resolvable call sites in a node's own body: direct calls
+// through an identifier and method calls through a selector. Calls
+// through stored function values and interface methods resolve to a
+// callee *types.Func with no declaration node — they appear as edges
+// but cannot be descended into, which matches the structure of this
+// stack: the asynchronous seams are exactly the callback registrations
+// the clients use as roots.
+//
+// A nested function literal's calls are NOT edges of its enclosing
+// function (the literal runs at some other time); the literal is a
+// child node. Walk, however, descends into child literals by default —
+// a closure built on a path is almost always invoked on that path, and
+// both clients (quasisync, noblock) want that conservative reading.
+package callgraph
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Node is one function — a declaration or a function literal.
+type Node struct {
+	// Fn is the declared function object; nil for literals.
+	Fn *types.Func
+	// Decl is the declaration; nil for literals.
+	Decl *ast.FuncDecl
+	// Lit is the literal; nil for declarations.
+	Lit *ast.FuncLit
+	// Pkg is the loaded package the node's body lives in.
+	Pkg *analysis.Package
+
+	// Edges are the static call sites in this node's body, in source
+	// order, excluding those inside nested literals.
+	Edges []Edge
+	// Lits are the function literals nested directly in this node's
+	// body (not inside deeper literals).
+	Lits []*Node
+}
+
+// Edge is one call site with its resolved callee.
+type Edge struct {
+	Site   *ast.CallExpr
+	Callee *types.Func
+}
+
+// Name returns a diagnostic label for the node.
+func (n *Node) Name() string {
+	if n.Fn != nil {
+		return n.Fn.Name()
+	}
+	return "a function literal"
+}
+
+// Graph is the module-wide call graph.
+type Graph struct {
+	// Funcs maps every declared function with a body to its node.
+	Funcs map[*types.Func]*Node
+	// Lits maps every function literal to its node.
+	Lits map[*ast.FuncLit]*Node
+	// Nodes lists all nodes (declarations before the literals nested in
+	// them), in load order.
+	Nodes []*Node
+}
+
+// Build constructs the graph over every loaded package. The result is
+// typically memoized driver-wide via analysis.Shared.Memo.
+func Build(pkgs []*analysis.Package) *Graph {
+	g := &Graph{
+		Funcs: map[*types.Func]*Node{},
+		Lits:  map[*ast.FuncLit]*Node{},
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &Node{Fn: fn, Decl: fd, Pkg: pkg}
+				g.Funcs[fn] = n
+				g.Nodes = append(g.Nodes, n)
+				g.scanBody(n, fd.Body)
+			}
+		}
+	}
+	return g
+}
+
+// scanBody fills n.Edges and n.Lits from body, recursing to build
+// literal child nodes.
+func (g *Graph) scanBody(n *Node, body ast.Node) {
+	ast.Inspect(body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			child := &Node{Lit: x, Pkg: n.Pkg}
+			g.Lits[x] = child
+			n.Lits = append(n.Lits, child)
+			g.Nodes = append(g.Nodes, child)
+			g.scanBody(child, x.Body)
+			return false
+		case *ast.CallExpr:
+			if fn := Callee(n.Pkg.Info, x); fn != nil {
+				n.Edges = append(n.Edges, Edge{Site: x, Callee: fn})
+			}
+		}
+		return true
+	})
+}
+
+// Callee resolves the statically-known target of a call, or nil. The
+// result may be a function with no declaration in the module (stdlib,
+// interface method).
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// Visit decides what to do with one call site during a Walk. Returning
+// false stops the walk from descending into the callee's body (it is a
+// boundary); the callee's own edges are then not visited from this
+// site.
+type Visit func(from *Node, site *ast.CallExpr, callee *types.Func) (descend bool)
+
+// Walk traverses the graph from root, applying visit to every static
+// call site reachable through it. Nested literals of a visited node are
+// traversed as if executed in place. Each declared function's body is
+// visited at most once per Walk.
+func (g *Graph) Walk(root *Node, visit Visit) {
+	seen := map[*Node]bool{}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, e := range n.Edges {
+			if !visit(n, e.Site, e.Callee) {
+				continue
+			}
+			walk(g.Funcs[e.Callee])
+		}
+		for _, lit := range n.Lits {
+			walk(lit)
+		}
+	}
+	walk(root)
+}
+
+// RootFor returns the node a callback-registration argument expression
+// resolves to: a literal's node, or the node of the function/method a
+// plain identifier or selector names. Nil when the argument is not a
+// statically-known function.
+func (g *Graph) RootFor(info *types.Info, arg ast.Expr) *Node {
+	switch a := ast.Unparen(arg).(type) {
+	case *ast.FuncLit:
+		return g.Lits[a]
+	case *ast.Ident:
+		if fn, ok := info.Uses[a].(*types.Func); ok {
+			return g.Funcs[fn]
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[a.Sel].(*types.Func); ok {
+			return g.Funcs[fn]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+func loadTestPkg(t *testing.T) *analysis.Package {
+	t.Helper()
+	loader := load.NewLoader(load.TreeResolver{Root: "testdata"})
+	pkgs, err := loader.Load("callgraphtest")
+	if err != nil {
+		t.Fatalf("loading testdata: %v", err)
+	}
+	return pkgs[0]
+}
+
+func nodeNamed(t *testing.T, g *Graph, name string) *Node {
+	t.Helper()
+	for fn, n := range g.Funcs {
+		if fn.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no node named %s", name)
+	return nil
+}
+
+func calleeNames(n *Node) []string {
+	var out []string
+	for _, e := range n.Edges {
+		out = append(out, e.Callee.Name())
+	}
+	return out
+}
+
+func TestBuildEdges(t *testing.T) {
+	pkg := loadTestPkg(t)
+	g := Build([]*analysis.Package{pkg})
+
+	// a calls b then c, in source order.
+	if got := calleeNames(nodeNamed(t, g, "a")); len(got) != 2 || got[0] != "b" || got[1] != "c" {
+		t.Errorf("a's edges = %v, want [b c]", got)
+	}
+
+	// Method calls resolve through the selector.
+	if got := calleeNames(nodeNamed(t, g, "e")); len(got) != 1 || got[0] != "M" {
+		t.Errorf("e's edges = %v, want [M]", got)
+	}
+}
+
+// TestNestedLiteral: the literal's call to d is NOT an edge of b — the
+// literal is a child node with its own edge. The call through the
+// stored variable is statically unresolvable and produces no edge.
+func TestNestedLiteral(t *testing.T) {
+	pkg := loadTestPkg(t)
+	g := Build([]*analysis.Package{pkg})
+
+	b := nodeNamed(t, g, "b")
+	if got := calleeNames(b); len(got) != 0 {
+		t.Errorf("b's own edges = %v, want none (literal body excluded, helper() unresolvable)", got)
+	}
+	if len(b.Lits) != 1 {
+		t.Fatalf("b has %d literal children, want 1", len(b.Lits))
+	}
+	if got := calleeNames(b.Lits[0]); len(got) != 1 || got[0] != "d" {
+		t.Errorf("literal's edges = %v, want [d]", got)
+	}
+	if b.Lits[0].Name() != "a function literal" {
+		t.Errorf("literal name = %q", b.Lits[0].Name())
+	}
+}
+
+// TestWalk descends through declared callees and nested literals.
+func TestWalk(t *testing.T) {
+	pkg := loadTestPkg(t)
+	g := Build([]*analysis.Package{pkg})
+
+	var seen []string
+	g.Walk(nodeNamed(t, g, "a"), func(from *Node, site *ast.CallExpr, callee *types.Func) bool {
+		seen = append(seen, callee.Name())
+		return true
+	})
+	sort.Strings(seen)
+	// a->b, a->c, and d via b's literal.
+	want := []string{"b", "c", "d"}
+	if len(seen) != len(want) {
+		t.Fatalf("walk visited %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("walk visited %v, want %v", seen, want)
+		}
+	}
+}
+
+// TestWalkBoundary: returning false stops descent into the callee, so
+// nothing behind the boundary is visited.
+func TestWalkBoundary(t *testing.T) {
+	pkg := loadTestPkg(t)
+	g := Build([]*analysis.Package{pkg})
+
+	var seen []string
+	g.Walk(nodeNamed(t, g, "a"), func(from *Node, site *ast.CallExpr, callee *types.Func) bool {
+		seen = append(seen, callee.Name())
+		return callee.Name() != "b"
+	})
+	for _, s := range seen {
+		if s == "d" {
+			t.Errorf("walk crossed the b boundary into d: %v", seen)
+		}
+	}
+}
+
+// TestRootFor resolves the three registration-argument shapes: a named
+// function, a bound method, and a literal.
+func TestRootFor(t *testing.T) {
+	pkg := loadTestPkg(t)
+	g := Build([]*analysis.Package{pkg})
+
+	use := nodeNamed(t, g, "use")
+	var args []ast.Expr
+	for _, e := range use.Edges {
+		if e.Callee.Name() == "register" {
+			args = append(args, e.Site.Args[0])
+		}
+	}
+	if len(args) != 3 {
+		t.Fatalf("found %d register calls, want 3", len(args))
+	}
+
+	if n := g.RootFor(pkg.Info, args[0]); n == nil || n.Name() != "c" {
+		t.Errorf("RootFor(c) = %v", n)
+	}
+	if n := g.RootFor(pkg.Info, args[1]); n == nil || n.Name() != "M" {
+		t.Errorf("RootFor(t.M) = %v", n)
+	}
+	if n := g.RootFor(pkg.Info, args[2]); n == nil || n.Lit == nil {
+		t.Errorf("RootFor(literal) = %v", n)
+	}
+}

@@ -1,0 +1,27 @@
+// Package callgraphtest has a known call structure the callgraph unit
+// tests assert against.
+package callgraphtest
+
+func a() { b(); c() }
+
+func b() {
+	helper := func() { d() }
+	helper()
+}
+
+func c() {}
+func d() {}
+
+type T struct{}
+
+func (t T) M() { d() }
+
+func e(t T) { t.M() }
+
+func register(f func()) { _ = f }
+
+func use(t T) {
+	register(c)
+	register(t.M)
+	register(func() { d() })
+}

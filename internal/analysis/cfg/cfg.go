@@ -1,0 +1,577 @@
+// Package cfg builds intra-procedural control-flow graphs over go/ast.
+//
+// The graphs are statement-level: each basic block holds a run of
+// straight-line statements and ends in a typed terminator. Branch
+// conditions are decomposed down to *leaves* — short-circuit && and ||,
+// unary !, and parentheses are expanded into separate conditional
+// blocks — so a flow-sensitive client (the statemachine analyzer's
+// state-mask narrowing, hotpathalloc's guard regions) sees every atomic
+// condition on its own edge. Switch statements keep their native shape
+// in the Switch terminator: a client narrowing on the tag can intersect
+// per case and take the complement on the default edge.
+//
+// The builder is deliberately pragmatic about constructs that do not
+// matter to the analyses built on it: defer bodies run at returns but
+// are attached where they appear; panic does not terminate a block; the
+// bodies of nested function literals are NOT part of the enclosing
+// graph (they execute at some other time — callers treat them as
+// separate roots).
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	Entry *Block
+	// Exit is the synthetic exit block every return (and the fall-off
+	// end of the body) jumps to. It has no statements and no terminator.
+	Exit   *Block
+	Blocks []*Block
+}
+
+// Block is a basic block: straight-line statements plus a terminator.
+type Block struct {
+	Index int
+	// Nodes are the statements executed in order. Branch conditions are
+	// NOT in Nodes; they live on the terminator.
+	Nodes []ast.Stmt
+	Term  Term
+}
+
+// Term is a block terminator. Concrete types: *Jump, *If, *Switch,
+// *Choice.
+type Term interface {
+	// Succs appends every successor block.
+	Succs(dst []*Block) []*Block
+}
+
+// Jump is an unconditional edge.
+type Jump struct{ To *Block }
+
+// If is a two-way branch on a leaf condition: Cond contains no
+// top-level &&, ||, ! or parens (the builder decomposed those). Cond
+// may still contain calls; a dataflow client must account for their
+// effects before narrowing.
+type If struct {
+	Cond ast.Expr
+	Then *Block
+	Else *Block
+}
+
+// Switch is a value switch: Tag is the switch tag (evaluated as the
+// last action of the block), Cases carry each clause's value list, and
+// Default receives everything no case matched — it points at the
+// post-switch join block when the source has no default clause, so the
+// complement edge always exists.
+type Switch struct {
+	Tag     ast.Expr
+	Cases   []SwitchCase
+	Default *Block
+}
+
+// SwitchCase is one `case v1, v2:` clause of a Switch terminator.
+type SwitchCase struct {
+	Values []ast.Expr
+	Target *Block
+}
+
+// Choice is an opaque multi-way branch — type switches, select, and
+// range loops, where no value narrowing is possible.
+type Choice struct{ Targets []*Block }
+
+func (t *Jump) Succs(dst []*Block) []*Block { return append(dst, t.To) }
+func (t *If) Succs(dst []*Block) []*Block   { return append(dst, t.Then, t.Else) }
+func (t *Switch) Succs(dst []*Block) []*Block {
+	for _, c := range t.Cases {
+		dst = append(dst, c.Target)
+	}
+	return append(dst, t.Default)
+}
+func (t *Choice) Succs(dst []*Block) []*Block { return append(dst, t.Targets...) }
+
+// New builds the graph for a function body.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{}
+	g := &Graph{}
+	g.Entry = b.newBlock()
+	g.Exit = b.newBlock()
+	b.exit = g.Exit
+	cur := b.stmts(g.Entry, body.List)
+	if cur != nil {
+		cur.Term = &Jump{To: g.Exit}
+	}
+	g.Blocks = b.blocks
+	// Resolve forward gotos now that every label is known.
+	for _, pending := range b.gotos {
+		if target, ok := b.labels[pending.label]; ok {
+			pending.block.Term = &Jump{To: target}
+		} else {
+			pending.block.Term = &Jump{To: g.Exit}
+		}
+	}
+	return g
+}
+
+// builder carries block allocation and branch-target state.
+type builder struct {
+	blocks []*Block
+	exit   *Block
+
+	// Innermost-first stacks of break/continue targets; the label is ""
+	// for unlabeled statements.
+	breaks    []branchTarget
+	continues []branchTarget
+
+	labels map[string]*Block // label -> statement entry block
+	gotos  []pendingGoto
+
+	// pendingLabel is set while the next loop/switch should also answer
+	// to this label for break/continue.
+	pendingLabel string
+}
+
+type branchTarget struct {
+	label string
+	block *Block
+}
+
+type pendingGoto struct {
+	label string
+	block *Block
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.blocks)}
+	b.blocks = append(b.blocks, blk)
+	return blk
+}
+
+// stmts lowers a statement list into cur, returning the (unterminated)
+// block control falls out of, or nil when control cannot fall through.
+func (b *builder) stmts(cur *Block, list []ast.Stmt) *Block {
+	for _, s := range list {
+		if cur == nil {
+			// Dead code after return/branch: give it its own island so
+			// its statements still exist in some block (clients may
+			// want them) but nothing flows in.
+			cur = b.newBlock()
+		}
+		cur = b.stmt(cur, s)
+	}
+	return cur
+}
+
+func (b *builder) stmt(cur *Block, s ast.Stmt) *Block {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(cur, s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		thenB := b.newBlock()
+		elseB := b.newBlock()
+		b.cond(cur, s.Cond, thenB, elseB)
+		after := b.newBlock()
+		if end := b.stmts(thenB, s.Body.List); end != nil {
+			end.Term = &Jump{To: after}
+		}
+		if s.Else != nil {
+			if end := b.stmt(elseB, s.Else); end != nil {
+				end.Term = &Jump{To: after}
+			}
+		} else {
+			elseB.Term = &Jump{To: after}
+		}
+		return after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		head := b.newBlock()
+		cur.Term = &Jump{To: head}
+		body := b.newBlock()
+		after := b.newBlock()
+		if s.Cond != nil {
+			b.cond(head, s.Cond, body, after)
+		} else {
+			head.Term = &Jump{To: body}
+		}
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+			post.Nodes = append(post.Nodes, s.Post)
+			post.Term = &Jump{To: head}
+		}
+		label := b.takeLabel()
+		b.pushLoop(label, after, post)
+		end := b.stmts(body, s.Body.List)
+		b.popLoop()
+		if end != nil {
+			end.Term = &Jump{To: post}
+		}
+		return after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		// The ranged expression (and key/value assignment) are evaluated
+		// at the head; keep the whole RangeStmt there as one node so
+		// clients see its call effects once per loop.
+		head.Nodes = append(head.Nodes, s)
+		cur.Term = &Jump{To: head}
+		body := b.newBlock()
+		after := b.newBlock()
+		head.Term = &Choice{Targets: []*Block{body, after}}
+		label := b.takeLabel()
+		b.pushLoop(label, after, head)
+		end := b.stmts(body, s.Body.List)
+		b.popLoop()
+		if end != nil {
+			end.Term = &Jump{To: head}
+		}
+		return after
+
+	case *ast.SwitchStmt:
+		return b.switchStmt(cur, s)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		cur.Nodes = append(cur.Nodes, s.Assign)
+		return b.opaqueClauses(cur, s.Body.List, true)
+
+	case *ast.SelectStmt:
+		return b.opaqueClauses(cur, s.Body.List, false)
+
+	case *ast.ReturnStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		cur.Term = &Jump{To: b.exit}
+		return nil
+
+	case *ast.BranchStmt:
+		return b.branchStmt(cur, s)
+
+	case *ast.LabeledStmt:
+		head := b.newBlock()
+		cur.Term = &Jump{To: head}
+		if b.labels == nil {
+			b.labels = map[string]*Block{}
+		}
+		b.labels[s.Label.Name] = head
+		b.pendingLabel = s.Label.Name
+		end := b.stmt(head, s.Stmt)
+		b.pendingLabel = ""
+		return end
+
+	default:
+		// Straight-line statement (incl. defer, go, send — clients that
+		// care inspect the node kinds themselves).
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+	}
+}
+
+// switchStmt lowers a value switch (including `switch { case cond: }`,
+// which becomes an if/else-if chain so each condition can narrow).
+func (b *builder) switchStmt(cur *Block, s *ast.SwitchStmt) *Block {
+	if s.Init != nil {
+		cur.Nodes = append(cur.Nodes, s.Init)
+	}
+	after := b.newBlock()
+	label := b.takeLabel()
+	b.pushBreak(label, after)
+	defer b.popBreak()
+
+	clauses := make([]*ast.CaseClause, 0, len(s.Body.List))
+	for _, cl := range s.Body.List {
+		clauses = append(clauses, cl.(*ast.CaseClause))
+	}
+	// Build each clause body first so fallthrough targets exist.
+	bodies := make([]*Block, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+	}
+	for i, cl := range clauses {
+		end := b.stmtsWithFallthrough(bodies[i], cl.Body, bodies, i)
+		if end != nil {
+			end.Term = &Jump{To: after}
+		}
+	}
+
+	if s.Tag == nil {
+		// Condition switch: an if/else-if chain, so each case condition
+		// narrows on its own edge; the default body (or the join block)
+		// is the chain's final else.
+		var defaultBody *Block
+		type condCase struct {
+			cond ast.Expr
+			body *Block
+		}
+		var conds []condCase
+		for i, cl := range clauses {
+			if cl.List == nil {
+				defaultBody = bodies[i]
+				continue
+			}
+			for _, cond := range cl.List {
+				conds = append(conds, condCase{cond, bodies[i]})
+			}
+		}
+		tail := defaultBody
+		if tail == nil {
+			tail = after
+		}
+		chain := cur
+		for i, cc := range conds {
+			elseB := tail
+			if i < len(conds)-1 {
+				elseB = b.newBlock()
+			}
+			b.cond(chain, cc.cond, cc.body, elseB)
+			chain = elseB
+		}
+		if len(conds) == 0 {
+			chain.Term = &Jump{To: tail}
+		}
+		return after
+	}
+
+	term := &Switch{Tag: s.Tag}
+	var defaultBody *Block
+	for i, cl := range clauses {
+		if cl.List == nil {
+			defaultBody = bodies[i]
+			continue
+		}
+		term.Cases = append(term.Cases, SwitchCase{Values: cl.List, Target: bodies[i]})
+	}
+	if defaultBody != nil {
+		term.Default = defaultBody
+	} else {
+		term.Default = after
+	}
+	cur.Term = term
+	return after
+}
+
+// stmtsWithFallthrough lowers a case body, wiring `fallthrough` to the
+// next clause's body block.
+func (b *builder) stmtsWithFallthrough(cur *Block, list []ast.Stmt, bodies []*Block, i int) *Block {
+	for _, s := range list {
+		if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+			if cur == nil {
+				cur = b.newBlock()
+			}
+			if i+1 < len(bodies) {
+				cur.Term = &Jump{To: bodies[i+1]}
+			} else {
+				cur.Term = &Jump{To: b.exit}
+			}
+			return nil
+		}
+		if cur == nil {
+			cur = b.newBlock()
+		}
+		cur = b.stmt(cur, s)
+	}
+	return cur
+}
+
+// opaqueClauses lowers type-switch / select bodies as an opaque Choice.
+// When withDefaultEdge is true and no default clause exists, an edge to
+// the join block is still added (a type switch with no default can fall
+// through).
+func (b *builder) opaqueClauses(cur *Block, clauses []ast.Stmt, withDefaultEdge bool) *Block {
+	after := b.newBlock()
+	label := b.takeLabel()
+	b.pushBreak(label, after)
+	defer b.popBreak()
+
+	term := &Choice{}
+	sawDefault := false
+	for _, cl := range clauses {
+		var body []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			body = cl.Body
+			if cl.List == nil {
+				sawDefault = true
+			}
+		case *ast.CommClause:
+			body = cl.Body
+			if cl.Comm == nil {
+				sawDefault = true
+			} else {
+				// The comm op itself (send/recv) executes on entry.
+				body = append([]ast.Stmt{cl.Comm}, body...)
+			}
+		}
+		blk := b.newBlock()
+		term.Targets = append(term.Targets, blk)
+		if end := b.stmts(blk, body); end != nil {
+			end.Term = &Jump{To: after}
+		}
+	}
+	if withDefaultEdge && !sawDefault {
+		term.Targets = append(term.Targets, after)
+	}
+	if len(term.Targets) == 0 {
+		term.Targets = append(term.Targets, after)
+	}
+	cur.Term = term
+	return after
+}
+
+func (b *builder) branchStmt(cur *Block, s *ast.BranchStmt) *Block {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if t := findTarget(b.breaks, label); t != nil {
+			cur.Term = &Jump{To: t}
+		} else {
+			cur.Term = &Jump{To: b.exit}
+		}
+	case token.CONTINUE:
+		if t := findTarget(b.continues, label); t != nil {
+			cur.Term = &Jump{To: t}
+		} else {
+			cur.Term = &Jump{To: b.exit}
+		}
+	case token.GOTO:
+		if t, ok := b.labels[label]; ok {
+			cur.Term = &Jump{To: t}
+		} else {
+			b.gotos = append(b.gotos, pendingGoto{label: label, block: cur})
+		}
+	case token.FALLTHROUGH:
+		// Handled by stmtsWithFallthrough; a stray one exits.
+		cur.Term = &Jump{To: b.exit}
+	}
+	return nil
+}
+
+func findTarget(stack []branchTarget, label string) *Block {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if label == "" || stack[i].label == label {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) pushLoop(label string, brk, cont *Block) {
+	b.breaks = append(b.breaks, branchTarget{label: "", block: brk})
+	b.continues = append(b.continues, branchTarget{label: "", block: cont})
+	if label != "" {
+		b.breaks = append(b.breaks, branchTarget{label: label, block: brk})
+		b.continues = append(b.continues, branchTarget{label: label, block: cont})
+	}
+}
+
+func (b *builder) popLoop() {
+	n := 1
+	if len(b.breaks) >= 2 && b.breaks[len(b.breaks)-1].label != "" {
+		n = 2
+	}
+	b.breaks = b.breaks[:len(b.breaks)-n]
+	b.continues = b.continues[:len(b.continues)-n]
+}
+
+func (b *builder) pushBreak(label string, brk *Block) {
+	b.breaks = append(b.breaks, branchTarget{label: "", block: brk})
+	if label != "" {
+		b.breaks = append(b.breaks, branchTarget{label: label, block: brk})
+	}
+}
+
+func (b *builder) popBreak() {
+	n := 1
+	if len(b.breaks) >= 2 && b.breaks[len(b.breaks)-1].label != "" {
+		n = 2
+	}
+	b.breaks = b.breaks[:len(b.breaks)-n]
+}
+
+// cond wires expr as a branch from cur to thenB/elseB, decomposing
+// short-circuit operators, negation, and parentheses so each If
+// terminator tests a leaf.
+func (b *builder) cond(cur *Block, expr ast.Expr, thenB, elseB *Block) {
+	switch e := expr.(type) {
+	case *ast.ParenExpr:
+		b.cond(cur, e.X, thenB, elseB)
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			b.cond(cur, e.X, elseB, thenB)
+			return
+		}
+		cur.Term = &If{Cond: expr, Then: thenB, Else: elseB}
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			mid := b.newBlock()
+			b.cond(cur, e.X, mid, elseB)
+			b.cond(mid, e.Y, thenB, elseB)
+		case token.LOR:
+			mid := b.newBlock()
+			b.cond(cur, e.X, thenB, mid)
+			b.cond(mid, e.Y, thenB, elseB)
+		default:
+			cur.Term = &If{Cond: expr, Then: thenB, Else: elseB}
+		}
+	default:
+		cur.Term = &If{Cond: expr, Then: thenB, Else: elseB}
+	}
+}
+
+// Dump renders the graph for debugging and tests.
+func (g *Graph) Dump(fset *token.FileSet) string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d:", blk.Index)
+		if blk == g.Entry {
+			sb.WriteString(" (entry)")
+		}
+		if blk == g.Exit {
+			sb.WriteString(" (exit)")
+		}
+		fmt.Fprintf(&sb, " %d stmts", len(blk.Nodes))
+		switch t := blk.Term.(type) {
+		case *Jump:
+			fmt.Fprintf(&sb, " -> b%d", t.To.Index)
+		case *If:
+			fmt.Fprintf(&sb, " if -> b%d else b%d", t.Then.Index, t.Else.Index)
+		case *Switch:
+			sb.WriteString(" switch")
+			for _, c := range t.Cases {
+				fmt.Fprintf(&sb, " case->b%d", c.Target.Index)
+			}
+			fmt.Fprintf(&sb, " default->b%d", t.Default.Index)
+		case *Choice:
+			sb.WriteString(" choice")
+			for _, c := range t.Targets {
+				fmt.Fprintf(&sb, " ->b%d", c.Index)
+			}
+		case nil:
+			sb.WriteString(" (no term)")
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,282 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// graphFor parses a single function body and builds its graph.
+func graphFor(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return New(f.Decls[0].(*ast.FuncDecl).Body)
+}
+
+// reach returns the set of blocks reachable from b over terminator
+// successors.
+func reach(b *Block) map[*Block]bool {
+	seen := map[*Block]bool{}
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		if b.Term != nil {
+			for _, s := range b.Term.Succs(nil) {
+				walk(s)
+			}
+		}
+	}
+	walk(b)
+	return seen
+}
+
+// blockCalling finds the block whose statements include a call of the
+// named function.
+func blockCalling(t *testing.T, g *Graph, name string) *Block {
+	t.Helper()
+	for _, b := range g.Blocks {
+		for _, s := range b.Nodes {
+			es, ok := s.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+				return b
+			}
+		}
+	}
+	t.Fatalf("no block calls %s", name)
+	return nil
+}
+
+// conds collects every If terminator condition in the graph.
+func conds(g *Graph) []ast.Expr {
+	var out []ast.Expr
+	for _, b := range g.Blocks {
+		if t, ok := b.Term.(*If); ok {
+			out = append(out, t.Cond)
+		}
+	}
+	return out
+}
+
+// TestShortCircuitDecomposition: &&, ||, ! and parens never appear in a
+// terminator condition — each If tests one leaf, so a dataflow client's
+// Branch callback narrows on atoms.
+func TestShortCircuitDecomposition(t *testing.T) {
+	g := graphFor(t, `
+	if (!a() && b()) || c() {
+		yes()
+	} else {
+		no()
+	}`)
+	cs := conds(g)
+	if len(cs) != 3 {
+		t.Fatalf("got %d conditions, want 3 leaves", len(cs))
+	}
+	for _, c := range cs {
+		switch c := c.(type) {
+		case *ast.ParenExpr:
+			t.Errorf("paren survived decomposition: %v", c)
+		case *ast.UnaryExpr:
+			if c.Op == token.NOT {
+				t.Errorf("negation survived decomposition")
+			}
+		case *ast.BinaryExpr:
+			if c.Op == token.LAND || c.Op == token.LOR {
+				t.Errorf("short-circuit op survived decomposition: %v", c.Op)
+			}
+		}
+	}
+	// !a() swaps edges: a's then-edge must lead toward no(), never
+	// straight to yes().
+	first := g.Entry.Term.(*If)
+	yes, no := blockCalling(t, g, "yes"), blockCalling(t, g, "no")
+	if reach(first.Then)[yes] && !reach(first.Then)[no] {
+		t.Errorf("negated condition's true edge reached only the then body")
+	}
+}
+
+// TestSwitchShape: a tagged switch keeps its native Switch terminator,
+// and the complement (default) edge exists even without a default
+// clause.
+func TestSwitchShape(t *testing.T) {
+	g := graphFor(t, `
+	switch x {
+	case 1, 2:
+		one()
+	case 3:
+		three()
+	}
+	after()`)
+	sw, ok := g.Entry.Term.(*Switch)
+	if !ok {
+		t.Fatalf("entry terminator is %T, want *Switch", g.Entry.Term)
+	}
+	if len(sw.Cases) != 2 {
+		t.Fatalf("got %d cases, want 2", len(sw.Cases))
+	}
+	if len(sw.Cases[0].Values) != 2 {
+		t.Errorf("first clause has %d values, want 2", len(sw.Cases[0].Values))
+	}
+	if sw.Default == nil {
+		t.Fatalf("clause-less switch lost its complement edge")
+	}
+	after := blockCalling(t, g, "after")
+	if !reach(sw.Default)[after] {
+		t.Errorf("complement edge does not reach the join")
+	}
+}
+
+// TestTaglessSwitchLowersToIfChain: switch { case c1: ... } is guard
+// selection, not value dispatch, and must become an if/else-if chain.
+func TestTaglessSwitchLowersToIfChain(t *testing.T) {
+	g := graphFor(t, `
+	switch {
+	case a():
+		yes()
+	default:
+		no()
+	}`)
+	for _, b := range g.Blocks {
+		if _, ok := b.Term.(*Switch); ok {
+			t.Fatalf("tagless switch kept a Switch terminator")
+		}
+	}
+	iff, ok := g.Entry.Term.(*If)
+	if !ok {
+		t.Fatalf("entry terminator is %T, want *If", g.Entry.Term)
+	}
+	if !reach(iff.Else)[blockCalling(t, g, "no")] {
+		t.Errorf("default clause not on the else chain")
+	}
+}
+
+// TestLoopBackEdge: a for loop's body flows back to its head.
+func TestLoopBackEdge(t *testing.T) {
+	g := graphFor(t, `
+	for i := 0; i < n; i++ {
+		body()
+	}
+	after()`)
+	body := blockCalling(t, g, "body")
+	if !reach(body)[body] {
+		t.Errorf("loop body cannot reach itself: missing back edge")
+	}
+	if !reach(g.Entry)[blockCalling(t, g, "after")] {
+		t.Errorf("loop exit unreachable")
+	}
+}
+
+// TestFallthrough wires a clause into the next clause's body.
+func TestFallthrough(t *testing.T) {
+	g := graphFor(t, `
+	switch x {
+	case 1:
+		one()
+		fallthrough
+	case 2:
+		two()
+	}`)
+	one, two := blockCalling(t, g, "one"), blockCalling(t, g, "two")
+	if !reach(one)[two] {
+		t.Errorf("fallthrough does not reach the next clause body")
+	}
+}
+
+// TestLabeledBreak exits the labeled loop, not just the inner one.
+func TestLabeledBreak(t *testing.T) {
+	g := graphFor(t, `
+outer:
+	for {
+		for {
+			if done() {
+				break outer
+			}
+			inner()
+		}
+	}
+	after()`)
+	if !reach(g.Entry)[blockCalling(t, g, "after")] {
+		t.Errorf("break outer did not exit the outer loop")
+	}
+	// Without the labeled break the outer loop never terminates, so
+	// after() must be reachable only through it.
+	inner := blockCalling(t, g, "inner")
+	if !reach(inner)[blockCalling(t, g, "after")] {
+		t.Errorf("inner body should still reach after() via the break")
+	}
+}
+
+// TestDeadCode: statements after return become island blocks,
+// unreachable from the entry.
+func TestDeadCode(t *testing.T) {
+	g := graphFor(t, `
+	live()
+	return
+	dead()`)
+	r := reach(g.Entry)
+	if !r[blockCalling(t, g, "live")] {
+		t.Errorf("live statement unreachable")
+	}
+	if r[blockCalling(t, g, "dead")] {
+		t.Errorf("statement after return still reachable")
+	}
+}
+
+// TestSelectChoice: select lowers to a Choice over its comm clauses.
+func TestSelectChoice(t *testing.T) {
+	g := graphFor(t, `
+	select {
+	case <-ch:
+		recv()
+	default:
+		idle()
+	}
+	after()`)
+	var choice *Choice
+	for _, b := range g.Blocks {
+		if c, ok := b.Term.(*Choice); ok {
+			choice = c
+		}
+	}
+	if choice == nil {
+		t.Fatalf("no Choice terminator for select")
+	}
+	if len(choice.Targets) != 2 {
+		t.Fatalf("got %d select targets, want 2", len(choice.Targets))
+	}
+	for _, name := range []string{"recv", "idle", "after"} {
+		if !reach(g.Entry)[blockCalling(t, g, name)] {
+			t.Errorf("%s unreachable through select", name)
+		}
+	}
+}
+
+// TestDump stays stable enough to eyeball: it mentions every block and
+// the entry/exit markers.
+func TestDump(t *testing.T) {
+	g := graphFor(t, `
+	if a() {
+		yes()
+	}`)
+	fset := token.NewFileSet()
+	d := g.Dump(fset)
+	if !strings.Contains(d, "entry") || !strings.Contains(d, "exit") {
+		t.Errorf("dump lacks entry/exit markers:\n%s", d)
+	}
+}

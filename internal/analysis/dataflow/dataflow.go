@@ -1,0 +1,136 @@
+// Package dataflow is a generic forward worklist solver over
+// internal/analysis/cfg graphs.
+//
+// A client describes its abstract domain through Problem[L]: a join
+// (must be an upper bound — the solver iterates to a fixed point and
+// relies on monotone growth to terminate), an equality test, a block
+// transfer function, and two optional edge refiners — Branch for If
+// terminators and Case for Switch terminators — which is where a
+// flow-sensitive client narrows facts by the condition that guards an
+// edge (the statemachine analyzer intersects state masks there;
+// hotpathalloc marks Trace.On() guard regions).
+//
+// Unreached blocks never run Transfer and contribute nothing to joins,
+// so clients need no explicit bottom element.
+package dataflow
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis/cfg"
+)
+
+// Problem describes one forward dataflow problem over lattice L.
+type Problem[L any] struct {
+	// Entry is the fact at the function entry.
+	Entry L
+
+	// Join combines facts arriving over multiple edges. It must be
+	// commutative, associative, and produce an upper bound of both
+	// arguments (otherwise the fixpoint may not terminate).
+	Join func(a, b L) L
+
+	// Equal reports whether two facts are the same (fixpoint test).
+	Equal func(a, b L) bool
+
+	// Transfer computes the fact at the end of a block from the fact at
+	// its start, processing b.Nodes in order. It must be monotone.
+	Transfer func(b *cfg.Block, in L) L
+
+	// Branch refines the post-block fact for the two edges of an If
+	// terminator. The condition expression's own evaluation effects
+	// (calls inside it) must be applied here too — cond is not part of
+	// any block's Nodes. Nil means both edges carry out unchanged.
+	Branch func(cond ast.Expr, out L) (then, els L)
+
+	// Case refines the fact on one edge of a Switch terminator. For a
+	// case edge, values holds that clause's expressions and isDefault
+	// is false; for the default edge, values holds EVERY case's
+	// expressions (so a client can take the complement) and isDefault
+	// is true. The tag's evaluation effects must be applied here (once
+	// conceptually; the solver calls Case per edge with the same out,
+	// which is safe for idempotent transfer effects). Nil means every
+	// edge carries out unchanged.
+	Case func(tag ast.Expr, values []ast.Expr, isDefault bool, out L) L
+}
+
+// Result holds the solved facts.
+type Result[L any] struct {
+	// In is the fact at each reached block's start; blocks not in the
+	// map were never reached from the entry.
+	In map[*cfg.Block]L
+}
+
+// Reached reports whether b was reached, and its entry fact.
+func (r *Result[L]) Reached(b *cfg.Block) (L, bool) {
+	l, ok := r.In[b]
+	return l, ok
+}
+
+// Forward runs the worklist to a fixed point and returns the per-block
+// entry facts.
+func Forward[L any](g *cfg.Graph, p Problem[L]) *Result[L] {
+	in := map[*cfg.Block]L{g.Entry: p.Entry}
+	work := []*cfg.Block{g.Entry}
+	queued := map[*cfg.Block]bool{g.Entry: true}
+
+	propagate := func(to *cfg.Block, fact L) {
+		cur, ok := in[to]
+		if ok {
+			joined := p.Join(cur, fact)
+			if p.Equal(cur, joined) {
+				return
+			}
+			in[to] = joined
+		} else {
+			in[to] = fact
+		}
+		if !queued[to] {
+			queued[to] = true
+			work = append(work, to)
+		}
+	}
+
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+
+		out := p.Transfer(b, in[b])
+		switch t := b.Term.(type) {
+		case *cfg.Jump:
+			propagate(t.To, out)
+		case *cfg.If:
+			thenFact, elseFact := out, out
+			if p.Branch != nil {
+				thenFact, elseFact = p.Branch(t.Cond, out)
+			}
+			propagate(t.Then, thenFact)
+			propagate(t.Else, elseFact)
+		case *cfg.Switch:
+			var all []ast.Expr
+			for _, c := range t.Cases {
+				all = append(all, c.Values...)
+			}
+			for _, c := range t.Cases {
+				fact := out
+				if p.Case != nil {
+					fact = p.Case(t.Tag, c.Values, false, out)
+				}
+				propagate(c.Target, fact)
+			}
+			fact := out
+			if p.Case != nil {
+				fact = p.Case(t.Tag, all, true, out)
+			}
+			propagate(t.Default, fact)
+		case *cfg.Choice:
+			for _, to := range t.Targets {
+				propagate(to, out)
+			}
+		case nil:
+			// Exit (or an unterminated island): no successors.
+		}
+	}
+	return &Result[L]{In: in}
+}

@@ -1,0 +1,16 @@
+package hotpathalloc
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+// TestHotpathAlloc covers every rule (loop allocation, interface
+// boxing at calls/assignments/returns, variadic slices, growing
+// appends, buffer-capturing closures) and every exemption (unmarked
+// functions, the executor boundary, trace-guarded regions, preallocated
+// appends, pointer boxing).
+func TestHotpathAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "hotpathtest")
+}

@@ -1,0 +1,126 @@
+// Package hotpathtest exercises the hotpathalloc analyzer: functions
+// marked //foxvet:hotpath must not allocate per segment, with the
+// executor boundary and trace-guarded regions exempt.
+package hotpathtest
+
+type Tracer struct{ enabled bool }
+
+func (t *Tracer) On() bool { return t != nil && t.enabled }
+
+func (t *Tracer) Printf(format string, args ...any) {}
+
+type Packet struct{ buf []byte }
+
+type segment struct {
+	seq  uint32
+	data []byte
+}
+
+type action interface{ isAction() }
+
+type actSend struct{ sg *segment }
+
+func (actSend) isAction() {}
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+type Conn struct {
+	trace *Tracer
+	toDo  []action
+	sink  any
+}
+
+func (c *Conn) enqueue(a action) { c.toDo = append(c.toDo, a) }
+
+func register(h any) { _ = h }
+
+//foxvet:hotpath
+func (c *Conn) loopAllocs(segs []*segment) {
+	for _, sg := range segs {
+		hold := &Packet{buf: sg.data} // want "composite literal allocates inside a loop on the hot path"
+		_ = hold
+		tmp := make([]byte, 16) // want "make allocates inside a loop on the hot path"
+		_ = tmp
+	}
+}
+
+//foxvet:hotpath
+func (c *Conn) boxing(sg *segment) error {
+	register(sg.seq) // want "interface conversion boxes a uint32 into any on the hot path"
+	c.sink = *sg     // want "interface conversion boxes a hotpathtest.segment into any on the hot path"
+	if sg.data == nil {
+		return errString("empty segment") // want "interface conversion boxes a hotpathtest.errString into error on the hot path"
+	}
+	return nil
+}
+
+//foxvet:hotpath
+func (c *Conn) unguardedTrace(sg *segment, err error) {
+	c.trace.Printf("rx %d: %v", sg.seq, err) // want "variadic call allocates its argument slice on the hot path"
+}
+
+//foxvet:hotpath
+func (c *Conn) growingAppend(sg *segment) {
+	var acc []byte
+	acc = append(acc, sg.data...) // want "append may grow acc on the hot path"
+	_ = acc
+}
+
+//foxvet:hotpath
+func (c *Conn) capturing(sg *segment) {
+	buf := sg.data
+	f := func() int { return len(buf) } // want "closure on the hot path captures packet buffer .buf."
+	_ = f()
+}
+
+// The approved idioms below must stay silent.
+
+//foxvet:hotpath
+func (c *Conn) boundaryAndGuards(sg *segment) error {
+	// The executor boundary is the sanctioned per-segment allocation.
+	c.enqueue(actSend{sg: sg})
+
+	// Trace-guarded regions may allocate: they only run when tracing.
+	if c.trace.On() {
+		c.trace.Printf("rx %d bytes", len(sg.data))
+		hold := &Packet{buf: sg.data}
+		_ = hold
+	}
+	if c.trace != nil {
+		c.trace.Printf("seq %d", sg.seq)
+	}
+
+	// A preallocated append cannot grow.
+	out := make([]byte, 0, 64)
+	out = append(out, sg.data...)
+	_ = out
+
+	// Pointer values fit the interface word: no box.
+	register(sg)
+
+	// Constant-only variadic calls burn no per-segment allocation that
+	// depends on the segment; the vet accepts them.
+	c.trace.Printf("fast path hit")
+
+	// A composite literal outside any loop is the normal
+	// one-per-operation cost, not a per-byte cost.
+	one := &segment{seq: sg.seq}
+	_ = one
+	return nil
+}
+
+// unmarked does all of the above without the directive: the analyzer
+// only polices declared hot paths.
+func (c *Conn) unmarked(segs []*segment) error {
+	var acc []byte
+	for _, sg := range segs {
+		hold := &Packet{buf: sg.data}
+		_ = hold
+		acc = append(acc, sg.data...)
+		c.trace.Printf("rx %d", sg.seq)
+		c.sink = *sg
+	}
+	return errString("not hot")
+}

@@ -1,0 +1,14 @@
+package noblock
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+// TestNoblock runs the analyzer over a package that registers work with
+// a miniature scheduler: the bad file seeds every blocking class, the
+// good file holds the approved sim idioms and must stay silent.
+func TestNoblock(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "noblocktest")
+}

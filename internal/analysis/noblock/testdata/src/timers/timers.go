@@ -1,0 +1,12 @@
+// Package timers is a miniature of repro/internal/timers for the
+// noblock testdata: Start registers a scheduler-invoked callback.
+package timers
+
+type Timer struct{ cleared bool }
+
+func Start(s any, handler func(), d int) *Timer {
+	_ = handler
+	return &Timer{}
+}
+
+func (t *Timer) Clear() { t.cleared = true }

@@ -13,18 +13,23 @@
 // executor's enqueue/run/perform, which the traversal treats as a
 // boundary and does not look inside.
 //
-// The call graph is static and intra-package: direct calls and method
-// calls resolve; calls through stored function values do not, matching
-// the structure of the stack (the async seams are exactly the callback
-// registrations this pass uses as roots).
+// The traversal runs on the module-wide callgraph shared with the
+// statemachine and noblock passes (built once per driver run): direct
+// calls and method calls resolve; calls through stored function values
+// do not, matching the structure of the stack (the async seams are
+// exactly the callback registrations this pass uses as roots). The
+// protected-module check stays within the package under analysis — file
+// names like send.go only mean something inside internal/tcp.
 package quasisync
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"path/filepath"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
 )
 
 // Analyzer is the quasisync pass.
@@ -64,33 +69,19 @@ func registrar(fn *types.Func) (label string, ok bool) {
 	return "", false
 }
 
-type checker struct {
-	pass  *analysis.Pass
-	decls map[*types.Func]*ast.FuncDecl
-}
-
 func run(pass *analysis.Pass) (any, error) {
-	c := &checker{pass: pass, decls: map[*types.Func]*ast.FuncDecl{}}
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
-				c.decls[fn] = fd
-			}
-		}
-	}
+	g := pass.Shared.Memo("callgraph", func() any {
+		return callgraph.Build(pass.Shared.Packages)
+	}).(*callgraph.Graph)
 
-	// Find the async roots: function values passed to a registrar.
+	reported := map[token.Pos]bool{}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
 			}
-			fn := c.callee(call)
+			fn := callgraph.Callee(pass.TypesInfo, call)
 			if fn == nil {
 				return true
 			}
@@ -99,10 +90,15 @@ func run(pass *analysis.Pass) (any, error) {
 				return true
 			}
 			for _, arg := range call.Args {
-				if tv, ok := pass.TypesInfo.Types[arg]; ok {
-					if _, isFunc := tv.Type.Underlying().(*types.Signature); isFunc {
-						c.checkRoot(arg, label)
-					}
+				tv, ok := pass.TypesInfo.Types[arg]
+				if !ok || tv.Type == nil {
+					continue
+				}
+				if _, isFunc := tv.Type.Underlying().(*types.Signature); !isFunc {
+					continue
+				}
+				if root := g.RootFor(pass.TypesInfo, arg); root != nil {
+					checkRoot(pass, g, root, label, reported)
 				}
 			}
 			return true
@@ -111,103 +107,35 @@ func run(pass *analysis.Pass) (any, error) {
 	return nil, nil
 }
 
-// callee resolves the statically-known target of a call, or nil.
-func (c *checker) callee(call *ast.CallExpr) *types.Func {
-	var obj types.Object
-	switch fun := call.Fun.(type) {
-	case *ast.Ident:
-		obj = c.pass.TypesInfo.Uses[fun]
-	case *ast.SelectorExpr:
-		obj = c.pass.TypesInfo.Uses[fun.Sel]
-	}
-	fn, _ := obj.(*types.Func)
-	return fn
-}
-
-// checkRoot traverses from one registered callback expression.
-func (c *checker) checkRoot(arg ast.Expr, label string) {
-	seen := map[*types.Func]bool{}
-	switch a := arg.(type) {
-	case *ast.FuncLit:
-		c.walkBody(a.Body, label, seen)
-	case *ast.Ident, *ast.SelectorExpr:
-		var obj types.Object
-		if id, ok := a.(*ast.Ident); ok {
-			obj = c.pass.TypesInfo.Uses[id]
-		} else {
-			obj = c.pass.TypesInfo.Uses[a.(*ast.SelectorExpr).Sel]
+// checkRoot walks everything reachable from one registered callback:
+// protected callees are reported (and not descended into), boundary
+// callees are skipped, everything else with a known declaration is
+// traversed — nested function literals included, since a closure built
+// on the async path runs on the async path.
+func checkRoot(pass *analysis.Pass, g *callgraph.Graph, root *callgraph.Node, label string, reported map[token.Pos]bool) {
+	g.Walk(root, func(from *callgraph.Node, site *ast.CallExpr, callee *types.Func) bool {
+		if boundary[callee.Name()] {
+			return false
 		}
-		if fn, ok := obj.(*types.Func); ok {
-			c.visit(fn, label, seen)
+		if file := declFile(pass, g, callee); file != "" && protectedFiles[file] {
+			if !reported[site.Pos()] {
+				reported[site.Pos()] = true
+				pass.Reportf(site.Pos(),
+					"%s is reachable from an async entry point (%s) and calls %s, declared in %s — a synchronous Receive/Send/Resend module; enqueue a tcp_action on to_do instead",
+					from.Name(), label, callee.Name(), file)
+			}
+			return false
 		}
-	}
-}
-
-func (c *checker) visit(fn *types.Func, label string, seen map[*types.Func]bool) {
-	if seen[fn] || boundary[fn.Name()] {
-		return
-	}
-	seen[fn] = true
-	if fd, ok := c.decls[fn]; ok {
-		c.walkBody(fd.Body, label, seen)
-	}
-}
-
-// walkBody scans one reachable body: protected callees are reported,
-// boundary callees are skipped, everything else with a known
-// declaration is traversed. Nested function literals are walked too —
-// a closure built on the async path runs on the async path.
-func (c *checker) walkBody(body ast.Node, label string, seen map[*types.Func]bool) {
-	ast.Inspect(body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		fn := c.callee(call)
-		if fn == nil {
-			return true
-		}
-		if file := c.declFile(fn); file != "" && protectedFiles[file] {
-			c.pass.Reportf(call.Pos(),
-				"%s is reachable from an async entry point (%s) and calls %s, declared in %s — a synchronous Receive/Send/Resend module; enqueue a tcp_action on to_do instead",
-				enclosingName(c.pass, call), label, fn.Name(), file)
-			return true
-		}
-		if boundary[fn.Name()] {
-			return true
-		}
-		c.visit(fn, label, seen)
 		return true
 	})
 }
 
 // declFile returns the base name of the file declaring fn, when fn is
 // declared in the package under analysis.
-func (c *checker) declFile(fn *types.Func) string {
-	fd, ok := c.decls[fn]
-	if !ok {
+func declFile(pass *analysis.Pass, g *callgraph.Graph, fn *types.Func) string {
+	node, ok := g.Funcs[fn]
+	if !ok || node.Pkg.Types != pass.Pkg {
 		return ""
 	}
-	return filepath.Base(c.pass.Fset.Position(fd.Pos()).Filename)
-}
-
-// enclosingName names the function declaration containing pos, for
-// diagnostics.
-func enclosingName(pass *analysis.Pass, n ast.Node) string {
-	for _, f := range pass.Files {
-		if n.Pos() < f.Pos() || n.Pos() >= f.End() {
-			continue
-		}
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok {
-				continue
-			}
-			if n.Pos() >= fd.Pos() && n.Pos() < fd.End() {
-				return fd.Name.Name
-			}
-		}
-		return "a function literal"
-	}
-	return "code"
+	return filepath.Base(pass.Fset.Position(node.Decl.Pos()).Filename)
 }

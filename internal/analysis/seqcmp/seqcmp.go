@@ -41,6 +41,27 @@ func isSeq(t types.Type) bool {
 	return ok && basic.Kind() == types.Uint32
 }
 
+// laundered reports whether e strips the seq type through an integer
+// conversion — `uint32(x)` where x is sequence space. The conversion
+// result type-checks as a plain integer, so without this check it walks
+// straight past isSeq and re-enables the wrap bug the defined type
+// exists to prevent.
+func laundered(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return false
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return false
+	}
+	if basic, ok := tv.Type.Underlying().(*types.Basic); !ok || basic.Info()&types.IsInteger == 0 {
+		return false
+	}
+	argT := info.Types[call.Args[0]]
+	return argT.Type != nil && isSeq(argT.Type)
+}
+
 func run(pass *analysis.Pass) (any, error) {
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -56,6 +77,10 @@ func run(pass *analysis.Pass) (any, error) {
 					pass.Reportf(be.OpPos,
 						"raw %s comparison of sequence-space values; use the wrap-safe helpers seqLT/seqLEQ/seqGT/seqGEQ/seqBetween",
 						be.Op)
+				} else if laundered(pass.TypesInfo, be.X) || laundered(pass.TypesInfo, be.Y) {
+					pass.Reportf(be.OpPos,
+						"sequence-space value laundered through an integer conversion in a raw %s comparison; use the wrap-safe helpers seqLT/seqLEQ/seqGT/seqGEQ/seqBetween",
+						be.Op)
 				}
 			case token.SUB:
 				// A constant operand is offset arithmetic (seq - 1),
@@ -64,6 +89,9 @@ func run(pass *analysis.Pass) (any, error) {
 				if isSeq(x.Type) && isSeq(y.Type) && x.Value == nil && y.Value == nil {
 					pass.Reportf(be.OpPos,
 						"bare subtraction of sequence-space values; use seqSub for ring distances")
+				} else if laundered(pass.TypesInfo, be.X) && laundered(pass.TypesInfo, be.Y) {
+					pass.Reportf(be.OpPos,
+						"sequence-space values laundered through integer conversions in a bare subtraction; use seqSub for ring distances")
 				}
 			}
 			return true

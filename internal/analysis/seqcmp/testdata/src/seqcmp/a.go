@@ -40,3 +40,19 @@ func mixed(a seq, w uint32) {
 		_ = a
 	}
 }
+
+// launderedCases strip the seq type through integer conversions before
+// comparing — the wrap bug survives the conversion, so the analyzer
+// must see through it.
+func launderedCases(a, b seq) {
+	if uint32(a) < uint32(b) { // want "laundered through an integer conversion in a raw < comparison"
+		_ = a
+	}
+	if uint32(a) >= 1000 { // want "laundered through an integer conversion in a raw >= comparison"
+		_ = a
+	}
+	if int64(b) > 7 { // want "laundered through an integer conversion in a raw > comparison"
+		_ = b
+	}
+	_ = uint32(a) - uint32(b) // want "laundered through integer conversions in a bare subtraction"
+}

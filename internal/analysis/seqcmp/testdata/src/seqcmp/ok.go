@@ -22,3 +22,13 @@ func approved(a, b seq, w uint32, data []byte) {
 		_ = w
 	}
 }
+
+// marshalUse converts sequence numbers for the wire without ordering
+// them: conversions alone stay approved.
+func marshalUse(a seq, w uint32) uint32 {
+	field := uint32(a) // writing the header field is fine
+	if w < 10 {        // comparing a converted NON-seq value is fine
+		_ = uint32(w + 1)
+	}
+	return field
+}

@@ -1,0 +1,68 @@
+package statemachine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders the extracted machine as Graphviz, annotated against the
+// RFC 793 table: solid edges are extracted Direct transitions, red
+// edges are extracted transitions outside the Direct set (illegal or
+// composite-taken-directly — absent on a conforming tree), and dotted
+// gray edges are required transitions the extraction never found.
+// DESIGN.md embeds this output.
+func (m *Machine) Dot() string {
+	direct := map[Transition]bool{}
+	for _, t := range Table {
+		if t.Kind == Direct {
+			direct[Transition{From: t.From, To: t.To}] = true
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString("digraph tcp_states {\n")
+	b.WriteString("\trankdir=TB;\n")
+	b.WriteString("\tnode [shape=box, fontname=\"Helvetica\", fontsize=11];\n")
+	b.WriteString("\tedge [fontname=\"Helvetica\", fontsize=9];\n")
+	for _, s := range m.States {
+		fmt.Fprintf(&b, "\t%q;\n", s)
+	}
+
+	// Deterministic order: state order of From, then of To.
+	index := map[string]int{}
+	for i, s := range m.States {
+		index[s] = i
+	}
+	var edges []Transition
+	for tr := range m.Transitions {
+		edges = append(edges, tr)
+	}
+	for i := 0; i < len(edges); i++ {
+		for j := i + 1; j < len(edges); j++ {
+			a, c := edges[i], edges[j]
+			if index[c.From] < index[a.From] ||
+				(index[c.From] == index[a.From] && index[c.To] < index[a.To]) {
+				edges[i], edges[j] = edges[j], edges[i]
+			}
+		}
+	}
+
+	for _, tr := range edges {
+		if direct[tr] {
+			fmt.Fprintf(&b, "\t%q -> %q;\n", tr.From, tr.To)
+		} else {
+			fmt.Fprintf(&b, "\t%q -> %q [color=red, label=\"not in table\"];\n", tr.From, tr.To)
+		}
+	}
+	for _, t := range Table {
+		if t.Kind != Direct {
+			continue
+		}
+		tr := Transition{From: t.From, To: t.To}
+		if _, ok := m.Transitions[tr]; !ok {
+			fmt.Fprintf(&b, "\t%q -> %q [style=dotted, color=gray, label=\"required, unreached\"];\n", tr.From, tr.To)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

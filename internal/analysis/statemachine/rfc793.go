@@ -1,0 +1,107 @@
+package statemachine
+
+// This file encodes the RFC 793 connection-state transition relation as
+// data, refined the way the paper's Figure 6 refines it: Syn_Received
+// is split into SynActive (reached from SYN-SENT on a simultaneous
+// open) and SynPassive (reached from LISTEN), which makes the RST
+// handling of the two arrivals distinguishable by state alone.
+//
+// State names are the Go constant names with the "State" prefix
+// stripped. The table is the conformance target: the extracted relation
+// must contain every Direct edge and nothing else.
+
+// Kind classifies a table entry.
+type Kind int
+
+const (
+	// Direct edges must be realized by some setState call path.
+	Direct Kind = iota
+	// Composite edges exist in RFC 793's diagram but must NOT be taken
+	// in one setState step here — the implementation realizes them as a
+	// sequence of Direct edges within one segment's processing.
+	Composite
+	// Unoffered edges exist in RFC 793 but have no counterpart in this
+	// stack's API; extracting one means the implementation grew a
+	// behavior the table says it does not offer.
+	Unoffered
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Direct:
+		return "direct"
+	case Composite:
+		return "composite"
+	case Unoffered:
+		return "unoffered"
+	}
+	return "unknown"
+}
+
+// RFCTransition is one table row.
+type RFCTransition struct {
+	From, To string
+	Kind     Kind
+	Why      string
+}
+
+// Table is the full encoded relation. Every ...->Closed edge is Direct:
+// RFC 793 permits ABORT (and the user timeout) from any state, and this
+// stack realizes all of them through failConnection/deleteTCB.
+var Table = []RFCTransition{
+	// Opens.
+	{"Closed", "Listen", Direct, "passive open: a listener-born connection starts in LISTEN"},
+	{"Closed", "SynSent", Direct, "active open sends our SYN"},
+	{"Listen", "SynPassive", Direct, "SYN received on a listening port"},
+	{"Listen", "SynSent", Unoffered, "RFC 793 allows SEND from LISTEN; this API has no send-before-open"},
+
+	// Handshake completion.
+	{"SynSent", "SynActive", Direct, "simultaneous open: our SYN and the peer's crossed"},
+	{"SynSent", "Estab", Direct, "acceptable SYN,ACK received"},
+	{"SynActive", "Estab", Direct, "our SYN,ACK acknowledged"},
+	{"SynPassive", "Estab", Direct, "our SYN,ACK acknowledged"},
+	{"SynPassive", "Listen", Unoffered, "RFC 793 returns a passive open to LISTEN on RST; here the embryonic connection is deleted and the still-installed listener accepts the next SYN afresh"},
+
+	// Closing, our side first.
+	{"SynActive", "FinWait1", Direct, "close before the handshake completes; the FIN follows our SYN,ACK"},
+	{"SynPassive", "FinWait1", Direct, "close before the handshake completes; the FIN follows our SYN,ACK"},
+	{"Estab", "FinWait1", Direct, "user close emits our FIN"},
+	{"FinWait1", "FinWait2", Direct, "our FIN acknowledged"},
+	{"FinWait1", "Closing", Direct, "peer's FIN arrived before the ACK of ours: simultaneous close"},
+	{"FinWait1", "TimeWait", Composite, "FIN,ACK in one segment is processed as ACK-of-our-FIN then peer-FIN: FinWait1 -> FinWait2 -> TimeWait within one drain"},
+	{"FinWait2", "TimeWait", Direct, "peer's FIN received"},
+	{"Closing", "TimeWait", Direct, "our FIN acknowledged after a simultaneous close"},
+
+	// Closing, peer's side first. RFC 793's event processing ("If the
+	// FIN bit is set ... SYN-RECEIVED STATE / ESTABLISHED STATE: enter
+	// CLOSE-WAIT") allows the SYN-RECEIVED edges its summary diagram
+	// omits.
+	{"SynActive", "CloseWait", Direct, "peer's FIN while still synchronizing (RFC 793 p. 75 event processing)"},
+	{"SynPassive", "CloseWait", Direct, "peer's FIN while still synchronizing (RFC 793 p. 75 event processing)"},
+	{"Estab", "CloseWait", Direct, "peer's FIN received"},
+	{"CloseWait", "LastAck", Direct, "user close emits our FIN after the peer's"},
+
+	// Deaths: abort, reset, user timeout, and TCB deletion, legal from
+	// every state (RFC 793 ABORT call).
+	{"Listen", "Closed", Direct, "close or delete of a listener-born connection"},
+	{"SynSent", "Closed", Direct, "close, reset, or timeout during the handshake"},
+	{"SynActive", "Closed", Direct, "abort, reset, or timeout"},
+	{"SynPassive", "Closed", Direct, "abort, reset, or timeout"},
+	{"Estab", "Closed", Direct, "abort, reset, or timeout"},
+	{"FinWait1", "Closed", Direct, "abort, reset, or timeout"},
+	{"FinWait2", "Closed", Direct, "abort, reset, or timeout"},
+	{"CloseWait", "Closed", Direct, "abort, reset, or timeout"},
+	{"Closing", "Closed", Direct, "abort, reset, or timeout"},
+	{"LastAck", "Closed", Direct, "our FIN acknowledged; the connection is deleted"},
+	{"TimeWait", "Closed", Direct, "2 MSL quarantine expired; the connection is deleted"},
+}
+
+// tableNames returns every state name the table mentions.
+func tableNames() map[string]bool {
+	names := map[string]bool{}
+	for _, t := range Table {
+		names[t.From] = true
+		names[t.To] = true
+	}
+	return names
+}

@@ -1,0 +1,759 @@
+// Package statemachine statically extracts the TCP connection state
+// machine and checks it against RFC 793.
+//
+// The paper's State module is decomposed exactly as the specification
+// is, which is what makes this extraction possible: every transition
+// passes through the single door setState (the singledoor pass enforces
+// that), and the guards around each call are plain comparisons and
+// switches on the state field. This pass runs an abstract
+// interpretation over the analysis/cfg graphs: the abstract value is
+// the set of states the connection may occupy (a bitmask), branch
+// edges narrow it (`c.state == StateEstab`, `switch c.state` case and
+// default edges), and function summaries — memoized per (function,
+// entry mask) so callers with precise contexts are not poisoned by
+// other call sites — propagate it through the call structure. Each
+// setState(K) call then contributes the transitions {(s, K) | s in
+// mask, s != K}; the union over all analyzed roots is the extracted
+// relation, which is diffed against the rfc793.go table: extracted
+// edges outside the table's Direct set are illegal (or composite edges
+// taken in one step), and Direct edges never extracted are dead
+// specification.
+//
+// Soundness shape: the executor functions enqueue/run/perform are a
+// boundary with identity effect — the quasi-synchronous discipline
+// (enforced by quasisync) means a drained action re-derives state from
+// its own guards, so perform's callees are analyzed as roots with the
+// full state universe instead of inheriting a caller mask. Analysis
+// roots are: exported functions, functions with no static in-package
+// caller outside the boundary, functions referenced as values (callback
+// registrations), and every function literal — all entered with the
+// universe mask. The extraction is return-value-insensitive and tracks
+// one abstract connection per function frame (the stack has no
+// two-connection functions), so the result over-approximates the
+// executable relation; conformance means the over-approximation already
+// fits inside the legal table.
+package statemachine
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
+	"repro/internal/analysis/cfg"
+	"repro/internal/analysis/dataflow"
+)
+
+// Analyzer is the statemachine pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "statemachine",
+	Doc:  "extract every setState transition under its CFG-derived state guards and diff the relation against the RFC 793 table",
+	Run:  run,
+}
+
+// boundary names the quasi-synchronous executor's functions: identity
+// effect, bodies analyzed as fresh roots (see the package comment).
+var boundary = map[string]bool{
+	"enqueue": true,
+	"run":     true,
+	"perform": true,
+}
+
+// mask is a set of states, one bit per declared constant.
+type mask uint64
+
+// Transition is one extracted from->to edge (names without the "State"
+// prefix).
+type Transition struct {
+	From, To string
+}
+
+// Machine is an extracted state machine.
+type Machine struct {
+	// States lists the state names in constant-value order.
+	States []string
+	// Transitions maps each extracted edge to the setState call sites
+	// that realize it.
+	Transitions map[Transition][]token.Pos
+}
+
+// shape describes the guarded machine found in a package.
+type shape struct {
+	stateType  *types.Named
+	stateField *types.Var
+	setState   *types.Func
+	names      []string         // bit -> name (prefix stripped), value order
+	constBit   map[int64]int    // constant value -> bit
+	constOf    map[string]int64 // constant name -> value (diagnostics)
+	universe   mask
+	ctors      map[*types.Func]mask // constructor -> seed mask
+}
+
+func (sh *shape) bitOf(val int64) (int, bool) {
+	b, ok := sh.constBit[val]
+	return b, ok
+}
+
+// detect finds the machine shape in pkg: a defined integer type State,
+// its package-level constants, a setState method taking one State whose
+// receiver struct has a State-typed field, and the constructor functions
+// that build the receiver from a composite literal. Returns nil when the
+// package has no such machine, or when its state names do not cover the
+// RFC 793 table (some other machine this pass does not guard).
+func detect(pkg *analysis.Package) *shape {
+	obj, ok := pkg.Types.Scope().Lookup("State").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	sh := &shape{
+		stateType: named,
+		constBit:  map[int64]int{},
+		constOf:   map[string]int64{},
+		ctors:     map[*types.Func]mask{},
+	}
+
+	// Constants of the State type, ordered by value.
+	scope := pkg.Types.Scope()
+	type sc struct {
+		name string
+		val  int64
+	}
+	var consts []sc
+	for _, name := range scope.Names() {
+		cn, ok := scope.Lookup(name).(*types.Const)
+		if !ok || cn.Type() != named {
+			continue
+		}
+		v, ok := constant.Int64Val(cn.Val())
+		if !ok {
+			continue
+		}
+		sh.constOf[name] = v
+		consts = append(consts, sc{name, v})
+	}
+	for i := 0; i < len(consts); i++ {
+		for j := i + 1; j < len(consts); j++ {
+			if consts[j].val < consts[i].val {
+				consts[i], consts[j] = consts[j], consts[i]
+			}
+		}
+	}
+	if len(consts) == 0 || len(consts) > 64 {
+		return nil
+	}
+	for i, c := range consts {
+		sh.names = append(sh.names, strings.TrimPrefix(c.name, "State"))
+		sh.constBit[c.val] = i
+		sh.universe |= 1 << i
+	}
+
+	// The setState door and the guarded field.
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "setState" || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := fn.Type().(*types.Signature)
+			if sig.Params().Len() != 1 || sig.Params().At(0).Type() != named {
+				continue
+			}
+			recv := sig.Recv().Type()
+			if ptr, ok := recv.(*types.Pointer); ok {
+				recv = ptr.Elem()
+			}
+			st, ok := recv.Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i).Type() == named {
+					sh.stateField = st.Field(i)
+					break
+				}
+			}
+			if sh.stateField != nil {
+				sh.setState = fn
+			}
+		}
+	}
+	if sh.setState == nil {
+		return nil
+	}
+
+	// Only guard the machine whose vocabulary the RFC table speaks.
+	have := map[string]bool{}
+	for _, n := range sh.names {
+		have[n] = true
+	}
+	for n := range tableNames() {
+		if !have[n] {
+			return nil
+		}
+	}
+
+	// Constructors: functions whose body builds the guarded struct from
+	// a composite literal. The seed is the literal's state element (or
+	// the zero-value constant when the element is absent).
+	connType := sh.setState.Type().(*types.Signature).Recv().Type()
+	if ptr, ok := connType.(*types.Pointer); ok {
+		connType = ptr.Elem()
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok || fn == sh.setState {
+				continue
+			}
+			seed, found := ctorSeed(pkg.Info, fd.Body, connType, sh)
+			if found {
+				sh.ctors[fn] = seed
+			}
+		}
+	}
+	return sh
+}
+
+// ctorSeed scans body for a composite literal of connType and derives
+// the constructed state mask.
+func ctorSeed(info *types.Info, body ast.Node, connType types.Type, sh *shape) (mask, bool) {
+	var seed mask
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[lit]
+		if !ok || tv.Type != connType {
+			return true
+		}
+		found = true
+		seed = 0
+		explicit := false
+		for _, elt := range lit.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok || key.Name != sh.stateField.Name() {
+				continue
+			}
+			explicit = true
+			if b, ok := sh.constBitOf(info, kv.Value); ok {
+				seed = 1 << b
+			} else {
+				seed = sh.universe
+			}
+		}
+		if !explicit {
+			// Zero value: the constant with value 0, if declared.
+			if b, ok := sh.bitOf(0); ok {
+				seed = 1 << b
+			} else {
+				seed = sh.universe
+			}
+		}
+		return true
+	})
+	return seed, found
+}
+
+// constBitOf resolves e to a State constant's bit.
+func (sh *shape) constBitOf(info *types.Info, e ast.Expr) (int, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	if !ok {
+		return 0, false
+	}
+	return sh.bitOf(v)
+}
+
+// extractor runs the interprocedural abstract interpretation.
+type extractor struct {
+	pkg   *analysis.Package
+	sh    *shape
+	graph *callgraph.Graph
+
+	cfgs   map[*callgraph.Node]*cfg.Graph
+	sums   map[sumKey]mask
+	inprog map[sumKey]bool
+	reach  map[*types.Func]int8 // 0 unknown, 1 visiting, 2 yes, 3 no
+
+	trans map[Transition]map[token.Pos]bool
+
+	// reportf, when non-nil, receives structural diagnostics found
+	// during extraction (non-constant setState arguments).
+	reportf func(pos token.Pos, format string, args ...any)
+}
+
+type sumKey struct {
+	node  *callgraph.Node
+	entry mask
+}
+
+func newExtractor(pkg *analysis.Package, sh *shape, g *callgraph.Graph) *extractor {
+	return &extractor{
+		pkg:    pkg,
+		sh:     sh,
+		graph:  g,
+		cfgs:   map[*callgraph.Node]*cfg.Graph{},
+		sums:   map[sumKey]mask{},
+		inprog: map[sumKey]bool{},
+		reach:  map[*types.Func]int8{},
+		trans:  map[Transition]map[token.Pos]bool{},
+	}
+}
+
+// extract analyzes every root and returns the extracted machine.
+func (e *extractor) extract() *Machine {
+	calledBy := map[*types.Func]int{}
+	for _, n := range e.graph.Nodes {
+		if n.Pkg != e.pkg || e.skipBody(n) {
+			continue
+		}
+		for _, edge := range n.Edges {
+			if edge.Callee.Pkg() == e.pkg.Types {
+				calledBy[edge.Callee]++
+			}
+		}
+	}
+	valueRefs := e.valueReferences()
+
+	for _, n := range e.graph.Nodes {
+		if n.Pkg != e.pkg || e.skipBody(n) {
+			continue
+		}
+		root := false
+		switch {
+		case n.Lit != nil:
+			root = true
+		case n.Fn.Exported():
+			root = true
+		case calledBy[n.Fn] == 0:
+			root = true
+		case valueRefs[n.Fn]:
+			root = true
+		}
+		if root {
+			e.summarize(n, e.sh.universe)
+		}
+	}
+
+	m := &Machine{States: e.sh.names, Transitions: map[Transition][]token.Pos{}}
+	for tr, sites := range e.trans {
+		var ps []token.Pos
+		for p := range sites {
+			ps = append(ps, p)
+		}
+		for i := 0; i < len(ps); i++ {
+			for j := i + 1; j < len(ps); j++ {
+				if ps[j] < ps[i] {
+					ps[i], ps[j] = ps[j], ps[i]
+				}
+			}
+		}
+		m.Transitions[tr] = ps
+	}
+	return m
+}
+
+// skipBody reports whether a node's body is outside the analysis: the
+// door itself and the executor boundary.
+func (e *extractor) skipBody(n *callgraph.Node) bool {
+	if n.Fn == nil {
+		return false
+	}
+	return n.Fn == e.sh.setState || (boundary[n.Fn.Name()] && n.Fn.Pkg() == e.pkg.Types)
+}
+
+// valueReferences finds functions referenced outside call position —
+// callbacks handed to registrars run with unknown state.
+func (e *extractor) valueReferences() map[*types.Func]bool {
+	callFuns := map[*ast.Ident]bool{}
+	refs := map[*types.Func]bool{}
+	for _, f := range e.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				callFuns[fun] = true
+			case *ast.SelectorExpr:
+				callFuns[fun.Sel] = true
+			}
+			return true
+		})
+	}
+	for _, f := range e.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || callFuns[id] {
+				return true
+			}
+			if fn, ok := e.pkg.Info.Uses[id].(*types.Func); ok && fn.Pkg() == e.pkg.Types {
+				refs[fn] = true
+			}
+			return true
+		})
+	}
+	return refs
+}
+
+// summarize computes the exit mask of node entered with entry,
+// recording the transitions taken along the way. Summaries are memoized
+// per (node, entry); re-entrant calls (recursion) get the identity
+// summary, which is sound for this stack (no recursion crosses the
+// state modules) and documented as a limit.
+func (e *extractor) summarize(node *callgraph.Node, entry mask) mask {
+	key := sumKey{node, entry}
+	if out, ok := e.sums[key]; ok {
+		return out
+	}
+	if e.inprog[key] {
+		return entry
+	}
+	e.inprog[key] = true
+	defer delete(e.inprog, key)
+
+	g := e.cfgs[node]
+	if g == nil {
+		var body *ast.BlockStmt
+		if node.Decl != nil {
+			body = node.Decl.Body
+		} else {
+			body = node.Lit.Body
+		}
+		g = cfg.New(body)
+		e.cfgs[node] = g
+	}
+
+	info := node.Pkg.Info
+	res := dataflow.Forward(g, dataflow.Problem[mask]{
+		Entry: entry,
+		Join:  func(a, b mask) mask { return a | b },
+		Equal: func(a, b mask) bool { return a == b },
+		Transfer: func(b *cfg.Block, in mask) mask {
+			m := in
+			for _, stmt := range b.Nodes {
+				m = e.applyCalls(info, stmt, m)
+			}
+			return m
+		},
+		Branch: func(cond ast.Expr, out mask) (mask, mask) {
+			m := e.applyCalls(info, cond, out)
+			return e.narrowBranch(info, cond, m)
+		},
+		Case: func(tag ast.Expr, values []ast.Expr, isDefault bool, out mask) mask {
+			m := e.applyCalls(info, tag, out)
+			if !e.isStateExpr(info, tag) {
+				return m
+			}
+			var bits mask
+			for _, v := range values {
+				if b, ok := e.sh.constBitOf(info, v); ok {
+					bits |= 1 << b
+				} else {
+					// A non-constant case value: no narrowing is safe.
+					return m
+				}
+			}
+			if isDefault {
+				return m &^ bits
+			}
+			return m & bits
+		},
+	})
+
+	out, ok := res.Reached(g.Exit)
+	if !ok {
+		out = 0
+	}
+	e.sums[key] = out
+	return out
+}
+
+// applyCalls folds the abstract effect of every call under n (in
+// evaluation order, skipping nested function literals) into m.
+func (e *extractor) applyCalls(info *types.Info, n ast.Node, m mask) mask {
+	if n == nil {
+		return m
+	}
+	for _, call := range orderedCalls(n) {
+		m = e.applyCall(info, call, m)
+	}
+	return m
+}
+
+func (e *extractor) applyCall(info *types.Info, call *ast.CallExpr, m mask) mask {
+	callee := callgraph.Callee(info, call)
+	if callee == nil {
+		return m
+	}
+	if callee == e.sh.setState {
+		return e.applySetState(info, call, m)
+	}
+	if seed, ok := e.sh.ctors[callee]; ok {
+		// The frame's abstract connection is now the newly built one.
+		return seed
+	}
+	if callee.Pkg() == e.pkg.Types && boundary[callee.Name()] {
+		return m
+	}
+	if node := e.graph.Funcs[callee]; node != nil && node.Pkg == e.pkg && e.reachesSetState(callee) {
+		return e.summarize(node, m)
+	}
+	return m
+}
+
+// applySetState records the transitions a setState call contributes and
+// returns the post-call mask.
+func (e *extractor) applySetState(info *types.Info, call *ast.CallExpr, m mask) mask {
+	if len(call.Args) != 1 {
+		return m
+	}
+	b, ok := e.sh.constBitOf(info, call.Args[0])
+	if !ok {
+		if e.reportf != nil {
+			e.reportf(call.Pos(),
+				"setState called with a non-constant state; the transition cannot be checked against the RFC 793 table")
+		}
+		return e.sh.universe
+	}
+	if m == 0 {
+		// Dead path: narrowing emptied the mask, nothing executes here.
+		return 0
+	}
+	to := e.sh.names[b]
+	for s := 0; s < len(e.sh.names); s++ {
+		if m&(1<<s) == 0 || s == b {
+			// setState returns early on from == to: a self-loop is not
+			// a transition.
+			continue
+		}
+		tr := Transition{From: e.sh.names[s], To: to}
+		if e.trans[tr] == nil {
+			e.trans[tr] = map[token.Pos]bool{}
+		}
+		e.trans[tr][call.Pos()] = true
+	}
+	return 1 << b
+}
+
+// narrowBranch refines the mask on the two edges of a leaf condition:
+// `x.state == K` and `x.state != K` narrow; anything else passes the
+// mask through unchanged.
+func (e *extractor) narrowBranch(info *types.Info, cond ast.Expr, m mask) (mask, mask) {
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return m, m
+	}
+	var stateSide, constSide ast.Expr
+	switch {
+	case e.isStateExpr(info, bin.X):
+		stateSide, constSide = bin.X, bin.Y
+	case e.isStateExpr(info, bin.Y):
+		stateSide, constSide = bin.Y, bin.X
+	default:
+		return m, m
+	}
+	_ = stateSide
+	b, ok := e.sh.constBitOf(info, constSide)
+	if !ok {
+		return m, m
+	}
+	eq := m & (1 << b)
+	ne := m &^ (1 << b)
+	if bin.Op == token.EQL {
+		return eq, ne
+	}
+	return ne, eq
+}
+
+// isStateExpr reports whether exp reads the guarded state field of the
+// frame's connection.
+func (e *extractor) isStateExpr(info *types.Info, exp ast.Expr) bool {
+	sel, ok := ast.Unparen(exp).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return info.Uses[sel.Sel] == e.sh.stateField
+}
+
+// reachesSetState reports whether fn can reach the door through
+// non-boundary static calls (nested literals excluded — they run at
+// some other time, as fresh roots).
+func (e *extractor) reachesSetState(fn *types.Func) bool {
+	switch e.reach[fn] {
+	case 1: // visiting: a cycle that has not reached the door
+		return false
+	case 2:
+		return true
+	case 3:
+		return false
+	}
+	node := e.graph.Funcs[fn]
+	if node == nil || node.Pkg != e.pkg {
+		e.reach[fn] = 3
+		return false
+	}
+	e.reach[fn] = 1
+	result := false
+	for _, edge := range node.Edges {
+		if edge.Callee == e.sh.setState {
+			result = true
+			break
+		}
+		if edge.Callee.Pkg() == e.pkg.Types && boundary[edge.Callee.Name()] {
+			continue
+		}
+		if e.reachesSetState(edge.Callee) {
+			result = true
+			break
+		}
+	}
+	if result {
+		e.reach[fn] = 2
+	} else {
+		e.reach[fn] = 3
+	}
+	return result
+}
+
+// orderedCalls collects the call expressions under n in evaluation
+// order (post-order: arguments before the call), skipping nested
+// function literals.
+func orderedCalls(n ast.Node) []*ast.CallExpr {
+	var out []*ast.CallExpr
+	var stack []ast.Node
+	ast.Inspect(n, func(x ast.Node) bool {
+		if x == nil {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if call, ok := top.(*ast.CallExpr); ok {
+				out = append(out, call)
+			}
+			return true
+		}
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		stack = append(stack, x)
+		return true
+	})
+	return out
+}
+
+// Extract returns the machine extracted from the first loaded package
+// with the guarded shape, or nil. cmd/foxvet's -statemachine-dot uses
+// it; run() below shares the same engine.
+func Extract(pkgs []*analysis.Package) *Machine {
+	g := callgraph.Build(pkgs)
+	for _, pkg := range pkgs {
+		sh := detect(pkg)
+		if sh == nil {
+			continue
+		}
+		e := newExtractor(pkg, sh, g)
+		return e.extract()
+	}
+	return nil
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	pkg := pass.Shared.PackageOf(pass.Pkg)
+	if pkg == nil {
+		return nil, nil
+	}
+	sh := detect(pkg)
+	if sh == nil {
+		return nil, nil
+	}
+	g := pass.Shared.Memo("callgraph", func() any {
+		return callgraph.Build(pass.Shared.Packages)
+	}).(*callgraph.Graph)
+
+	e := newExtractor(pkg, sh, g)
+	e.reportf = pass.Reportf
+	m := e.extract()
+
+	direct := map[Transition]bool{}
+	special := map[Transition]RFCTransition{}
+	for _, t := range Table {
+		tr := Transition{From: t.From, To: t.To}
+		if t.Kind == Direct {
+			direct[tr] = true
+		} else {
+			special[tr] = t
+		}
+	}
+
+	for tr, sites := range m.Transitions {
+		if direct[tr] {
+			continue
+		}
+		if sp, ok := special[tr]; ok {
+			for _, pos := range sites {
+				pass.Reportf(pos,
+					"state transition %s -> %s is %s in the RFC 793 table and must not be taken in one setState step: %s",
+					tr.From, tr.To, sp.Kind, sp.Why)
+			}
+			continue
+		}
+		for _, pos := range sites {
+			pass.Reportf(pos,
+				"illegal state transition %s -> %s: not an edge of the RFC 793 table",
+				tr.From, tr.To)
+		}
+	}
+
+	// Required edges never extracted: dead specification. Reported at
+	// the door so the machine owner sees them in one place.
+	doorPos := token.NoPos
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if fn, _ := pkg.Info.Defs[fd.Name].(*types.Func); fn == sh.setState {
+					doorPos = fd.Name.Pos()
+				}
+			}
+		}
+	}
+	for _, t := range Table {
+		if t.Kind != Direct {
+			continue
+		}
+		tr := Transition{From: t.From, To: t.To}
+		if _, ok := m.Transitions[tr]; !ok {
+			pass.Reportf(doorPos,
+				"required RFC 793 transition %s -> %s (%s) is not realized by any setState path",
+				t.From, t.To, t.Why)
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,63 @@
+package statemachine
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/load"
+)
+
+// TestGoodMachine asserts silence on a machine realizing exactly the
+// RFC 793 table's Direct set, including the guard idioms the real stack
+// uses (state switches with and without defaults, negated compound
+// conditions, constructor seeding, boundary calls, context-sensitive
+// helpers).
+func TestGoodMachine(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "goodmachine")
+}
+
+// TestBadMachine asserts the three failure classes are caught: an
+// illegal edge, a composite edge taken in one step, and required edges
+// that became unreachable.
+func TestBadMachine(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "badmachine")
+}
+
+// TestRealModuleConformance pins the acceptance criterion directly: the
+// relation extracted from internal/tcp equals the RFC 793 table's
+// Direct set, edge for edge.
+func TestRealModuleConformance(t *testing.T) {
+	root, err := filepath.Abs("../../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, _, err := load.LoadModule(root, false, "./internal/tcp")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	m := Extract(pkgs)
+	if m == nil {
+		t.Fatal("no machine found in internal/tcp")
+	}
+
+	want := map[Transition]bool{}
+	for _, tr := range Table {
+		if tr.Kind == Direct {
+			want[Transition{From: tr.From, To: tr.To}] = true
+		}
+	}
+	for tr := range m.Transitions {
+		if !want[tr] {
+			t.Errorf("extracted transition %s -> %s is not a Direct table edge", tr.From, tr.To)
+		}
+	}
+	for tr := range want {
+		if _, ok := m.Transitions[tr]; !ok {
+			t.Errorf("required transition %s -> %s was not extracted", tr.From, tr.To)
+		}
+	}
+	if t.Failed() {
+		t.Logf("extracted %d transitions, table requires %d", len(m.Transitions), len(want))
+	}
+}

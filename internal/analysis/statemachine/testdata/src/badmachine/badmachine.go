@@ -1,0 +1,183 @@
+// Package badmachine is goodmachine with four seeded defects: an edge
+// outside the RFC 793 table, a composite edge taken in one setState
+// step, required edges that became unreachable, and a setState call
+// whose argument is not a state constant.
+package badmachine
+
+type State int
+
+const (
+	StateClosed State = iota
+	StateListen
+	StateSynSent
+	StateSynActive
+	StateSynPassive
+	StateEstab
+	StateFinWait1
+	StateFinWait2
+	StateCloseWait
+	StateClosing
+	StateLastAck
+	StateTimeWait
+)
+
+type action int
+
+type Conn struct {
+	state State
+	toDo  []action
+}
+
+func newConn() *Conn { return &Conn{state: StateClosed} }
+
+// Defect: rcvListen skips SynPassive and ourFinAcked skips FinWait2, so
+// two handshake edges and one teardown edge the table requires are
+// never realized; finSent lost its CloseWait arm for a third.
+func (c *Conn) setState(to State) { // want "required RFC 793 transition Listen -> SynPassive" "required RFC 793 transition FinWait1 -> FinWait2" "required RFC 793 transition CloseWait -> LastAck"
+	if c.state == to {
+		return
+	}
+	c.state = to
+}
+
+func (c *Conn) enqueue(a action) { c.toDo = append(c.toDo, a) }
+
+func (c *Conn) run() {
+	for len(c.toDo) > 0 {
+		a := c.toDo[0]
+		c.toDo = c.toDo[1:]
+		c.perform(a)
+	}
+}
+
+func (c *Conn) perform(a action) {
+	switch a {
+	case 0:
+		c.receive()
+	case 1:
+		c.fail()
+	}
+}
+
+func acceptableAck() bool { return true }
+func finAcked() bool      { return true }
+
+func Open() *Conn {
+	c := newConn()
+	c.activeOpen()
+	c.run()
+	return c
+}
+
+func (c *Conn) activeOpen() { c.setState(StateSynSent) }
+
+func Accept() *Conn {
+	c := newConn()
+	c.setState(StateListen)
+	return c
+}
+
+func (c *Conn) receive() {
+	switch c.state {
+	case StateClosed:
+		return
+	case StateListen:
+		c.rcvListen()
+	case StateSynSent:
+		c.rcvSynSent()
+	case StateTimeWait:
+		c.enqueue(1)
+	default:
+		c.rcvGeneral()
+	}
+}
+
+// Defect: jumps straight to Estab, skipping the SYN exchange.
+func (c *Conn) rcvListen() {
+	c.setState(StateEstab) // want "illegal state transition Listen -> Estab: not an edge of the RFC 793 table"
+}
+
+func (c *Conn) rcvSynSent() {
+	if acceptableAck() {
+		c.establish()
+		return
+	}
+	c.setState(StateSynActive)
+}
+
+func (c *Conn) establish() { c.setState(StateEstab) }
+
+func (c *Conn) rcvGeneral() {
+	if !c.checkAck() {
+		return
+	}
+	if finAcked() {
+		c.ourFinAcked()
+	}
+	c.peerFin()
+}
+
+func (c *Conn) checkAck() bool {
+	switch c.state {
+	case StateSynActive, StateSynPassive:
+		if !acceptableAck() {
+			return false
+		}
+		c.establish()
+	}
+	return true
+}
+
+// Defect: the FinWait1 arm collapses FIN,ACK processing into one step
+// instead of passing through FinWait2.
+func (c *Conn) ourFinAcked() {
+	switch c.state {
+	case StateFinWait1:
+		c.enterTimeWait()
+	case StateClosing:
+		c.enterTimeWait()
+	case StateLastAck:
+		c.enqueue(1)
+	}
+}
+
+func (c *Conn) peerFin() {
+	switch c.state {
+	case StateSynActive, StateSynPassive, StateEstab:
+		c.setState(StateCloseWait)
+	case StateFinWait1:
+		c.setState(StateClosing)
+	case StateFinWait2:
+		c.enterTimeWait()
+	}
+}
+
+func (c *Conn) enterTimeWait() {
+	c.setState(StateTimeWait) // want "state transition FinWait1 -> TimeWait is composite in the RFC 793 table and must not be taken in one setState step"
+}
+
+func (c *Conn) Close() {
+	c.maybeSendFin()
+	c.run()
+}
+
+func (c *Conn) maybeSendFin() {
+	if c.state != StateClosed && c.state != StateListen && c.state != StateSynSent {
+		c.finSent()
+	}
+}
+
+func (c *Conn) finSent() {
+	switch c.state {
+	case StateSynActive, StateSynPassive, StateEstab:
+		c.setState(StateFinWait1)
+	}
+}
+
+func (c *Conn) fail() { c.setState(StateClosed) }
+
+// Defect: the transition target flows in as data, so the analysis
+// cannot relate it to the table.
+func (c *Conn) force(s State) {
+	c.setState(s) // want "setState called with a non-constant state; the transition cannot be checked against the RFC 793 table"
+}

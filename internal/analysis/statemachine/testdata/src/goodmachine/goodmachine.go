@@ -1,0 +1,188 @@
+// Package goodmachine realizes exactly the RFC 793 table's Direct set,
+// using the guard idioms the real stack uses: state switches with and
+// without defaults, negated compound conditions, constructor seeding,
+// executor-boundary calls, and context-sensitive helpers. The analyzer
+// must stay silent on it.
+package goodmachine
+
+type State int
+
+const (
+	StateClosed State = iota
+	StateListen
+	StateSynSent
+	StateSynActive
+	StateSynPassive
+	StateEstab
+	StateFinWait1
+	StateFinWait2
+	StateCloseWait
+	StateClosing
+	StateLastAck
+	StateTimeWait
+)
+
+type action int
+
+// Conn is the guarded shape: a state field moved only by setState.
+type Conn struct {
+	state State
+	toDo  []action
+}
+
+func newConn() *Conn { return &Conn{state: StateClosed} }
+
+func (c *Conn) setState(to State) {
+	if c.state == to {
+		return
+	}
+	c.state = to
+}
+
+// The quasi-synchronous executor: a boundary the analysis does not look
+// through; perform's callees are roots with the full universe.
+func (c *Conn) enqueue(a action) { c.toDo = append(c.toDo, a) }
+
+func (c *Conn) run() {
+	for len(c.toDo) > 0 {
+		a := c.toDo[0]
+		c.toDo = c.toDo[1:]
+		c.perform(a)
+	}
+}
+
+func (c *Conn) perform(a action) {
+	switch a {
+	case 0:
+		c.receive()
+	case 1:
+		c.fail()
+	}
+}
+
+func acceptableAck() bool { return true }
+func finAcked() bool      { return true }
+
+// Open is the active open: Closed -> SynSent through the constructor's
+// seed.
+func Open() *Conn {
+	c := newConn()
+	c.activeOpen()
+	c.run()
+	return c
+}
+
+func (c *Conn) activeOpen() { c.setState(StateSynSent) }
+
+// Accept is the passive open: Closed -> Listen.
+func Accept() *Conn {
+	c := newConn()
+	c.setState(StateListen)
+	return c
+}
+
+// receive dispatches on state, as the real Receive module's root does.
+func (c *Conn) receive() {
+	switch c.state {
+	case StateClosed:
+		return
+	case StateListen:
+		c.rcvListen()
+	case StateSynSent:
+		c.rcvSynSent()
+	case StateTimeWait:
+		c.enqueue(1)
+	default:
+		c.rcvGeneral()
+	}
+}
+
+func (c *Conn) rcvListen() { c.setState(StateSynPassive) }
+
+func (c *Conn) rcvSynSent() {
+	if acceptableAck() {
+		c.establish()
+		return
+	}
+	// Simultaneous open.
+	c.setState(StateSynActive)
+}
+
+// establish is context-sensitive: entered from SynSent, SynActive, and
+// SynPassive, never from anywhere else.
+func (c *Conn) establish() { c.setState(StateEstab) }
+
+func (c *Conn) rcvGeneral() {
+	if !c.checkAck() {
+		return
+	}
+	if finAcked() {
+		c.ourFinAcked()
+	}
+	c.peerFin()
+}
+
+// checkAck completes the handshake, as the real Receive module does:
+// the early RST return keeps the synchronizing states live in the
+// summary's exit, so peerFin below still sees them — that is how RFC
+// 793's SYN-RECEIVED -> CLOSE-WAIT event-processing edge is realized.
+func (c *Conn) checkAck() bool {
+	switch c.state {
+	case StateSynActive, StateSynPassive:
+		if !acceptableAck() {
+			return false
+		}
+		c.establish()
+	}
+	return true
+}
+
+func (c *Conn) ourFinAcked() {
+	switch c.state {
+	case StateFinWait1:
+		c.setState(StateFinWait2)
+	case StateClosing:
+		c.enterTimeWait()
+	case StateLastAck:
+		c.enqueue(1)
+	}
+}
+
+func (c *Conn) peerFin() {
+	switch c.state {
+	case StateSynActive, StateSynPassive, StateEstab:
+		c.setState(StateCloseWait)
+	case StateFinWait1:
+		c.setState(StateClosing)
+	case StateFinWait2:
+		c.enterTimeWait()
+	}
+}
+
+func (c *Conn) enterTimeWait() { c.setState(StateTimeWait) }
+
+// Close uses the real stack's negated compound guard before the FIN
+// transition.
+func (c *Conn) Close() {
+	c.maybeSendFin()
+	c.run()
+}
+
+func (c *Conn) maybeSendFin() {
+	if c.state != StateClosed && c.state != StateListen && c.state != StateSynSent {
+		c.finSent()
+	}
+}
+
+func (c *Conn) finSent() {
+	switch c.state {
+	case StateSynActive, StateSynPassive, StateEstab:
+		c.setState(StateFinWait1)
+	case StateCloseWait:
+		c.setState(StateLastAck)
+	}
+}
+
+// fail is reachable only through the executor: analyzed with the full
+// universe, it realizes every state's abort edge to Closed.
+func (c *Conn) fail() { c.setState(StateClosed) }

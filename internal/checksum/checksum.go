@@ -22,6 +22,8 @@ package checksum
 import "encoding/binary"
 
 // Fold reduces a 32-bit partial one's-complement sum to 16 bits.
+//
+//foxvet:hotpath
 func Fold(sum uint32) uint16 {
 	for sum>>16 != 0 {
 		sum = sum&0xffff + sum>>16
@@ -39,6 +41,8 @@ const renormalizeEvery = 1 << 16
 // added to the folded partial sum initial, using the paper's Figure 10
 // loop: 4 bytes per iteration, high and low halves accumulated separately,
 // odd bytes handled outside the loop.
+//
+//foxvet:hotpath
 func SumFig10(initial uint16, data []byte) uint16 {
 	sum := uint32(initial)
 	for len(data) >= renormalizeEvery {
@@ -62,6 +66,8 @@ func SumFig10(initial uint16, data []byte) uint16 {
 
 // fig10Words is the word_check loop of Figure 10: n and limit are
 // multiples of 4; each 4-byte load contributes its two 16-bit halves.
+//
+//foxvet:hotpath
 func fig10Words(sum uint32, data []byte) uint32 {
 	for n := 0; n+4 <= len(data); n += 4 {
 		byte4 := binary.BigEndian.Uint32(data[n:])
@@ -74,6 +80,8 @@ func fig10Words(sum uint32, data []byte) uint32 {
 
 // SumWide returns the folded (not inverted) one's-complement sum of data
 // added to initial, using 8-byte loads into a 64-bit accumulator.
+//
+//foxvet:hotpath
 func SumWide(initial uint16, data []byte) uint16 {
 	sum := uint64(initial)
 	n := 0
@@ -96,6 +104,8 @@ func SumWide(initial uint16, data []byte) uint16 {
 // SumNaive returns the folded (not inverted) one's-complement sum of data
 // added to initial, two bytes at a time with a carry fold after every
 // addition — the "slower algorithm".
+//
+//foxvet:hotpath
 func SumNaive(initial uint16, data []byte) uint16 {
 	sum := uint32(initial)
 	n := 0
@@ -116,6 +126,8 @@ func SumNaive(initial uint16, data []byte) uint16 {
 
 // Checksum returns the Internet checksum of data: the bitwise complement
 // of the one's-complement sum, as stored in IP/TCP/UDP header fields.
+//
+//foxvet:hotpath
 func Checksum(data []byte) uint16 {
 	return ^SumWide(0, data)
 }
@@ -132,6 +144,8 @@ type Accumulator struct {
 }
 
 // Add folds the bytes of data into the running sum.
+//
+//foxvet:hotpath
 func (a *Accumulator) Add(data []byte) {
 	if len(data) == 0 {
 		return
@@ -152,6 +166,8 @@ func (a *Accumulator) Add(data []byte) {
 
 // AddUint16 folds one big-endian 16-bit value into the running sum. It
 // panics if called at odd byte parity — header fields are word-aligned.
+//
+//foxvet:hotpath
 func (a *Accumulator) AddUint16(v uint16) {
 	if a.odd {
 		panic("checksum: AddUint16 at odd offset")

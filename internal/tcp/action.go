@@ -97,6 +97,8 @@ func (c *Conn) keepaliveExpired() {
 // emit externalizes one segment: allocate the packet (unless the Send
 // module already built one around the payload), write the header in
 // place, checksum, and hand it to the lower layer.
+//
+//foxvet:hotpath
 func (c *Conn) emit(sg *segment, pkt *basis.Packet) {
 	tcb := c.tcb
 	// Outgoing segments always carry the freshest window and, when the

@@ -9,6 +9,8 @@ package tcp
 
 // fastPathIn tries the predicted cases; it reports false to defer to the
 // full Receive module.
+//
+//foxvet:hotpath
 func (c *Conn) fastPathIn(sg *segment) bool {
 	tcb := c.tcb
 	// Predictions: nothing but ACK (and maybe PSH), the exact next

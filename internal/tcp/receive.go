@@ -353,6 +353,8 @@ func (c *Conn) processText(sg *segment) {
 }
 
 // deliver advances rcv_nxt over data and queues its delivery to the user.
+//
+//foxvet:hotpath
 func (c *Conn) deliver(data []byte) {
 	c.tcb.rcvNxt += seq(len(data))
 	c.enqueue(actUserData{data: data})

@@ -98,6 +98,8 @@ func (sg *segment) headerBytes() int {
 // using the supplied pseudo-header partial sum; when compute is false the
 // checksum field is left zero. This is the externalization half of the
 // paper's Action module.
+//
+//foxvet:hotpath
 func (sg *segment) marshal(pkt *basis.Packet, pseudo uint16, compute bool) {
 	hlen := sg.headerBytes()
 	h := pkt.Push(hlen)
@@ -127,26 +129,37 @@ type errSegment string
 
 func (e errSegment) Error() string { return "tcp: " + string(e) }
 
+// Rejection sentinels: unmarshal runs once per received segment, so its
+// errors are preboxed here instead of converting a constant to error on
+// the hot path (every such conversion heap-allocates).
+var (
+	errShortSegment  error = errSegment("short segment")
+	errBadDataOffset error = errSegment("bad data offset")
+	errBadChecksum   error = errSegment("bad checksum")
+)
+
 // unmarshal parses wire bytes into a segment, verifying the checksum
 // against the pseudo-header partial sum when verify is true. On success
 // pkt's view is advanced past the header so that it holds exactly the
 // segment text, which sg.data aliases (the receive path's zero-copy
 // delivery). This is the internalization half of the Action module.
+//
+//foxvet:hotpath
 func unmarshal(pkt *basis.Packet, pseudo uint16, verify bool) (*segment, error) {
 	b := pkt.Bytes()
 	if len(b) < headerLen {
-		return nil, errSegment("short segment")
+		return nil, errShortSegment
 	}
 	dataOff := int(b[12]>>4) * 4
 	if dataOff < headerLen || dataOff > len(b) {
-		return nil, errSegment("bad data offset")
+		return nil, errBadDataOffset
 	}
 	if verify && binary.BigEndian.Uint16(b[16:18]) != 0 {
 		var acc checksum.Accumulator
 		acc.AddUint16(pseudo)
 		acc.Add(b)
 		if acc.Partial() != 0xffff {
-			return nil, errSegment("bad checksum")
+			return nil, errBadChecksum
 		}
 	}
 	sg := &segment{

@@ -90,6 +90,8 @@ func (c *Conn) sendModule() {
 // sendData emits one data segment of n bytes from the send queue. The
 // payload is copied exactly once, from the user's queued buffers into
 // the packet the segment will travel in.
+//
+//foxvet:hotpath
 func (c *Conn) sendData(n int) {
 	tcb := c.tcb
 	now := c.t.s.Now()

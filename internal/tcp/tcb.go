@@ -204,6 +204,8 @@ func (t *TCB) queuePush(data []byte) {
 // queueTake removes up to max bytes from the front of the send queue,
 // copying them into dst (which must have length >= max). It returns the
 // number of bytes taken. This is the send path's single data copy.
+//
+//foxvet:hotpath
 func (t *TCB) queueTake(dst []byte, max int) int {
 	taken := 0
 	for taken < max {

@@ -301,6 +301,8 @@ func (t *TCP) chooseISS() seq {
 // Action module's receive function: "computes the checksum and decodes
 // the packet header, then places a Process_Data action ... onto the to_do
 // queue"), find the connection, enqueue, and drain.
+//
+//foxvet:hotpath
 func (t *TCP) handler(src protocol.Address, pkt *basis.Packet) {
 	sec := t.cfg.Prof.Start(profile.CatTCP)
 	defer sec.Stop()
@@ -323,13 +325,15 @@ func (t *TCP) handler(src protocol.Address, pkt *basis.Packet) {
 	// ones; InErrs counts the errored subset.
 	t.cfg.Metrics.InSegs.Inc()
 	if err != nil {
-		if err.Error() == "tcp: bad checksum" {
+		if err == errBadChecksum {
 			t.stats.BadChecksum++
 		} else {
 			t.stats.BadSegment++
 		}
 		t.cfg.Metrics.InErrs.Inc()
-		t.cfg.Trace.Printf("rx dropped: %v", err)
+		if t.cfg.Trace.On() {
+			t.cfg.Trace.Printf("rx dropped: %v", err)
+		}
 		return
 	}
 	t.stats.SegsReceived++
