@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check lint foxvet foxvet-json statemachine-dot bench fmt
+.PHONY: build test check lint foxvet foxvet-json statemachine-dot bench chaos fmt
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,13 @@ lint: check
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# chaos runs the deterministic adversary soak under the race detector:
+# SYN floods, spoofed RFC 5961 probes, gap bombs, and junk against a
+# lossy transfer, with exact per-seed assertions (see
+# internal/adversary/soak_test.go and the EXPERIMENTS.md recipe).
+chaos:
+	$(GO) test -race -count=1 -v ./internal/adversary/
 
 fmt:
 	gofmt -w .

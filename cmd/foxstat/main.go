@@ -7,6 +7,9 @@
 //
 //	foxstat                      handshake, transfer, close on a lossless wire
 //	foxstat -scenario lossy      the same transfer on a 10% lossy wire (seed 7)
+//	foxstat -scenario hostile    the transfer with an attacker host flooding the
+//	                             server (SYN flood, junk, blind RSTs); the server's
+//	                             "hard" counter group shows the defenses working
 //	foxstat -json                machine-readable output
 //	foxstat -json -o stats.json  written to a file
 package main
@@ -21,6 +24,8 @@ import (
 	"time"
 
 	"repro/foxnet"
+	"repro/internal/adversary"
+	"repro/internal/ip"
 	"repro/internal/stats"
 )
 
@@ -56,18 +61,27 @@ type docJSON struct {
 }
 
 func main() {
-	scenario := flag.String("scenario", "transfer", "transfer | lossy")
+	scenario := flag.String("scenario", "transfer", "transfer | lossy | hostile")
 	bytes := flag.Int("bytes", 64_000, "payload size for the transfer")
 	jsonOut := flag.Bool("json", false, "emit JSON instead of text")
 	outPath := flag.String("o", "", "write output to this file instead of stdout")
 	flag.Parse()
 
 	wcfg := foxnet.WireConfig{}
+	hosts := 2
+	hostCfgs := []*foxnet.HostConfig{nil, nil}
 	switch *scenario {
 	case "transfer":
 	case "lossy":
 		wcfg.Loss = 0.10
 		wcfg.Seed = 7
+	case "hostile":
+		wcfg.Loss = 0.05
+		wcfg.Seed = 7
+		hosts = 3
+		// A small SYN backlog makes the flood's evictions visible in the
+		// hard group; the third host carries the attacker.
+		hostCfgs = []*foxnet.HostConfig{nil, {TCP: foxnet.TCPConfig{MaxSynBacklog: 32}}, nil}
 	default:
 		fmt.Fprintln(os.Stderr, "unknown scenario:", *scenario)
 		os.Exit(2)
@@ -80,7 +94,7 @@ func main() {
 	substrate := foxnet.NewRegistry("net")
 
 	s.Run(func() {
-		net = foxnet.NewNetwork(s, wcfg, 2, nil, nil)
+		net = foxnet.NewNetwork(s, wcfg, hosts, hostCfgs...)
 		net.RegisterSubstrateMetrics(substrate)
 		a, b := net.Host(0), net.Host(1)
 
@@ -99,6 +113,11 @@ func main() {
 			return
 		}
 		conns = append(conns, conn)
+		if *scenario == "hostile" {
+			// conns[0] is the server-side connection: its accept upcall
+			// ran during the handshake Open just completed.
+			attack(s, net, conns[0], conn.LocalPort())
+		}
 		conn.Write(make([]byte, *bytes))
 		conn.Close()
 		// Long enough for retransmissions and TIME-WAIT on the lossy wire.
@@ -125,6 +144,46 @@ func main() {
 		return
 	}
 	writeText(out, net, conns, substrate)
+}
+
+// attack aims the hostile scenario's adversary at the server (host 1)
+// from the attacker machine (host 2): a SYN flood and junk flood from
+// the attacker's own address, plus spoofed in-window SYN sweeps and
+// blind RST bursts from a second IP layer forging the client's address —
+// the RFC 5961 threat model. Every probe lands in the server's "hard"
+// counter group.
+func attack(s *foxnet.Scheduler, net *foxnet.Network, serverConn *foxnet.Conn, clientPort uint16) {
+	server, atk := net.Host(1), net.Host(2)
+	// A fresh IP layer takes over the attacker's inbound demux and
+	// answers nothing, so flood SYN-ACKs die exactly as they would at a
+	// spoofing attacker.
+	own := ip.New(s, atk.Eth, atk.ARP, ip.Config{Local: atk.Addr})
+	adv := adversary.New(s, own.Network(ip.ProtoTCP), 7)
+	forged := ip.New(s, atk.Eth, atk.ARP, ip.Config{Local: net.Host(0).Addr})
+	spoof := adversary.New(s, forged.Network(ip.ProtoTCP), 7^0x9e3779b97f4a7c15)
+
+	s.Fork("syn-flood", func() {
+		adv.SynFlood(server.Addr, 80, 300, 2*time.Millisecond)
+	})
+	s.Fork("junk-flood", func() {
+		adv.JunkFlood(server.Addr, 400, time.Millisecond)
+	})
+	target := adversary.Target{Addr: server.Addr, SrcPort: clientPort, DstPort: 80}
+	s.Fork("syn-sweep", func() {
+		// In-window SYNs, aimed with the live left window edge: each one
+		// must draw a challenge ACK, never a reset (RFC 5961 §4.2).
+		for i := 0; i < 20; i++ {
+			st := serverConn.Stats()
+			spoof.Sweep(target, adversary.SYN, st.RcvNxt, int(st.RecvWindow), 256, nil, 0)
+			s.Sleep(20 * time.Millisecond)
+		}
+	})
+	s.Fork("blind-rst", func() {
+		for i := 0; i < 20; i++ {
+			spoof.Sweep(target, adversary.RST, spoof.Rand().Uint32(), 64, 1, nil, 0)
+			s.Sleep(20 * time.Millisecond)
+		}
+	})
 }
 
 // connsOf returns the connections whose endpoint lives on h's TCP.

@@ -186,14 +186,16 @@ func (n *Network) addHost(id byte, hc HostConfig) *Host {
 	h.Stats = reg
 	mib := struct {
 		tcp  *stats.TCPMIB
+		hard *stats.HardenMIB
 		ip   *stats.IPMIB
 		icmp *stats.ICMPMIB
 		udp  *stats.UDPMIB
 		arp  *stats.ARPMIB
 		eth  *stats.EthMIB
-	}{new(stats.TCPMIB), new(stats.IPMIB), new(stats.ICMPMIB),
+	}{new(stats.TCPMIB), new(stats.HardenMIB), new(stats.IPMIB), new(stats.ICMPMIB),
 		new(stats.UDPMIB), new(stats.ARPMIB), new(stats.EthMIB)}
 	reg.Register("tcp", mib.tcp)
+	reg.Register("hard", mib.hard)
 	reg.Register("ip", mib.ip)
 	reg.Register("icmp", mib.icmp)
 	reg.Register("udp", mib.udp)
@@ -243,6 +245,9 @@ func (n *Network) addHost(id byte, hc HostConfig) *Host {
 	tcfg.Prof = h.Prof
 	if tcfg.Metrics == nil {
 		tcfg.Metrics = mib.tcp
+	}
+	if tcfg.Harden == nil {
+		tcfg.Harden = mib.hard
 	}
 	if tcfg.Events == nil {
 		tcfg.Events = reg.Ring()

@@ -1,0 +1,102 @@
+package adversary
+
+import (
+	"time"
+
+	"repro/internal/basis"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+)
+
+// Target names one victim connection endpoint: where probes go and which
+// demux key they claim. For spoofed attacks the adversary's network layer
+// carries the forged source address; SrcPort completes the forged
+// four-tuple.
+type Target struct {
+	Addr    protocol.Address
+	SrcPort uint16
+	DstPort uint16
+}
+
+// SynFlood sends n SYNs to a listening port, each from a distinct source
+// port with a PRNG-chosen initial sequence number, paced gap apart. This
+// is the classic half-open exhaustion attack the bounded SYN backlog
+// exists to absorb.
+func (a *Attacker) SynFlood(dst protocol.Address, port uint16, n int, gap sim.Duration) {
+	for i := 0; i < n; i++ {
+		a.Send(dst, Seg{
+			SrcPort: uint16(20000 + i),
+			DstPort: port,
+			Seq:     a.rng.Uint32(),
+			Flags:   SYN,
+			Wnd:     4096,
+			MSS:     1000,
+		})
+		a.pace(gap)
+	}
+}
+
+// Sweep fires one probe per step across [base, base+span) against the
+// target's four-tuple and returns the probe count. A blind attacker does
+// not know the victim's sequence numbers; sweeping a window-sized span
+// around a guess is exactly the RFC 5961 threat model. flags selects the
+// attack (RST, SYN, or ACK with data for blind injection); every probe
+// carries it verbatim.
+func (a *Attacker) Sweep(t Target, flags uint8, base uint32, span, step int, data []byte, gap sim.Duration) int {
+	probes := 0
+	for off := 0; off < span; off += step {
+		a.Send(t.Addr, Seg{
+			SrcPort: t.SrcPort,
+			DstPort: t.DstPort,
+			Seq:     base + uint32(off),
+			Ack:     a.rng.Uint32(), // blind: ack is a guess too
+			Flags:   flags,
+			Wnd:     4096,
+			Data:    data,
+		})
+		probes++
+		a.pace(gap)
+	}
+	return probes
+}
+
+// GapBomb sends n one-byte segments beyond the victim's expected
+// sequence number, each separated by stride so none coalesce: maximum
+// reassembly-queue entries for minimum attacker bytes. The per-segment
+// overhead charge in the victim's accounting is what keeps this bounded.
+func (a *Attacker) GapBomb(t Target, base uint32, n, stride int, gap sim.Duration) {
+	for i := 0; i < n; i++ {
+		a.Send(t.Addr, Seg{
+			SrcPort: t.SrcPort,
+			DstPort: t.DstPort,
+			Seq:     base + uint32((i+1)*stride),
+			Flags:   ACK,
+			Wnd:     4096,
+			Data:    []byte{byte(i)},
+		})
+		a.pace(gap)
+	}
+}
+
+// JunkFlood sends n packets of PRNG bytes — truncated headers, garbage
+// checksums — straight to the victim's TCP input. The parser must charge
+// them to BadSegment/BadChecksum and drop them without allocating state.
+func (a *Attacker) JunkFlood(dst protocol.Address, n int, gap sim.Duration) {
+	for i := 0; i < n; i++ {
+		size := 1 + a.rng.Intn(64)
+		pkt := basis.AllocPacket(a.net.Headroom(), a.net.Tailroom(), size)
+		b := pkt.Bytes()
+		for j := range b {
+			b[j] = byte(a.rng.Uint32())
+		}
+		a.Stats.Junk++
+		a.net.Send(dst, pkt)
+		a.pace(gap)
+	}
+}
+
+func (a *Attacker) pace(gap sim.Duration) {
+	if gap > 0 {
+		a.s.Sleep(time.Duration(gap))
+	}
+}

@@ -1,0 +1,21 @@
+// Package adversary is the allowlist golden: its delivery handler calls
+// straight into a function declared in receive.go — a violation anywhere
+// else — and the analyzer must stay silent, because a raw traffic
+// injector has no to_do queue to enqueue onto. No want comments: silence
+// is the assertion.
+package adversary
+
+type network struct{ h func(src string) }
+
+func (n *network) Attach(h func(src string)) { n.h = h }
+
+type Attacker struct{ received int }
+
+// sink is the wire-delivery handler; it counts via the protected file.
+func (a *Attacker) sink(src string) {
+	a.count()
+}
+
+func wire(a *Attacker, n *network) {
+	n.Attach(a.sink)
+}

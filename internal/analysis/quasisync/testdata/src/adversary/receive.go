@@ -1,0 +1,7 @@
+package adversary
+
+// count is declared in a protected basename and reached from the
+// delivery handler; only the package allowlist keeps this quiet.
+func (a *Attacker) count() {
+	a.received++
+}

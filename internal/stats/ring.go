@@ -16,6 +16,12 @@ const (
 	EvZeroWindow
 	// EvRST records a reset sent or received; Detail says which.
 	EvRST
+	// EvChallengeACK records an RFC 5961 challenge ACK answering an
+	// in-window-but-not-exact RST or SYN; Detail names the probe shape.
+	EvChallengeACK
+	// EvMemPressure records an endpoint memory-accounting state change;
+	// Detail is "FROM -> TO" over normal/pressure/exhausted.
+	EvMemPressure
 )
 
 func (k EventKind) String() string {
@@ -30,6 +36,10 @@ func (k EventKind) String() string {
 		return "zerowin"
 	case EvRST:
 		return "rst"
+	case EvChallengeACK:
+		return "challenge"
+	case EvMemPressure:
+		return "mem"
 	}
 	return "event?"
 }

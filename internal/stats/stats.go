@@ -209,6 +209,24 @@ type TCPMIB struct {
 	RttUsec      Histogram
 }
 
+// HardenMIB counts the hostile-network defenses: RFC 5961 challenge
+// ACKs, SYN-backlog and reassembly-queue evictions, and the tcp_mem-style
+// memory-accounting transitions. SNMP never standardized these; the field
+// names follow Linux's netstat TcpExt spellings where one exists.
+type HardenMIB struct {
+	ChallengeACKsSent       Counter // RFC 5961 challenge ACKs emitted
+	ChallengeACKsSuppressed Counter // challenge ACKs withheld by the rate limit
+	OOWAcksSuppressed       Counter // out-of-window re-ACKs withheld (RFC 5961 §5.3 throttling)
+	SynQueueOverflows       Counter // half-open connections evicted, table full
+	SynDropsPressure        Counter // SYNs refused under memory pressure
+	OOOEvictions            Counter // reassembly-queue segments evicted at the cap
+	MemPressureEnter        Counter // normal -> pressure transitions
+	MemPressureExit         Counter // returns to normal
+	MemExhaustedEnter       Counter // transitions into exhausted
+	HalfOpen                Gauge   // embryonic (SYN-received) connections now
+	MemBytes                Gauge   // bytes charged to the endpoint memory account
+}
+
 // IPMIB is the RFC 2011-style ip group.
 type IPMIB struct {
 	InReceives      Counter

@@ -101,9 +101,9 @@ func (c *Conn) keepaliveExpired() {
 //foxvet:hotpath
 func (c *Conn) emit(sg *segment, pkt *basis.Packet) {
 	tcb := c.tcb
-	// Outgoing segments always carry the freshest window and, when the
-	// connection is synchronized, the freshest ack.
-	sg.wnd = advertisedWindow(tcb.rcvWnd)
+	// Outgoing segments always carry the freshest window — shrunk under
+	// endpoint memory pressure — and, when synchronized, the freshest ack.
+	sg.wnd = c.advertisedWindowFor(tcb.rcvWnd)
 	if sg.has(flagACK) {
 		sg.ack = tcb.rcvNxt
 		tcb.lastAdvWnd = uint32(sg.wnd)

@@ -22,6 +22,10 @@ type Conn struct {
 	tcb     *TCB
 	handler Handler
 
+	// listener is non-nil while this connection sits in a listener's
+	// half-open table (SYN received, handshake incomplete).
+	listener *Listener
+
 	executing bool
 
 	// Synchronization with user threads (paper footnote 3).
@@ -128,6 +132,8 @@ type ConnStats struct {
 	SendWindow    uint32 // peer's most recent advertised window
 	CongWindow    uint32
 	RecvWindow    uint32 // our receive window
+	SndNxt        uint32 // next sequence number to send
+	RcvNxt        uint32 // next sequence number expected
 	ToDoHighWater int    // deepest the to_do queue has been
 }
 
@@ -150,6 +156,8 @@ func (c *Conn) Stats() ConnStats {
 		SendWindow:    tcb.sndWnd,
 		CongWindow:    tcb.cwnd,
 		RecvWindow:    tcb.rcvWnd,
+		SndNxt:        uint32(tcb.sndNxt),
+		RcvNxt:        uint32(tcb.rcvNxt),
 		ToDoHighWater: tcb.toDoHW,
 	}
 }
@@ -286,18 +294,43 @@ func (c *Conn) failConnection(err error) {
 	c.enqueue(actDeleteTCB{})
 }
 
-// deleteTCB clears timers and removes the connection from the demux map.
+// deleteTCB clears timers, removes the connection from the demux map,
+// and returns every byte it charged to the endpoint memory account.
 func (c *Conn) deleteTCB() {
 	if c.deleted {
 		return
 	}
 	c.deleted = true
 	c.setState(StateClosed)
+	c.leaveHalfOpen()
 	for id := timerID(0); id < numTimers; id++ {
 		c.clearTimer(id)
 	}
 	if c.t.conns[c.key] == c {
 		delete(c.t.conns, c.key)
+	}
+	// Release the send queue, the reassembly queue (nil the slots so the
+	// backing array retains nothing), and the receive-buffer charge. The
+	// receive buffer itself stays readable — Read drains delivered data
+	// even after teardown — but it no longer counts against the account.
+	tcb := c.tcb
+	if tcb.queuedBytes > 0 {
+		c.t.memCharge(-tcb.queuedBytes)
+		tcb.queued.Clear()
+		tcb.queuedBytes = 0
+		tcb.queuedFront = 0
+	}
+	for i := range tcb.outOfOrder {
+		tcb.outOfOrder[i] = nil
+	}
+	tcb.outOfOrder = tcb.outOfOrder[:0]
+	if tcb.oooBytes > 0 {
+		c.t.memCharge(-tcb.oooBytes)
+		tcb.oooBytes = 0
+	}
+	if c.recv.charged > 0 {
+		c.t.memCharge(-c.recv.charged)
+		c.recv.charged = 0
 	}
 	c.bufCond.Broadcast()
 }
@@ -325,6 +358,7 @@ func (c *Conn) Write(data []byte) error {
 		}
 		sec := c.t.cfg.Prof.Start(profile.CatTCP)
 		c.tcb.queuePush(data[:n])
+		c.t.memCharge(n)
 		c.enqueue(actMaybeSend{})
 		c.run()
 		sec.Stop()

@@ -31,6 +31,9 @@ func arbSegment(b [8]byte, payload []byte) *segment {
 	if len(payload) > 0 && b[6]&3 != 0 {
 		sg.data = payload
 	}
+	// Attacker-shaped MSS values: often zero (which must not zero the
+	// effective MSS), otherwise tiny.
+	sg.mss = uint16(b[7]) & 0x3f
 	return sg
 }
 
@@ -60,6 +63,16 @@ func TestFuzzSegmentsNeverPanic(t *testing.T) {
 				}
 				// the out-of-order queue never holds in-order data,
 				if len(tcb.outOfOrder) > 0 && seqLEQ(tcb.outOfOrder[0].seq+seq(len(tcb.outOfOrder[0].data)), tcb.rcvNxt) {
+					ok = false
+					return
+				}
+				// the reassembly account matches its contents and
+				// respects the cap,
+				sum := 0
+				for _, q := range tcb.outOfOrder {
+					sum += oooCost(q)
+				}
+				if sum != tcb.oooBytes || (tcb.oooBytes > c.t.cfg.ReassemblyLimit && len(tcb.outOfOrder) > 0) {
 					ok = false
 					return
 				}
@@ -93,7 +106,9 @@ func TestFuzzReassemblyDeliversInOrder(t *testing.T) {
 		if len(stream) == 0 {
 			return true
 		}
-		// Slice the stream into segments of 1..64 bytes.
+		// Slice the stream into segments of 1..64 bytes, some extended
+		// past their natural end so adjacent pieces overlap — the
+		// reassembler must trim and deliver each byte exactly once.
 		type piece struct {
 			off  int
 			data []byte
@@ -107,7 +122,14 @@ func TestFuzzReassemblyDeliversInOrder(t *testing.T) {
 			if off+n > len(stream) {
 				n = len(stream) - off
 			}
-			pieces = append(pieces, piece{off: off, data: stream[off : off+n]})
+			end := off + n
+			if len(order) > 0 && order[end%len(order)]&3 == 0 {
+				end += int(order[(end+1)%len(order)] % 32) // overlap next pieces
+				if end > len(stream) {
+					end = len(stream)
+				}
+			}
+			pieces = append(pieces, piece{off: off, data: stream[off:end]})
 			off += n
 		}
 		// Deterministically shuffle by the fuzz input.
@@ -149,6 +171,78 @@ func TestFuzzReassemblyDeliversInOrder(t *testing.T) {
 	if err := quick.Check(f, cfg); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestSweepBlindInjection exhaustively sweeps attacker probes across the
+// receive window in every synchronized state: a blind RST or SYN at any
+// in-window offset must leave the connection in its state, and only the
+// exact-sequence RST resets it — the RFC 5961 contract stated as a
+// property over the whole window, not a sample.
+func TestSweepBlindInjection(t *testing.T) {
+	states := []State{
+		StateEstab, StateFinWait1, StateFinWait2,
+		StateCloseWait, StateClosing, StateLastAck,
+	}
+	for _, st := range states {
+		for _, probe := range []uint8{flagRST, flagSYN} {
+			inSim(t, func(s *sim.Scheduler) {
+				ep, c, _ := harness(s, st, Config{ChallengeACKLimit: 1 << 30})
+				wnd := int(c.tcb.rcvWnd)
+				probes := uint64(0)
+				for off := 0; off < wnd; off++ {
+					if off == 0 && probe == flagRST {
+						continue // the one legitimate reset, tested after
+					}
+					inject(c, &segment{seq: 5001 + seq(off), flags: probe})
+					probes++
+					if c.state != st {
+						t.Fatalf("%v: blind %#x at offset %d changed state to %v",
+							st, probe, off, c.state)
+					}
+				}
+				h := ep.cfg.Harden
+				if got := h.ChallengeACKsSent.Load() + h.ChallengeACKsSuppressed.Load(); got != probes {
+					t.Fatalf("%v: %d probes but %d challenge decisions", st, probes, got)
+				}
+				if probe == flagRST {
+					inject(c, &segment{seq: 5001, flags: flagRST})
+					if c.state != StateClosed {
+						t.Fatalf("%v: exact-sequence RST did not reset", st)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestZeroMSSHandshakeSafe: a SYN advertising MSS 0 must not zero the
+// effective MSS (division by cwnd and segmentation both depend on it).
+func TestZeroMSSHandshakeSafe(t *testing.T) {
+	inSim(t, func(s *sim.Scheduler) {
+		fn := &fakeNet{local: "local"}
+		ep := New(s, fn, Config{})
+		ep.Listen(80, func(c *Conn) Handler { return Handler{} })
+		injectRaw(fn, fakeAddr("peer"), &segment{
+			srcPort: 7000, dstPort: 80, seq: 500, flags: flagSYN, wnd: 4096, mss: 0,
+		})
+		key := connKey{raddr: fakeAddr("peer"), rport: 7000, lport: 80}
+		c, ok := ep.conns[key]
+		if !ok {
+			t.Fatal("SYN not admitted")
+		}
+		if c.tcb.mss != defaultMSS {
+			t.Fatalf("mss = %d, want RFC 1122 default %d", c.tcb.mss, defaultMSS)
+		}
+		injectRaw(fn, fakeAddr("peer"), &segment{
+			srcPort: 7000, dstPort: 80, seq: 501, ack: c.tcb.sndNxt, flags: flagACK, wnd: 4096,
+		})
+		if c.state != StateEstab {
+			t.Fatalf("state %v after handshake", c.state)
+		}
+		if err := c.Write(make([]byte, 2000)); err != nil {
+			t.Fatal(err)
+		}
+	})
 }
 
 // Property: the ISS clock is monotone across connection creations, as

@@ -1,0 +1,307 @@
+package tcp
+
+// Tests for the hostile-network hardening layer: RFC 5961 challenge
+// ACKs, the bounded SYN backlog, the byte-capped reassembly queue, and
+// the tcp_mem-style endpoint memory account.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/basis"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+)
+
+// injectRaw marshals a segment and feeds it through the endpoint's
+// attached lower-layer handler, as a wire delivery would — the path an
+// attacker-crafted segment takes, including demux and admission control.
+// The checksum field is left zero, which unmarshal treats as "not
+// computed".
+func injectRaw(fn *fakeNet, src protocol.Address, sg *segment) {
+	pkt := basis.NewPacket(sg.headerBytes(), 0, sg.data)
+	sg.marshal(pkt, 0, false)
+	fn.h(src, pkt)
+}
+
+func TestBlindRstChallenged(t *testing.T) {
+	inSim(t, func(s *sim.Scheduler) {
+		ep, c, fn := harness(s, StateEstab, Config{})
+		// Every in-window sequence number except the exact rcv_nxt must
+		// leave the connection standing and draw a challenge ACK.
+		for _, off := range []uint32{1, 100, 2048, 4095} {
+			inject(c, &segment{seq: 5001 + seq(off), flags: flagRST})
+			if c.state != StateEstab {
+				t.Fatalf("blind RST at rcv_nxt+%d reset the connection", off)
+			}
+		}
+		sent := fn.take()
+		if len(sent) != 4 {
+			t.Fatalf("want 4 challenge ACKs, got %d", len(sent))
+		}
+		for _, ch := range sent {
+			if !ch.has(flagACK) || ch.has(flagRST) || ch.seq != 1001 || ch.ack != 5001 {
+				t.Fatalf("malformed challenge ACK: %v", ch)
+			}
+		}
+		if got := ep.cfg.Harden.ChallengeACKsSent.Load(); got != 4 {
+			t.Fatalf("ChallengeACKsSent = %d, want 4", got)
+		}
+		// The exact sequence number still resets — the defense must not
+		// break legitimate resets.
+		inject(c, &segment{seq: 5001, flags: flagRST})
+		if c.state != StateClosed || c.termErr != ErrReset {
+			t.Fatalf("exact-sequence RST did not reset (state %v err %v)", c.state, c.termErr)
+		}
+	})
+}
+
+func TestExactRstResetsEverySynchronizedState(t *testing.T) {
+	for _, st := range []State{StateEstab, StateFinWait1, StateFinWait2, StateCloseWait} {
+		inSim(t, func(s *sim.Scheduler) {
+			_, c, _ := harness(s, st, Config{})
+			inject(c, &segment{seq: 5050, flags: flagRST})
+			if c.state != st {
+				t.Fatalf("%v: blind RST reset the connection", st)
+			}
+			inject(c, &segment{seq: 5001, flags: flagRST})
+			if c.state != StateClosed {
+				t.Fatalf("%v: exact RST ignored (state %v)", st, c.state)
+			}
+		})
+	}
+}
+
+func TestStaleAckChallenged(t *testing.T) {
+	inSim(t, func(s *sim.Scheduler) {
+		ep, c, fn := harness(s, StateEstab, Config{})
+		// snd_una = 1001, maxWnd = 4096: an ACK more than 4096 behind
+		// snd_una is outside RFC 5961 §5.2's acceptable range.
+		una := uint32(1001)
+		inject(c, &segment{seq: 5001, ack: seq(una - 5000), flags: flagACK, wnd: 4096})
+		if got := ep.cfg.Harden.ChallengeACKsSent.Load(); got != 1 {
+			t.Fatalf("ChallengeACKsSent = %d, want 1", got)
+		}
+		if c.tcb.dupAcks != 0 || c.tcb.dupAcksSeen != 0 {
+			t.Fatal("stale ACK fed the duplicate-ACK machinery")
+		}
+		sent := fn.take()
+		if len(sent) != 1 || sent[0].ack != 5001 {
+			t.Fatalf("want one challenge ACK of 5001, got %v", sent)
+		}
+		// A merely old ACK within maxWnd of snd_una stays a dup-ack
+		// candidate, not a challenge.
+		inject(c, &segment{seq: 5001, ack: seq(una - 100), flags: flagACK, wnd: 4096})
+		if got := ep.cfg.Harden.ChallengeACKsSent.Load(); got != 1 {
+			t.Fatalf("in-range old ACK challenged (sent = %d)", got)
+		}
+	})
+}
+
+func TestChallengeAckRateLimit(t *testing.T) {
+	inSim(t, func(s *sim.Scheduler) {
+		ep, c, fn := harness(s, StateEstab, Config{ChallengeACKLimit: 3})
+		for i := 0; i < 8; i++ {
+			inject(c, &segment{seq: 5002, flags: flagRST})
+		}
+		if sent := ep.cfg.Harden.ChallengeACKsSent.Load(); sent != 3 {
+			t.Fatalf("ChallengeACKsSent = %d, want 3", sent)
+		}
+		if sup := ep.cfg.Harden.ChallengeACKsSuppressed.Load(); sup != 5 {
+			t.Fatalf("ChallengeACKsSuppressed = %d, want 5", sup)
+		}
+		if got := len(fn.take()); got != 3 {
+			t.Fatalf("%d segments on the wire, want 3", got)
+		}
+		// The bucket refills each simulated second.
+		s.Sleep(1100 * time.Millisecond)
+		inject(c, &segment{seq: 5002, flags: flagRST})
+		if sent := ep.cfg.Harden.ChallengeACKsSent.Load(); sent != 4 {
+			t.Fatalf("ChallengeACKsSent after refill = %d, want 4", sent)
+		}
+	})
+}
+
+func TestSynBacklogEvictsOldest(t *testing.T) {
+	inSim(t, func(s *sim.Scheduler) {
+		fn := &fakeNet{local: "local"}
+		ep := New(s, fn, Config{MaxSynBacklog: 4})
+		if _, err := ep.Listen(80, func(c *Conn) Handler { return Handler{} }); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			injectRaw(fn, fakeAddr("flood"), &segment{
+				srcPort: uint16(20000 + i), dstPort: 80,
+				seq: seq(100 * i), flags: flagSYN, wnd: 4096, mss: 1000,
+			})
+		}
+		l := ep.listeners[80]
+		if n := len(l.halfOpen); n != 4 {
+			t.Fatalf("half-open table holds %d, want 4", n)
+		}
+		if n := ep.ActiveConns(); n != 4 {
+			t.Fatalf("demux table holds %d connections, want 4", n)
+		}
+		if ov := ep.cfg.Harden.SynQueueOverflows.Load(); ov != 6 {
+			t.Fatalf("SynQueueOverflows = %d, want 6", ov)
+		}
+		if hw := ep.cfg.Harden.HalfOpen.High(); hw != 4 {
+			t.Fatalf("HalfOpen high-water = %d, want 4", hw)
+		}
+		// The survivors are the newest four; the newest can still finish
+		// its handshake, leaving the half-open table.
+		key := connKey{raddr: fakeAddr("flood"), rport: 20009, lport: 80}
+		c, ok := ep.conns[key]
+		if !ok || c.state != StateSynPassive {
+			t.Fatalf("newest SYN not half-open (present %v)", ok)
+		}
+		injectRaw(fn, fakeAddr("flood"), &segment{
+			srcPort: 20009, dstPort: 80,
+			seq: seq(100*9) + 1, ack: c.tcb.sndNxt, flags: flagACK, wnd: 4096,
+		})
+		if c.state != StateEstab {
+			t.Fatalf("handshake completion failed (state %v)", c.state)
+		}
+		if n := len(l.halfOpen); n != 3 {
+			t.Fatalf("half-open table holds %d after establish, want 3", n)
+		}
+	})
+}
+
+func TestSynRefusedUnderMemoryPressure(t *testing.T) {
+	inSim(t, func(s *sim.Scheduler) {
+		fn := &fakeNet{local: "local"}
+		ep := New(s, fn, Config{})
+		ep.Listen(80, func(c *Conn) Handler { return Handler{} })
+		ep.memCharge(ep.mem.pressureAt)
+		injectRaw(fn, fakeAddr("peer"), &segment{
+			srcPort: 9000, dstPort: 80, seq: 1, flags: flagSYN, wnd: 4096, mss: 1000,
+		})
+		if n := ep.ActiveConns(); n != 0 {
+			t.Fatalf("embryonic connection admitted under pressure (%d live)", n)
+		}
+		if d := ep.cfg.Harden.SynDropsPressure.Load(); d != 1 {
+			t.Fatalf("SynDropsPressure = %d, want 1", d)
+		}
+		if e := ep.cfg.Harden.MemPressureEnter.Load(); e != 1 {
+			t.Fatalf("MemPressureEnter = %d, want 1", e)
+		}
+		// Releasing the charge reopens admission.
+		ep.memCharge(-ep.mem.used)
+		injectRaw(fn, fakeAddr("peer"), &segment{
+			srcPort: 9000, dstPort: 80, seq: 1, flags: flagSYN, wnd: 4096, mss: 1000,
+		})
+		if n := ep.ActiveConns(); n != 1 {
+			t.Fatalf("SYN refused after pressure cleared (%d live)", n)
+		}
+		if x := ep.cfg.Harden.MemPressureExit.Load(); x != 1 {
+			t.Fatalf("MemPressureExit = %d, want 1", x)
+		}
+	})
+}
+
+func TestMemoryPressureShrinksAdvertisedWindow(t *testing.T) {
+	inSim(t, func(s *sim.Scheduler) {
+		ep, c, fn := harness(s, StateEstab, Config{})
+		// Force an immediate ACK with two back-to-back data segments.
+		ack := func() *segment {
+			inject(c, &segment{seq: c.tcb.rcvNxt, ack: 1001, flags: flagACK, wnd: 4096, data: make([]byte, 1000)})
+			inject(c, &segment{seq: c.tcb.rcvNxt, ack: 1001, flags: flagACK, wnd: 4096, data: make([]byte, 1000)})
+			sent := fn.take()
+			if len(sent) == 0 {
+				t.Fatal("no ACK emitted")
+			}
+			return sent[len(sent)-1]
+		}
+		c.handler = Handler{Data: func(c *Conn, d []byte) {}}
+		if w := ack().wnd; w != 4096 {
+			t.Fatalf("normal-state window = %d, want 4096", w)
+		}
+		ep.memCharge(ep.mem.pressureAt)
+		if w := ack().wnd; w != 1000 {
+			t.Fatalf("pressure-state window = %d, want one MSS (1000)", w)
+		}
+		ep.memCharge(ep.mem.limit - ep.mem.used)
+		if w := ack().wnd; w != 0 {
+			t.Fatalf("exhausted-state window = %d, want 0", w)
+		}
+		if e := ep.cfg.Harden.MemExhaustedEnter.Load(); e != 1 {
+			t.Fatalf("MemExhaustedEnter = %d, want 1", e)
+		}
+	})
+}
+
+func TestReassemblyCapEvictsNewest(t *testing.T) {
+	inSim(t, func(s *sim.Scheduler) {
+		// Cost per 300-byte segment is 300+128; three exceed 1000.
+		ep, c, _ := harness(s, StateEstab, Config{ReassemblyLimit: 1000})
+		c.tcb.rcvWnd = 1 << 15
+		for i := 0; i < 3; i++ {
+			inject(c, &segment{seq: 5001 + seq(1000*(i+1)), ack: 1001, flags: flagACK, wnd: 4096,
+				data: make([]byte, 300)})
+		}
+		oo := c.tcb.outOfOrder
+		if len(oo) != 2 {
+			t.Fatalf("queue holds %d segments, want 2", len(oo))
+		}
+		if oo[0].seq != 6001 || oo[1].seq != 7001 {
+			t.Fatalf("wrong survivors: %d, %d (newest should be evicted)", oo[0].seq, oo[1].seq)
+		}
+		if ev := ep.cfg.Harden.OOOEvictions.Load(); ev != 1 {
+			t.Fatalf("OOOEvictions = %d, want 1", ev)
+		}
+		if c.tcb.oooBytes != 2*(300+oooOverhead) {
+			t.Fatalf("oooBytes = %d", c.tcb.oooBytes)
+		}
+	})
+}
+
+func TestGapBombBoundedByOverhead(t *testing.T) {
+	inSim(t, func(s *sim.Scheduler) {
+		// One-byte gap segments must be costed by overhead, not payload:
+		// with a 1000-byte cap at 129 per segment, at most 7 are held no
+		// matter how many arrive.
+		ep, c, _ := harness(s, StateEstab, Config{ReassemblyLimit: 1000})
+		c.tcb.rcvWnd = 1 << 15
+		for i := 0; i < 200; i++ {
+			inject(c, &segment{seq: 5001 + seq(2*(i+1)), ack: 1001, flags: flagACK, wnd: 4096,
+				data: []byte{byte(i)}})
+		}
+		if n := len(c.tcb.outOfOrder); n > 7 {
+			t.Fatalf("gap bomb filed %d segments past the byte cap", n)
+		}
+		if ev := ep.cfg.Harden.OOOEvictions.Load(); ev == 0 {
+			t.Fatal("no evictions counted under gap bomb")
+		}
+	})
+}
+
+func TestDrainOutOfOrderReleasesSlots(t *testing.T) {
+	inSim(t, func(s *sim.Scheduler) {
+		ep, c, _ := harness(s, StateEstab, Config{})
+		c.handler = Handler{Data: func(c *Conn, d []byte) {}}
+		for i := 1; i <= 3; i++ {
+			inject(c, &segment{seq: 5001 + seq(i), ack: 1001, flags: flagACK, wnd: 4096,
+				data: []byte{byte(i)}})
+		}
+		ref := c.tcb.outOfOrder // aliases the backing array pre-drain
+		if len(ref) != 3 {
+			t.Fatalf("queue holds %d, want 3", len(ref))
+		}
+		inject(c, &segment{seq: 5001, ack: 1001, flags: flagACK, wnd: 4096, data: []byte{0}})
+		if c.tcb.rcvNxt != 5005 {
+			t.Fatalf("rcv_nxt = %d, want 5005", c.tcb.rcvNxt)
+		}
+		for i, sg := range ref {
+			if sg != nil {
+				t.Fatalf("backing-array slot %d still references a drained segment", i)
+			}
+		}
+		if c.tcb.oooBytes != 0 {
+			t.Fatalf("oooBytes = %d after full drain", c.tcb.oooBytes)
+		}
+		if used := ep.mem.used; used != 0 {
+			t.Fatalf("endpoint account = %d after delivery", used)
+		}
+	})
+}

@@ -39,6 +39,53 @@ func TestConnectionTableDoesNotLeak(t *testing.T) {
 	})
 }
 
+// TestReassemblyQueueRetainsNothing: a lossy transfer forces segments
+// through the out-of-order queue; once the stream completes, neither the
+// queue nor its backing array may still reference a delivered segment,
+// and the endpoint memory accounts must read zero. This pins the fix for
+// the head-drain reslice (outOfOrder = outOfOrder[1:]) that kept every
+// drained segment reachable until the whole queue emptied.
+func TestReassemblyQueueRetainsNothing(t *testing.T) {
+	wcfg := wire.Config{Seed: 11, Loss: 0.05, Duplicate: 0.02}
+	runPair(t, wcfg, tcp.Config{}, func(s *sim.Scheduler, a, b tcpHost) {
+		var serverConn *tcp.Conn
+		var got int
+		b.TCP.Listen(80, func(c *tcp.Conn) tcp.Handler {
+			serverConn = c
+			return tcp.Handler{
+				Data:       func(c *tcp.Conn, data []byte) { got += len(data) },
+				PeerClosed: func(c *tcp.Conn) { c.Shutdown() },
+			}
+		})
+		conn, err := a.TCP.Open(b.A, 80, tcp.Handler{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := make([]byte, 100<<10)
+		if err := conn.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := conn.Close(); err != nil {
+			t.Fatal(err)
+		}
+		s.Sleep(2 * time.Second)
+		if got != len(payload) {
+			t.Fatalf("delivered %d of %d bytes", got, len(payload))
+		}
+		if n := tcp.OOOQueued(serverConn); n != 0 {
+			t.Fatalf("out-of-order queue still holds %d segments", n)
+		}
+		if n := tcp.OOORetained(serverConn); n != 0 {
+			t.Fatalf("backing array retains %d drained segments", n)
+		}
+		for _, h := range []tcpHost{a, b} {
+			if n := tcp.MemUsed(h.TCP); n != 0 {
+				t.Fatalf("endpoint memory account nonzero after idle: %d", n)
+			}
+		}
+	})
+}
+
 // TestAbortedConnectionsReclaimed: aborts and refusals must also clean
 // the table.
 func TestAbortedConnectionsReclaimed(t *testing.T) {

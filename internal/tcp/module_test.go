@@ -239,18 +239,31 @@ func TestReceiveRSTOutsideWindowIgnored(t *testing.T) {
 	})
 }
 
-func TestReceiveSYNInWindowResets(t *testing.T) {
+func TestReceiveSYNInWindowChallenged(t *testing.T) {
+	// RFC 5961 §4.2: an in-window SYN on a synchronized connection no
+	// longer resets it (that was the blind-injection hole); it draws a
+	// challenge ACK carrying the exact expected sequence numbers.
 	inSim(t, func(s *sim.Scheduler) {
-		_, c, fn := harness(s, StateEstab, Config{})
+		ep, c, fn := harness(s, StateEstab, Config{})
 		var gotErr error
 		c.handler = Handler{Error: func(c *Conn, err error) { gotErr = err }}
 		inject(c, &segment{seq: 5100, flags: flagSYN})
-		if gotErr != ErrReset {
+		if gotErr != nil {
 			t.Fatalf("err = %v", gotErr)
 		}
+		if c.state != StateEstab {
+			t.Fatalf("in-window SYN tore down the connection (state %v)", c.state)
+		}
 		sent := fn.take()
-		if len(sent) == 0 || !sent[len(sent)-1].has(flagRST) {
-			t.Fatalf("no RST emitted: %v", sent)
+		if len(sent) == 0 {
+			t.Fatal("no challenge ACK emitted")
+		}
+		ch := sent[len(sent)-1]
+		if !ch.has(flagACK) || ch.has(flagRST) || ch.has(flagSYN) || ch.ack != 5001 || ch.seq != 1001 {
+			t.Fatalf("challenge ACK malformed: %v", ch)
+		}
+		if got := ep.cfg.Harden.ChallengeACKsSent.Load(); got != 1 {
+			t.Fatalf("ChallengeACKsSent = %d", got)
 		}
 	})
 }

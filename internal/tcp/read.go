@@ -20,7 +20,11 @@ import (
 type recvState struct {
 	buf      basis.Deque[[]byte]
 	buffered int
-	eof      bool // peer FIN consumed, buffer exhaustion means EOF
+	// charged is how many buffered bytes are currently charged to the
+	// endpoint memory account. It can trail buffered: deleteTCB returns
+	// the charge while leaving delivered data readable.
+	charged int
+	eof     bool // peer FIN consumed, buffer exhaustion means EOF
 }
 
 // bufferData stores in-order data for Read and closes the window
@@ -28,6 +32,8 @@ type recvState struct {
 func (c *Conn) bufferData(data []byte) {
 	c.recv.buf.PushBack(data)
 	c.recv.buffered += len(data)
+	c.recv.charged += len(data)
+	c.t.memCharge(len(data))
 	c.updateRcvWnd()
 	c.readCond.Broadcast()
 }
@@ -76,6 +82,10 @@ func (c *Conn) Read(dst []byte) (int, error) {
 		}
 	}
 	c.recv.buffered -= n
+	if rel := min(n, c.recv.charged); rel > 0 {
+		c.recv.charged -= rel
+		c.t.memCharge(-rel)
+	}
 	c.updateRcvWnd()
 
 	// Receiver SWS avoidance: volunteer a window update only once the

@@ -152,14 +152,26 @@ func (c *Conn) rcvGeneral(sg *segment) {
 		return
 	}
 	if sg.has(flagRST) { // second: RST bit
-		c.handleRst()
+		// RFC 5961 §3.2: only an RST whose sequence number exactly
+		// matches rcv_nxt resets the connection. In-window-but-inexact
+		// RSTs — what a blind attacker sweeping the window produces —
+		// answer with a challenge ACK; a genuine peer replies with an
+		// exact-sequence RST, which then passes this test.
+		if sg.seq == c.tcb.rcvNxt {
+			c.handleRst()
+		} else {
+			c.t.stats.RSTReceived++
+			c.sendChallengeAck("in-window RST")
+		}
 		return
 	}
 	// (third: security and precedence — not implemented, as in practice)
-	if sg.has(flagSYN) { // fourth: SYN in the window is an error
-		c.sendRstRaw(c.tcb.sndNxt, 0, false)
-		c.t.stats.RSTSent++
-		c.enqueue(actUserError{err: ErrReset})
+	if sg.has(flagSYN) { // fourth: SYN in the window
+		// RFC 793 resets the connection here, which lets a blind
+		// attacker kill it with a spoofed SYN. RFC 5961 §4.2 sends a
+		// challenge ACK instead: a peer that genuinely restarted answers
+		// the challenge with an exact-sequence RST.
+		c.sendChallengeAck("in-window SYN")
 		return
 	}
 	if !sg.has(flagACK) { // fifth: segments without ACK are dropped
@@ -202,8 +214,7 @@ func (c *Conn) checkSequence(sg *segment) bool {
 	}
 	if !acceptable {
 		if !sg.has(flagRST) {
-			tcb.ackNow = true
-			c.enqueue(actMaybeSend{})
+			c.sendThrottledAck()
 		}
 		return false
 	}
@@ -291,6 +302,13 @@ func (c *Conn) processAck(sg *segment) bool {
 		tcb.ackNow = true
 		c.enqueue(actMaybeSend{})
 		return false
+	case seqLT(sg.ack, tcb.sndUna) && seqSub(tcb.sndUna, sg.ack) > tcb.maxWnd:
+		// RFC 5961 §5.2: an ACK older than snd_una by more than the
+		// largest window the peer ever saw cannot be a delayed
+		// duplicate; challenge it instead of feeding the dup-ack
+		// machinery.
+		c.sendChallengeAck("stale ACK")
+		return false
 	case seqGT(sg.ack, tcb.sndUna):
 		c.ackAdvance(sg.ack)
 	default:
@@ -361,7 +379,11 @@ func (c *Conn) deliver(data []byte) {
 }
 
 // insertOutOfOrder files a segment on the out-of-order queue, sorted by
-// sequence number, dropping exact duplicates.
+// sequence number, dropping exact duplicates. The queue is byte-bounded
+// (Config.ReassemblyLimit, counting payload plus per-segment overhead);
+// at the cap the newest — highest-sequence — segments are evicted, which
+// preserves head progress: the hole closest to rcv_nxt keeps its filler,
+// so a gap bomb costs the attacker the far end of its own spray.
 func (c *Conn) insertOutOfOrder(sg *segment) {
 	oo := c.tcb.outOfOrder
 	at := len(oo)
@@ -378,10 +400,22 @@ func (c *Conn) insertOutOfOrder(sg *segment) {
 	copy(oo[at+1:], oo[at:])
 	oo[at] = sg
 	c.tcb.outOfOrder = oo
+	c.oooCharge(sg)
+	for c.tcb.oooBytes > c.t.cfg.ReassemblyLimit && len(c.tcb.outOfOrder) > 0 {
+		last := len(c.tcb.outOfOrder) - 1
+		victim := c.tcb.outOfOrder[last]
+		c.tcb.outOfOrder[last] = nil
+		c.tcb.outOfOrder = c.tcb.outOfOrder[:last]
+		c.oooRelease(victim)
+		c.t.cfg.Harden.OOOEvictions.Inc()
+	}
 }
 
 // drainOutOfOrder delivers every held segment that has become in-order,
-// including any FIN one of them carries.
+// including any FIN one of them carries. Draining compacts in place and
+// nils the vacated tail slot — reslicing the head off ([1:]) would keep
+// every delivered segment reachable through the backing array until the
+// whole queue emptied.
 func (c *Conn) drainOutOfOrder() {
 	tcb := c.tcb
 	for len(tcb.outOfOrder) > 0 {
@@ -389,7 +423,11 @@ func (c *Conn) drainOutOfOrder() {
 		if seqGT(q.seq, tcb.rcvNxt) {
 			return // still a hole
 		}
-		tcb.outOfOrder = tcb.outOfOrder[1:]
+		n := len(tcb.outOfOrder) - 1
+		copy(tcb.outOfOrder, tcb.outOfOrder[1:])
+		tcb.outOfOrder[n] = nil
+		tcb.outOfOrder = tcb.outOfOrder[:n]
+		c.oooRelease(q)
 		end := q.seq + seq(len(q.data))
 		if seqGT(end, tcb.rcvNxt) {
 			c.deliver(q.data[seqSub(tcb.rcvNxt, q.seq):])
@@ -425,6 +463,40 @@ func (c *Conn) checkFin(sg *segment) {
 	tcb.rcvNxt++
 	tcb.ackNow = true
 	c.statePeerFin()
+	c.enqueue(actMaybeSend{})
+}
+
+// sendChallengeAck answers a suspicious in-window probe (RFC 5961): an
+// ACK carrying the exact rcv_nxt/snd_nxt the real peer already knows,
+// which tells a genuine out-of-sync peer where the connection stands and
+// tells a blind attacker nothing. Rate-limited endpoint-wide so the
+// defense is not itself an amplifier.
+func (c *Conn) sendChallengeAck(reason string) {
+	if !c.t.takeChallengeToken() {
+		c.t.cfg.Harden.ChallengeACKsSuppressed.Inc()
+		return
+	}
+	c.t.cfg.Harden.ChallengeACKsSent.Inc()
+	c.event(stats.EvChallengeACK, reason)
+	c.tcb.ackNow = true
+	c.enqueue(actMaybeSend{})
+}
+
+// sendThrottledAck re-acknowledges an unacceptable (out-of-window)
+// segment through the same endpoint-wide token bucket as challenge ACKs
+// (RFC 5961 §5.3's ACK throttling, Linux's tcp_invalid_ratelimit).
+// Unthrottled, a spoofed flood of bogus segments converts into a stream
+// of pure ACKs at the genuine peer — indistinguishable from duplicate
+// ACKs, so they trip fast retransmit and poison its congestion control.
+// Legitimate traffic on this path (retransmissions whose ACK was lost,
+// zero-window probes, keepalives) arrives orders of magnitude below the
+// bucket rate and is effectively never suppressed.
+func (c *Conn) sendThrottledAck() {
+	if !c.t.takeChallengeToken() {
+		c.t.cfg.Harden.OOWAcksSuppressed.Inc()
+		return
+	}
+	c.tcb.ackNow = true
 	c.enqueue(actMaybeSend{})
 }
 

@@ -165,10 +165,18 @@ func (c *Conn) dupAck() {
 	if tcb.dupAcks != 3 {
 		return
 	}
+	// One fast retransmit per loss episode (RFC 6582): congestionLoss
+	// resets dupAcks, so without this guard every third duplicate ACK
+	// would retransmit the same segment again — a storm when the peer is
+	// being provoked into emitting challenge ACKs.
+	if !seqGT(tcb.sndUna, tcb.recover) {
+		return
+	}
 	front, ok := tcb.rexmitQ.Front()
 	if !ok {
 		return
 	}
+	tcb.recover = tcb.sndNxt
 	c.congestionLoss()
 	front.rexmits++
 	front.sentAt = c.t.s.Now()
@@ -197,6 +205,7 @@ func (c *Conn) persistTimeout() {
 			firstSentAt: c.t.s.Now(),
 		}
 		tcb.queueTake(probe.data, 1)
+		c.t.memCharge(-1)
 		tcb.sndNxt++
 		tcb.rexmitQ.PushBack(probe)
 		c.t.cfg.Trace.Printf("conn %v: zero-window probe seq %d", c.key, probe.seq)

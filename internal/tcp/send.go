@@ -99,6 +99,7 @@ func (c *Conn) sendData(n int) {
 	cp := c.t.cfg.Prof.Start(profile.CatCopy)
 	pkt := basis.AllocPacket(c.t.net.Headroom()+headerLen, c.t.net.Tailroom(), n)
 	tcb.queueTake(pkt.Bytes(), n)
+	c.t.memCharge(-n)
 	cp.Stop()
 	c.chargeDataPath(profile.CatCopy, c.t.cfg.DataPath.CopyPerKB, n)
 

@@ -17,6 +17,7 @@ func (c *Conn) stateActiveOpen() {
 	tcb.sndNxt = iss + 1
 	tcb.cwnd = uint32(tcb.mss)
 	tcb.ssthresh = 0xffff
+	tcb.recover = iss
 	c.setState(StateSynSent)
 
 	syn := &segment{
@@ -54,6 +55,7 @@ func (c *Conn) statePassiveSyn(sg *segment) {
 	tcb.sndWl2 = iss
 	tcb.cwnd = uint32(tcb.mss)
 	tcb.ssthresh = 0xffff
+	tcb.recover = iss
 	c.setState(StateSynPassive)
 
 	synAck := &segment{
@@ -73,6 +75,7 @@ func (c *Conn) statePassiveSyn(sg *segment) {
 // releases the opener.
 func (c *Conn) stateEstablish() {
 	c.setState(StateEstab)
+	c.leaveHalfOpen()
 	c.enqueue(actClearTimer{which: timerUser})
 	if c.t.cfg.Keepalive {
 		c.tcb.lastRecv = c.t.s.Now()

@@ -105,8 +105,11 @@ type TCB struct {
 	rexmitQ basis.Deque[*segment]
 
 	// Out-of-order segments held for later (the paper's
-	// `out_of_order: tcp_in Q.T ref`), kept sorted by seq.
+	// `out_of_order: tcp_in Q.T ref`), kept sorted by seq. oooBytes is
+	// the queue's accounted cost (payload plus per-segment overhead),
+	// bounded by Config.ReassemblyLimit.
 	outOfOrder []*segment
+	oooBytes   int
 
 	// to_do contains the actions to perform.
 	toDo basis.FIFO[action]
@@ -119,9 +122,15 @@ type TCB struct {
 
 	// Congestion control (Van Jacobson; the Tahoe variant contemporary
 	// with the paper), active when Config.CongestionControl is set.
+	// recover is the NewReno recovery point (RFC 6582): sndNxt as of the
+	// last fast retransmit. Another fast retransmit is allowed only once
+	// sndUna passes it, so a storm of duplicate ACKs — reordering, or an
+	// attacker provoking challenge ACKs — triggers at most one
+	// retransmission per flight.
 	cwnd     uint32
 	ssthresh uint32
 	dupAcks  int
+	recover  seq
 
 	// Timers, managed only by the Action module.
 	timer [numTimers]*timers.Timer

@@ -74,6 +74,27 @@ type Config struct {
 	// Write blocks when it is full. Default 64 KiB.
 	SendBufferLimit int
 
+	// ReassemblyLimit bounds the bytes (payload plus a fixed per-segment
+	// overhead) a connection's out-of-order reassembly queue may hold;
+	// newest segments are evicted at the cap. Default 64 KiB.
+	ReassemblyLimit int
+	// MaxSynBacklog bounds half-open (SYN-received) connections per
+	// listener; the oldest half-open is evicted when a flood fills the
+	// table, like Linux's tcp_max_syn_backlog plus SYN-cookie-less
+	// oldest-drop. Default 64.
+	MaxSynBacklog int
+	// MemoryLimit bounds the bytes this endpoint buffers on behalf of
+	// peers (send queues, reassembly queues, undelivered receive
+	// buffers), in the style of Linux's tcp_mem: above 3/4 of the limit
+	// the endpoint is under pressure (advertised windows shrink to one
+	// MSS, new embryonic connections are refused); at the limit it is
+	// exhausted (windows advertise zero). Default 4 MiB.
+	MemoryLimit int
+	// ChallengeACKLimit bounds RFC 5961 challenge ACKs per simulated
+	// second, endpoint-wide, so the defense cannot itself be used as a
+	// bandwidth amplifier. Default 100.
+	ChallengeACKLimit int
+
 	// PersistInterval is the zero-window probe interval base.
 	// Default 5 s.
 	PersistInterval sim.Duration
@@ -107,6 +128,10 @@ type Config struct {
 	// transitions, retransmits, RTO backoff, zero-window, RST). Nil costs
 	// one branch per event site, like a disabled Tracer.
 	Events *stats.EventRing
+	// Harden is the endpoint's hostile-network counter group
+	// (challenge ACKs, SYN-queue evictions, memory-pressure moves). fill
+	// allocates a detached group when none is supplied, like Metrics.
+	Harden *stats.HardenMIB
 }
 
 // DataPathCosts carries per-kilobyte virtual charges for data-touching
@@ -157,8 +182,23 @@ func (c *Config) fill() {
 	if c.KeepaliveCount == 0 {
 		c.KeepaliveCount = 3
 	}
+	if c.ReassemblyLimit == 0 {
+		c.ReassemblyLimit = 64 << 10
+	}
+	if c.MaxSynBacklog == 0 {
+		c.MaxSynBacklog = 64
+	}
+	if c.MemoryLimit == 0 {
+		c.MemoryLimit = 4 << 20
+	}
+	if c.ChallengeACKLimit == 0 {
+		c.ChallengeACKLimit = 100
+	}
 	if c.Metrics == nil {
 		c.Metrics = new(stats.TCPMIB)
+	}
+	if c.Harden == nil {
+		c.Harden = new(stats.HardenMIB)
 	}
 }
 
@@ -238,6 +278,10 @@ type Listener struct {
 	t      *TCP
 	port   uint16
 	accept func(c *Conn) Handler
+	// halfOpen tracks this listener's embryonic connections, oldest
+	// first; under a SYN flood the oldest is evicted to admit the newest,
+	// so a legitimate client that retransmits its SYN still gets in.
+	halfOpen []*Conn
 }
 
 // Close stops answering new SYNs; existing connections are unaffected.
@@ -257,6 +301,14 @@ type TCP struct {
 	listeners map[uint16]*Listener
 	ephemeral uint16
 	stats     Stats
+
+	// mem is the endpoint-wide buffered-byte account (mem.go).
+	mem memAccount
+	// challengeWindow/challengeCount implement the RFC 5961 §10
+	// endpoint-wide challenge-ACK rate limit: at most
+	// cfg.ChallengeACKLimit per simulated second.
+	challengeWindow sim.Time
+	challengeCount  int
 }
 
 // New instantiates the TCP "functor" over net.
@@ -268,6 +320,8 @@ func New(s *sim.Scheduler, net protocol.Network, cfg Config) *TCP {
 		listeners: make(map[uint16]*Listener),
 		ephemeral: 49151,
 	}
+	t.mem.limit = cfg.MemoryLimit
+	t.mem.pressureAt = cfg.MemoryLimit - cfg.MemoryLimit/4
 	net.Attach(t.handler)
 	return t
 }
@@ -358,11 +412,28 @@ func (t *TCP) handler(src protocol.Address, pkt *basis.Packet) {
 // treat it as arriving in the fictional CLOSED state.
 func (t *TCP) dispatchUnknown(key connKey, sg *segment) *Conn {
 	if l, ok := t.listeners[key.lport]; ok {
+		// Admission control happens here, before a TCB exists, so a
+		// flood of pure SYNs cannot allocate unbounded state. Segments
+		// other than pure SYNs (stray ACKs, RSTs) fall through to the
+		// CLOSED-state rules below via the Listen-state handler, which
+		// allocates only transiently.
+		if sg.has(flagSYN) && !sg.has(flagACK) {
+			if t.mem.state != memNormal {
+				t.cfg.Harden.SynDropsPressure.Inc()
+				return nil
+			}
+			if len(l.halfOpen) >= t.cfg.MaxSynBacklog {
+				l.evictOldestHalfOpen()
+			}
+		}
 		c := newConn(t, key)
 		c.setState(StateListen)
 		t.conns[key] = c
 		c.handler = l.accept(c)
 		t.stats.ConnsAccepted++
+		if sg.has(flagSYN) && !sg.has(flagACK) {
+			l.join(c)
+		}
 		return c
 	}
 	t.stats.UnknownDest++
