@@ -5,6 +5,7 @@
 //	foxbench -table 2        Table 2 (execution profile, sender+receiver)
 //	foxbench -gc             the §5 garbage-collection experiment
 //	foxbench -ablate         design-choice ablations (DESIGN.md §5)
+//	foxbench -flight         flight-recorder overhead, off vs on (PR 5)
 //	foxbench -all            everything
 //
 // Flags -bytes, -window, -scale, -loss, -seed, -rounds adjust the
@@ -28,6 +29,7 @@ func main() {
 	table := flag.Int("table", 0, "paper table to regenerate (1 or 2)")
 	gc := flag.Bool("gc", false, "run the garbage-collection experiment")
 	ablate := flag.Bool("ablate", false, "run the design-choice ablations")
+	flightB := flag.Bool("flight", false, "measure flight-recorder overhead on the bulk transfer (off vs on)")
 	sweep := flag.Bool("sweep", false, "sweep TCP window sizes for both implementations")
 	lossSweep := flag.Bool("losssweep", false, "sweep wire loss rates for both implementations")
 	all := flag.Bool("all", false, "run everything")
@@ -66,8 +68,12 @@ func main() {
 			r, _ := experiments.Table2Report(o)
 			reports = append(reports, r)
 		}
+		if *flightB || *all {
+			r, _ := experiments.FlightReport(o)
+			reports = append(reports, r)
+		}
 		if len(reports) == 0 {
-			fmt.Fprintln(os.Stderr, "foxbench: -json requires -table 1, -table 2, or -all")
+			fmt.Fprintln(os.Stderr, "foxbench: -json requires -table 1, -table 2, -flight, or -all")
 			os.Exit(2)
 		}
 		b, err := experiments.NewDocument(o, reports...).Marshal()
@@ -98,6 +104,10 @@ func main() {
 		ran = true
 		_, text := experiments.Table2(o)
 		fmt.Println(text)
+	}
+	if *flightB || *all {
+		ran = true
+		fmt.Println(experiments.FlightOverhead(o).Text)
 	}
 	if *gc || *all {
 		ran = true

@@ -65,6 +65,8 @@ func main() {
 	bytes := flag.Int("bytes", 64_000, "payload size for the transfer")
 	jsonOut := flag.Bool("json", false, "emit JSON instead of text")
 	outPath := flag.String("o", "", "write output to this file instead of stdout")
+	ringN := flag.Int("ring", 0, "event-ring capacity per host (0 takes the default)")
+	flightDir := flag.String("flight", "", "record per-host flight journals into this directory (replay with foxreplay)")
 	flag.Parse()
 
 	wcfg := foxnet.WireConfig{}
@@ -85,6 +87,17 @@ func main() {
 	default:
 		fmt.Fprintln(os.Stderr, "unknown scenario:", *scenario)
 		os.Exit(2)
+	}
+	if *ringN > 0 || *flightDir != "" {
+		for i := range hostCfgs {
+			if hostCfgs[i] == nil {
+				hostCfgs[i] = &foxnet.HostConfig{}
+			}
+			if *ringN > 0 {
+				hostCfgs[i].Metrics = foxnet.NewRegistrySized(fmt.Sprintf("host%d", i+1), *ringN)
+			}
+			hostCfgs[i].FlightDir = *flightDir
+		}
 	}
 
 	s := foxnet.NewScheduler(foxnet.SchedulerConfig{})

@@ -7,6 +7,11 @@
 //
 //	go run ./examples/lossyecho
 //	go run ./examples/lossyecho -loss 0.15 -seed 9
+//	go run ./examples/lossyecho -flight /tmp/le
+//
+// With -flight each host journals every action — including the
+// retransmissions and backoffs the bad wire provokes — to
+// <dir>/host{1,2}.fjl for `foxreplay` to audit or graph.
 package main
 
 import (
@@ -24,17 +29,19 @@ func main() {
 	jitter := flag.Float64("jitter", 0.10, "frame reordering probability")
 	seed := flag.Uint64("seed", 1, "fault seed")
 	size := flag.Int("bytes", 50_000, "bytes to echo")
+	flightDir := flag.String("flight", "", "journal each host's actions into this directory for foxreplay")
 	flag.Parse()
 
 	s := foxnet.NewScheduler(foxnet.SchedulerConfig{})
 	s.Run(func() {
+		hc := &foxnet.HostConfig{FlightDir: *flightDir}
 		net := foxnet.NewNetwork(s, foxnet.WireConfig{
 			Loss:      *loss,
 			Duplicate: *dup,
 			Jitter:    *jitter,
 			JitterMax: 3 * time.Millisecond,
 			Seed:      *seed,
-		}, 2)
+		}, 2, hc, hc)
 		client, server := net.Host(0), net.Host(1)
 
 		server.TCP.Listen(7, func(c *foxnet.Conn) foxnet.Handler {

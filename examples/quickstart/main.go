@@ -5,9 +5,16 @@
 // handshake, the data segments, and the FIN exchange in virtual time.
 //
 //	go run ./examples/quickstart
+//	go run ./examples/quickstart -flight /tmp/qs
+//
+// With -flight each host also journals every action to the flight
+// recorder (<dir>/host1.fjl, <dir>/host2.fjl); audit or explore them
+// with `go run ./cmd/foxreplay /tmp/qs/host1.fjl` (add -causal N or
+// -dot for the causal chain or graph).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"time"
@@ -16,14 +23,17 @@ import (
 )
 
 func main() {
+	flightDir := flag.String("flight", "", "journal each host's actions into this directory for foxreplay")
+	flag.Parse()
+
 	s := foxnet.NewScheduler(foxnet.SchedulerConfig{})
 	s.Run(func() {
 		// One trace sink shared by every layer of both hosts — the
 		// paper's do_traces functor parameter set to true.
 		trace := foxnet.NewTracer("fox", os.Stdout, true)
 		net := foxnet.NewNetwork(s, foxnet.WireConfig{}, 2,
-			&foxnet.HostConfig{Trace: trace},
-			&foxnet.HostConfig{Trace: trace},
+			&foxnet.HostConfig{Trace: trace, FlightDir: *flightDir},
+			&foxnet.HostConfig{Trace: trace, FlightDir: *flightDir},
 		)
 		alice, bob := net.Host(0), net.Host(1)
 

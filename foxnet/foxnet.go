@@ -21,10 +21,13 @@ package foxnet
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"repro/internal/arp"
 	"repro/internal/basis"
 	"repro/internal/ethernet"
+	"repro/internal/flight"
 	"repro/internal/icmp"
 	"repro/internal/ip"
 	"repro/internal/profile"
@@ -73,6 +76,9 @@ type (
 	ConnStats = tcp.ConnStats
 	// Event is one structured event from a host's ring.
 	Event = stats.Event
+	// FlightRecorder journals per-action TCB evolution (see
+	// HostConfig.FlightDir and cmd/foxreplay).
+	FlightRecorder = flight.Recorder
 	// Address is any layer's peer address.
 	Address = protocol.Address
 )
@@ -86,6 +92,13 @@ var NewTracer = basis.NewTracer
 // NewRegistry returns a fresh metrics registry (see HostConfig.Metrics and
 // Network.RegisterSubstrateMetrics).
 var NewRegistry = stats.NewRegistry
+
+// NewRegistrySized is NewRegistry with an explicit event-ring capacity.
+var NewRegistrySized = stats.NewRegistrySized
+
+// NewFlightRecorder returns a flight recorder journaling to w (see
+// TCPConfig.Flight).
+var NewFlightRecorder = flight.NewRecorder
 
 // HostConfig customizes one host in a network.
 type HostConfig struct {
@@ -113,6 +126,12 @@ type HostConfig struct {
 	// and event ring are installed into; when nil, addHost creates one.
 	// Either way it ends up in Host.Stats.
 	Metrics *stats.Registry
+	// FlightDir, when non-empty, turns on the flight recorder for this
+	// host's TCP: every action and TCB delta is journaled to
+	// <FlightDir>/<hostname>.fjl, replayable with cmd/foxreplay. The
+	// directory is created if missing. An explicit TCP.Flight recorder
+	// takes precedence.
+	FlightDir string
 }
 
 // Host is one simulated machine running the standard stack.
@@ -252,8 +271,38 @@ func (n *Network) addHost(id byte, hc HostConfig) *Host {
 	if tcfg.Events == nil {
 		tcfg.Events = reg.Ring()
 	}
+	if tcfg.Flight == nil && hc.FlightDir != "" {
+		tcfg.Flight = flight.NewRecorder(&flightSink{dir: hc.FlightDir, name: h.Name})
+	}
 	h.TCP = tcp.New(s, h.IP.Network(ip.ProtoTCP), tcfg)
 	return h
+}
+
+// flightSink is the journal file behind HostConfig.FlightDir. Creation
+// is deferred to the first journal write so stack assembly itself does
+// no OS I/O from a coroutine (noblock); like the Tracer's output, the
+// file then sits behind the io.Writer seam, which is the sanctioned
+// place for diagnostics I/O. A failed open sticks: the recorder sees
+// the error once and drops further records.
+type flightSink struct {
+	dir, name string
+	f         *os.File
+	err       error
+}
+
+func (w *flightSink) Write(p []byte) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	if w.f == nil {
+		if w.err = os.MkdirAll(w.dir, 0o755); w.err != nil {
+			return 0, w.err
+		}
+		if w.f, w.err = os.Create(filepath.Join(w.dir, w.name+".fjl")); w.err != nil {
+			return 0, w.err
+		}
+	}
+	return w.f.Write(p)
 }
 
 // RegisterSubstrateMetrics adds "sched" and "wire" groups — scheduler

@@ -9,13 +9,17 @@ package adversary_test
 import (
 	"bytes"
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
 	"repro/internal/adversary"
 	"repro/internal/arp"
 	"repro/internal/ethernet"
+	"repro/internal/flight"
 	"repro/internal/ip"
+	"repro/internal/pcap"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/tcp"
@@ -274,16 +278,26 @@ func runSoak(t *testing.T, seed uint64, attack bool) soakResult {
 	for i := range payload {
 		payload[i] = byte(i * 31)
 	}
+	// Both endpoints journal to flight recorders; after the run each
+	// journal is replay-audited, so every soak seed doubles as a
+	// determinism proof. On failure the journals (and a pcap of the whole
+	// segment) land in $CHAOS_OUT for offline foxreplay analysis.
+	var cjour, sjour, capture bytes.Buffer
+	pw := pcap.NewWriter(&capture)
 	s := sim.New(sim.Config{})
 	s.Run(func() {
 		seg := wire.NewSegment(s, wire.Config{Seed: seed, Loss: 0.05}, nil)
+		seg.SetTap(func(from string, data []byte) { pw.WritePacket(s.Now(), data) })
 		// A 32 KiB window keeps enough segments in flight that loss
 		// recovery is mostly fast retransmit, not RTO roulette — without
 		// it, elapsed time is dominated by whether the seed's loss
 		// pattern happens to hit consecutive retransmissions, and the
 		// attack/no-attack comparison drowns in that variance.
 		scfg := hardenCfg(tcp.Config{MaxSynBacklog: 32, MemoryLimit: 1 << 20, InitialWindow: 32 << 10, UserTimeout: 10 * time.Minute})
-		r := build(s, seg, hardenCfg(tcp.Config{InitialWindow: 32 << 10, UserTimeout: 10 * time.Minute}), scfg, seed)
+		scfg.Flight = flight.NewRecorder(&sjour)
+		ccfg := hardenCfg(tcp.Config{InitialWindow: 32 << 10, UserTimeout: 10 * time.Minute})
+		ccfg.Flight = flight.NewRecorder(&cjour)
+		r := build(s, seg, ccfg, scfg, seed)
 
 		var rcv bytes.Buffer
 		var serverConn *tcp.Conn
@@ -360,7 +374,58 @@ func runSoak(t *testing.T, seed uint64, attack bool) soakResult {
 		assertLegalTransitions(t, "server", r.server.Ev)
 		assertLegalTransitions(t, "client", r.client.Ev)
 	})
+	auditJournal(t, seed, attack, "client", &cjour)
+	auditJournal(t, seed, attack, "server", &sjour)
+	if t.Failed() {
+		dumpArtifacts(t, seed, attack, map[string][]byte{
+			"client.fjl": cjour.Bytes(),
+			"server.fjl": sjour.Bytes(),
+			"wire.pcap":  capture.Bytes(),
+		})
+	}
 	return res
+}
+
+// auditJournal replays one endpoint's flight journal and fails the test
+// on any decode error or divergence.
+func auditJournal(t *testing.T, seed uint64, attack bool, who string, jour *bytes.Buffer) {
+	t.Helper()
+	recs, err := flight.ReadAll(bytes.NewReader(jour.Bytes()))
+	if err != nil {
+		t.Errorf("seed %d attack=%v %s journal: %v", seed, attack, who, err)
+		return
+	}
+	res, err := tcp.ReplayJournal(recs)
+	if err != nil {
+		t.Errorf("seed %d attack=%v %s replay: %v", seed, attack, who, err)
+		return
+	}
+	for _, d := range res.Divergences {
+		t.Errorf("seed %d attack=%v %s replay divergence: %v", seed, attack, who, d)
+	}
+}
+
+// dumpArtifacts writes the failing run's evidence into $CHAOS_OUT, where
+// the CI job uploads it (and a developer runs foxreplay on it).
+func dumpArtifacts(t *testing.T, seed uint64, attack bool, files map[string][]byte) {
+	t.Helper()
+	dir := os.Getenv("CHAOS_OUT")
+	if dir == "" {
+		return
+	}
+	sub := filepath.Join(dir, fmt.Sprintf("seed%d_attack%v", seed, attack))
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Logf("chaos artifacts: %v", err)
+		return
+	}
+	for name, data := range files {
+		path := filepath.Join(sub, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Logf("chaos artifacts: %v", err)
+			continue
+		}
+		t.Logf("chaos artifact: %s (%d bytes)", path, len(data))
+	}
 }
 
 // TestChaosSoak: for each seed, the same lossy transfer runs attack-free

@@ -13,6 +13,14 @@
 // executor's enqueue/run/perform, which the traversal treats as a
 // boundary and does not look inside.
 //
+// The flight-recorder hooks face the inverse rule: functions declared
+// in record.go journal what crosses the executor's door, so they must
+// observe only — never call the boundary, never enter the synchronous
+// modules. A hook that enqueued would make a recorded run diverge from
+// the same run unrecorded, which is exactly what cmd/foxreplay's
+// replay-and-diff would then catch dynamically; this pass catches it
+// structurally.
+//
 // The traversal runs on the module-wide callgraph shared with the
 // statemachine and noblock passes (built once per driver run): direct
 // calls and method calls resolve; calls through stored function values
@@ -35,7 +43,7 @@ import (
 // Analyzer is the quasisync pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "quasisync",
-	Doc:  "async entry points (timer callbacks, wire delivery) may only enqueue tcp_actions, never call Receive/Send/Resend directly",
+	Doc:  "async entry points (timer callbacks, wire delivery) may only enqueue tcp_actions, never call Receive/Send/Resend directly; flight-recorder hooks (record.go) observe only and never enqueue",
 	Run:  run,
 }
 
@@ -54,6 +62,16 @@ var boundary = map[string]bool{
 	"enqueue": true,
 	"run":     true,
 	"perform": true,
+}
+
+// observerFiles hold the flight-recorder hooks: functions declared
+// there watch the executor's single door — they journal what crosses it
+// — and so face the inverse constraint. An observer must never drive
+// the machine it is recording: no enqueue/run/perform, and no calls
+// into the protected synchronous modules. A hook that enqueued would
+// make a recorded run diverge from the same run unrecorded.
+var observerFiles = map[string]bool{
+	"record.go": true,
 }
 
 // allowedPackages exempts packages that attach wire handlers but sit
@@ -116,7 +134,53 @@ func run(pass *analysis.Pass) (any, error) {
 			return true
 		})
 	}
+
+	for _, f := range pass.Files {
+		if !observerFiles[filepath.Base(pass.Fset.Position(f.Pos()).Filename)] {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			if node, ok := g.Funcs[fn]; ok {
+				checkObserver(pass, g, node, reported)
+			}
+		}
+	}
 	return nil, nil
+}
+
+// checkObserver walks everything reachable from one recorder hook. The
+// hooks observe the executor from inside it, so unlike async roots the
+// boundary is not a sanctioned door here — calling it is the violation.
+func checkObserver(pass *analysis.Pass, g *callgraph.Graph, root *callgraph.Node, reported map[token.Pos]bool) {
+	g.Walk(root, func(from *callgraph.Node, site *ast.CallExpr, callee *types.Func) bool {
+		if boundary[callee.Name()] {
+			if !reported[site.Pos()] {
+				reported[site.Pos()] = true
+				pass.Reportf(site.Pos(),
+					"%s is a journal observer (declared in record.go) and calls %s — the flight recorder observes the executor, it must never drive it",
+					from.Name(), callee.Name())
+			}
+			return false
+		}
+		if file := declFile(pass, g, callee); file != "" && protectedFiles[file] {
+			if !reported[site.Pos()] {
+				reported[site.Pos()] = true
+				pass.Reportf(site.Pos(),
+					"%s is a journal observer (declared in record.go) and calls %s, declared in %s — observers never enter the synchronous modules",
+					from.Name(), callee.Name(), file)
+			}
+			return false
+		}
+		return true
+	})
 }
 
 // checkRoot walks everything reachable from one registered callback:

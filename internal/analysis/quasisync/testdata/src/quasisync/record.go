@@ -1,0 +1,37 @@
+package quasisync
+
+// This file stands for the flight-recorder hooks: functions declared in
+// record.go are observers of the executor. They may read anything, but
+// driving the machine they record — the executor boundary or the
+// synchronous modules — is a violation.
+
+// recEnqueue is a compliant observer: it only reads connection state.
+func (c *Conn) recEnqueue(a action) {
+	_ = c.toDo
+	_ = a
+}
+
+// badRecEnqueue drives the executor from an observer.
+func (c *Conn) badRecEnqueue(a action) {
+	c.enqueue(a) // want "badRecEnqueue is a journal observer .* calls enqueue"
+}
+
+// badRecDrain kicks the drain from an observer.
+func (c *Conn) badRecDrain() {
+	c.run() // want "badRecDrain is a journal observer .* calls run"
+}
+
+// badRecSync enters a synchronous module directly.
+func (c *Conn) badRecSync() {
+	c.sendModule() // want "badRecSync is a journal observer .* calls sendModule, declared in send.go"
+}
+
+// badRecDeep reaches the Receive module through a record.go-local
+// helper; the walk descends and reports at the offending call site.
+func (c *Conn) badRecDeep() {
+	c.recHelper()
+}
+
+func (c *Conn) recHelper() {
+	c.receiveSegment() // want "recHelper is a journal observer .* calls receiveSegment, declared in receive.go"
+}

@@ -19,11 +19,13 @@ package experiments
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"strings"
 	"time"
 
 	"repro/foxnet"
 	"repro/internal/baseline"
+	"repro/internal/flight"
 	"repro/internal/profile"
 	"repro/internal/sim"
 	"repro/internal/tcp"
@@ -59,6 +61,13 @@ type Options struct {
 	Loss      float64 // wire loss probability
 	Seed      uint64
 	TCPConfig *tcp.Config // extra structured-TCP overrides (ablations)
+	// FlightSinks turns on the flight recorder for the structured hosts:
+	// index 0 journals the sender, index 1 the receiver. Each host gets
+	// its own Recorder (the cause stack is per-host state). Nil entries —
+	// and a nil slice, the default — leave recording off, which is the
+	// single-nil-check hot path. The recorder-overhead experiment feeds
+	// counting writers through here.
+	FlightSinks []io.Writer
 	// PriorityScheduler switches the coroutine ready queue from
 	// round-robin FIFO to the priority discipline the paper proposes
 	// for latency-critical actions (§4's closing paragraph).
@@ -321,6 +330,11 @@ func buildHosts(s *sim.Scheduler, o Options) (*foxnet.Network, [2]*profile.Profi
 	hc := [2]*foxnet.HostConfig{
 		{TCP: tcfg, Profile: o.Profile, ChargeFactor: o.SMLFactor},
 		{TCP: tcfg, Profile: o.Profile, ChargeFactor: o.SMLFactor},
+	}
+	for i := range hc {
+		if i < len(o.FlightSinks) && o.FlightSinks[i] != nil {
+			hc[i].TCP.Flight = flight.NewRecorder(o.FlightSinks[i])
+		}
 	}
 	net := foxnet.NewNetwork(s, wcfg, 2, hc[0], hc[1])
 	return net, [2]*profile.Profile{net.Host(0).Prof, net.Host(1).Prof}

@@ -1,0 +1,137 @@
+package experiments
+
+// The flight-recorder overhead experiment. The recorder's hooks sit on
+// the hottest paths in the stack — every enqueued tcp_action and every
+// drained one — so their cost is measured, not asserted. The same
+// deterministic bulk transfer runs with the recorder absent and with
+// both hosts journaling to counting writers; CPU charging is off, so
+// the virtual result is wire-limited and must be bit-identical either
+// way (recording is pure observation), and the best-of-trials real time
+// isolates what the recorder itself costs the host CPU.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// countingWriter discards journal bytes but keeps the totals, so the
+// overhead report can say how much journal a run produces. Records are
+// counted by newline: the framing ends every record with '\n' and JSON
+// bodies escape all control characters.
+type countingWriter struct {
+	bytes   int64
+	records int64
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.bytes += int64(len(p))
+	for _, b := range p {
+		if b == '\n' {
+			w.records++
+		}
+	}
+	return len(p), nil
+}
+
+// FlightOverheadResult reports what the flight recorder costs the
+// paper's bulk transfer.
+type FlightOverheadResult struct {
+	Off, On         TransferResult // virtual results; identical when recording is pure observation
+	OffWall, OnWall time.Duration  // best-of-Trials real time per run
+	Trials          int
+	JournalRecords  int64 // per run, both hosts together
+	JournalBytes    int64
+	OverheadPct     float64 // wall clock, (on-off)/off
+	Text            string
+}
+
+// FlightOverhead measures the recorder's cost on the bulk transfer:
+// Trials runs with the recorder off, Trials with both hosts recording,
+// best real time of each. With the recorder off every hook site reduces
+// to a single nil check, so Off also stands in for the pre-recorder
+// stack when comparing against older baselines.
+func FlightOverhead(o Options) FlightOverheadResult {
+	o.fill()
+	o.NoCharge = true // wire-limited: virtual results must match off/on
+	const trials = 5
+	res := FlightOverheadResult{Trials: trials}
+
+	run := func(record bool) (TransferResult, time.Duration, int64, int64) {
+		var best time.Duration
+		var tr TransferResult
+		var jBytes, jRecs int64
+		for i := 0; i < trials; i++ {
+			opt := o
+			var cw [2]countingWriter
+			if record {
+				opt.FlightSinks = append(opt.FlightSinks, &cw[0], &cw[1])
+			}
+			start := time.Now()
+			tr = Throughput(Structured, opt)
+			wall := time.Since(start)
+			if i == 0 || wall < best {
+				best = wall
+			}
+			jBytes = cw[0].bytes + cw[1].bytes
+			jRecs = cw[0].records + cw[1].records
+		}
+		return tr, best, jBytes, jRecs
+	}
+
+	res.Off, res.OffWall, _, _ = run(false)
+	res.On, res.OnWall, res.JournalBytes, res.JournalRecords = run(true)
+	if res.OffWall > 0 {
+		res.OverheadPct = 100 * float64(res.OnWall-res.OffWall) / float64(res.OffWall)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Flight recorder overhead (bulk transfer, %d bytes, wire-limited, best of %d)\n",
+		o.Bytes, trials)
+	fmt.Fprintf(&b, "  %-13s wall %10v   virtual %v, %.2f Mb/s\n",
+		"recorder off", res.OffWall.Round(time.Microsecond),
+		time.Duration(res.Off.Elapsed), res.Off.ThroughputMbps)
+	fmt.Fprintf(&b, "  %-13s wall %10v   journal %d records / %d B per run (both hosts)\n",
+		"recorder on", res.OnWall.Round(time.Microsecond),
+		res.JournalRecords, res.JournalBytes)
+	if res.On.Elapsed == res.Off.Elapsed && res.On.SegsSent == res.Off.SegsSent {
+		b.WriteString("  virtual results identical off/on: recording is pure observation\n")
+	} else {
+		fmt.Fprintf(&b, "  WARNING: virtual results differ off/on: %v/%d segs vs %v/%d segs\n",
+			time.Duration(res.Off.Elapsed), res.Off.SegsSent,
+			time.Duration(res.On.Elapsed), res.On.SegsSent)
+	}
+	fmt.Fprintf(&b, "  wall-clock cost of recording: %+.1f%%; disabled hook: one nil check per site\n",
+		res.OverheadPct)
+	res.Text = b.String()
+	return res
+}
+
+// FlightJSON is the recorder-overhead measurement in foxbench -json
+// output.
+type FlightJSON struct {
+	Trials          int          `json:"trials"`
+	JournalRecords  int64        `json:"journal_records_per_run"`
+	JournalBytes    int64        `json:"journal_bytes_per_run"`
+	OffWallNS       int64        `json:"off_wall_ns"`
+	OnWallNS        int64        `json:"on_wall_ns"`
+	WallOverheadPct float64      `json:"wall_overhead_pct"`
+	Off             TransferJSON `json:"off"`
+	On              TransferJSON `json:"on"`
+}
+
+// FlightReport runs the recorder-overhead experiment and returns both
+// the JSON report and the formatted text.
+func FlightReport(o Options) (Report, string) {
+	r := FlightOverhead(o)
+	return Report{Flight: &FlightJSON{
+		Trials:          r.Trials,
+		JournalRecords:  r.JournalRecords,
+		JournalBytes:    r.JournalBytes,
+		OffWallNS:       r.OffWall.Nanoseconds(),
+		OnWallNS:        r.OnWall.Nanoseconds(),
+		WallOverheadPct: r.OverheadPct,
+		Off:             transferJSON(r.Off),
+		On:              transferJSON(r.On),
+	}}, r.Text
+}

@@ -35,13 +35,14 @@ type ReportOptions struct {
 	SMLFactor float64 `json:"sml_factor,omitempty"`
 }
 
-// Report is one regenerated table.
+// Report is one regenerated table or auxiliary measurement.
 type Report struct {
-	Table           int            `json:"table"`
+	Table           int            `json:"table,omitempty"`
 	Throughput      []TransferJSON `json:"throughput,omitempty"`
 	RoundTrip       []RTTJSON      `json:"round_trip,omitempty"`
 	SenderProfile   *ProfileJSON   `json:"sender_profile,omitempty"`
 	ReceiverProfile *ProfileJSON   `json:"receiver_profile,omitempty"`
+	Flight          *FlightJSON    `json:"flight,omitempty"`
 }
 
 // TransferJSON is one bulk-transfer measurement.

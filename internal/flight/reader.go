@@ -1,0 +1,123 @@
+package flight
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// maxRecordLen bounds a single record's JSON body. Anything larger is
+// corruption, not data: the biggest legitimate record is a hdr with the
+// resolved Config, well under a kilobyte.
+const maxRecordLen = 1 << 20
+
+// Record is the decoded form of any journal record; which fields are
+// meaningful depends on Kind. One fat struct keeps decoding a single
+// json.Unmarshal and lets tools switch on Kind without type assertions.
+type Record struct {
+	Kind string `json:"k"`
+	Seq  uint64 `json:"q"`  // open/uop/enq: global sequence number
+	At   int64  `json:"at"` // virtual timestamp, ns
+	Conn string `json:"c"`  // connection name (connKey.String())
+
+	// hdr
+	Host string          `json:"host"`
+	MTU  int             `json:"mtu"`
+	Cfg  json.RawMessage `json:"cfg"`
+
+	// open
+	Origin string `json:"o"`    // "active" | "passive"
+	Pull   bool   `json:"pull"` // pull-model handler (no Data callback)
+	Hop    bool   `json:"hop"`  // joined a listener's half-open list
+	RAddr  string `json:"ra"`
+	RPort  uint16 `json:"rp"`
+	LPort  uint16 `json:"lp"`
+
+	// uop
+	Op string `json:"op"` // write | read | close | abort | wurg
+	N  int    `json:"n"`
+
+	// enq
+	Action string `json:"a"`
+	Args   string `json:"args"`
+
+	// cause (open/uop/enq)
+	CK    string `json:"ck"` // "" | act | user | pkt | tmr
+	Cz    uint64 `json:"cz"` // act/user: seq of the causing record
+	PSeq  uint32 `json:"ps"` // pkt digest...
+	PAck  uint32 `json:"pa"`
+	PFlag uint8  `json:"pf"`
+	PWnd  uint16 `json:"pw"`
+	PUp   uint16 `json:"pu"`
+	PMSS  uint16 `json:"pm"`
+	PLen  int    `json:"pl"`
+	Timer int    `json:"tw"` // tmr: which timer expired
+
+	// beg/end
+	EqSeq uint64              `json:"eq"` // seq of the enq record performed
+	Delta map[string][2]int64 `json:"d"`  // end: changed fields, pre/post
+}
+
+// ReadAll decodes a whole journal. Any framing or JSON error is fatal —
+// a journal is either intact or it is evidence, and a truncated tail is
+// reported as such.
+func ReadAll(r io.Reader) ([]Record, error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	var recs []Record
+	for i := 0; ; i++ {
+		rec, err := readRecord(br)
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return recs, fmt.Errorf("record %d: %w", i, err)
+		}
+		recs = append(recs, *rec)
+	}
+}
+
+// readRecord reads one length-prefixed record: ASCII decimal length, a
+// space, the JSON body, a newline.
+func readRecord(br *bufio.Reader) (*Record, error) {
+	n := 0
+	digits := 0
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF && digits == 0 {
+				return nil, io.EOF
+			}
+			return nil, fmt.Errorf("truncated length prefix: %w", err)
+		}
+		if b == ' ' {
+			if digits == 0 {
+				return nil, fmt.Errorf("empty length prefix")
+			}
+			break
+		}
+		if b < '0' || b > '9' {
+			return nil, fmt.Errorf("bad length prefix byte %q", b)
+		}
+		n = n*10 + int(b-'0')
+		digits++
+		if n > maxRecordLen {
+			return nil, fmt.Errorf("record length %d exceeds limit", n)
+		}
+	}
+	body := make([]byte, n+1)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return nil, fmt.Errorf("truncated record body (want %d bytes): %w", n, err)
+	}
+	if body[n] != '\n' {
+		return nil, fmt.Errorf("record not newline-terminated (got %q)", body[n])
+	}
+	rec := &Record{}
+	if err := json.Unmarshal(body[:n], rec); err != nil {
+		return nil, fmt.Errorf("bad record JSON: %w", err)
+	}
+	if rec.Kind == "" {
+		return nil, fmt.Errorf("record missing kind")
+	}
+	return rec, nil
+}

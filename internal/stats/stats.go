@@ -338,7 +338,15 @@ const RingSize = 256
 // NewRegistry returns a registry for the named host with an event ring
 // of RingSize entries.
 func NewRegistry(host string) *Registry {
-	return &Registry{host: host, ring: NewEventRing(RingSize)}
+	return NewRegistrySized(host, RingSize)
+}
+
+// NewRegistrySized is NewRegistry with an explicit event-ring capacity:
+// the ring retains the most recent n events (n <= 0 takes RingSize).
+// Long soaks pass a large n to keep full histories; memory-tight runs
+// shrink it.
+func NewRegistrySized(host string, n int) *Registry {
+	return &Registry{host: host, ring: NewEventRing(n)}
 }
 
 // Host returns the registry's host name ("" for nil).

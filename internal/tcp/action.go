@@ -21,10 +21,20 @@ func (c *Conn) setTimer(which timerID, d sim.Duration) {
 	if old := c.tcb.timer[which]; old != nil {
 		old.Clear()
 	}
+	c.tcb.armed[which] = true
+	if c.t.replay {
+		// Replayed endpoints never fire timers themselves — expirations
+		// come from the journal. An inert placeholder keeps the slot's
+		// nil-ness evolving exactly as it did live.
+		c.tcb.timer[which] = &timers.Timer{}
+		return
+	}
 	c.tcb.timer[which] = timers.Start(c.t.s, func() {
 		sec := c.t.cfg.Prof.Start(profile.CatTCP)
+		c.t.cfg.Flight.BeginTimer(int(which))
 		c.enqueue(actTimerExpired{which: which})
 		c.run()
+		c.t.cfg.Flight.EndCause()
 		sec.Stop()
 	}, d)
 }
@@ -34,11 +44,13 @@ func (c *Conn) clearTimer(which timerID) {
 	if t := c.tcb.timer[which]; t != nil {
 		t.Clear()
 		c.tcb.timer[which] = nil
+		c.tcb.armed[which] = false
 	}
 }
 
 // timerExpired performs the synchronous part of a timer expiration.
 func (c *Conn) timerExpired(which timerID) {
+	c.tcb.armed[which] = false
 	if c.deleted {
 		return
 	}

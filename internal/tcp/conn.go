@@ -1,6 +1,7 @@
 package tcp
 
 import (
+	"repro/internal/basis"
 	"repro/internal/profile"
 	"repro/internal/protocol"
 	"repro/internal/sim"
@@ -36,6 +37,11 @@ type Conn struct {
 
 	// Pull-model receive state (read.go); used when Handler.Data is nil.
 	recv recvState
+
+	// recSeqs pairs journaled enqueues with their drains: the flight
+	// recorder pushes each enq record's seq here, and the executor pops
+	// it at perform time (FIFO order matches the to_do queue exactly).
+	recSeqs basis.FIFO[uint64]
 
 	openDone  bool
 	openErr   error
@@ -196,6 +202,9 @@ func (c *Conn) enqueue(a action) {
 	if n := c.tcb.toDo.Len(); n > c.tcb.toDoHW {
 		c.tcb.toDoHW = n
 	}
+	if fr := c.t.cfg.Flight; fr != nil {
+		c.recEnqueue(fr, a)
+	}
 }
 
 // run drains the to_do queue unless an outer frame of the same thread is
@@ -213,7 +222,20 @@ func (c *Conn) run() {
 		if c.t.cfg.Trace.On() {
 			c.t.cfg.Trace.Printf("conn %v: %s (queue %d)", c.key, a.actionName(), c.tcb.toDo.Len())
 		}
+		fr := c.t.cfg.Flight
+		if fr == nil {
+			c.perform(a)
+			continue
+		}
+		// Journal the drain: beg record, TCB snapshot, the action itself
+		// (whose own enqueues are attributed to it), then the
+		// changed-field delta — the paper's test-by-TCB-comparison
+		// discipline applied to every single action.
+		eq := c.recBeg(fr)
+		pre := c.snapTCB()
 		c.perform(a)
+		post := c.snapTCB()
+		c.recEnd(fr, eq, &pre, &post)
 	}
 	c.executing = false
 }
@@ -356,12 +378,14 @@ func (c *Conn) Write(data []byte) error {
 		if n > space {
 			n = space
 		}
+		c.recBeginUser("write", n)
 		sec := c.t.cfg.Prof.Start(profile.CatTCP)
 		c.tcb.queuePush(data[:n])
 		c.t.memCharge(n)
 		c.enqueue(actMaybeSend{})
 		c.run()
 		sec.Stop()
+		c.recEndUser()
 		data = data[n:]
 	}
 	return nil
@@ -375,6 +399,7 @@ func (c *Conn) WriteUrgent(data []byte) error {
 	if len(data) == 0 {
 		return nil
 	}
+	c.recUop("wurg", len(data))
 	c.tcb.sndUpSeq = c.tcb.sndNxt + seq(c.tcb.queuedBytes) + seq(len(data))
 	c.tcb.urgentPending = true
 	return c.Write(data)
@@ -389,10 +414,12 @@ func (c *Conn) Close() error {
 	if c.tcb.finQueued {
 		// Second close: just wait with the first.
 	} else {
+		c.recBeginUser("close", 0)
 		sec := c.t.cfg.Prof.Start(profile.CatTCP)
 		c.stateClose()
 		c.run()
 		sec.Stop()
+		c.recEndUser()
 	}
 	for !c.closeDone {
 		c.closeCond.Wait()
@@ -408,14 +435,18 @@ func (c *Conn) Shutdown() {
 	if c.termErr != nil || c.tcb.finQueued {
 		return
 	}
+	c.recBeginUser("close", 0)
 	c.stateClose()
 	c.run()
+	c.recEndUser()
 }
 
 // Abort resets the connection: RST to the peer, error to every waiter.
 func (c *Conn) Abort() {
+	c.recBeginUser("abort", 0)
 	sec := c.t.cfg.Prof.Start(profile.CatTCP)
 	c.stateAbort(ErrAborted)
 	c.run()
 	sec.Stop()
+	c.recEndUser()
 }

@@ -81,6 +81,19 @@ func (c *Conn) Read(dst []byte) (int, error) {
 			c.recv.buf.PushFront(front[k:])
 		}
 	}
+	c.recBeginUser("read", n)
+	c.finishRead(n)
+	c.run()
+	c.recEndUser()
+	return n, nil
+}
+
+// finishRead settles the accounting for n bytes drained from the receive
+// buffer: memory-account release, window recomputation, and — when the
+// reopening crosses the silly-window threshold — queueing a volunteered
+// window update (the caller drains the queue). Split from Read so replay
+// can re-execute a journaled read against a reconstructed buffer.
+func (c *Conn) finishRead(n int) {
 	c.recv.buffered -= n
 	if rel := min(n, c.recv.charged); rel > 0 {
 		c.recv.charged -= rel
@@ -94,9 +107,7 @@ func (c *Conn) Read(dst []byte) (int, error) {
 	if c.tcb.rcvWnd >= c.tcb.lastAdvWnd+threshold {
 		c.tcb.ackNow = true
 		c.enqueue(actMaybeSend{})
-		c.run()
 	}
-	return n, nil
 }
 
 // ReadFull reads exactly len(dst) bytes unless EOF or an error cuts the

@@ -1,0 +1,295 @@
+package tcp
+
+// Flight-recorder glue: the observation half of internal/flight. Every
+// function in this file only *observes* — it reads the TCB and emits
+// journal records, and never calls enqueue/run/perform or the protected
+// Receive/Send/Resend modules. The quasisync analyzer machine-checks
+// that property for this file; the hook sites themselves live with the
+// executor in conn.go and the demux in tcp.go.
+
+import (
+	"encoding/json"
+	"strconv"
+
+	"repro/internal/flight"
+	"repro/internal/sim"
+)
+
+// recordedConfig is the journal form of the resolved Config: everything
+// replay needs to rebuild an identically-parameterized endpoint. Written
+// once into the hdr record. Durations are nanoseconds.
+type recordedConfig struct {
+	InitialWindow     int   `json:"iw"`
+	ComputeChecksums  bool  `json:"cks"`
+	AbortUnknown      bool  `json:"au"`
+	UserTimeout       int64 `json:"ut"`
+	MSL               int64 `json:"msl"`
+	DelayedAcks       bool  `json:"da"`
+	AckDelay          int64 `json:"ad"`
+	Nagle             bool  `json:"ng"`
+	FastPath          bool  `json:"fp"`
+	CongestionControl bool  `json:"cc"`
+	InitialRTO        int64 `json:"irto"`
+	MinRTO            int64 `json:"minrto"`
+	MaxRTO            int64 `json:"maxrto"`
+	SendBufferLimit   int   `json:"sbl"`
+	ReassemblyLimit   int   `json:"rl"`
+	MaxSynBacklog     int   `json:"msb"`
+	MemoryLimit       int   `json:"ml"`
+	ChallengeACKLimit int   `json:"cal"`
+	PersistInterval   int64 `json:"pi"`
+	Keepalive         bool  `json:"ka"`
+	KeepaliveIdle     int64 `json:"kai"`
+	KeepaliveCount    int   `json:"kac"`
+	CopyPerKB         int64 `json:"cpk"`
+	ChecksumPerKB     int64 `json:"xpk"`
+}
+
+// journalConfig captures the endpoint's resolved configuration.
+func (t *TCP) journalConfig() recordedConfig {
+	cfg := &t.cfg
+	return recordedConfig{
+		InitialWindow:     cfg.InitialWindow,
+		ComputeChecksums:  cfg.computeChecksums(),
+		AbortUnknown:      cfg.abortUnknown(),
+		UserTimeout:       int64(cfg.UserTimeout),
+		MSL:               int64(cfg.MSL),
+		DelayedAcks:       cfg.delayedAcks(),
+		AckDelay:          int64(cfg.AckDelay),
+		Nagle:             cfg.nagle(),
+		FastPath:          cfg.fastPath(),
+		CongestionControl: cfg.congestionControl(),
+		InitialRTO:        int64(cfg.InitialRTO),
+		MinRTO:            int64(cfg.MinRTO),
+		MaxRTO:            int64(cfg.MaxRTO),
+		SendBufferLimit:   cfg.SendBufferLimit,
+		ReassemblyLimit:   cfg.ReassemblyLimit,
+		MaxSynBacklog:     cfg.MaxSynBacklog,
+		MemoryLimit:       cfg.MemoryLimit,
+		ChallengeACKLimit: cfg.ChallengeACKLimit,
+		PersistInterval:   int64(cfg.PersistInterval),
+		Keepalive:         cfg.Keepalive,
+		KeepaliveIdle:     int64(cfg.KeepaliveIdle),
+		KeepaliveCount:    cfg.KeepaliveCount,
+		CopyPerKB:         int64(cfg.DataPath.CopyPerKB),
+		ChecksumPerKB:     int64(cfg.DataPath.ChecksumPerKB),
+	}
+}
+
+func boolPtr(b bool) *bool {
+	if b {
+		return Enable
+	}
+	return Disable
+}
+
+// config rebuilds a Config that fill() resolves to exactly the recorded
+// parameters.
+func (rc recordedConfig) config() Config {
+	return Config{
+		InitialWindow:           rc.InitialWindow,
+		ComputeChecksums:        boolPtr(rc.ComputeChecksums),
+		AbortUnknownConnections: boolPtr(rc.AbortUnknown),
+		UserTimeout:             sim.Duration(rc.UserTimeout),
+		MSL:                     sim.Duration(rc.MSL),
+		DelayedAcks:             boolPtr(rc.DelayedAcks),
+		AckDelay:                sim.Duration(rc.AckDelay),
+		Nagle:                   boolPtr(rc.Nagle),
+		FastPath:                boolPtr(rc.FastPath),
+		CongestionControl:       boolPtr(rc.CongestionControl),
+		InitialRTO:              sim.Duration(rc.InitialRTO),
+		MinRTO:                  sim.Duration(rc.MinRTO),
+		MaxRTO:                  sim.Duration(rc.MaxRTO),
+		SendBufferLimit:         rc.SendBufferLimit,
+		ReassemblyLimit:         rc.ReassemblyLimit,
+		MaxSynBacklog:           rc.MaxSynBacklog,
+		MemoryLimit:             rc.MemoryLimit,
+		ChallengeACKLimit:       rc.ChallengeACKLimit,
+		PersistInterval:         sim.Duration(rc.PersistInterval),
+		Keepalive:               rc.Keepalive,
+		KeepaliveIdle:           sim.Duration(rc.KeepaliveIdle),
+		KeepaliveCount:          rc.KeepaliveCount,
+		DataPath: DataPathCosts{
+			CopyPerKB:     sim.Duration(rc.CopyPerKB),
+			ChecksumPerKB: sim.Duration(rc.ChecksumPerKB),
+		},
+	}
+}
+
+// recHdr writes the journal's run header. Called once at endpoint
+// assembly.
+func (t *TCP) recHdr() {
+	fr := t.cfg.Flight
+	if fr == nil {
+		return
+	}
+	cj, err := json.Marshal(t.journalConfig())
+	if err != nil {
+		return
+	}
+	fr.Hdr(t.net.LocalAddr().String(), t.net.MTU(), cj)
+}
+
+// recOpen records this connection's creation, attributed to whatever
+// cause is current (the user's open call, or the packet that hit the
+// listener).
+func (c *Conn) recOpen(origin string) {
+	fr := c.t.cfg.Flight
+	if fr == nil {
+		return
+	}
+	fr.OpenConn(int64(c.t.s.Now()), c.name, origin,
+		c.key.raddr.String(), c.key.rport, c.key.lport,
+		c.handler.Data == nil, c.listener != nil)
+}
+
+// recBeginUser records a user operation (write/read/close/abort) and
+// pushes it as the cause of every enqueue until recEndUser.
+func (c *Conn) recBeginUser(op string, n int) {
+	fr := c.t.cfg.Flight
+	if fr == nil {
+		return
+	}
+	q := fr.UserOp(int64(c.t.s.Now()), c.name, op, n)
+	fr.BeginUser(q)
+}
+
+// recEndUser pops the user-operation cause (nil-safe).
+func (c *Conn) recEndUser() {
+	c.t.cfg.Flight.EndCause()
+}
+
+// recUop records a user operation that causes no enqueues of its own
+// (WriteUrgent's urgent-pointer mark).
+func (c *Conn) recUop(op string, n int) {
+	if fr := c.t.cfg.Flight; fr != nil {
+		fr.UserOp(int64(c.t.s.Now()), c.name, op, n)
+	}
+}
+
+// recEnqueue journals one action entering the to_do queue and remembers
+// its sequence number so the drain can pair beg/end records to it.
+//
+//foxvet:hotpath
+func (c *Conn) recEnqueue(fr *flight.Recorder, a action) {
+	c.t.recArgs = appendActionArgs(c.t.recArgs[:0], a)
+	q := fr.Enqueue(int64(c.t.s.Now()), c.name, a.actionName(), c.t.recArgs)
+	c.recSeqs.Enqueue(q)
+}
+
+// recBeg journals the executor starting an action, snapshots the TCB,
+// and pushes the action as the current cause. Returns the action's
+// enqueue-record seq for recEnd.
+//
+//foxvet:hotpath
+func (c *Conn) recBeg(fr *flight.Recorder) uint64 {
+	eq, _ := c.recSeqs.Dequeue()
+	fr.Beg(int64(c.t.s.Now()), c.name, eq)
+	fr.BeginAct(eq)
+	return eq
+}
+
+// recEnd journals the action's completion with the changed-field TCB
+// delta and pops the action cause.
+//
+//foxvet:hotpath
+func (c *Conn) recEnd(fr *flight.Recorder, eq uint64, pre, post *tcbSnap) {
+	fr.EndCause()
+	c.t.recDelta = appendSnapDelta(c.t.recDelta[:0], pre, post)
+	fr.End(c.name, eq, c.t.recDelta)
+}
+
+// tcbSnap is the journaled projection of a TCB: the fields whose
+// evolution the paper's test-by-TCB-comparison methodology tracks, as
+// int64s in snapNames order.
+type tcbSnap [14]int64
+
+// snapNames are the delta field names, aligned with tcbSnap indices.
+var snapNames = [14]string{
+	"state", "snd_una", "snd_nxt", "rcv_nxt", "snd_wnd", "rcv_wnd",
+	"cwnd", "ssthresh", "rto", "timers", "qb", "ooo", "rexq", "rcvbuf",
+}
+
+// snapTCB projects the connection's current TCB.
+//
+//foxvet:hotpath
+func (c *Conn) snapTCB() tcbSnap {
+	tcb := c.tcb
+	var armed int64
+	for i := timerID(0); i < numTimers; i++ {
+		if tcb.armed[i] {
+			armed |= 1 << uint(i)
+		}
+	}
+	return tcbSnap{
+		int64(c.state),
+		int64(uint32(tcb.sndUna)),
+		int64(uint32(tcb.sndNxt)),
+		int64(uint32(tcb.rcvNxt)),
+		int64(tcb.sndWnd),
+		int64(tcb.rcvWnd),
+		int64(tcb.cwnd),
+		int64(tcb.ssthresh),
+		int64(tcb.rto),
+		armed,
+		int64(tcb.queuedBytes),
+		int64(tcb.oooBytes),
+		int64(tcb.rexmitQ.Len()),
+		int64(c.recv.buffered),
+	}
+}
+
+// appendSnapDelta renders the changed fields between two snapshots as
+// flight delta pairs.
+func appendSnapDelta(dst []byte, pre, post *tcbSnap) []byte {
+	for i := range pre {
+		if pre[i] != post[i] {
+			dst = flight.AppendDelta(dst, snapNames[i], pre[i], post[i])
+		}
+	}
+	return dst
+}
+
+// appendActionArgs renders an action's deterministic arguments — what
+// the replay audit compares at every drain to prove the reconstructed
+// machine is enqueueing the same work the live machine did.
+func appendActionArgs(dst []byte, a action) []byte {
+	switch a := a.(type) {
+	case actProcessData:
+		dst = appendSegArgs(dst, a.seg)
+	case actSendSegment:
+		dst = appendSegArgs(dst, a.seg)
+		dst = append(dst, " rexmits="...)
+		dst = strconv.AppendInt(dst, int64(a.seg.rexmits), 10)
+	case actUserData:
+		dst = append(dst, "len="...)
+		dst = strconv.AppendInt(dst, int64(len(a.data)), 10)
+	case actUserError:
+		dst = append(dst, "err="...)
+		dst = append(dst, a.err.Error()...)
+	case actSetTimer:
+		dst = append(dst, "d="...)
+		dst = strconv.AppendInt(dst, int64(a.d), 10)
+	case actCompleteOpen:
+		if a.err != nil {
+			dst = append(dst, "err="...)
+			dst = append(dst, a.err.Error()...)
+		}
+	case actCompleteClose:
+		if a.err != nil {
+			dst = append(dst, "err="...)
+			dst = append(dst, a.err.Error()...)
+		}
+	}
+	return dst
+}
+
+func appendSegArgs(dst []byte, sg *segment) []byte {
+	dst = append(dst, "seq="...)
+	dst = strconv.AppendUint(dst, uint64(uint32(sg.seq)), 10)
+	dst = append(dst, " flags="...)
+	dst = strconv.AppendUint(dst, uint64(sg.flags), 10)
+	dst = append(dst, " len="...)
+	dst = strconv.AppendInt(dst, int64(len(sg.data)), 10)
+	return dst
+}

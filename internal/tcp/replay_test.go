@@ -1,0 +1,205 @@
+package tcp_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/arp"
+	"repro/internal/ethernet"
+	"repro/internal/flight"
+	"repro/internal/ip"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/wire"
+)
+
+// buildRecordedPair is buildPair with per-host configs, so each endpoint
+// carries its own flight recorder.
+func buildRecordedPair(s *sim.Scheduler, seg *wire.Segment, cfgA, cfgB tcp.Config) (a, b tcpHost) {
+	mk := func(n byte, cfg tcp.Config) tcpHost {
+		addr := ip.HostAddr(n)
+		port := seg.NewPort(addr.String(), nil)
+		eth := ethernet.New(port, ethernet.HostAddr(n), ethernet.Config{})
+		res := arp.New(s, eth, addr, arp.Config{})
+		res.AddStatic(ip.HostAddr(1), ethernet.HostAddr(1))
+		res.AddStatic(ip.HostAddr(2), ethernet.HostAddr(2))
+		ipl := ip.New(s, eth, res, ip.Config{Local: addr})
+		return tcpHost{TCP: tcp.New(s, ipl.Network(ip.ProtoTCP), cfg), IP: ipl, Eth: eth, Port: port, A: addr}
+	}
+	return mk(1, cfgA), mk(2, cfgB)
+}
+
+// recordedRun runs a two-host scenario with both endpoints journaling,
+// returning the two journals.
+func recordedRun(t *testing.T, wcfg wire.Config, body func(s *sim.Scheduler, a, b tcpHost)) (ja, jb *bytes.Buffer) {
+	t.Helper()
+	ja, jb = &bytes.Buffer{}, &bytes.Buffer{}
+	s := sim.New(sim.Config{})
+	s.Run(func() {
+		seg := wire.NewSegment(s, wcfg, nil)
+		a, b := buildRecordedPair(s, seg,
+			tcp.Config{Flight: flight.NewRecorder(ja)},
+			tcp.Config{Flight: flight.NewRecorder(jb)})
+		body(s, a, b)
+	})
+	return ja, jb
+}
+
+// replaySide decodes one journal and replays it, failing the test on any
+// divergence.
+func replaySide(t *testing.T, side string, j *bytes.Buffer) *tcp.ReplayResult {
+	t.Helper()
+	recs, err := flight.ReadAll(bytes.NewReader(j.Bytes()))
+	if err != nil {
+		t.Fatalf("%s journal: %v", side, err)
+	}
+	res, err := tcp.ReplayJournal(recs)
+	if err != nil {
+		t.Fatalf("%s replay: %v", side, err)
+	}
+	for _, d := range res.Divergences {
+		t.Errorf("%s: %v", side, d)
+	}
+	return res
+}
+
+func TestReplayCleanTransfer(t *testing.T) {
+	ja, jb := recordedRun(t, wire.Config{}, func(s *sim.Scheduler, a, b tcpHost) {
+		var server *tcp.Conn
+		b.TCP.Listen(80, func(c *tcp.Conn) tcp.Handler { server = c; return tcp.Handler{} })
+		conn, err := a.TCP.Open(b.A, 80, tcp.Handler{})
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		if err := conn.Write(make([]byte, 9000)); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		if err := conn.WriteUrgent([]byte("urgent!")); err != nil {
+			t.Fatalf("WriteUrgent: %v", err)
+		}
+		s.Sleep(time.Second)
+		got := make([]byte, 9007)
+		if _, err := server.ReadFull(got); err != nil {
+			t.Fatalf("ReadFull: %v", err)
+		}
+		conn.Close()
+		s.Sleep(time.Second)
+		server.Close()
+		s.Sleep(time.Minute)
+	})
+	ra := replaySide(t, "client", ja)
+	rb := replaySide(t, "server", jb)
+	if ra.Actions == 0 || rb.Actions == 0 {
+		t.Fatalf("replay performed no actions (client %d, server %d)", ra.Actions, rb.Actions)
+	}
+	if ra.Conns != 1 || rb.Conns != 1 {
+		t.Fatalf("replay reconstructed %d/%d conns, want 1/1", ra.Conns, rb.Conns)
+	}
+}
+
+// A lossy link exercises the retransmission machinery, so the journals
+// carry timer-caused actions and the replay must reproduce RTO growth,
+// congestion-window collapse, and recovery byte-for-byte.
+func TestReplayLossyTransfer(t *testing.T) {
+	ja, jb := recordedRun(t, wire.Config{Loss: 0.05, Seed: 11}, func(s *sim.Scheduler, a, b tcpHost) {
+		var server *tcp.Conn
+		b.TCP.Listen(80, func(c *tcp.Conn) tcp.Handler { server = c; return tcp.Handler{} })
+		conn, err := a.TCP.Open(b.A, 80, tcp.Handler{})
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		s.Fork("writer", func() { conn.Write(make([]byte, 40_000)); conn.Shutdown() })
+		got := make([]byte, 40_000)
+		s.Fork("reader", func() {
+			if _, err := server.ReadFull(got); err != nil && err != io.EOF {
+				t.Errorf("ReadFull: %v", err)
+			}
+		})
+		s.Sleep(10 * time.Minute)
+	})
+	ra := replaySide(t, "client", ja)
+	replaySide(t, "server", jb)
+	if ra.Actions == 0 {
+		t.Fatal("replay performed no actions")
+	}
+}
+
+func TestReplayAbort(t *testing.T) {
+	ja, jb := recordedRun(t, wire.Config{}, func(s *sim.Scheduler, a, b tcpHost) {
+		b.TCP.Listen(80, func(c *tcp.Conn) tcp.Handler { return tcp.Handler{} })
+		conn, err := a.TCP.Open(b.A, 80, tcp.Handler{})
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		conn.Write([]byte("doomed"))
+		s.Sleep(100 * time.Millisecond)
+		conn.Abort()
+		s.Sleep(time.Second)
+	})
+	replaySide(t, "client", ja)
+	replaySide(t, "server", jb)
+}
+
+// Tampering with a recorded delta must surface as a divergence: the
+// journal is only trusted after it survives re-execution.
+func TestReplayDetectsTamperedDelta(t *testing.T) {
+	ja, _ := recordedRun(t, wire.Config{}, func(s *sim.Scheduler, a, b tcpHost) {
+		b.TCP.Listen(80, func(c *tcp.Conn) tcp.Handler { return tcp.Handler{} })
+		conn, err := a.TCP.Open(b.A, 80, tcp.Handler{})
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		conn.Write([]byte("hello"))
+		s.Sleep(time.Second)
+		conn.Close()
+		s.Sleep(time.Minute)
+	})
+	recs, err := flight.ReadAll(bytes.NewReader(ja.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := false
+	for i := range recs {
+		if recs[i].Kind == flight.KindEnd && len(recs[i].Delta) > 0 {
+			for name, v := range recs[i].Delta {
+				recs[i].Delta[name] = [2]int64{v[0], v[1] + 1}
+				break
+			}
+			tampered = true
+			break
+		}
+	}
+	if !tampered {
+		t.Fatal("journal carried no deltas to tamper with")
+	}
+	res, err := tcp.ReplayJournal(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Divergences) == 0 {
+		t.Fatal("tampered delta replayed without divergence")
+	}
+}
+
+// Corrupting journal bytes must be caught at decode time.
+func TestReplayDetectsCorruptJournal(t *testing.T) {
+	ja, _ := recordedRun(t, wire.Config{}, func(s *sim.Scheduler, a, b tcpHost) {
+		b.TCP.Listen(80, func(c *tcp.Conn) tcp.Handler { return tcp.Handler{} })
+		conn, _ := a.TCP.Open(b.A, 80, tcp.Handler{})
+		conn.Write([]byte("bits"))
+		s.Sleep(time.Second)
+	})
+	raw := ja.Bytes()
+	raw[len(raw)/2] ^= 0x20
+	if _, err := flight.ReadAll(bytes.NewReader(raw)); err == nil {
+		// The flip may land inside a JSON string and survive decoding;
+		// but a flip in framing or structure must error. Retry on the
+		// length prefix of the first record, which cannot survive.
+		raw[0] ^= 0x01
+		if _, err := flight.ReadAll(bytes.NewReader(raw)); err == nil {
+			t.Fatal("corrupted journal decoded cleanly")
+		}
+	}
+}

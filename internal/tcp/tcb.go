@@ -132,8 +132,12 @@ type TCB struct {
 	dupAcks  int
 	recover  seq
 
-	// Timers, managed only by the Action module.
+	// Timers, managed only by the Action module. armed mirrors which
+	// slots hold a live (set, unexpired, uncleared) timer — the flight
+	// recorder journals it as a bitmask so replay can audit timer state
+	// without depending on wall-clock timer internals.
 	timer [numTimers]*timers.Timer
+	armed [numTimers]bool
 
 	// Delayed-ACK bookkeeping: ackPending means an ACK is owed and may
 	// be delayed; ackNow forces it out on the next send pass;

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/basis"
+	"repro/internal/flight"
 	"repro/internal/profile"
 	"repro/internal/protocol"
 	"repro/internal/sim"
@@ -132,6 +133,12 @@ type Config struct {
 	// (challenge ACKs, SYN-queue evictions, memory-pressure moves). fill
 	// allocates a detached group when none is supplied, like Metrics.
 	Harden *stats.HardenMIB
+	// Flight, when non-nil, journals every enqueued action with its
+	// cause and a per-drain TCB delta (internal/flight); cmd/foxreplay
+	// re-executes and audits the journal. Nil costs one nil check at
+	// each hook. Ignored under DirectDispatch — with the to_do queue
+	// bypassed there is no door to journal.
+	Flight *flight.Recorder
 }
 
 // DataPathCosts carries per-kilobyte virtual charges for data-touching
@@ -309,11 +316,23 @@ type TCP struct {
 	// cfg.ChallengeACKLimit per simulated second.
 	challengeWindow sim.Time
 	challengeCount  int
+
+	// replay marks an endpoint reconstructed by ReplayJournal: timers
+	// install inert placeholders (expirations come from the journal).
+	replay bool
+	// recArgs/recDelta are the flight recorder's reused encode scratch
+	// (record.go); struct fields so the enabled path stays
+	// allocation-free in steady state.
+	recArgs  []byte
+	recDelta []byte
 }
 
 // New instantiates the TCP "functor" over net.
 func New(s *sim.Scheduler, net protocol.Network, cfg Config) *TCP {
 	cfg.fill()
+	if cfg.DirectDispatch {
+		cfg.Flight = nil
+	}
 	t := &TCP{
 		s: s, net: net, cfg: cfg,
 		conns:     make(map[connKey]*Conn),
@@ -322,6 +341,7 @@ func New(s *sim.Scheduler, net protocol.Network, cfg Config) *TCP {
 	}
 	t.mem.limit = cfg.MemoryLimit
 	t.mem.pressureAt = cfg.MemoryLimit - cfg.MemoryLimit/4
+	t.recHdr()
 	net.Attach(t.handler)
 	return t
 }
@@ -396,15 +416,18 @@ func (t *TCP) handler(src protocol.Address, pkt *basis.Packet) {
 	}
 
 	key := connKey{raddr: src, rport: sg.srcPort, lport: sg.dstPort}
+	// Everything from demux to drain is attributed to this arrival in
+	// the flight journal (nil-safe: disabled recording is a nil check).
+	t.cfg.Flight.BeginPkt(uint32(sg.seq), uint32(sg.ack), sg.flags, sg.wnd, sg.up, sg.mss, len(sg.data))
 	c, ok := t.conns[key]
 	if !ok {
 		c = t.dispatchUnknown(key, sg)
-		if c == nil {
-			return
-		}
 	}
-	c.enqueue(actProcessData{seg: sg})
-	c.run()
+	if c != nil {
+		c.enqueue(actProcessData{seg: sg})
+		c.run()
+	}
+	t.cfg.Flight.EndCause()
 }
 
 // dispatchUnknown handles a segment for which no connection exists:
@@ -434,6 +457,7 @@ func (t *TCP) dispatchUnknown(key connKey, sg *segment) *Conn {
 		if sg.has(flagSYN) && !sg.has(flagACK) {
 			l.join(c)
 		}
+		c.recOpen("passive")
 		return c
 	}
 	t.stats.UnknownDest++
@@ -499,11 +523,14 @@ func (t *TCP) OpenFrom(remote protocol.Address, remotePort, localPort uint16, h 
 	c.handler = h
 	t.conns[key] = c
 	t.stats.ConnsOpened++
+	c.recBeginUser("open", 0)
+	c.recOpen("active")
 
 	sec := t.cfg.Prof.Start(profile.CatTCP)
 	c.stateActiveOpen()
 	c.run()
 	sec.Stop()
+	c.recEndUser()
 
 	for !c.openDone {
 		c.openCond.Wait()
