@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check lint foxvet foxvet-json statemachine-dot bench chaos fmt
+.PHONY: build test check lint foxvet foxvet-json statemachine-dot bench chaos audit fmt
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,16 @@ bench:
 # internal/adversary/soak_test.go and the EXPERIMENTS.md recipe).
 chaos:
 	$(GO) test -race -count=1 -v ./internal/adversary/
+
+# audit exercises the tamper-evidence pipeline end to end: a lossy
+# foxstat run journals both hosts through the Merkle batcher into
+# audit-journals/, prints the sealed-segment listing, then foxreplay
+# verifies every seal chain and replay-audits the journals with sharded
+# workers. Any flipped bit in any segment fails the verify step.
+audit:
+	rm -rf audit-journals
+	$(GO) run ./cmd/foxstat -scenario lossy -flight audit-journals -seals
+	$(GO) run ./cmd/foxreplay -verify -workers 4 audit-journals
 
 fmt:
 	gofmt -w .

@@ -1,0 +1,209 @@
+// Command foxaudit serves Merkle inclusion proofs over sealed flight
+// journals (see internal/flight/seal). A proof ties one journal record
+// to a sealed batch root and its chain hash, so a third party holding
+// only the chain head — say, the "chain head" line from `foxstat
+// -seals` — can confirm the record was in the journal when it was
+// sealed, without reading the journal itself.
+//
+//	foxaudit -leaf 117 journals/host1.0000.fjl...   print record #117's proof
+//	foxaudit -leaf 117 journals/                    same, journals discovered per host
+//	foxaudit -check proof.json                      re-verify a saved proof
+//	foxaudit -serve :8080 journals/                 HTTP proof service
+//
+// The HTTP service answers:
+//
+//	GET /journals                    the discovered journals
+//	GET /verify?journal=host1        full chain verification report
+//	GET /proof?journal=host1&leaf=N  inclusion proof for record N
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+
+	"repro/internal/flight/seal"
+)
+
+func main() {
+	leaf := flag.Int64("leaf", -1, "emit an inclusion proof for this record (global leaf index)")
+	check := flag.String("check", "", "re-verify a saved proof file ('-' reads stdin)")
+	serve := flag.String("serve", "", "serve proofs over HTTP on this address")
+	flag.Parse()
+
+	switch {
+	case *check != "":
+		if err := checkProof(*check); err != nil {
+			fmt.Fprintln(os.Stderr, "foxaudit:", err)
+			os.Exit(1)
+		}
+	case *leaf >= 0:
+		if flag.NArg() == 0 {
+			fmt.Fprintln(os.Stderr, "usage: foxaudit -leaf N journal.fjl...|dir")
+			os.Exit(2)
+		}
+		srcs, err := sources(flag.Args())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "foxaudit:", err)
+			os.Exit(1)
+		}
+		p, err := seal.Prove(srcs, uint64(*leaf))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "foxaudit:", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(p)
+	case *serve != "":
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: foxaudit -serve ADDR dir")
+			os.Exit(2)
+		}
+		if err := serveDir(*serve, flag.Arg(0)); err != nil {
+			fmt.Fprintln(os.Stderr, "foxaudit:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: foxaudit [-leaf N files|dir] [-check proof.json] [-serve ADDR dir]")
+		os.Exit(2)
+	}
+}
+
+// sources expands file and directory arguments into segment sources;
+// a directory must hold exactly one journal, else the host is ambiguous.
+func sources(args []string) ([]seal.Source, error) {
+	var out []seal.Source
+	for _, arg := range args {
+		fi, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !fi.IsDir() {
+			out = append(out, seal.Journal{Files: []string{arg}}.Sources()...)
+			continue
+		}
+		js, err := seal.DiscoverDir(arg)
+		if err != nil {
+			return nil, err
+		}
+		if len(js) != 1 {
+			return nil, fmt.Errorf("%s: %d journals; name one host's segment files explicitly", arg, len(js))
+		}
+		out = append(out, js[0].Sources()...)
+	}
+	return out, nil
+}
+
+// checkProof re-verifies a saved proof: the record still hashes to its
+// leaf, the path still folds to the root, and the root still seals to
+// the recorded chain hash. Matching that hash against a trusted copy —
+// the chain head printed by `foxstat -seals` or `foxreplay -verify` —
+// is the caller's final step; print it to make that easy.
+func checkProof(path string) error {
+	var (
+		data []byte
+		err  error
+	)
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+	var p seal.Proof
+	if err := json.Unmarshal(data, &p); err != nil {
+		return err
+	}
+	if err := p.Check(); err != nil {
+		return err
+	}
+	fmt.Printf("proof ok: record %d in batch %d of segment %s\n", p.Leaf, p.Batch, p.Segment)
+	fmt.Printf("seal hash %s\n", p.SealHash)
+	fmt.Println("compare the seal hash against a trusted chain head (foxstat -seals)")
+	return nil
+}
+
+// serveDir is the HTTP proof service over one journal directory.
+func serveDir(addr, dir string) error {
+	journals := func() (map[string]seal.Journal, error) {
+		js, err := seal.DiscoverDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		m := make(map[string]seal.Journal, len(js))
+		for _, j := range js {
+			m[j.Prefix] = j
+		}
+		return m, nil
+	}
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(v)
+	}
+	httpErr := func(w http.ResponseWriter, code int, err error) {
+		http.Error(w, err.Error(), code)
+	}
+	pick := func(w http.ResponseWriter, r *http.Request) (seal.Journal, bool) {
+		js, err := journals()
+		if err != nil {
+			httpErr(w, http.StatusInternalServerError, err)
+			return seal.Journal{}, false
+		}
+		j, ok := js[r.URL.Query().Get("journal")]
+		if !ok {
+			httpErr(w, http.StatusNotFound, fmt.Errorf("unknown journal %q", r.URL.Query().Get("journal")))
+			return seal.Journal{}, false
+		}
+		return j, true
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/journals", func(w http.ResponseWriter, r *http.Request) {
+		js, err := seal.DiscoverDir(dir)
+		if err != nil {
+			httpErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, js)
+	})
+	mux.HandleFunc("/verify", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := pick(w, r)
+		if !ok {
+			return
+		}
+		rep, err := seal.Verify(j.Sources(), nil)
+		if err != nil {
+			httpErr(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, rep)
+	})
+	mux.HandleFunc("/proof", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := pick(w, r)
+		if !ok {
+			return
+		}
+		leaf, err := strconv.ParseUint(r.URL.Query().Get("leaf"), 10, 64)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, fmt.Errorf("bad leaf: %v", err))
+			return
+		}
+		p, err := seal.Prove(j.Sources(), leaf)
+		if err != nil {
+			httpErr(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, p)
+	})
+	fmt.Printf("foxaudit: serving proofs for %s on %s\n", dir, addr)
+	return http.ListenAndServe(addr, mux)
+}

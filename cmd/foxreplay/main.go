@@ -8,8 +8,17 @@
 // protocol code produces; any disagreement — corruption, nondeterminism,
 // or a state-machine bug — exits nonzero with the first divergence.
 //
+// Journals may be single files or rotated segment runs; a directory
+// argument is expanded with seal.DiscoverDir, grouping
+// "<host>.%04d.fjl" segments into one journal per host.
+//
 //	foxreplay run.fjl                 replay and audit one journal
 //	foxreplay host1.fjl host2.fjl     audit several (all must pass)
+//	foxreplay journals/               audit every journal in a directory
+//	foxreplay -verify journals/       check the Merkle seal chain first;
+//	                                  a tampered journal is refused, with
+//	                                  the damaged segment/offset named
+//	foxreplay -workers 8 journals/    shard connections across workers
 //	foxreplay -causal 117 run.fjl     print action #117's cause chain
 //	foxreplay -dot run.fjl            emit the causal graph as Graphviz
 package main
@@ -18,8 +27,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/flight"
+	"repro/internal/flight/seal"
 	"repro/internal/tcp"
 )
 
@@ -27,15 +39,22 @@ func main() {
 	causal := flag.Uint64("causal", 0, "print the cause chain of this action sequence number and exit")
 	dot := flag.Bool("dot", false, "emit the journal's causal graph as Graphviz dot and exit")
 	quiet := flag.Bool("q", false, "suppress per-journal summaries; only report divergences")
+	verify := flag.Bool("verify", false, "verify the Merkle seal chain before replaying; refuse tampered or unsealed journals")
+	workers := flag.Int("workers", 1, "shard connections across this many replay workers")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: foxreplay [-causal N | -dot] journal.fjl...")
+		fmt.Fprintln(os.Stderr, "usage: foxreplay [-verify] [-workers N] [-causal N | -dot] journal.fjl|dir ...")
 		os.Exit(2)
 	}
 
+	journals, err := expandArgs(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "foxreplay:", err)
+		os.Exit(1)
+	}
 	failed := false
-	for _, path := range flag.Args() {
-		if !process(path, *causal, *dot, *quiet) {
+	for _, j := range journals {
+		if !process(j, *causal, *dot, *quiet, *verify, *workers) {
 			failed = true
 		}
 	}
@@ -44,31 +63,77 @@ func main() {
 	}
 }
 
-// process handles one journal file, returning false on any failure.
-func process(path string, causal uint64, dot, quiet bool) bool {
-	f, err := os.Open(path)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "foxreplay:", err)
-		return false
+// expandArgs turns the argument list into journals: directories are
+// discovered (grouping rotated segments per host), files stand alone.
+func expandArgs(args []string) ([]seal.Journal, error) {
+	var out []seal.Journal
+	for _, arg := range args {
+		fi, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if fi.IsDir() {
+			js, err := seal.DiscoverDir(arg)
+			if err != nil {
+				return nil, err
+			}
+			if len(js) == 0 {
+				return nil, fmt.Errorf("%s: no *%s journals", arg, seal.Ext)
+			}
+			out = append(out, js...)
+			continue
+		}
+		base := strings.TrimSuffix(filepath.Base(arg), seal.Ext)
+		out = append(out, seal.Journal{Prefix: base, Files: []string{arg}})
 	}
-	defer f.Close()
-	recs, err := flight.ReadAll(f)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "foxreplay: %s: %v\n", path, err)
-		return false
+	return out, nil
+}
+
+// name renders a journal for messages: the single file's path, or the
+// prefix with its segment count.
+func name(j seal.Journal) string {
+	if len(j.Files) == 1 && !j.Sealed {
+		return j.Files[0]
+	}
+	return fmt.Sprintf("%s (%d segments)", j.Prefix, len(j.Files))
+}
+
+// process handles one journal, returning false on any failure.
+func process(j seal.Journal, causal uint64, dot, quiet, verify bool, workers int) bool {
+	if verify {
+		rep, err := seal.Verify(j.Sources(), nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "foxreplay: %s: VERIFY FAILED: %v\n", name(j), err)
+			fmt.Fprintf(os.Stderr, "foxreplay: %s: refusing to replay an unverified journal\n", name(j))
+			return false
+		}
+		if !quiet {
+			fmt.Printf("%s: seal chain verified — %d segments, %d batches, %d records, last seal %s\n",
+				name(j), len(rep.Segments), rep.Batches, rep.Leaves, short(rep.LastSeal))
+		}
+	}
+
+	var recs []flight.Record
+	for _, path := range j.Files {
+		part, err := readFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "foxreplay: %v\n", err)
+			return false
+		}
+		recs = append(recs, part...)
 	}
 
 	switch {
 	case dot:
 		if err := flight.Dot(os.Stdout, recs); err != nil {
-			fmt.Fprintf(os.Stderr, "foxreplay: %s: %v\n", path, err)
+			fmt.Fprintf(os.Stderr, "foxreplay: %s: %v\n", name(j), err)
 			return false
 		}
 		return true
 	case causal != 0:
 		chain, err := flight.Chain(recs, causal)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "foxreplay: %s: %v\n", path, err)
+			fmt.Fprintf(os.Stderr, "foxreplay: %s: %v\n", name(j), err)
 			return false
 		}
 		for i, r := range chain {
@@ -80,20 +145,53 @@ func process(path string, causal uint64, dot, quiet bool) bool {
 		return true
 	}
 
-	res, err := tcp.ReplayJournal(recs)
+	res, err := tcp.ReplayJournalParallel(recs, workers)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "foxreplay: %s: %v\n", path, err)
+		fmt.Fprintf(os.Stderr, "foxreplay: %s: %v\n", name(j), err)
 		return false
 	}
 	for _, d := range res.Divergences {
-		fmt.Fprintf(os.Stderr, "foxreplay: %s: DIVERGENCE: %v\n", path, d)
+		fmt.Fprintf(os.Stderr, "foxreplay: %s: DIVERGENCE: %v\n", name(j), d)
 	}
 	if len(res.Divergences) > 0 {
 		return false
 	}
 	if !quiet {
-		fmt.Printf("%s: ok — host %s, %d records, %d actions replayed, %d conns, zero divergence\n",
-			path, res.Host, res.Records, res.Actions, res.Conns)
+		par := ""
+		if res.Workers > 1 {
+			par = fmt.Sprintf(", %d workers", res.Workers)
+		}
+		fmt.Printf("%s: ok — host %s, %d records, %d actions replayed, %d conns%s, zero divergence\n",
+			name(j), res.Host, res.Records, res.Actions, res.Conns, par)
 	}
 	return true
+}
+
+// readFile decodes one segment file, naming the segment in any
+// corruption report so the damage is locatable.
+func readFile(path string) ([]flight.Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := flight.ReadAll(f)
+	if err != nil {
+		if c, ok := err.(*flight.Corruption); ok && c.Segment == "" {
+			c.Segment = filepath.Base(path)
+		}
+		return nil, err
+	}
+	return recs, nil
+}
+
+// short abbreviates a hex hash for summaries.
+func short(h string) string {
+	if len(h) > 16 {
+		return h[:16] + "…"
+	}
+	if h == "" {
+		return "-"
+	}
+	return h
 }

@@ -20,11 +20,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"repro/foxnet"
 	"repro/internal/adversary"
+	"repro/internal/flight/seal"
 	"repro/internal/ip"
 	"repro/internal/stats"
 )
@@ -54,10 +56,11 @@ type hostJSON struct {
 }
 
 type docJSON struct {
-	Scenario  string          `json:"scenario"`
-	Bytes     int             `json:"bytes"`
-	Hosts     []hostJSON      `json:"hosts"`
-	Substrate json.RawMessage `json:"substrate"`
+	Scenario  string                  `json:"scenario"`
+	Bytes     int                     `json:"bytes"`
+	Hosts     []hostJSON              `json:"hosts"`
+	Substrate json.RawMessage         `json:"substrate"`
+	Seals     map[string]*seal.Report `json:"seals,omitempty"`
 }
 
 func main() {
@@ -67,7 +70,16 @@ func main() {
 	outPath := flag.String("o", "", "write output to this file instead of stdout")
 	ringN := flag.Int("ring", 0, "event-ring capacity per host (0 takes the default)")
 	flightDir := flag.String("flight", "", "record per-host flight journals into this directory (replay with foxreplay)")
+	sealed := flag.Bool("seal", false, "route -flight journals through the Merkle batcher: tamper-evident rotated segments (verify with foxreplay -verify)")
+	sealList := flag.Bool("seals", false, "after the run, list each sealed segment with its root hash and leaf coverage (implies -seal)")
 	flag.Parse()
+	if *sealList {
+		*sealed = true
+	}
+	if *sealed && *flightDir == "" {
+		fmt.Fprintln(os.Stderr, "foxstat: -seal requires -flight DIR")
+		os.Exit(2)
+	}
 
 	wcfg := foxnet.WireConfig{}
 	hosts := 2
@@ -97,6 +109,7 @@ func main() {
 				hostCfgs[i].Metrics = foxnet.NewRegistrySized(fmt.Sprintf("host%d", i+1), *ringN)
 			}
 			hostCfgs[i].FlightDir = *flightDir
+			hostCfgs[i].FlightSeal = *sealed
 		}
 	}
 
@@ -141,6 +154,26 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Seal the partial batch and flush the journals: segment writes are
+	// buffered, and an unsynced sealed journal fails verification by
+	// design (its tail is not attested).
+	if *flightDir != "" {
+		for _, h := range net.Hosts {
+			if err := h.SyncFlight(); err != nil {
+				fmt.Fprintf(os.Stderr, "foxstat: %s: flight sync: %v\n", h.Name, err)
+				os.Exit(1)
+			}
+		}
+	}
+	var sealReports map[string]*seal.Report
+	if *sealList {
+		var err error
+		if sealReports, err = seal.VerifyDir(*flightDir, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "foxstat: seal verify: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	out := io.Writer(os.Stdout)
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
@@ -153,10 +186,47 @@ func main() {
 	}
 
 	if *jsonOut {
-		writeJSON(out, net, conns, substrate, *scenario, *bytes)
+		writeJSON(out, net, conns, substrate, *scenario, *bytes, sealReports)
 		return
 	}
 	writeText(out, net, conns, substrate)
+	writeSeals(out, sealReports)
+}
+
+// writeSeals prints the -seals listing: every sealed segment with its
+// size, record/leaf coverage, and the last Merkle root and chain hash
+// it carries.
+func writeSeals(out io.Writer, reports map[string]*seal.Report) {
+	if len(reports) == 0 {
+		return
+	}
+	prefixes := make([]string, 0, len(reports))
+	for p := range reports {
+		prefixes = append(prefixes, p)
+	}
+	sort.Strings(prefixes)
+	for _, p := range prefixes {
+		rep := reports[p]
+		fmt.Fprintf(out, "sealed journal %s: %d segments, %d batches, %d records sealed, chain head %s\n",
+			p, len(rep.Segments), rep.Batches, rep.Leaves, shortHash(rep.LastSeal))
+		for _, s := range rep.Segments {
+			fmt.Fprintf(out, "  %-18s %8d B  records %-5d seals %-3d leaves %d..%d  root %s  seal %s\n",
+				s.Name, s.Bytes, s.Records, s.Seals,
+				s.FirstLeaf, s.FirstLeaf+uint64(s.Leaves),
+				shortHash(s.LastRoot), shortHash(s.LastSeal))
+		}
+	}
+}
+
+// shortHash abbreviates a hex hash for the listing.
+func shortHash(h string) string {
+	if len(h) > 16 {
+		return h[:16] + "…"
+	}
+	if h == "" {
+		return "-"
+	}
+	return h
 }
 
 // attack aims the hostile scenario's adversary at the server (host 1)
@@ -239,8 +309,8 @@ func writeText(out io.Writer, net *foxnet.Network, conns []*foxnet.Conn, substra
 	fmt.Fprint(out, substrate.Snapshot().Text())
 }
 
-func writeJSON(out io.Writer, net *foxnet.Network, conns []*foxnet.Conn, substrate *foxnet.Registry, scenario string, bytes int) {
-	doc := docJSON{Scenario: scenario, Bytes: bytes}
+func writeJSON(out io.Writer, net *foxnet.Network, conns []*foxnet.Conn, substrate *foxnet.Registry, scenario string, bytes int, seals map[string]*seal.Report) {
+	doc := docJSON{Scenario: scenario, Bytes: bytes, Seals: seals}
 	for _, h := range net.Hosts {
 		snap, err := h.Stats.Snapshot().JSON()
 		if err != nil {

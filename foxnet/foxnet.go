@@ -28,6 +28,7 @@ import (
 	"repro/internal/basis"
 	"repro/internal/ethernet"
 	"repro/internal/flight"
+	"repro/internal/flight/seal"
 	"repro/internal/icmp"
 	"repro/internal/ip"
 	"repro/internal/profile"
@@ -79,6 +80,9 @@ type (
 	// FlightRecorder journals per-action TCB evolution (see
 	// HostConfig.FlightDir and cmd/foxreplay).
 	FlightRecorder = flight.Recorder
+	// SealOptions parameterizes the tamper-evident journal batcher (see
+	// HostConfig.FlightSeal).
+	SealOptions = seal.Options
 	// Address is any layer's peer address.
 	Address = protocol.Address
 )
@@ -132,6 +136,18 @@ type HostConfig struct {
 	// directory is created if missing. An explicit TCP.Flight recorder
 	// takes precedence.
 	FlightDir string
+	// FlightSeal routes the FlightDir journal through the Merkle batcher
+	// (internal/flight/seal): records are sealed into hash-chained
+	// batches and written as rotated "<hostname>.%04d.fjl" segments that
+	// `foxreplay -verify` and `foxaudit` can check for tampering. The
+	// seal counters appear as the registry's "seal" group. Call
+	// Host.SyncFlight before reading the journal: segment writes are
+	// buffered, and the final partial batch is only sealed on sync.
+	FlightSeal bool
+	// FlightSealOptions overrides the batcher's defaults (batch size,
+	// segment rotation thresholds) when FlightSeal is set. The MIB field
+	// is ignored; the host's registry supplies it.
+	FlightSealOptions SealOptions
 }
 
 // Host is one simulated machine running the standard stack.
@@ -149,10 +165,20 @@ type Host struct {
 	TCP  *tcp.TCP
 	Prof *Profile
 	// Stats aggregates this host's MIB counter groups (tcp, ip, icmp,
-	// udp, arp, eth) and the structured event ring. Snapshot it any time;
-	// the groups are atomic.
+	// udp, arp, eth — and seal, when FlightSeal is on) and the structured
+	// event ring. Snapshot it any time; the groups are atomic.
 	Stats *stats.Registry
+	// Flight is this host's flight recorder, nil unless FlightDir (or an
+	// explicit TCP.Flight) was configured.
+	Flight *FlightRecorder
 }
+
+// SyncFlight seals the journal's partial batch and flushes it to its
+// sink. Call it after the scenario ends and before verifying or
+// replaying the journal; a sealed journal that skips this loses its
+// buffered tail (that is the durability seam, not a bug). Safe to call
+// on hosts with no recorder.
+func (h *Host) SyncFlight() error { return h.Flight.Sync() }
 
 // Network is a simulated Ethernet segment with attached hosts.
 type Network struct {
@@ -272,8 +298,18 @@ func (n *Network) addHost(id byte, hc HostConfig) *Host {
 		tcfg.Events = reg.Ring()
 	}
 	if tcfg.Flight == nil && hc.FlightDir != "" {
-		tcfg.Flight = flight.NewRecorder(&flightSink{dir: hc.FlightDir, name: h.Name})
+		if hc.FlightSeal {
+			smib := new(stats.SealMIB)
+			reg.Register("seal", smib)
+			o := hc.FlightSealOptions
+			o.MIB = smib
+			tcfg.Flight = flight.NewRecorder(
+				seal.NewWriter(&seal.DirSink{Dir: hc.FlightDir, Prefix: h.Name}, o))
+		} else {
+			tcfg.Flight = flight.NewRecorder(&flightSink{dir: hc.FlightDir, name: h.Name})
+		}
 	}
+	h.Flight = tcfg.Flight
 	h.TCP = tcp.New(s, h.IP.Network(ip.ProtoTCP), tcfg)
 	return h
 }
@@ -303,6 +339,17 @@ func (w *flightSink) Write(p []byte) (int, error) {
 		}
 	}
 	return w.f.Write(p)
+}
+
+// Sync flushes the journal file to disk (the Recorder's Sync seam).
+func (w *flightSink) Sync() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.f == nil {
+		return nil
+	}
+	return w.f.Sync()
 }
 
 // RegisterSubstrateMetrics adds "sched" and "wire" groups — scheduler

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"repro/internal/arp"
 	"repro/internal/ethernet"
 	"repro/internal/flight"
+	"repro/internal/flight/seal"
 	"repro/internal/ip"
 	"repro/internal/pcap"
 	"repro/internal/sim"
@@ -278,11 +280,21 @@ func runSoak(t *testing.T, seed uint64, attack bool) soakResult {
 	for i := range payload {
 		payload[i] = byte(i * 31)
 	}
-	// Both endpoints journal to flight recorders; after the run each
-	// journal is replay-audited, so every soak seed doubles as a
-	// determinism proof. On failure the journals (and a pcap of the whole
-	// segment) land in $CHAOS_OUT for offline foxreplay analysis.
-	var cjour, sjour, capture bytes.Buffer
+	// Both endpoints journal through the Merkle batcher into rotated
+	// in-memory segments; after the run each journal is chain-verified
+	// and replay-audited (sharded across workers), so every soak seed
+	// doubles as a determinism proof AND a tamper-evidence proof. On
+	// failure the segments (and a pcap of the whole wire) land in
+	// $CHAOS_OUT for offline foxreplay analysis.
+	var capture bytes.Buffer
+	csink := &seal.MemSink{Prefix: "client"}
+	ssink := &seal.MemSink{Prefix: "server"}
+	// Small segments force rotation: the 2 MiB transfer yields a
+	// multi-segment journal on both sides, which is what the tamper and
+	// compaction audits below want to chew on.
+	sealOpts := seal.Options{BatchSize: 64, SegmentBytes: 256 << 10}
+	crec := flight.NewRecorder(seal.NewWriter(csink, sealOpts))
+	srec := flight.NewRecorder(seal.NewWriter(ssink, sealOpts))
 	pw := pcap.NewWriter(&capture)
 	s := sim.New(sim.Config{})
 	s.Run(func() {
@@ -294,9 +306,9 @@ func runSoak(t *testing.T, seed uint64, attack bool) soakResult {
 		// pattern happens to hit consecutive retransmissions, and the
 		// attack/no-attack comparison drowns in that variance.
 		scfg := hardenCfg(tcp.Config{MaxSynBacklog: 32, MemoryLimit: 1 << 20, InitialWindow: 32 << 10, UserTimeout: 10 * time.Minute})
-		scfg.Flight = flight.NewRecorder(&sjour)
+		scfg.Flight = srec
 		ccfg := hardenCfg(tcp.Config{InitialWindow: 32 << 10, UserTimeout: 10 * time.Minute})
-		ccfg.Flight = flight.NewRecorder(&cjour)
+		ccfg.Flight = crec
 		r := build(s, seg, ccfg, scfg, seed)
 
 		var rcv bytes.Buffer
@@ -374,34 +386,118 @@ func runSoak(t *testing.T, seed uint64, attack bool) soakResult {
 		assertLegalTransitions(t, "server", r.server.Ev)
 		assertLegalTransitions(t, "client", r.client.Ev)
 	})
-	auditJournal(t, seed, attack, "client", &cjour)
-	auditJournal(t, seed, attack, "server", &sjour)
+	if err := crec.Sync(); err != nil {
+		t.Errorf("seed %d client journal sync: %v", seed, err)
+	}
+	if err := srec.Sync(); err != nil {
+		t.Errorf("seed %d server journal sync: %v", seed, err)
+	}
+	auditSealed(t, seed, attack, "client", csink)
+	auditSealed(t, seed, attack, "server", ssink)
 	if t.Failed() {
-		dumpArtifacts(t, seed, attack, map[string][]byte{
-			"client.fjl": cjour.Bytes(),
-			"server.fjl": sjour.Bytes(),
-			"wire.pcap":  capture.Bytes(),
-		})
+		files := map[string][]byte{"wire.pcap": capture.Bytes()}
+		for _, sink := range []*seal.MemSink{csink, ssink} {
+			for i, b := range sink.Segs {
+				files[seal.SegmentName(sink.Prefix, i)] = b.Bytes()
+			}
+		}
+		dumpArtifacts(t, seed, attack, files)
 	}
 	return res
 }
 
-// auditJournal replays one endpoint's flight journal and fails the test
-// on any decode error or divergence.
-func auditJournal(t *testing.T, seed uint64, attack bool, who string, jour *bytes.Buffer) {
+// auditSealed audits one endpoint's sealed journal end to end: the seal
+// chain verifies, the sharded parallel replay reproduces every recorded
+// TCB delta, one flipped bit in ANY segment makes verification fail and
+// name that segment, and compacting the cold segments keeps both the
+// chain and the replay intact.
+func auditSealed(t *testing.T, seed uint64, attack bool, who string, sink *seal.MemSink) {
 	t.Helper()
-	recs, err := flight.ReadAll(bytes.NewReader(jour.Bytes()))
-	if err != nil {
-		t.Errorf("seed %d attack=%v %s journal: %v", seed, attack, who, err)
+	id := fmt.Sprintf("seed %d attack=%v %s", seed, attack, who)
+	if len(sink.Segs) < 2 {
+		t.Errorf("%s: journal did not rotate (%d segments)", id, len(sink.Segs))
 		return
 	}
-	res, err := tcp.ReplayJournal(recs)
+	if _, err := seal.Verify(sink.Sources(), nil); err != nil {
+		t.Errorf("%s verify: %v", id, err)
+		return
+	}
+	var recs []flight.Record
+	for i, b := range sink.Segs {
+		part, err := flight.ReadAll(bytes.NewReader(b.Bytes()))
+		if err != nil {
+			t.Errorf("%s segment %d: %v", id, i, err)
+			return
+		}
+		recs = append(recs, part...)
+	}
+	res, err := tcp.ReplayJournalParallel(recs, 4)
 	if err != nil {
-		t.Errorf("seed %d attack=%v %s replay: %v", seed, attack, who, err)
+		t.Errorf("%s replay: %v", id, err)
 		return
 	}
 	for _, d := range res.Divergences {
-		t.Errorf("seed %d attack=%v %s replay divergence: %v", seed, attack, who, d)
+		t.Errorf("%s replay divergence: %v", id, d)
+	}
+
+	// Tamper audit: a single flipped bit in any segment must fail
+	// verification and locate the damaged segment.
+	for i, b := range sink.Segs {
+		data := b.Bytes()
+		pos := len(data) / 2
+		data[pos] ^= 0x10
+		_, err := seal.Verify(sink.Sources(), nil)
+		data[pos] ^= 0x10
+		if err == nil {
+			t.Errorf("%s: flipped bit in segment %d went undetected", id, i)
+			continue
+		}
+		name := seal.SegmentName(sink.Prefix, i)
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("%s: segment %d tamper reported against the wrong segment: %v", id, i, err)
+		}
+	}
+
+	// Compaction audit: dropping cold segments' deltas must leave the
+	// chain verifiable and the (delta-less) actions replayable.
+	dropped := 0
+	compacted := &seal.MemSink{Prefix: sink.Prefix}
+	for i, b := range sink.Segs {
+		data := b.Bytes()
+		if i < len(sink.Segs)-1 {
+			out, d, err := seal.CompactBytes(data)
+			if err != nil {
+				t.Errorf("%s compact segment %d: %v", id, i, err)
+				return
+			}
+			data, dropped = out, dropped+d
+		}
+		w, _ := compacted.Next(i)
+		w.Write(data)
+	}
+	if dropped == 0 {
+		t.Errorf("%s: compaction dropped no deltas", id)
+	}
+	if _, err := seal.Verify(compacted.Sources(), nil); err != nil {
+		t.Errorf("%s verify after compaction: %v", id, err)
+		return
+	}
+	recs = recs[:0]
+	for i, b := range compacted.Segs {
+		part, err := flight.ReadAll(bytes.NewReader(b.Bytes()))
+		if err != nil {
+			t.Errorf("%s compacted segment %d: %v", id, i, err)
+			return
+		}
+		recs = append(recs, part...)
+	}
+	cres, err := tcp.ReplayJournalParallel(recs, 4)
+	if err != nil {
+		t.Errorf("%s compacted replay: %v", id, err)
+		return
+	}
+	for _, d := range cres.Divergences {
+		t.Errorf("%s compacted replay divergence: %v", id, d)
 	}
 }
 

@@ -55,6 +55,7 @@ var infrastructure = map[string]bool{
 	"pcap":     true,
 	"profile":  true,
 	"protocol": true,
+	"seal":     true,
 	"seqplot":  true,
 	"sim":      true,
 	"stats":    true,

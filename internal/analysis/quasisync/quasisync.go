@@ -74,6 +74,17 @@ var observerFiles = map[string]bool{
 	"record.go": true,
 }
 
+// observerPackages extend the observer rule from single files to whole
+// packages. The seal layer (internal/flight/seal) sits downstream of
+// the recorder — it batches, hashes, and attests journal bytes — so
+// every function in it is an observer: none may reach the executor's
+// door or the synchronous modules, or sealing a journal could perturb
+// the run being sealed.
+var observerPackages = map[string]bool{
+	"repro/internal/flight/seal": true,
+	"flightseal":                 true, // this analyzer's own golden testdata
+}
+
 // allowedPackages exempts packages that attach wire handlers but sit
 // outside the stack's quasi-synchronous discipline. The adversary is a
 // raw segment injector — its delivery handler is a packet counter, not a
@@ -135,8 +146,12 @@ func run(pass *analysis.Pass) (any, error) {
 		})
 	}
 
+	obsPkg := observerPackages[pass.Pkg.Path()]
 	for _, f := range pass.Files {
-		if !observerFiles[filepath.Base(pass.Fset.Position(f.Pos()).Filename)] {
+		where := "declared in record.go"
+		if obsPkg {
+			where = "in an observer package"
+		} else if !observerFiles[filepath.Base(pass.Fset.Position(f.Pos()).Filename)] {
 			continue
 		}
 		for _, decl := range f.Decls {
@@ -149,7 +164,7 @@ func run(pass *analysis.Pass) (any, error) {
 				continue
 			}
 			if node, ok := g.Funcs[fn]; ok {
-				checkObserver(pass, g, node, reported)
+				checkObserver(pass, g, node, where, reported)
 			}
 		}
 	}
@@ -159,14 +174,14 @@ func run(pass *analysis.Pass) (any, error) {
 // checkObserver walks everything reachable from one recorder hook. The
 // hooks observe the executor from inside it, so unlike async roots the
 // boundary is not a sanctioned door here — calling it is the violation.
-func checkObserver(pass *analysis.Pass, g *callgraph.Graph, root *callgraph.Node, reported map[token.Pos]bool) {
+func checkObserver(pass *analysis.Pass, g *callgraph.Graph, root *callgraph.Node, where string, reported map[token.Pos]bool) {
 	g.Walk(root, func(from *callgraph.Node, site *ast.CallExpr, callee *types.Func) bool {
 		if boundary[callee.Name()] {
 			if !reported[site.Pos()] {
 				reported[site.Pos()] = true
 				pass.Reportf(site.Pos(),
-					"%s is a journal observer (declared in record.go) and calls %s — the flight recorder observes the executor, it must never drive it",
-					from.Name(), callee.Name())
+					"%s is a journal observer (%s) and calls %s — the flight recorder observes the executor, it must never drive it",
+					from.Name(), where, callee.Name())
 			}
 			return false
 		}
@@ -174,8 +189,8 @@ func checkObserver(pass *analysis.Pass, g *callgraph.Graph, root *callgraph.Node
 			if !reported[site.Pos()] {
 				reported[site.Pos()] = true
 				pass.Reportf(site.Pos(),
-					"%s is a journal observer (declared in record.go) and calls %s, declared in %s — observers never enter the synchronous modules",
-					from.Name(), callee.Name(), file)
+					"%s is a journal observer (%s) and calls %s, declared in %s — observers never enter the synchronous modules",
+					from.Name(), where, callee.Name(), file)
 			}
 			return false
 		}

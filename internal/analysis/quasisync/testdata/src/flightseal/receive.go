@@ -1,0 +1,6 @@
+package flightseal
+
+// receiveSegment stands for the synchronous Receive module.
+func (c *conn) receiveSegment() {
+	c.segs = nil
+}

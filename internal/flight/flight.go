@@ -34,6 +34,7 @@ const (
 	KindEnq  = "enq"  // one tcp_action enqueued, with its cause
 	KindBeg  = "beg"  // executor begins performing an enqueued action
 	KindEnd  = "end"  // executor finished it; "d" holds the TCB delta
+	KindSeal = "seal" // Merkle batch committed into the sealed chain
 )
 
 // Cause kinds, as written in the "ck" field of open/uop/enq records.
@@ -98,6 +99,29 @@ func (r *Recorder) Err() error {
 
 // Seq reports how many sequence numbers have been issued.
 func (r *Recorder) Seq() uint64 { return r.seq }
+
+// Syncer is the durability seam: a journal writer that can force its
+// buffered state to stable storage. The seal.Writer implements it by
+// sealing the partial batch and flushing the active segment.
+type Syncer interface {
+	Sync() error
+}
+
+// Sync flushes the underlying writer if it supports the Syncer seam.
+// Call it at shutdown (or before reading a live journal) so the tail of
+// the run is never silently truncated; a no-op for plain writers.
+func (r *Recorder) Sync() error {
+	if r == nil {
+		return nil
+	}
+	if r.err != nil {
+		return r.err
+	}
+	if s, ok := r.w.(Syncer); ok {
+		r.err = s.Sync()
+	}
+	return r.err
+}
 
 // --- cause stack ---------------------------------------------------------
 

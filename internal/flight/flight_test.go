@@ -2,6 +2,7 @@ package flight
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"strings"
 	"testing"
@@ -142,6 +143,81 @@ func TestCorruptionDetected(t *testing.T) {
 		}
 	}
 }
+
+// A corrupted journal is reported with the exact frame offset and
+// record index of the damage, not a bare error.
+func TestCorruptionLocated(t *testing.T) {
+	good := sampleJournal().Bytes()
+
+	// Find the third record's frame offset by scanning the pristine
+	// journal, then break that record's framing with a single bit flip
+	// in its length prefix.
+	sc := NewScanner(bytes.NewReader(good))
+	var offsets []int64
+	for {
+		if _, err := sc.Next(); err != nil {
+			break
+		}
+		offsets = append(offsets, sc.Offset())
+	}
+	if len(offsets) < 4 {
+		t.Fatalf("sample journal too short: %d records", len(offsets))
+	}
+	target := offsets[2]
+	bad := append([]byte(nil), good...)
+	bad[target] ^= 0x40 // length digit -> non-digit: framing breaks here
+
+	_, err := ReadAll(bytes.NewReader(bad))
+	var c *Corruption
+	if !errors.As(err, &c) {
+		t.Fatalf("want *Corruption, got %v", err)
+	}
+	if c.Offset != target {
+		t.Errorf("located offset %d, want %d", c.Offset, target)
+	}
+	if c.Index != 2 {
+		t.Errorf("located record index %d, want 2", c.Index)
+	}
+	if !strings.Contains(c.Error(), "offset") {
+		t.Errorf("error text should name the offset: %v", c)
+	}
+
+	// Records before the damage are still returned.
+	recs, _ := ReadAll(bytes.NewReader(bad))
+	if len(recs) != 2 {
+		t.Errorf("got %d intact records before the damage, want 2", len(recs))
+	}
+}
+
+// Sync forwards to writers that implement the Syncer seam and is a
+// no-op for plain writers.
+func TestSyncSeam(t *testing.T) {
+	var plain bytes.Buffer
+	r := NewRecorder(&plain)
+	if err := r.Sync(); err != nil {
+		t.Errorf("plain writer Sync: %v", err)
+	}
+	sw := &syncWriter{}
+	r = NewRecorder(sw)
+	r.Enqueue(0, "c", "Maybe_Send", nil)
+	if err := r.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if sw.syncs != 1 {
+		t.Errorf("syncs = %d, want 1", sw.syncs)
+	}
+	var nilRec *Recorder
+	if err := nilRec.Sync(); err != nil {
+		t.Errorf("nil recorder Sync: %v", err)
+	}
+}
+
+type syncWriter struct {
+	bytes.Buffer
+	syncs int
+}
+
+func (s *syncWriter) Sync() error { s.syncs++; return nil }
 
 func TestWriteErrorSticky(t *testing.T) {
 	r := NewRecorder(failWriter{})

@@ -57,67 +57,152 @@ type Record struct {
 	// beg/end
 	EqSeq uint64              `json:"eq"` // seq of the enq record performed
 	Delta map[string][2]int64 `json:"d"`  // end: changed fields, pre/post
+
+	// seal (see internal/flight/seal): one Merkle batch committed into
+	// the sealed hash chain. Hashes are lowercase hex SHA-256.
+	Batch     uint64 `json:"b"`    // batch number, 0-based
+	LeafFirst uint64 `json:"lf"`   // global index of the batch's first leaf
+	LeafN     int    `json:"ln"`   // leaves under this seal
+	Root      string `json:"root"` // Merkle root over the batch's leaf hashes
+	Prev      string `json:"prev"` // previous seal's hash (zeros for batch 0)
+	SealH     string `json:"sh"`   // this seal's chain hash
+
+	// compaction tombstone: a cold record whose bulky payload was
+	// dropped keeps the SHA-256 of its original JSON body here, so the
+	// batch root above it still verifies.
+	H string `json:"h"`
 }
 
-// ReadAll decodes a whole journal. Any framing or JSON error is fatal —
-// a journal is either intact or it is evidence, and a truncated tail is
-// reported as such.
-func ReadAll(r io.Reader) ([]Record, error) {
-	br := bufio.NewReaderSize(r, 64<<10)
-	var recs []Record
-	for i := 0; ; i++ {
-		rec, err := readRecord(br)
-		if err == io.EOF {
-			return recs, nil
-		}
-		if err != nil {
-			return recs, fmt.Errorf("record %d: %w", i, err)
-		}
-		recs = append(recs, *rec)
+// Corruption locates a framing or decoding failure precisely: which
+// segment file, the byte offset of the offending record's frame, and its
+// record index within that segment. Segment is "" when the journal was
+// read from a single stream.
+type Corruption struct {
+	Segment string
+	Offset  int64
+	Index   int
+	Err     error
+}
+
+func (c *Corruption) Error() string {
+	if c.Segment != "" {
+		return fmt.Sprintf("segment %s: record %d at offset %d: %v", c.Segment, c.Index, c.Offset, c.Err)
 	}
+	return fmt.Sprintf("record %d at offset %d: %v", c.Index, c.Offset, c.Err)
 }
 
-// readRecord reads one length-prefixed record: ASCII decimal length, a
-// space, the JSON body, a newline.
-func readRecord(br *bufio.Reader) (*Record, error) {
+func (c *Corruption) Unwrap() error { return c.Err }
+
+// Scanner reads length-prefixed journal records one at a time, tracking
+// byte offsets so corruption can be located, and exposing each record's
+// raw JSON body for hashing (see internal/flight/seal).
+type Scanner struct {
+	br   *bufio.Reader
+	off  int64 // offset of the NEXT record's frame
+	last int64 // offset of the last returned record's frame
+	idx  int   // records returned so far
+	body []byte
+	rec  Record
+}
+
+// NewScanner returns a scanner over one journal stream.
+func NewScanner(r io.Reader) *Scanner {
+	return &Scanner{br: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// Next decodes the next record. It returns io.EOF at a clean end of
+// stream; any other error is a *Corruption locating the failure. The
+// returned pointer and Body are valid until the next call.
+func (s *Scanner) Next() (*Record, error) {
+	start := s.off
+	body, n, err := s.readFrame()
+	if err == io.EOF {
+		return nil, io.EOF
+	}
+	if err != nil {
+		return nil, &Corruption{Offset: start, Index: s.idx, Err: err}
+	}
+	s.off += int64(n)
+	s.rec = Record{}
+	if err := json.Unmarshal(body, &s.rec); err != nil {
+		return nil, &Corruption{Offset: start, Index: s.idx, Err: fmt.Errorf("bad record JSON: %w", err)}
+	}
+	if s.rec.Kind == "" {
+		return nil, &Corruption{Offset: start, Index: s.idx, Err: fmt.Errorf("record missing kind")}
+	}
+	s.last = start
+	s.idx++
+	s.body = body
+	return &s.rec, nil
+}
+
+// Body returns the raw JSON body of the record Next last returned. The
+// slice is only valid until the next call to Next.
+func (s *Scanner) Body() []byte { return s.body }
+
+// Offset returns the byte offset of the frame of the record Next last
+// returned.
+func (s *Scanner) Offset() int64 { return s.last }
+
+// Index returns how many records have been returned so far.
+func (s *Scanner) Index() int { return s.idx }
+
+// readFrame reads one length-prefixed frame: ASCII decimal length, a
+// space, the JSON body, a newline. It returns the body and the total
+// frame size in bytes.
+func (s *Scanner) readFrame() ([]byte, int, error) {
 	n := 0
 	digits := 0
 	for {
-		b, err := br.ReadByte()
+		b, err := s.br.ReadByte()
 		if err != nil {
 			if err == io.EOF && digits == 0 {
-				return nil, io.EOF
+				return nil, 0, io.EOF
 			}
-			return nil, fmt.Errorf("truncated length prefix: %w", err)
+			return nil, 0, fmt.Errorf("truncated length prefix: %w", err)
 		}
 		if b == ' ' {
 			if digits == 0 {
-				return nil, fmt.Errorf("empty length prefix")
+				return nil, 0, fmt.Errorf("empty length prefix")
 			}
 			break
 		}
 		if b < '0' || b > '9' {
-			return nil, fmt.Errorf("bad length prefix byte %q", b)
+			return nil, 0, fmt.Errorf("bad length prefix byte %q", b)
 		}
 		n = n*10 + int(b-'0')
 		digits++
 		if n > maxRecordLen {
-			return nil, fmt.Errorf("record length %d exceeds limit", n)
+			return nil, 0, fmt.Errorf("record length %d exceeds limit", n)
 		}
 	}
-	body := make([]byte, n+1)
-	if _, err := io.ReadFull(br, body); err != nil {
-		return nil, fmt.Errorf("truncated record body (want %d bytes): %w", n, err)
+	if cap(s.body) < n+1 {
+		s.body = make([]byte, n+1)
+	}
+	body := s.body[:n+1]
+	if _, err := io.ReadFull(s.br, body); err != nil {
+		return nil, 0, fmt.Errorf("truncated record body (want %d bytes): %w", n, err)
 	}
 	if body[n] != '\n' {
-		return nil, fmt.Errorf("record not newline-terminated (got %q)", body[n])
+		return nil, 0, fmt.Errorf("record not newline-terminated (got %q)", body[n])
 	}
-	rec := &Record{}
-	if err := json.Unmarshal(body[:n], rec); err != nil {
-		return nil, fmt.Errorf("bad record JSON: %w", err)
+	return body[:n], digits + 1 + n + 1, nil
+}
+
+// ReadAll decodes a whole journal. Any framing or JSON error is fatal —
+// a journal is either intact or it is evidence, and a truncated tail is
+// reported as a *Corruption locating exactly where the stream broke.
+func ReadAll(r io.Reader) ([]Record, error) {
+	sc := NewScanner(r)
+	var recs []Record
+	for {
+		rec, err := sc.Next()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, *rec)
 	}
-	if rec.Kind == "" {
-		return nil, fmt.Errorf("record missing kind")
-	}
-	return rec, nil
 }

@@ -1,0 +1,163 @@
+package seal
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/flight"
+	"repro/internal/stats"
+)
+
+// compactEnd is the tombstone a compacted end record becomes: the
+// pairing keys survive (conn, enqueue seq) but the TCB delta is
+// replaced by the SHA-256 of the original record body, so the Merkle
+// batch above it still folds to the sealed root.
+type compactEnd struct {
+	K  string `json:"k"`
+	C  string `json:"c"`
+	Eq uint64 `json:"eq"`
+	H  string `json:"h"`
+}
+
+// CompactStream copies one segment from src to dst, replacing each end
+// record's TCB delta with its leaf hash. Records are only rewritten
+// when the tombstone is smaller than the original (an empty delta is
+// cheaper than a 64-digit hash, so it stays). Seal records pass through
+// untouched — compaction changes what the journal stores, never what
+// it attests. Returns the number of deltas dropped.
+func CompactStream(dst io.Writer, src io.Reader) (dropped int, err error) {
+	sc := flight.NewScanner(src)
+	bw := bufio.NewWriterSize(dst, 64<<10)
+	var lenBuf [20]byte
+	for {
+		rec, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return dropped, err
+		}
+		body := sc.Body()
+		if rec.Kind == flight.KindEnd && rec.H == "" && rec.Delta != nil {
+			leaf := sha256.Sum256(body)
+			nb, err := json.Marshal(compactEnd{K: flight.KindEnd, C: rec.Conn, Eq: rec.EqSeq, H: hexOf(leaf)})
+			if err == nil && len(nb) < len(body) {
+				body = nb
+				dropped++
+			}
+		}
+		if _, err := bw.Write(appendFrameLen(lenBuf[:0], len(body))); err != nil {
+			return dropped, err
+		}
+		if _, err := bw.Write(body); err != nil {
+			return dropped, err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return dropped, err
+		}
+	}
+	return dropped, bw.Flush()
+}
+
+// appendFrameLen renders the ASCII length prefix and its trailing space.
+func appendFrameLen(dst []byte, n int) []byte {
+	if n == 0 {
+		dst = append(dst, '0')
+	} else {
+		start := len(dst)
+		for n > 0 {
+			dst = append(dst, byte('0'+n%10))
+			n /= 10
+		}
+		for i, j := start, len(dst)-1; i < j; i, j = i+1, j-1 {
+			dst[i], dst[j] = dst[j], dst[i]
+		}
+	}
+	return append(dst, ' ')
+}
+
+// CompactBytes compacts one in-memory segment, returning the (possibly
+// identical) compacted bytes and the number of deltas dropped.
+func CompactBytes(seg []byte) ([]byte, int, error) {
+	var out bytes.Buffer
+	dropped, err := CompactStream(&out, bytes.NewReader(seg))
+	if err != nil {
+		return nil, 0, err
+	}
+	return out.Bytes(), dropped, nil
+}
+
+// CompactFile compacts one segment file in place (atomically, via a
+// temporary file and rename). The file is only replaced when compaction
+// actually shrank it.
+func CompactFile(path string, mib *stats.SealMIB) (dropped int, err error) {
+	if mib == nil {
+		mib = new(stats.SealMIB)
+	}
+	in, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	out, dropped, err := CompactBytes(in)
+	if err != nil {
+		return 0, err
+	}
+	if dropped == 0 || len(out) >= len(in) {
+		return 0, nil
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".compact*")
+	if err != nil {
+		return 0, err
+	}
+	if _, err := tmp.Write(out); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	mib.Compactions.Inc()
+	mib.DeltasDropped.Add(uint64(dropped))
+	return dropped, nil
+}
+
+// CompactDir compacts the cold segments of every sealed journal in dir,
+// keeping the newest `keep` segments of each journal untouched (keep <=
+// 0 means 1: never compact the active segment). Returns files rewritten
+// and total deltas dropped.
+func CompactDir(dir string, keep int, mib *stats.SealMIB) (files, dropped int, err error) {
+	if keep <= 0 {
+		keep = 1
+	}
+	journals, err := DiscoverDir(dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, j := range journals {
+		if !j.Sealed || len(j.Files) <= keep {
+			continue
+		}
+		for _, path := range j.Files[:len(j.Files)-keep] {
+			d, err := CompactFile(path, mib)
+			if err != nil {
+				return files, dropped, err
+			}
+			if d > 0 {
+				files++
+				dropped += d
+			}
+		}
+	}
+	return files, dropped, nil
+}

@@ -1,0 +1,195 @@
+package seal
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/flight"
+)
+
+// PathStep is one sibling on the Merkle path from a leaf to its batch
+// root. Left reports which side the sibling sits on.
+type PathStep struct {
+	Hash string `json:"hash"`
+	Left bool   `json:"left"`
+}
+
+// Proof is a self-contained inclusion proof for one journal record: the
+// record's body, its Merkle path to the sealed batch root, and the seal
+// coordinates that chain the root. Anyone holding the final seal hash
+// can check it without the journal. Record carries the body as a JSON
+// string, not an embedded object: the leaf hash covers the exact
+// journal bytes, and re-encoding an embedded object (indentation, HTML
+// escaping) would silently change them.
+type Proof struct {
+	Leaf      uint64     `json:"leaf"` // global record index
+	Segment   string     `json:"segment"`
+	Offset    int64      `json:"offset"`
+	Record    string     `json:"record"`
+	LeafHash  string     `json:"leafHash"`
+	Batch     uint64     `json:"batch"`
+	LeafFirst uint64     `json:"leafFirst"`
+	LeafN     int        `json:"leafN"`
+	Path      []PathStep `json:"path"`
+	Root      string     `json:"root"`
+	Prev      string     `json:"prev"`
+	SealHash  string     `json:"sealHash"`
+}
+
+// Prove scans the journal for the record with global leaf index `leaf`
+// and builds its inclusion proof from the batch that seals it. The
+// journal should verify cleanly first; Prove trusts the seal record it
+// finds.
+func Prove(srcs []Source, leaf uint64) (*Proof, error) {
+	var (
+		nextLeaf uint64
+		pending  [][32]byte
+		p        *Proof
+	)
+	for _, src := range srcs {
+		rc, err := src.Open()
+		if err != nil {
+			return nil, err
+		}
+		sc := flight.NewScanner(rc)
+		for {
+			rec, err := sc.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				if c, ok := err.(*flight.Corruption); ok {
+					c.Segment = src.Name
+				}
+				rc.Close()
+				return nil, err
+			}
+			if rec.Kind == flight.KindSeal {
+				if p != nil {
+					p.Batch = rec.Batch
+					p.LeafFirst = rec.LeafFirst
+					p.LeafN = rec.LeafN
+					p.Path = merklePath(pending, int(p.Leaf-rec.LeafFirst))
+					p.Root = rec.Root
+					p.Prev = rec.Prev
+					p.SealHash = rec.SealH
+					rc.Close()
+					return p, nil
+				}
+				pending = pending[:0]
+				continue
+			}
+			var lh [32]byte
+			if rec.H != "" {
+				h, ok := parseHex(rec.H)
+				if !ok {
+					rc.Close()
+					return nil, fmt.Errorf("leaf %d: malformed compaction hash %q", nextLeaf, rec.H)
+				}
+				lh = h
+			} else {
+				lh = sha256.Sum256(sc.Body())
+			}
+			pending = append(pending, lh)
+			if nextLeaf == leaf {
+				p = &Proof{
+					Leaf:     leaf,
+					Segment:  src.Name,
+					Offset:   sc.Offset(),
+					Record:   string(sc.Body()),
+					LeafHash: hexOf(lh),
+				}
+			}
+			nextLeaf++
+		}
+		rc.Close()
+	}
+	if p != nil {
+		return nil, fmt.Errorf("record %d exists but is not covered by any seal (unsealed tail)", leaf)
+	}
+	return nil, fmt.Errorf("record %d not found (journal holds %d records)", leaf, nextLeaf)
+}
+
+// merklePath collects the sibling hashes from leaf idx to the root of a
+// batch with the given leaves.
+func merklePath(leaves [][32]byte, idx int) []PathStep {
+	level := make([][32]byte, len(leaves))
+	copy(level, leaves)
+	var steps []PathStep
+	n := len(level)
+	var pair [64]byte
+	for n > 1 {
+		if sib := idx ^ 1; sib < n {
+			steps = append(steps, PathStep{Hash: hexOf(level[sib]), Left: sib < idx})
+		}
+		m := 0
+		for i := 0; i < n; i += 2 {
+			if i+1 < n {
+				copy(pair[:32], level[i][:])
+				copy(pair[32:], level[i+1][:])
+				level[m] = sha256.Sum256(pair[:])
+			} else {
+				level[m] = level[i]
+			}
+			m++
+		}
+		n = m
+		idx /= 2
+	}
+	return steps
+}
+
+// Check verifies the proof: the record body hashes to LeafHash, the
+// path folds to Root, and the seal coordinates chain Prev and Root into
+// SealHash. It does NOT check SealHash against anything external — that
+// comparison (against a pinned seal, or a verified chain) is the
+// caller's, since it is what ties the proof to a journal.
+func (p *Proof) Check() error {
+	lh, ok := parseHex(p.LeafHash)
+	if !ok {
+		return fmt.Errorf("malformed leaf hash")
+	}
+	if len(p.Record) > 0 {
+		var rec flight.Record
+		if err := json.Unmarshal([]byte(p.Record), &rec); err != nil {
+			return fmt.Errorf("proof record is not valid JSON: %w", err)
+		}
+		if rec.H != "" {
+			if rec.H != p.LeafHash {
+				return fmt.Errorf("compacted record's stored hash does not match the proof leaf")
+			}
+		} else if sha256.Sum256([]byte(p.Record)) != lh {
+			return fmt.Errorf("record body does not hash to the proof leaf")
+		}
+	}
+	h := lh
+	var pair [64]byte
+	for _, st := range p.Path {
+		sib, ok := parseHex(st.Hash)
+		if !ok {
+			return fmt.Errorf("malformed path hash")
+		}
+		if st.Left {
+			copy(pair[:32], sib[:])
+			copy(pair[32:], h[:])
+		} else {
+			copy(pair[:32], h[:])
+			copy(pair[32:], sib[:])
+		}
+		h = sha256.Sum256(pair[:])
+	}
+	if hexOf(h) != p.Root {
+		return fmt.Errorf("path folds to %.16s…, sealed root is %.16s…", hexOf(h), p.Root)
+	}
+	root, ok1 := parseHex(p.Root)
+	prev, ok2 := parseHex(p.Prev)
+	if !ok1 || !ok2 {
+		return fmt.Errorf("malformed root or prev hash")
+	}
+	if hexOf(chainHash(prev, root, p.Batch, p.LeafFirst, p.LeafN)) != p.SealHash {
+		return fmt.Errorf("seal hash does not commit these coordinates")
+	}
+	return nil
+}

@@ -1,0 +1,314 @@
+package seal
+
+import (
+	"crypto/sha256"
+	"errors"
+	"io"
+	"strconv"
+
+	"repro/internal/stats"
+)
+
+// Defaults for Options zero values.
+const (
+	DefaultBatchSize    = 256     // records per Merkle batch
+	DefaultSegmentBytes = 4 << 20 // segment rotation threshold
+)
+
+// Options parameterizes a Writer. The zero value is usable: defaults
+// fill in, time-based rotation stays off, and a private MIB group is
+// allocated so increment sites never branch.
+type Options struct {
+	// BatchSize is the number of records per Merkle batch (default
+	// DefaultBatchSize). Smaller batches seal more often — finer
+	// tamper localization, more seal-record overhead.
+	BatchSize int
+
+	// SegmentBytes rotates the segment once it exceeds this size
+	// (default DefaultSegmentBytes; negative disables size rotation).
+	// Rotation happens only at batch boundaries, so every segment ends
+	// with a seal and the chain can be verified segment by segment.
+	SegmentBytes int64
+
+	// SegmentTime rotates the segment once it has been open this long
+	// on the Now clock (0 disables). Virtual nanoseconds in simulation.
+	SegmentTime int64
+
+	// Now is the clock for SegmentTime — the simulation's virtual
+	// clock, so rotation is deterministic and replayable.
+	Now func() int64
+
+	// MIB receives the seal counters; nil allocates a private group.
+	MIB *stats.SealMIB
+}
+
+// Sink opens segment files for a Writer. Next is called lazily: segment
+// seg is opened when its first record arrives, never speculatively.
+type Sink interface {
+	Next(seg int) (io.WriteCloser, error)
+}
+
+// errBadFrame is the sticky error for a malformed frame handed to
+// Write — it means the upstream Recorder and this Writer disagree about
+// the journal format, which is unrecoverable.
+var errBadFrame = errors.New("seal: malformed journal frame")
+
+// Writer is the Merkle batcher: an io.Writer that sits between the
+// flight Recorder and segment files. Each Write carries one
+// length-prefixed journal frame (the Recorder emits exactly one frame
+// per Write); the Writer hashes the record body into the current
+// batch, copies the frame through to the active segment, and at every
+// BatchSize-th record appends a seal record committing the batch's
+// Merkle root into the hash chain. All buffers are Writer-owned and
+// reused, so the steady-state path allocates nothing.
+//
+// Like the Recorder it serves, a Writer is not safe for concurrent use;
+// it runs inside the simulation scheduler's handoff discipline.
+type Writer struct {
+	sink Sink
+	o    Options
+	err  error
+
+	cur      io.WriteCloser // active segment, nil until first record
+	seg      int            // index of the active (or next) segment
+	segBytes int64          // bytes written to the active segment
+	segAt    int64          // Now() when the active segment opened
+
+	batch     uint64     // next batch number
+	firstLeaf uint64     // global index of leaves[0]
+	leaves    [][32]byte // pending leaf hashes, cap BatchSize
+	scratch   [][32]byte // fold working space, len BatchSize
+	prev      [32]byte   // last seal's chain hash (zeros before batch 0)
+
+	sealBuf []byte // seal-record JSON under construction
+	frame   []byte // its length-prefixed frame
+}
+
+// NewWriter returns a Writer sealing into sink.
+func NewWriter(sink Sink, o Options) *Writer {
+	if o.BatchSize <= 0 {
+		o.BatchSize = DefaultBatchSize
+	}
+	if o.SegmentBytes == 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	if o.MIB == nil {
+		o.MIB = new(stats.SealMIB)
+	}
+	return &Writer{
+		sink:    sink,
+		o:       o,
+		leaves:  make([][32]byte, 0, o.BatchSize),
+		scratch: make([][32]byte, o.BatchSize),
+		sealBuf: make([]byte, 0, 256),
+		frame:   make([]byte, 0, 288),
+	}
+}
+
+// Err reports the first error, if any; once set, the Writer drops
+// further records.
+func (w *Writer) Err() error { return w.err }
+
+// Seg returns the index of the active (or next-to-open) segment.
+func (w *Writer) Seg() int { return w.seg }
+
+// Batches returns how many batches have been sealed.
+func (w *Writer) Batches() uint64 { return w.batch }
+
+// Write accepts journal frames from the Recorder: each frame is hashed
+// into the current batch and copied to the active segment; full batches
+// are sealed and rotation is considered at each seal.
+//
+//foxvet:hotpath
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	rest := p
+	for len(rest) > 0 {
+		frame, body, ok := splitFrame(rest)
+		if !ok {
+			w.err = errBadFrame
+			return 0, w.err
+		}
+		if w.cur == nil {
+			if err := w.open(); err != nil {
+				return 0, err
+			}
+		}
+		if _, err := w.cur.Write(frame); err != nil {
+			w.err = err
+			return 0, err
+		}
+		w.segBytes += int64(len(frame))
+		w.leaves = append(w.leaves, sha256.Sum256(body))
+		w.o.MIB.RecordsSealed.Inc()
+		if len(w.leaves) == w.o.BatchSize {
+			if err := w.seal(); err != nil {
+				return 0, err
+			}
+			w.maybeRotate()
+		}
+		rest = rest[len(frame):]
+	}
+	return len(p), nil
+}
+
+// Sync is the durability seam: it force-seals the pending partial batch
+// (so the tail of a run is covered by the chain) and flushes the active
+// segment to stable storage. The Recorder forwards its own Sync here;
+// call it at shutdown so a crash never silently truncates the journal.
+func (w *Writer) Sync() error {
+	if w.err != nil {
+		return w.err
+	}
+	if len(w.leaves) > 0 {
+		if err := w.seal(); err != nil {
+			return err
+		}
+		w.o.MIB.SyncSeals.Inc()
+	}
+	if w.cur != nil {
+		if s, ok := w.cur.(interface{ Sync() error }); ok {
+			if err := s.Sync(); err != nil {
+				w.err = err
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Close seals the pending batch and closes the active segment.
+func (w *Writer) Close() error {
+	if err := w.Sync(); err != nil {
+		return err
+	}
+	w.closeSegment()
+	return w.err
+}
+
+// splitFrame parses one length-prefixed frame from the head of p,
+// returning the whole frame, its JSON body, and whether it was
+// well-formed and complete.
+//
+//foxvet:hotpath
+func splitFrame(p []byte) (frame, body []byte, ok bool) {
+	n := 0
+	i := 0
+	for ; i < len(p); i++ {
+		c := p[i]
+		if c == ' ' {
+			break
+		}
+		if c < '0' || c > '9' {
+			return nil, nil, false
+		}
+		n = n*10 + int(c-'0')
+		if n > 1<<20 {
+			return nil, nil, false
+		}
+	}
+	if i == 0 || i == len(p) {
+		return nil, nil, false
+	}
+	end := i + 1 + n
+	if end >= len(p) || p[end] != '\n' {
+		return nil, nil, false
+	}
+	return p[:end+1], p[i+1 : end], true
+}
+
+// seal commits the pending leaves: computes their Merkle root, extends
+// the hash chain, and appends the seal record to the active segment.
+//
+//foxvet:hotpath
+func (w *Writer) seal() error {
+	n := len(w.leaves)
+	if n == 0 || w.err != nil {
+		return w.err
+	}
+	root := fold(w.leaves, w.scratch)
+	sh := chainHash(w.prev, root, w.batch, w.firstLeaf, n)
+
+	w.sealBuf = w.sealBuf[:0]
+	w.sealBuf = append(w.sealBuf, `{"k":"seal","b":`...)
+	w.sealBuf = strconv.AppendUint(w.sealBuf, w.batch, 10)
+	w.sealBuf = append(w.sealBuf, `,"lf":`...)
+	w.sealBuf = strconv.AppendUint(w.sealBuf, w.firstLeaf, 10)
+	w.sealBuf = append(w.sealBuf, `,"ln":`...)
+	w.sealBuf = strconv.AppendInt(w.sealBuf, int64(n), 10)
+	w.sealBuf = append(w.sealBuf, `,"root":"`...)
+	w.sealBuf = appendHex(w.sealBuf, root[:])
+	w.sealBuf = append(w.sealBuf, `","prev":"`...)
+	w.sealBuf = appendHex(w.sealBuf, w.prev[:])
+	w.sealBuf = append(w.sealBuf, `","sh":"`...)
+	w.sealBuf = appendHex(w.sealBuf, sh[:])
+	w.sealBuf = append(w.sealBuf, `"}`...)
+
+	w.frame = w.frame[:0]
+	w.frame = strconv.AppendInt(w.frame, int64(len(w.sealBuf)), 10)
+	w.frame = append(w.frame, ' ')
+	w.frame = append(w.frame, w.sealBuf...)
+	w.frame = append(w.frame, '\n')
+
+	if _, err := w.cur.Write(w.frame); err != nil {
+		w.err = err
+		return err
+	}
+	w.segBytes += int64(len(w.frame))
+	w.prev = sh
+	w.batch++
+	w.firstLeaf += uint64(n)
+	w.leaves = w.leaves[:0]
+	w.o.MIB.BatchesSealed.Inc()
+	return nil
+}
+
+// open starts the next segment (lazy: called at the first record that
+// needs one).
+func (w *Writer) open() error {
+	wc, err := w.sink.Next(w.seg)
+	if err != nil {
+		w.err = err
+		return err
+	}
+	w.cur = wc
+	w.segBytes = 0
+	if w.o.Now != nil {
+		w.segAt = w.o.Now()
+	}
+	return nil
+}
+
+// maybeRotate closes the active segment when it has outgrown its size
+// or time budget. Called only at batch boundaries, so every finished
+// segment ends with a seal.
+func (w *Writer) maybeRotate() {
+	if w.cur == nil || w.err != nil {
+		return
+	}
+	switch {
+	case w.o.SegmentBytes > 0 && w.segBytes >= w.o.SegmentBytes:
+	case w.o.SegmentTime > 0 && w.o.Now != nil && w.o.Now()-w.segAt >= w.o.SegmentTime:
+	default:
+		return
+	}
+	w.closeSegment()
+}
+
+// closeSegment closes the active segment and advances the index; the
+// next record opens the successor.
+func (w *Writer) closeSegment() {
+	if w.cur == nil {
+		return
+	}
+	if err := w.cur.Close(); err != nil && w.err == nil {
+		w.err = err
+	}
+	w.cur = nil
+	w.seg++
+	w.o.MIB.SegmentsRotated.Inc()
+	w.o.MIB.BytesRotated.Add(uint64(w.segBytes))
+	w.segBytes = 0
+}

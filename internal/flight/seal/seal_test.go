@@ -1,0 +1,482 @@
+package seal
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/flight"
+	"repro/internal/stats"
+)
+
+// journal writes n enqueue/beg/end triples through a sealed writer.
+func journal(w *Writer, n int) *flight.Recorder {
+	r := flight.NewRecorder(w)
+	r.Hdr("host1", 1500, []byte(`{"iw":4096}`))
+	conn := "10.0.0.2:80<->:49152"
+	// A realistically wide delta, so the compaction tombstone (a 64-digit
+	// hash) is actually smaller than what it replaces.
+	var delta []byte
+	delta = flight.AppendDelta(delta, "snd_una", 100000, 100512)
+	delta = flight.AppendDelta(delta, "snd_nxt", 100512, 101024)
+	delta = flight.AppendDelta(delta, "rcv_nxt", 200000, 200512)
+	delta = flight.AppendDelta(delta, "cwnd", 4096, 4632)
+	delta = flight.AppendDelta(delta, "ssthresh", 65535, 32768)
+	delta = flight.AppendDelta(delta, "rto", 1000000, 1200000)
+	for i := 0; i < n; i++ {
+		q := r.Enqueue(int64(i), conn, "Process_Data", []byte("seq=1 flags=16 len=512"))
+		r.Beg(int64(i), conn, q)
+		r.End(conn, q, delta)
+	}
+	return r
+}
+
+func TestSealChainRoundTrip(t *testing.T) {
+	mib := new(stats.SealMIB)
+	sink := &MemSink{Prefix: "host1"}
+	w := NewWriter(sink, Options{BatchSize: 8, SegmentBytes: -1, MIB: mib})
+	rec := journal(w, 20) // 61 records: hdr + 20×3
+	if err := rec.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	rep, err := Verify(sink.Sources(), mib)
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if rep.Leaves != 61 {
+		t.Errorf("leaves = %d, want 61", rep.Leaves)
+	}
+	if rep.Batches != 8 { // 7 full batches of 8 + forced partial of 5
+		t.Errorf("batches = %d, want 8", rep.Batches)
+	}
+	if rep.LastSeal == "" || len(rep.Segments) != 1 {
+		t.Errorf("report: %+v", rep)
+	}
+	if got := mib.SyncSeals.Load(); got != 1 {
+		t.Errorf("SyncSeals = %d, want 1", got)
+	}
+	if got := mib.BatchesSealed.Load(); got != 8 {
+		t.Errorf("BatchesSealed = %d, want 8", got)
+	}
+	if got := mib.RecordsSealed.Load(); got != 61 {
+		t.Errorf("RecordsSealed = %d, want 61", got)
+	}
+	// The seal records decode through the plain flight reader.
+	recs, err := flight.ReadAll(bytes.NewReader(sink.Segs[0].Bytes()))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	seals := 0
+	for _, r := range recs {
+		if r.Kind == flight.KindSeal {
+			seals++
+			if r.LeafN <= 0 || len(r.Root) != 64 || len(r.SealH) != 64 {
+				t.Errorf("bad seal record: %+v", r)
+			}
+		}
+	}
+	if seals != 8 {
+		t.Errorf("seal records = %d, want 8", seals)
+	}
+}
+
+func TestRotation(t *testing.T) {
+	mib := new(stats.SealMIB)
+	sink := &MemSink{Prefix: "host1"}
+	w := NewWriter(sink, Options{BatchSize: 4, SegmentBytes: 1024, MIB: mib})
+	rec := journal(w, 40)
+	if err := rec.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if len(sink.Segs) < 3 {
+		t.Fatalf("got %d segments, want >= 3", len(sink.Segs))
+	}
+	rep, err := Verify(sink.Sources(), mib)
+	if err != nil {
+		t.Fatalf("Verify after rotation: %v", err)
+	}
+	if len(rep.Segments) != len(sink.Segs) {
+		t.Errorf("report covers %d segments, want %d", len(rep.Segments), len(sink.Segs))
+	}
+	if got := mib.SegmentsRotated.Load(); got != uint64(len(sink.Segs)) {
+		t.Errorf("SegmentsRotated = %d, want %d", got, len(sink.Segs))
+	}
+	if mib.BytesRotated.Load() == 0 {
+		t.Error("BytesRotated = 0")
+	}
+	// Every non-final segment ends with a seal record (rotation only at
+	// batch boundaries).
+	for i, seg := range sink.Segs[:len(sink.Segs)-1] {
+		recs, err := flight.ReadAll(bytes.NewReader(seg.Bytes()))
+		if err != nil {
+			t.Fatalf("segment %d: %v", i, err)
+		}
+		if last := recs[len(recs)-1]; last.Kind != flight.KindSeal {
+			t.Errorf("segment %d ends with %q, want seal", i, last.Kind)
+		}
+	}
+}
+
+// Any flipped bit in any segment must fail verification with a located
+// error.
+func TestTamperDetectedInEverySegment(t *testing.T) {
+	sink := &MemSink{Prefix: "host1"}
+	w := NewWriter(sink, Options{BatchSize: 4, SegmentBytes: 1024})
+	rec := journal(w, 40)
+	if err := rec.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	pristine := make([][]byte, len(sink.Segs))
+	for i, s := range sink.Segs {
+		pristine[i] = append([]byte(nil), s.Bytes()...)
+	}
+	if _, err := Verify(sink.Sources(), nil); err != nil {
+		t.Fatalf("pristine journal must verify: %v", err)
+	}
+	for si := range pristine {
+		for _, pos := range []int{10, len(pristine[si]) / 2, len(pristine[si]) - 10} {
+			data := append([]byte(nil), pristine[si]...)
+			data[pos] ^= 0x01
+			srcs := make([]Source, len(pristine))
+			for i := range pristine {
+				d := pristine[i]
+				if i == si {
+					d = data
+				}
+				dd := d
+				srcs[i] = Source{Name: SegmentName("host1", i), Open: func() (io.ReadCloser, error) {
+					return io.NopCloser(bytes.NewReader(dd)), nil
+				}}
+			}
+			mib := new(stats.SealMIB)
+			_, err := Verify(srcs, mib)
+			if err == nil {
+				t.Fatalf("segment %d bit flip at %d not detected", si, pos)
+			}
+			if mib.VerifyFailures.Load() != 1 {
+				t.Errorf("VerifyFailures = %d, want 1", mib.VerifyFailures.Load())
+			}
+			var ve *VerifyError
+			var co *flight.Corruption
+			switch {
+			case errors.As(err, &ve):
+				if ve.Segment != SegmentName("host1", si) {
+					t.Errorf("flip in segment %d located in %q", si, ve.Segment)
+				}
+			case errors.As(err, &co):
+				if co.Segment != SegmentName("host1", si) {
+					t.Errorf("flip in segment %d located in %q", si, co.Segment)
+				}
+			default:
+				t.Errorf("error does not locate the damage: %v", err)
+			}
+		}
+	}
+}
+
+// A digit flip that keeps the JSON valid is caught by the Merkle root,
+// not the framing.
+func TestSemanticTamperCaughtByRoot(t *testing.T) {
+	sink := &MemSink{Prefix: "host1"}
+	w := NewWriter(sink, Options{BatchSize: 4, SegmentBytes: -1})
+	rec := journal(w, 8)
+	if err := rec.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	data := append([]byte(nil), sink.Segs[0].Bytes()...)
+	i := bytes.Index(data, []byte(`"at":3`))
+	if i < 0 {
+		t.Fatal("marker not found")
+	}
+	data[i+len(`"at":`)] = '7' // same byte count: framing stays intact
+	src := []Source{{Name: "host1.0000.fjl", Open: func() (io.ReadCloser, error) {
+		return io.NopCloser(bytes.NewReader(data)), nil
+	}}}
+	_, err := Verify(src, nil)
+	var ve *VerifyError
+	if !errors.As(err, &ve) {
+		t.Fatalf("want VerifyError, got %v", err)
+	}
+	if !strings.Contains(ve.Reason, "Merkle root mismatch") {
+		t.Errorf("reason: %s", ve.Reason)
+	}
+}
+
+// The DirSink buffers; without Sync the tail is lost, with Sync it is
+// sealed and durable — the mid-batch-cut regression.
+func TestSyncDurability(t *testing.T) {
+	dir := t.TempDir()
+
+	// Without Sync: the recorder is dropped mid-batch and the buffered
+	// tail never reaches the file.
+	w := NewWriter(&DirSink{Dir: dir, Prefix: "cut"}, Options{BatchSize: 64, SegmentBytes: -1})
+	journal(w, 5)
+	cut, err := os.ReadFile(filepath.Join(dir, SegmentName("cut", 0)))
+	if err != nil {
+		t.Fatalf("read cut segment: %v", err)
+	}
+	if len(cut) != 0 {
+		t.Errorf("unsynced mid-batch journal leaked %d bytes to disk before Sync", len(cut))
+	}
+
+	// With Sync: everything is on disk and the chain verifies.
+	w = NewWriter(&DirSink{Dir: dir, Prefix: "ok"}, Options{BatchSize: 64, SegmentBytes: -1})
+	rec := journal(w, 5)
+	if err := rec.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	journals, err := DiscoverDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range journals {
+		if j.Prefix != "ok" {
+			continue
+		}
+		rep, err := Verify(j.Sources(), nil)
+		if err != nil {
+			t.Fatalf("Verify synced journal: %v", err)
+		}
+		if rep.Leaves != 16 {
+			t.Errorf("leaves = %d, want 16", rep.Leaves)
+		}
+	}
+}
+
+// A journal cut mid-batch (records after the last seal) fails strict
+// verification with an actionable message.
+func TestUnsealedTailRejected(t *testing.T) {
+	sink := &MemSink{Prefix: "host1"}
+	w := NewWriter(sink, Options{BatchSize: 4, SegmentBytes: -1})
+	journal(w, 5) // 16 records: 4 sealed batches, no Sync — 0 pending... make it uneven
+	// 16 records = exactly 4 batches; add one more record to leave a tail.
+	r2 := flight.NewRecorder(w)
+	r2.Enqueue(99, "c", "Maybe_Send", nil)
+	_, err := Verify(sink.Sources(), nil)
+	var ve *VerifyError
+	if !errors.As(err, &ve) {
+		t.Fatalf("want VerifyError for unsealed tail, got %v", err)
+	}
+	if !strings.Contains(ve.Reason, "unsealed tail") {
+		t.Errorf("reason: %s", ve.Reason)
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	mib := new(stats.SealMIB)
+	sink := &MemSink{Prefix: "host1"}
+	w := NewWriter(sink, Options{BatchSize: 4, SegmentBytes: 1024, MIB: mib})
+	rec := journal(w, 40)
+	if err := rec.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.Segs) < 2 {
+		t.Fatalf("need multiple segments, got %d", len(sink.Segs))
+	}
+	orig := sink.Segs[0].Bytes()
+	compacted, dropped, err := CompactBytes(orig)
+	if err != nil {
+		t.Fatalf("CompactBytes: %v", err)
+	}
+	if dropped == 0 || len(compacted) >= len(orig) {
+		t.Fatalf("compaction dropped %d deltas, %d -> %d bytes", dropped, len(orig), len(compacted))
+	}
+	// The chain still verifies with the compacted segment in place.
+	srcs := sink.Sources()
+	srcs[0] = Source{Name: srcs[0].Name, Open: func() (io.ReadCloser, error) {
+		return io.NopCloser(bytes.NewReader(compacted)), nil
+	}}
+	if _, err := Verify(srcs, nil); err != nil {
+		t.Fatalf("Verify after compaction: %v", err)
+	}
+	// Compacting again is a no-op.
+	again, d2, err := CompactBytes(compacted)
+	if err != nil || d2 != 0 || len(again) != len(compacted) {
+		t.Errorf("recompaction: dropped %d, %d -> %d bytes, err %v", d2, len(compacted), len(again), err)
+	}
+	// But tampering with a compacted record is still caught.
+	bad := append([]byte(nil), compacted...)
+	i := bytes.Index(bad, []byte(`"h":"`))
+	if i < 0 {
+		t.Fatal("no tombstone found")
+	}
+	if bad[i+6] != 'f' {
+		bad[i+6] = 'f'
+	} else {
+		bad[i+6] = '0'
+	}
+	srcs[0] = Source{Name: srcs[0].Name, Open: func() (io.ReadCloser, error) {
+		return io.NopCloser(bytes.NewReader(bad)), nil
+	}}
+	if _, err := Verify(srcs, nil); err == nil {
+		t.Error("tampered tombstone hash not detected")
+	}
+}
+
+func TestCompactDirKeepsActive(t *testing.T) {
+	dir := t.TempDir()
+	mib := new(stats.SealMIB)
+	w := NewWriter(&DirSink{Dir: dir, Prefix: "h"}, Options{BatchSize: 4, SegmentBytes: 1024, MIB: mib})
+	rec := journal(w, 40)
+	if err := rec.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	journals, err := DiscoverDir(dir)
+	if err != nil || len(journals) != 1 {
+		t.Fatalf("discover: %v %v", journals, err)
+	}
+	nseg := len(journals[0].Files)
+	if nseg < 3 {
+		t.Fatalf("need >= 3 segments, got %d", nseg)
+	}
+	lastBefore, _ := os.ReadFile(journals[0].Files[nseg-1])
+	files, dropped, err := CompactDir(dir, 1, mib)
+	if err != nil {
+		t.Fatalf("CompactDir: %v", err)
+	}
+	if files != nseg-1 || dropped == 0 {
+		t.Errorf("compacted %d files (%d deltas), want %d files", files, dropped, nseg-1)
+	}
+	lastAfter, _ := os.ReadFile(journals[0].Files[nseg-1])
+	if !bytes.Equal(lastBefore, lastAfter) {
+		t.Error("active segment was compacted")
+	}
+	if _, err := Verify(journals[0].Sources(), nil); err != nil {
+		t.Fatalf("Verify after CompactDir: %v", err)
+	}
+	if mib.Compactions.Load() != uint64(files) {
+		t.Errorf("Compactions = %d, want %d", mib.Compactions.Load(), files)
+	}
+}
+
+func TestInclusionProof(t *testing.T) {
+	sink := &MemSink{Prefix: "host1"}
+	w := NewWriter(sink, Options{BatchSize: 8, SegmentBytes: 2048})
+	rec := journal(w, 30)
+	if err := rec.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Verify(sink.Sources(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, leaf := range []uint64{0, 7, 8, rep.Leaves - 1} {
+		p, err := Prove(sink.Sources(), leaf)
+		if err != nil {
+			t.Fatalf("Prove(%d): %v", leaf, err)
+		}
+		if err := p.Check(); err != nil {
+			t.Errorf("proof %d does not check: %v", leaf, err)
+		}
+		if p.Leaf != leaf || len(p.Record) == 0 {
+			t.Errorf("proof %d: %+v", leaf, p)
+		}
+		// A forged record body must not check.
+		forged := *p
+		forged.Record = `{"k":"enq","q":999}`
+		if err := forged.Check(); err == nil {
+			t.Errorf("forged record body passed proof %d", leaf)
+		}
+	}
+	if _, err := Prove(sink.Sources(), rep.Leaves+100); err == nil {
+		t.Error("proof for nonexistent record should fail")
+	}
+}
+
+// Proofs survive compaction: the tombstone's stored hash takes the
+// original body's place as the leaf.
+func TestProofAfterCompaction(t *testing.T) {
+	sink := &MemSink{Prefix: "host1"}
+	w := NewWriter(sink, Options{BatchSize: 8, SegmentBytes: -1})
+	rec := journal(w, 16)
+	if err := rec.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	compacted, dropped, err := CompactBytes(sink.Segs[0].Bytes())
+	if err != nil || dropped == 0 {
+		t.Fatalf("compact: %d %v", dropped, err)
+	}
+	srcs := []Source{{Name: "host1.0000.fjl", Open: func() (io.ReadCloser, error) {
+		return io.NopCloser(bytes.NewReader(compacted)), nil
+	}}}
+	p, err := Prove(srcs, 3) // an end record, now a tombstone
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	if err := p.Check(); err != nil {
+		t.Errorf("compacted proof does not check: %v", err)
+	}
+}
+
+func TestDiscoverDirGroupsAndOrders(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"b.0001.fjl", "b.0000.fjl", "a.fjl", "b.0002.fjl", "ignore.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	journals, err := DiscoverDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(journals) != 2 {
+		t.Fatalf("got %d journals: %+v", len(journals), journals)
+	}
+	if journals[0].Prefix != "a" || journals[0].Sealed || len(journals[0].Files) != 1 {
+		t.Errorf("journal a: %+v", journals[0])
+	}
+	if journals[1].Prefix != "b" || !journals[1].Sealed || len(journals[1].Files) != 3 {
+		t.Errorf("journal b: %+v", journals[1])
+	}
+	for i, f := range journals[1].Files {
+		if want := SegmentName("b", i); filepath.Base(f) != want {
+			t.Errorf("file %d = %s, want %s", i, f, want)
+		}
+	}
+}
+
+// The steady-state emit path through the batcher — including sealing a
+// full batch — must not allocate.
+func TestSealedEmitNoAllocs(t *testing.T) {
+	w := NewWriter(discardSink{}, Options{BatchSize: 8, SegmentBytes: -1})
+	r := flight.NewRecorder(w)
+	args := []byte("seq=12345 flags=24 len=512 rexmits=0")
+	var delta []byte
+	delta = flight.AppendDelta(delta, "snd_nxt", 100000, 100512)
+	delta = flight.AppendDelta(delta, "cwnd", 4096, 4632)
+	conn := "10.0.0.2:80<->:49152"
+	emit := func() {
+		// 4 records per call: with BatchSize 8, every other call seals.
+		q := r.Enqueue(12345, conn, "Process_Data", args)
+		r.Beg(12345, conn, q)
+		r.End(conn, q, delta)
+		r.Enqueue(12345, conn, "Maybe_Send", nil)
+	}
+	emit()
+	emit() // warm: first seal has happened, buffers at working size
+	if n := testing.AllocsPerRun(200, emit); n > 0 {
+		t.Errorf("sealed emit path allocates %v times per 4 records", n)
+	}
+	if r.Err() != nil {
+		t.Fatalf("recorder error: %v", r.Err())
+	}
+}
+
+type discardSink struct{}
+
+func (discardSink) Next(seg int) (io.WriteCloser, error) { return nopWC{}, nil }
+
+type nopWC struct{}
+
+func (nopWC) Write(p []byte) (int, error) { return len(p), nil }
+func (nopWC) Close() error                { return nil }

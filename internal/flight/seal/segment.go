@@ -1,0 +1,187 @@
+package seal
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Ext is the journal segment file extension.
+const Ext = ".fjl"
+
+// SegmentName renders the canonical segment file name for a journal
+// prefix (usually the host name): "<prefix>.0007.fjl".
+func SegmentName(prefix string, seg int) string {
+	return fmt.Sprintf("%s.%04d%s", prefix, seg, Ext)
+}
+
+// Source is one readable journal segment: a name for error reports and
+// an opener, so verification can stream from files or memory alike.
+type Source struct {
+	Name string
+	Open func() (io.ReadCloser, error)
+}
+
+// --- directory sink ------------------------------------------------------
+
+// DirSink writes segments as files "<Prefix>.%04d.fjl" under Dir.
+// Writes are buffered; the buffer reaches disk only on Sync, Close, or
+// rotation — which is exactly why the Recorder's Sync seam matters: a
+// process that drops its Writer without syncing loses the buffered
+// tail, and the durability regression test proves it.
+type DirSink struct {
+	Dir    string
+	Prefix string
+}
+
+func (s *DirSink) Next(seg int) (io.WriteCloser, error) {
+	if err := os.MkdirAll(s.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(filepath.Join(s.Dir, SegmentName(s.Prefix, seg)))
+	if err != nil {
+		return nil, err
+	}
+	return &fileSegment{f: f, bw: bufio.NewWriterSize(f, 64<<10)}, nil
+}
+
+type fileSegment struct {
+	f  *os.File
+	bw *bufio.Writer
+}
+
+func (s *fileSegment) Write(p []byte) (int, error) { return s.bw.Write(p) }
+
+func (s *fileSegment) Sync() error {
+	if err := s.bw.Flush(); err != nil {
+		return err
+	}
+	return s.f.Sync()
+}
+
+func (s *fileSegment) Close() error {
+	if err := s.bw.Flush(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}
+
+// --- in-memory sink ------------------------------------------------------
+
+// MemSink keeps segments as in-memory buffers — the chaos soak and the
+// overhead experiments use it so multi-segment journals need no
+// filesystem.
+type MemSink struct {
+	Prefix string
+	Segs   []*bytes.Buffer
+}
+
+func (s *MemSink) Next(seg int) (io.WriteCloser, error) {
+	b := new(bytes.Buffer)
+	s.Segs = append(s.Segs, b)
+	return memSegment{b}, nil
+}
+
+type memSegment struct{ *bytes.Buffer }
+
+func (memSegment) Close() error { return nil }
+
+// Sources returns the sink's segments as verification sources.
+func (s *MemSink) Sources() []Source {
+	out := make([]Source, len(s.Segs))
+	for i, b := range s.Segs {
+		data := b.Bytes()
+		out[i] = Source{
+			Name: SegmentName(s.Prefix, i),
+			Open: func() (io.ReadCloser, error) {
+				return io.NopCloser(bytes.NewReader(data)), nil
+			},
+		}
+	}
+	return out
+}
+
+// --- discovery -----------------------------------------------------------
+
+// Journal is one host's journal on disk: either a single unsealed
+// "<prefix>.fjl" file or an ordered run of sealed "<prefix>.%04d.fjl"
+// segments.
+type Journal struct {
+	Prefix string
+	Files  []string // absolute paths in segment order
+	Sealed bool     // true for rotated segment runs
+}
+
+// Sources returns the journal's files as verification sources.
+func (j Journal) Sources() []Source {
+	out := make([]Source, len(j.Files))
+	for i, path := range j.Files {
+		p := path
+		out[i] = Source{
+			Name: filepath.Base(p),
+			Open: func() (io.ReadCloser, error) { return os.Open(p) },
+		}
+	}
+	return out
+}
+
+// DiscoverDir finds every journal in a directory: *.fjl files are
+// grouped by prefix, with "<prefix>.%04d.fjl" runs ordered by segment
+// number. Journals come back sorted by prefix.
+func DiscoverDir(dir string) ([]Journal, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type segFile struct {
+		seg  int
+		path string
+	}
+	sealed := map[string][]segFile{}
+	var plain []Journal
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, Ext) {
+			continue
+		}
+		base := strings.TrimSuffix(name, Ext)
+		full := filepath.Join(dir, name)
+		if prefix, seg, ok := splitSegName(base); ok {
+			sealed[prefix] = append(sealed[prefix], segFile{seg, full})
+		} else {
+			plain = append(plain, Journal{Prefix: base, Files: []string{full}})
+		}
+	}
+	var out []Journal
+	for prefix, files := range sealed {
+		sort.Slice(files, func(i, j int) bool { return files[i].seg < files[j].seg })
+		j := Journal{Prefix: prefix, Sealed: true}
+		for _, f := range files {
+			j.Files = append(j.Files, f.path)
+		}
+		out = append(out, j)
+	}
+	out = append(out, plain...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Prefix < out[j].Prefix })
+	return out, nil
+}
+
+// splitSegName recognizes "<prefix>.%04d" segment basenames.
+func splitSegName(base string) (prefix string, seg int, ok bool) {
+	if len(base) < 6 || base[len(base)-5] != '.' {
+		return "", 0, false
+	}
+	digits := base[len(base)-4:]
+	n, err := strconv.Atoi(digits)
+	if err != nil || len(strings.TrimLeft(digits, "0123456789")) != 0 {
+		return "", 0, false
+	}
+	return base[:len(base)-5], n, true
+}

@@ -227,6 +227,22 @@ type HardenMIB struct {
 	MemBytes                Gauge   // bytes charged to the endpoint memory account
 }
 
+// SealMIB counts the flight journal's tamper-evidence machinery: Merkle
+// batches committed into the sealed chain, segment rotations, compaction
+// passes, and chain verifications. SNMP has no audit-log group; the
+// names follow the seal package's own vocabulary.
+type SealMIB struct {
+	RecordsSealed   Counter // journal records hashed into a batch
+	BatchesSealed   Counter // Merkle roots committed into the chain
+	SegmentsRotated Counter // segment files closed and rotated out
+	BytesRotated    Counter // bytes in rotated-out segments
+	SyncSeals       Counter // partial batches force-sealed by Sync
+	Compactions     Counter // segment files rewritten by compaction
+	DeltasDropped   Counter // end-record TCB deltas dropped by compaction
+	VerifyRuns      Counter // chain verifications attempted
+	VerifyFailures  Counter // chain verifications that found tampering
+}
+
 // IPMIB is the RFC 2011-style ip group.
 type IPMIB struct {
 	InReceives      Counter

@@ -83,19 +83,32 @@ func (t *TCP) memCharge(delta int) {
 	}
 }
 
-// takeChallengeToken implements the endpoint-wide RFC 5961 §10 rate
-// limit: at most cfg.ChallengeACKLimit challenge ACKs per simulated
-// second. It reports whether a challenge ACK may be sent now.
-func (t *TCP) takeChallengeToken() bool {
-	now := t.s.Now()
-	if sim.Duration(now-t.challengeWindow) >= sim.Duration(time.Second) {
-		t.challengeWindow = now
-		t.challengeCount = 0
+// takeChallengeToken implements the RFC 5961 §10 challenge-ACK rate
+// limit as a per-connection bucket: at most cfg.ChallengeACKLimit
+// challenge ACKs per simulated second per connection. It reports
+// whether a challenge ACK may be sent now.
+//
+// RFC 5961 sketches the limit as endpoint-wide, but a shared bucket is
+// both an exploitable side channel and a nondeterminism. CVE-2016-5696
+// showed an off-path attacker can probe a global counter through its
+// exhaustion on an unrelated connection and infer another connection's
+// sequence state — Linux's fix moved the bucket per-socket, and so does
+// this stack. The same move is what keeps one connection's journal a
+// closed system: whether a probe draws a challenge or a suppression
+// depends only on that connection's own history, so sharded parallel
+// replay (and the ROADMAP's sharded engine) stays deterministic
+// per-shard.
+func (c *Conn) takeChallengeToken() bool {
+	tcb := c.tcb
+	now := c.t.s.Now()
+	if sim.Duration(now-tcb.challengeWindow) >= sim.Duration(time.Second) {
+		tcb.challengeWindow = now
+		tcb.challengeCount = 0
 	}
-	if t.challengeCount >= t.cfg.ChallengeACKLimit {
+	if tcb.challengeCount >= c.t.cfg.ChallengeACKLimit {
 		return false
 	}
-	t.challengeCount++
+	tcb.challengeCount++
 	return true
 }
 

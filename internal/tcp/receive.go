@@ -469,10 +469,11 @@ func (c *Conn) checkFin(sg *segment) {
 // sendChallengeAck answers a suspicious in-window probe (RFC 5961): an
 // ACK carrying the exact rcv_nxt/snd_nxt the real peer already knows,
 // which tells a genuine out-of-sync peer where the connection stands and
-// tells a blind attacker nothing. Rate-limited endpoint-wide so the
-// defense is not itself an amplifier.
+// tells a blind attacker nothing. Rate-limited per connection so the
+// defense is not itself an amplifier, nor (as an endpoint-wide bucket
+// would be) an off-path side channel coupling unrelated connections.
 func (c *Conn) sendChallengeAck(reason string) {
-	if !c.t.takeChallengeToken() {
+	if !c.takeChallengeToken() {
 		c.t.cfg.Harden.ChallengeACKsSuppressed.Inc()
 		return
 	}
@@ -483,7 +484,7 @@ func (c *Conn) sendChallengeAck(reason string) {
 }
 
 // sendThrottledAck re-acknowledges an unacceptable (out-of-window)
-// segment through the same endpoint-wide token bucket as challenge ACKs
+// segment through the same per-connection token bucket as challenge ACKs
 // (RFC 5961 §5.3's ACK throttling, Linux's tcp_invalid_ratelimit).
 // Unthrottled, a spoofed flood of bogus segments converts into a stream
 // of pure ACKs at the genuine peer — indistinguishable from duplicate
@@ -492,7 +493,7 @@ func (c *Conn) sendChallengeAck(reason string) {
 // zero-window probes, keepalives) arrives orders of magnitude below the
 // bucket rate and is effectively never suppressed.
 func (c *Conn) sendThrottledAck() {
-	if !c.t.takeChallengeToken() {
+	if !c.takeChallengeToken() {
 		c.t.cfg.Harden.OOWAcksSuppressed.Inc()
 		return
 	}

@@ -19,6 +19,8 @@ package tcp
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
+	"sync"
 
 	"repro/internal/basis"
 	"repro/internal/flight"
@@ -67,6 +69,7 @@ type ReplayResult struct {
 	Records     int
 	Actions     int // actions re-performed and delta-verified
 	Conns       int // connections reconstructed
+	Workers     int // shards used (0 for a serial replay)
 	Divergences []Divergence
 }
 
@@ -134,6 +137,11 @@ func ReplayJournal(recs []flight.Record) (*ReplayResult, error) {
 			}
 		}
 		switch rec.Kind {
+		case flight.KindSeal:
+			// Chain attestation, not machine history: foxreplay -verify
+			// checks seals before replay ever starts.
+			continue
+
 		case flight.KindHdr:
 			div(i, 0, "", "duplicate hdr record")
 
@@ -244,6 +252,12 @@ func ReplayJournal(recs []flight.Record) (*ReplayResult, error) {
 				continue
 			}
 			rcn.inBeg = false
+			if rec.H != "" && rec.Delta == nil {
+				// Compacted tombstone: the beg/end pairing survives, but
+				// the delta audit for this action is gone with the delta.
+				// The seal chain still attests the original via rec.H.
+				continue
+			}
 			post := rcn.c.snapTCB()
 			for name := range rec.Delta {
 				if snapIndex(name) < 0 {
@@ -285,6 +299,92 @@ func ReplayJournal(recs []flight.Record) (*ReplayResult, error) {
 	}
 	res.Conns = len(conns)
 	return res, nil
+}
+
+// ReplayJournalParallel is ReplayJournal sharded one worker per
+// connection group: connections are dealt round-robin (by first
+// appearance, so the assignment is deterministic) across up to
+// `workers` goroutines, each of which replays its connections against
+// its own private endpoint and scheduler, and the per-shard results are
+// merged with divergence indices mapped back to the whole journal.
+//
+// Sharding by connection is sound because a connection's journal is a
+// closed system: every cross-connection coupling the stack has is
+// either per-connection by construction (the RFC 5961 challenge-ACK
+// bucket — see takeChallengeToken), driver-injected from the journal
+// (half-open evictions arrive as packet-caused Delete_TCB records), or
+// invisible to the audited state (the memory account shapes only the
+// advertised window, a wire field outside the TCB snapshot and the
+// compared action args). This is the Laminar lesson in miniature:
+// per-shard determinism is the property that lets the audit scale out.
+func ReplayJournalParallel(recs []flight.Record, workers int) (*ReplayResult, error) {
+	if workers <= 1 {
+		return ReplayJournal(recs)
+	}
+	if len(recs) == 0 || recs[0].Kind != flight.KindHdr {
+		return nil, fmt.Errorf("journal does not start with a hdr record")
+	}
+	shard := map[string]int{}
+	buckets := make([][]flight.Record, workers)
+	index := make([][]int, workers) // local record index -> journal index
+	for w := range buckets {
+		buckets[w] = append(buckets[w], recs[0])
+		index[w] = append(index[w], 0)
+	}
+	next := 0
+	for i := 1; i < len(recs); i++ {
+		rec := &recs[i]
+		if rec.Kind == flight.KindSeal || rec.Kind == flight.KindHdr {
+			continue
+		}
+		w, ok := shard[rec.Conn]
+		if !ok {
+			w = next % workers
+			shard[rec.Conn] = w
+			next++
+		}
+		buckets[w] = append(buckets[w], *rec)
+		index[w] = append(index[w], i)
+	}
+
+	results := make([]*ReplayResult, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := range buckets {
+		if len(buckets[w]) <= 1 {
+			continue // hdr only: no connections landed here
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w], errs[w] = ReplayJournal(buckets[w])
+		}(w)
+	}
+	wg.Wait()
+
+	merged := &ReplayResult{Host: recs[0].Host, Records: len(recs), Workers: min(workers, next)}
+	for w, r := range results {
+		if errs[w] != nil {
+			return merged, fmt.Errorf("shard %d: %w", w, errs[w])
+		}
+		if r == nil {
+			continue
+		}
+		merged.Actions += r.Actions
+		merged.Conns += r.Conns
+		for _, d := range r.Divergences {
+			if d.Index >= 0 && d.Index < len(index[w]) {
+				d.Index = index[w][d.Index]
+			} else {
+				d.Index = len(recs) // completeness checks point past the end
+			}
+			merged.Divergences = append(merged.Divergences, d)
+		}
+	}
+	sort.Slice(merged.Divergences, func(i, j int) bool {
+		return merged.Divergences[i].Index < merged.Divergences[j].Index
+	})
+	return merged, nil
 }
 
 func snapIndex(name string) int {

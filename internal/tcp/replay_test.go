@@ -9,6 +9,7 @@ import (
 	"repro/internal/arp"
 	"repro/internal/ethernet"
 	"repro/internal/flight"
+	"repro/internal/flight/seal"
 	"repro/internal/ip"
 	"repro/internal/sim"
 	"repro/internal/tcp"
@@ -180,6 +181,209 @@ func TestReplayDetectsTamperedDelta(t *testing.T) {
 	}
 	if len(res.Divergences) == 0 {
 		t.Fatal("tampered delta replayed without divergence")
+	}
+}
+
+// sealedRun is recordedRun with both journals routed through Merkle
+// batchers into in-memory segment sinks, synced at shutdown.
+func sealedRun(t *testing.T, wcfg wire.Config, o seal.Options, body func(s *sim.Scheduler, a, b tcpHost)) (sa, sb *seal.MemSink) {
+	t.Helper()
+	sa, sb = &seal.MemSink{Prefix: "a"}, &seal.MemSink{Prefix: "b"}
+	s := sim.New(sim.Config{})
+	s.Run(func() {
+		seg := wire.NewSegment(s, wcfg, nil)
+		ra := flight.NewRecorder(seal.NewWriter(sa, o))
+		rb := flight.NewRecorder(seal.NewWriter(sb, o))
+		a, b := buildRecordedPair(s, seg, tcp.Config{Flight: ra}, tcp.Config{Flight: rb})
+		body(s, a, b)
+		if err := ra.Sync(); err != nil {
+			t.Errorf("sync a: %v", err)
+		}
+		if err := rb.Sync(); err != nil {
+			t.Errorf("sync b: %v", err)
+		}
+	})
+	return sa, sb
+}
+
+// readSegments decodes a rotated multi-segment journal by walking the
+// segments in order — the reader-side equivalent of rotation.
+func readSegments(t *testing.T, sink *seal.MemSink) []flight.Record {
+	t.Helper()
+	var recs []flight.Record
+	for i, seg := range sink.Segs {
+		part, err := flight.ReadAll(bytes.NewReader(seg.Bytes()))
+		if err != nil {
+			t.Fatalf("segment %d: %v", i, err)
+		}
+		recs = append(recs, part...)
+	}
+	return recs
+}
+
+// A sealed, rotated, multi-segment journal verifies and replays
+// divergence-free: seal records are attestation, not machine history.
+func TestReplaySealedRotatedJournal(t *testing.T) {
+	o := seal.Options{BatchSize: 32, SegmentBytes: 16 << 10}
+	sa, sb := sealedRun(t, wire.Config{Loss: 0.05, Seed: 7}, o, func(s *sim.Scheduler, a, b tcpHost) {
+		var server *tcp.Conn
+		b.TCP.Listen(80, func(c *tcp.Conn) tcp.Handler { server = c; return tcp.Handler{} })
+		conn, err := a.TCP.Open(b.A, 80, tcp.Handler{})
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		s.Fork("writer", func() { conn.Write(make([]byte, 64_000)); conn.Shutdown() })
+		got := make([]byte, 64_000)
+		s.Fork("reader", func() {
+			if _, err := server.ReadFull(got); err != nil && err != io.EOF {
+				t.Errorf("ReadFull: %v", err)
+			}
+		})
+		s.Sleep(10 * time.Minute)
+	})
+	if len(sa.Segs) < 2 {
+		t.Fatalf("client journal did not rotate: %d segments", len(sa.Segs))
+	}
+	for side, sink := range map[string]*seal.MemSink{"client": sa, "server": sb} {
+		if _, err := seal.Verify(sink.Sources(), nil); err != nil {
+			t.Fatalf("%s verify: %v", side, err)
+		}
+		recs := readSegments(t, sink)
+		res, err := tcp.ReplayJournal(recs)
+		if err != nil {
+			t.Fatalf("%s replay: %v", side, err)
+		}
+		for _, d := range res.Divergences {
+			t.Errorf("%s: %v", side, d)
+		}
+		if res.Actions == 0 {
+			t.Fatalf("%s replay performed no actions", side)
+		}
+	}
+}
+
+// Compacted cold segments still replay: the beg/end pairing survives in
+// the tombstones, the dropped deltas are simply no longer audited, and
+// the seal chain still attests the originals.
+func TestReplayCompactedJournal(t *testing.T) {
+	o := seal.Options{BatchSize: 32, SegmentBytes: 16 << 10}
+	sa, _ := sealedRun(t, wire.Config{}, o, func(s *sim.Scheduler, a, b tcpHost) {
+		var server *tcp.Conn
+		b.TCP.Listen(80, func(c *tcp.Conn) tcp.Handler { server = c; return tcp.Handler{} })
+		conn, err := a.TCP.Open(b.A, 80, tcp.Handler{})
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		s.Fork("writer", func() { conn.Write(make([]byte, 64_000)); conn.Shutdown() })
+		got := make([]byte, 64_000)
+		s.Fork("reader", func() { server.ReadFull(got) })
+		s.Sleep(time.Minute)
+	})
+	if len(sa.Segs) < 2 {
+		t.Fatalf("journal did not rotate: %d segments", len(sa.Segs))
+	}
+	// Compact every segment but the last, as CompactDir would.
+	dropped := 0
+	for i := 0; i < len(sa.Segs)-1; i++ {
+		out, d, err := seal.CompactBytes(sa.Segs[i].Bytes())
+		if err != nil {
+			t.Fatalf("compact segment %d: %v", i, err)
+		}
+		sa.Segs[i].Reset()
+		sa.Segs[i].Write(out)
+		dropped += d
+	}
+	if dropped == 0 {
+		t.Fatal("compaction dropped nothing")
+	}
+	if _, err := seal.Verify(sa.Sources(), nil); err != nil {
+		t.Fatalf("verify after compaction: %v", err)
+	}
+	res, err := tcp.ReplayJournal(readSegments(t, sa))
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	for _, d := range res.Divergences {
+		t.Errorf("compacted replay: %v", d)
+	}
+	if res.Actions == 0 {
+		t.Fatal("replay performed no actions")
+	}
+}
+
+// Parallel replay shards connections across workers and must agree with
+// the serial replay exactly.
+func TestReplayParallelMatchesSerial(t *testing.T) {
+	ja, jb := recordedRun(t, wire.Config{Loss: 0.02, Seed: 5}, func(s *sim.Scheduler, a, b tcpHost) {
+		servers := map[*tcp.Conn]bool{}
+		b.TCP.Listen(80, func(c *tcp.Conn) tcp.Handler { servers[c] = true; return tcp.Handler{} })
+		for i := 0; i < 4; i++ {
+			conn, err := a.TCP.Open(b.A, 80, tcp.Handler{})
+			if err != nil {
+				t.Fatalf("Open %d: %v", i, err)
+			}
+			n := 8000 * (i + 1)
+			s.Fork("writer", func() { conn.Write(make([]byte, n)); conn.Shutdown() })
+		}
+		s.Fork("readers", func() {
+			s.Sleep(30 * time.Second)
+			for c := range servers {
+				buf := make([]byte, 40_000)
+				for {
+					n, err := c.Read(buf)
+					if n == 0 || err != nil {
+						break
+					}
+				}
+			}
+		})
+		s.Sleep(5 * time.Minute)
+	})
+	for side, j := range map[string]*bytes.Buffer{"client": ja, "server": jb} {
+		recs, err := flight.ReadAll(bytes.NewReader(j.Bytes()))
+		if err != nil {
+			t.Fatalf("%s journal: %v", side, err)
+		}
+		serial, err := tcp.ReplayJournal(recs)
+		if err != nil {
+			t.Fatalf("%s serial: %v", side, err)
+		}
+		for _, workers := range []int{2, 3, 8} {
+			par, err := tcp.ReplayJournalParallel(recs, workers)
+			if err != nil {
+				t.Fatalf("%s parallel(%d): %v", side, workers, err)
+			}
+			for _, d := range par.Divergences {
+				t.Errorf("%s parallel(%d): %v", side, workers, d)
+			}
+			if par.Actions != serial.Actions || par.Conns != serial.Conns {
+				t.Errorf("%s parallel(%d): actions %d conns %d, serial %d/%d",
+					side, workers, par.Actions, par.Conns, serial.Actions, serial.Conns)
+			}
+		}
+	}
+	// Parallel replay reports tampered journals exactly like serial.
+	recs, _ := flight.ReadAll(bytes.NewReader(ja.Bytes()))
+	tampered := false
+	for i := range recs {
+		if recs[i].Kind == flight.KindEnd && len(recs[i].Delta) > 0 {
+			for name, v := range recs[i].Delta {
+				recs[i].Delta[name] = [2]int64{v[0], v[1] + 1}
+				break
+			}
+			tampered = true
+			break
+		}
+	}
+	if !tampered {
+		t.Fatal("no delta to tamper")
+	}
+	par, err := tcp.ReplayJournalParallel(recs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Divergences) == 0 {
+		t.Fatal("parallel replay missed the tampered delta")
 	}
 }
 

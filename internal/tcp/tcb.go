@@ -171,6 +171,13 @@ type TCB struct {
 	sndUpSeq      seq
 	urgentPending bool
 
+	// Per-connection RFC 5961 challenge-ACK token bucket (mem.go's
+	// takeChallengeToken). Per-connection rather than endpoint-wide:
+	// a shared bucket is an off-path side channel (CVE-2016-5696) and
+	// couples otherwise-independent connections' journals.
+	challengeWindow sim.Time
+	challengeCount  int
+
 	// Per-connection statistics (Conn.Stats). Plain fields: every writer
 	// runs inside the quasi-synchronous executor, so the scheduler's
 	// handoff discipline makes them race-free without atomics.

@@ -311,11 +311,6 @@ type TCP struct {
 
 	// mem is the endpoint-wide buffered-byte account (mem.go).
 	mem memAccount
-	// challengeWindow/challengeCount implement the RFC 5961 §10
-	// endpoint-wide challenge-ACK rate limit: at most
-	// cfg.ChallengeACKLimit per simulated second.
-	challengeWindow sim.Time
-	challengeCount  int
 
 	// replay marks an endpoint reconstructed by ReplayJournal: timers
 	// install inert placeholders (expirations come from the journal).
