@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check lint foxvet foxvet-json statemachine-dot bench chaos audit fmt
+.PHONY: build test check lint foxvet foxvet-json foxvet-baseline statemachine-dot sessiontype-dot bench chaos audit fmt
 
 build:
 	$(GO) build ./...
@@ -10,10 +10,17 @@ test:
 
 # foxvet runs the tree's own analyzers (internal/analysis, assembled by
 # cmd/foxvet): seqcmp, singledoor, quasisync, layering, atomiccounter,
-# statemachine, noblock, hotpathalloc.
-# See the "Static invariants" section of README.md.
+# statemachine, noblock, hotpathalloc, sessiontype, shardaffinity,
+# taint. See the "Static invariants" section of README.md.
 foxvet:
 	$(GO) run ./cmd/foxvet ./...
+
+# foxvet-baseline records the current findings to foxvet.baseline.json.
+# Use it only when landing a new analyzer ahead of the last legacy fix
+# (run with `foxvet -baseline foxvet.baseline.json`); the tree ships
+# with zero findings, so the recorded ledger should normally be empty.
+foxvet-baseline:
+	$(GO) run ./cmd/foxvet -write-baseline foxvet.baseline.json ./...
 
 # foxvet-json writes the findings as a JSON array to foxvet.json — the
 # artifact CI uploads on every run.
@@ -26,6 +33,12 @@ foxvet-json:
 # Pipe it through dot -Tsvg to render.
 statemachine-dot:
 	$(GO) run ./cmd/foxvet -statemachine-dot ./...
+
+# sessiontype-dot prints the socket-lifecycle protocol the sessiontype
+# pass proved, with per-edge counts of call sites exercising each
+# transition.
+sessiontype-dot:
+	$(GO) run ./cmd/foxvet -sessiontype-dot ./...
 
 # check is the full gate: go vet, the structural analyzers, and every
 # test under the race detector. The stats package's atomic/plain split is

@@ -112,6 +112,7 @@ func main() {
 				return
 			}
 			conn.Write(make([]byte, *bytes))
+			conn.Close()
 			s.Sleep(time.Second)
 		case "ping":
 			rtt, ok := a.Ping(s, b.Addr, []byte("trace me"))

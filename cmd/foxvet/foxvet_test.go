@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -59,12 +60,76 @@ func TestJSONOutput(t *testing.T) {
 }
 
 // TestStateMachineDot checks the -statemachine-dot path extracts the
-// real machine and renders Graphviz.
+// real machine and renders Graphviz, and that the rendering is
+// byte-identical across runs — CI diffs the artifact, so map iteration
+// order must never leak into it.
 func TestStateMachineDot(t *testing.T) {
+	render := func() string {
+		var out, errOut strings.Builder
+		code, err := vet(options{
+			dot:      true,
+			patterns: []string{"./..."},
+			dir:      moduleRoot(t),
+			stdout:   &out,
+			stderr:   &errOut,
+		})
+		if err != nil {
+			t.Fatalf("vet: %v", err)
+		}
+		if code != 0 {
+			t.Fatalf("unexpected exit code %d", code)
+		}
+		return out.String()
+	}
+	dot := render()
+	for _, want := range []string{"digraph", "Listen", "Estab", "TimeWait"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("dot output missing %q:\n%s", want, dot)
+		}
+	}
+	if again := render(); again != dot {
+		t.Fatalf("statemachine dot output is not deterministic:\n--- first\n%s\n--- second\n%s", dot, again)
+	}
+}
+
+// TestSessionTypeDot checks the -sessiontype-dot path renders the
+// proved socket protocol deterministically.
+func TestSessionTypeDot(t *testing.T) {
+	render := func() string {
+		var out, errOut strings.Builder
+		code, err := vet(options{
+			sessionDot: true,
+			patterns:   []string{"./..."},
+			dir:        moduleRoot(t),
+			stdout:     &out,
+			stderr:     &errOut,
+		})
+		if err != nil {
+			t.Fatalf("vet: %v", err)
+		}
+		if code != 0 {
+			t.Fatalf("unexpected exit code %d", code)
+		}
+		return out.String()
+	}
+	dot := render()
+	for _, want := range []string{"digraph", "Estab", "Closed", "sites"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("session dot output missing %q:\n%s", want, dot)
+		}
+	}
+	if again := render(); again != dot {
+		t.Fatalf("sessiontype dot output is not deterministic:\n--- first\n%s\n--- second\n%s", dot, again)
+	}
+}
+
+// TestRunFilter checks -run restricts the registry and rejects unknown
+// names.
+func TestRunFilter(t *testing.T) {
 	var out, errOut strings.Builder
 	code, err := vet(options{
-		dot:      true,
-		patterns: []string{"./..."},
+		run:      "seqcmp,taint",
+		patterns: []string{"./internal/tcp"},
 		dir:      moduleRoot(t),
 		stdout:   &out,
 		stderr:   &errOut,
@@ -73,12 +138,85 @@ func TestStateMachineDot(t *testing.T) {
 		t.Fatalf("vet: %v", err)
 	}
 	if code != 0 {
-		t.Fatalf("unexpected exit code %d", code)
+		t.Fatalf("unexpected findings:\n%s", errOut.String())
 	}
-	dot := out.String()
-	for _, want := range []string{"digraph", "Listen", "Estab", "TimeWait"} {
-		if !strings.Contains(dot, want) {
-			t.Fatalf("dot output missing %q:\n%s", want, dot)
-		}
+	if _, err := vet(options{run: "nosuch", dir: moduleRoot(t), stdout: &out, stderr: &errOut}); err == nil {
+		t.Fatal("expected an error for -run nosuch")
+	}
+}
+
+// dirtyModule is a hermetic module (under testdata, so the real-module
+// walk never sees it) seeding exactly one finding: a leaked connection.
+func dirtyModule(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata/dirtymod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestBaselineRoundTrip writes a baseline from a dirty tree and checks
+// it suppresses exactly the recorded findings on the next run.
+func TestBaselineRoundTrip(t *testing.T) {
+	// The dirty tree fails without a baseline.
+	var out, errOut strings.Builder
+	code, err := vet(options{patterns: []string{"./..."}, dir: dirtyModule(t), stdout: &out, stderr: &errOut})
+	if err != nil {
+		t.Fatalf("vet: %v", err)
+	}
+	if code != 1 || !strings.Contains(errOut.String(), "connection leak") {
+		t.Fatalf("expected the seeded leak (exit 1), got exit %d:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "app/app.go") {
+		t.Fatalf("findings should use module-relative paths:\n%s", errOut.String())
+	}
+
+	// Record it.
+	base := filepath.Join(t.TempDir(), "foxvet.baseline.json")
+	out.Reset()
+	errOut.Reset()
+	code, err = vet(options{writeBaseline: base, patterns: []string{"./..."}, dir: dirtyModule(t), stdout: &out, stderr: &errOut})
+	if err != nil {
+		t.Fatalf("write-baseline: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("write-baseline should exit 0, got %d", code)
+	}
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatalf("baseline not written: %v", err)
+	}
+	if !strings.Contains(string(data), "connection leak") {
+		t.Fatalf("baseline missing the recorded finding:\n%s", data)
+	}
+
+	// The baseline suppresses it; the run goes green and says so.
+	out.Reset()
+	errOut.Reset()
+	code, err = vet(options{baseline: base, patterns: []string{"./..."}, dir: dirtyModule(t), stdout: &out, stderr: &errOut})
+	if err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("baselined run should exit 0, got %d:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "suppressed by baseline") {
+		t.Fatalf("suppression should be reported on stderr:\n%s", errOut.String())
+	}
+
+	// An empty baseline suppresses nothing.
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte("[]\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errOut.Reset()
+	code, err = vet(options{baseline: empty, patterns: []string{"./..."}, dir: dirtyModule(t), stdout: &out, stderr: &errOut})
+	if err != nil {
+		t.Fatalf("empty baseline run: %v", err)
+	}
+	if code != 1 {
+		t.Fatalf("empty baseline must not suppress the leak, got exit %d", code)
 	}
 }

@@ -1,4 +1,4 @@
-// Command foxvet is the repro tree's multichecker: it runs the eight
+// Command foxvet is the repro tree's multichecker: it runs the eleven
 // structural analyzers from internal/analysis over the module and exits
 // non-zero on any diagnostic. The passes machine-check the invariants
 // the paper got from ML's module system — wrap-safe sequence arithmetic
@@ -6,11 +6,15 @@
 // conformance (statemachine), the quasi-synchronous event discipline
 // (quasisync), its scheduler-blocking dual (noblock), the single-copy
 // data path (hotpathalloc), the Fig. 9 layer DAG (layering) — plus the
-// atomic-counter contract from the metrics PR (atomiccounter).
+// atomic-counter contract from the metrics PR (atomiccounter), the
+// socket-lifecycle session types (sessiontype), the executor escape
+// proof (shardaffinity), and wire-data validation (taint).
 //
 // Usage:
 //
-//	foxvet [-tests] [-list] [-json] [-statemachine-dot] [packages...]
+//	foxvet [-tests] [-list] [-json] [-run names] [-baseline file]
+//	       [-write-baseline file] [-statemachine-dot] [-sessiontype-dot]
+//	       [packages...]
 //
 // Package patterns follow the usual shape: ./... walks the module,
 // import paths name single packages. With no arguments foxvet runs on
@@ -18,9 +22,20 @@
 //
 // -json emits findings as a JSON array ({file, line, col, analyzer,
 // message}) on stdout for CI artifact upload; the exit status still
-// reflects whether findings exist. -statemachine-dot extracts the
-// setState transition relation from the loaded packages and prints it
-// as Graphviz annotated against the RFC 793 table, then exits.
+// reflects whether findings exist. -run restricts the run to a
+// comma-separated subset of analyzers so CI can isolate one per job.
+// -statemachine-dot extracts the setState transition relation from the
+// loaded packages and prints it as Graphviz annotated against the RFC
+// 793 table, then exits; -sessiontype-dot does the same for the proved
+// socket-lifecycle protocol.
+//
+// -baseline suppresses findings recorded in a baseline file (matched by
+// file, analyzer, and message — positions may drift, content may not)
+// so a new analyzer can land before the last legacy finding is fixed;
+// the suppressed count is reported on stderr and anything not in the
+// baseline still fails the run. -write-baseline records the current
+// findings to a file and exits zero. Baselines are debt ledgers, not
+// allowlists: shrink them, never grow them.
 package main
 
 import (
@@ -29,7 +44,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/atomiccounter"
@@ -39,8 +56,11 @@ import (
 	"repro/internal/analysis/noblock"
 	"repro/internal/analysis/quasisync"
 	"repro/internal/analysis/seqcmp"
+	"repro/internal/analysis/sessiontype"
+	"repro/internal/analysis/shardaffinity"
 	"repro/internal/analysis/singledoor"
 	"repro/internal/analysis/statemachine"
+	"repro/internal/analysis/taint"
 )
 
 var analyzers = []*analysis.Analyzer{
@@ -50,27 +70,35 @@ var analyzers = []*analysis.Analyzer{
 	noblock.Analyzer,
 	quasisync.Analyzer,
 	seqcmp.Analyzer,
+	sessiontype.Analyzer,
+	shardaffinity.Analyzer,
 	singledoor.Analyzer,
 	statemachine.Analyzer,
+	taint.Analyzer,
 }
 
 // options collects everything main parses from the command line, so the
 // run logic is callable from tests.
 type options struct {
-	tests    bool
-	jsonOut  bool
-	dot      bool
-	patterns []string
-	dir      string
-	stdout   io.Writer
-	stderr   io.Writer
+	tests         bool
+	jsonOut       bool
+	dot           bool
+	sessionDot    bool
+	run           string
+	baseline      string
+	writeBaseline string
+	patterns      []string
+	dir           string
+	stdout        io.Writer
+	stderr        io.Writer
 }
 
-// finding is the JSON shape one diagnostic exports.
+// finding is the JSON shape one diagnostic exports. The same shape,
+// minus position columns, keys baseline entries.
 type finding struct {
 	File     string `json:"file"`
-	Line     int    `json:"line"`
-	Col      int    `json:"col"`
+	Line     int    `json:"line,omitempty"`
+	Col      int    `json:"col,omitempty"`
 	Analyzer string `json:"analyzer"`
 	Message  string `json:"message"`
 }
@@ -79,9 +107,13 @@ func main() {
 	tests := flag.Bool("tests", false, "also analyze _test.go files")
 	list := flag.Bool("list", false, "list the registered analyzers and exit")
 	jsonOut := flag.Bool("json", false, "emit findings as JSON on stdout")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	baseline := flag.String("baseline", "", "suppress findings recorded in this baseline file")
+	writeBaseline := flag.String("write-baseline", "", "record current findings to this baseline file and exit")
 	dot := flag.Bool("statemachine-dot", false, "print the extracted TCP state machine as Graphviz and exit")
+	sessionDot := flag.Bool("sessiontype-dot", false, "print the proved socket session protocol as Graphviz and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: foxvet [-tests] [-list] [-json] [-statemachine-dot] [packages...]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: foxvet [-tests] [-list] [-json] [-run names] [-baseline file] [-write-baseline file] [-statemachine-dot] [-sessiontype-dot] [packages...]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Registered analyzers:\n")
 		printAnalyzers(flag.CommandLine.Output())
 		flag.PrintDefaults()
@@ -98,13 +130,17 @@ func main() {
 		fatalf("foxvet: %v", err)
 	}
 	opts := options{
-		tests:    *tests,
-		jsonOut:  *jsonOut,
-		dot:      *dot,
-		patterns: flag.Args(),
-		dir:      cwd,
-		stdout:   os.Stdout,
-		stderr:   os.Stderr,
+		tests:         *tests,
+		jsonOut:       *jsonOut,
+		dot:           *dot,
+		sessionDot:    *sessionDot,
+		run:           *run,
+		baseline:      *baseline,
+		writeBaseline: *writeBaseline,
+		patterns:      flag.Args(),
+		dir:           cwd,
+		stdout:        os.Stdout,
+		stderr:        os.Stderr,
 	}
 	code, err := vet(opts)
 	if err != nil {
@@ -113,9 +149,40 @@ func main() {
 	os.Exit(code)
 }
 
-// vet loads the requested packages, runs the multichecker (or the dot
+// selectAnalyzers resolves the -run flag against the registry.
+func selectAnalyzers(runFlag string) ([]*analysis.Analyzer, error) {
+	if runFlag == "" {
+		return analyzers, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(runFlag, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (use -list to see the registry)", name)
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-run selected no analyzers")
+	}
+	return out, nil
+}
+
+// vet loads the requested packages, runs the multichecker (or a dot
 // extraction), and returns the process exit code.
 func vet(opts options) (int, error) {
+	selected, err := selectAnalyzers(opts.run)
+	if err != nil {
+		return 0, err
+	}
 	patterns := opts.patterns
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -136,40 +203,123 @@ func vet(opts options) (int, error) {
 		fmt.Fprint(opts.stdout, m.Dot())
 		return 0, nil
 	}
+	if opts.sessionDot {
+		dot, err := sessiontype.Extract(pkgs)
+		if err != nil {
+			return 0, err
+		}
+		fmt.Fprint(opts.stdout, dot)
+		return 0, nil
+	}
 
-	diags, err := analysis.Run(pkgs, analyzers)
+	diags, err := analysis.Run(pkgs, selected)
 	if err != nil {
 		return 0, err
 	}
 	// The loader threads one FileSet through every package, so any
 	// package's Fset resolves any diagnostic's position.
 	fset := pkgs[0].Fset
-	if opts.jsonOut {
-		findings := make([]finding, 0, len(diags))
-		for _, d := range diags {
-			pos := fset.Position(d.Pos)
-			findings = append(findings, finding{
-				File:     pos.Filename,
-				Line:     pos.Line,
-				Col:      pos.Column,
-				Analyzer: d.Analyzer,
-				Message:  d.Message,
-			})
+	findings := make([]finding, 0, len(diags))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		findings = append(findings, finding{
+			File:     relFile(opts.dir, pos.Filename),
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+
+	if opts.writeBaseline != "" {
+		if err := saveBaseline(opts.writeBaseline, findings); err != nil {
+			return 0, err
 		}
+		fmt.Fprintf(opts.stderr, "foxvet: wrote %d finding(s) to %s\n", len(findings), opts.writeBaseline)
+		return 0, nil
+	}
+	if opts.baseline != "" {
+		kept, suppressed, err := applyBaseline(opts.baseline, findings)
+		if err != nil {
+			return 0, err
+		}
+		if suppressed > 0 {
+			fmt.Fprintf(opts.stderr, "foxvet: %d finding(s) suppressed by baseline %s\n", suppressed, opts.baseline)
+		}
+		findings = kept
+	}
+
+	if opts.jsonOut {
 		enc := json.NewEncoder(opts.stdout)
 		enc.SetIndent("", "\t")
 		if err := enc.Encode(findings); err != nil {
 			return 0, err
 		}
 	} else {
-		for _, d := range diags {
-			fmt.Fprintf(opts.stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+		for _, f := range findings {
+			fmt.Fprintf(opts.stderr, "%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
 		}
 	}
-	if len(diags) > 0 {
+	if len(findings) > 0 {
 		return 1, nil
 	}
 	return 0, nil
+}
+
+// relFile normalizes a diagnostic's file to a module-relative path so
+// baselines survive checkout moves.
+func relFile(dir, file string) string {
+	if rel, err := filepath.Rel(dir, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(file)
+}
+
+// baselineKey matches findings by content, not position: line numbers
+// drift as surrounding code changes, the message and file do not.
+func baselineKey(f finding) string {
+	return f.File + "\x00" + f.Analyzer + "\x00" + f.Message
+}
+
+func saveBaseline(path string, findings []finding) error {
+	entries := make([]finding, len(findings))
+	for i, f := range findings {
+		entries[i] = finding{File: f.File, Analyzer: f.Analyzer, Message: f.Message}
+	}
+	sort.Slice(entries, func(i, j int) bool { return baselineKey(entries[i]) < baselineKey(entries[j]) })
+	data, err := json.MarshalIndent(entries, "", "\t")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// applyBaseline removes findings matched by the baseline, multiset
+// style: a baseline entry suppresses at most one finding, so a fixed
+// duplicate cannot mask a fresh one.
+func applyBaseline(path string, findings []finding) (kept []finding, suppressed int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	var entries []finding
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, 0, fmt.Errorf("baseline %s: %v", path, err)
+	}
+	budget := map[string]int{}
+	for _, e := range entries {
+		budget[baselineKey(e)]++
+	}
+	for _, f := range findings {
+		key := baselineKey(f)
+		if budget[key] > 0 {
+			budget[key]--
+			suppressed++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept, suppressed, nil
 }
 
 func printAnalyzers(w io.Writer) {

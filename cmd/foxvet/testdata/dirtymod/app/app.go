@@ -1,0 +1,15 @@
+// Package app holds the seeded violation: a connection that is opened
+// and written but never released.
+package app
+
+import "dirtymod/sess"
+
+// Leak opens a connection and forgets to close it.
+func Leak() error {
+	c, err := sess.Open()
+	if err != nil {
+		return err
+	}
+	_, err = c.Write([]byte("x"))
+	return err
+}

@@ -56,6 +56,7 @@ func main() {
 					return
 				}
 				conn.Write(make([]byte, *perConn))
+				conn.Close()
 			})
 		}
 

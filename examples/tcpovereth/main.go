@@ -47,6 +47,7 @@ func main() {
 		start := s.Now()
 		conn.Write(payload)
 		s.Sleep(time.Second)
+		conn.Close()
 		elapsed := time.Duration(s.Now() - start)
 		fmt.Printf("moved %d bytes in %v of virtual time = %.2f Mb/s\n",
 			received, elapsed.Round(time.Millisecond),

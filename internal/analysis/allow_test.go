@@ -1,0 +1,37 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/token"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// toy reports every integer literal — a deliberately noisy analyzer
+// whose diagnostics land on many lines of one declaration, which is
+// exactly what declaration-scoped //foxvet:allow must cover.
+var toy = &analysis.Analyzer{
+	Name: "toy",
+	Doc:  "report every integer literal (directive-scoping test double)",
+	Run: func(pass *analysis.Pass) (any, error) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.BasicLit); ok && lit.Kind == token.INT {
+					pass.Reportf(lit.Pos(), "integer literal")
+				}
+				return true
+			})
+		}
+		return nil, nil
+	},
+}
+
+// TestAllowDeclarationScope proves an allow on a declaration line (doc
+// comment, trailing comment, or grouped-spec doc) suppresses
+// diagnostics anywhere inside that declaration, while line-level allows
+// keep their old single-line scope.
+func TestAllowDeclarationScope(t *testing.T) {
+	analysistest.Run(t, "testdata", toy, "allowtest")
+}

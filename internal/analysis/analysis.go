@@ -131,8 +131,9 @@ type Package struct {
 
 // Run applies every analyzer to every package and returns the surviving
 // diagnostics sorted by position. Diagnostics on a line carrying a
-// `//foxvet:allow <name>` comment — or inside a function whose doc
-// comment carries one — are suppressed for that analyzer.
+// `//foxvet:allow <name>` comment — or anywhere inside a declaration
+// whose doc comment or opening line carries one — are suppressed for
+// that analyzer.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var out []Diagnostic
 	shared := &Shared{Packages: pkgs}
@@ -213,18 +214,51 @@ func buildAllowIndex(pkg *Package) *allowIndex {
 				}
 			}
 		}
+		// A directive in a declaration's doc comment — or on the line the
+		// declaration starts on — covers the whole declaration, so one
+		// allow suffices for a multi-line composite literal or function
+		// body. Spec-level docs inside a grouped GenDecl scope to the one
+		// spec.
 		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if ok && fd.Doc != nil {
-				for _, c := range fd.Doc.List {
-					if names := directive(c); names != nil {
-						idx.spans = append(idx.spans, allowSpan{start: fd.Pos(), end: fd.End(), names: names})
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				idx.addDeclSpan(pkg.Fset, d.Doc, d.Pos(), d.End())
+			case *ast.GenDecl:
+				idx.addDeclSpan(pkg.Fset, d.Doc, d.Pos(), d.End())
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.ValueSpec:
+						idx.addDeclSpan(pkg.Fset, s.Doc, s.Pos(), s.End())
+					case *ast.TypeSpec:
+						idx.addDeclSpan(pkg.Fset, s.Doc, s.Pos(), s.End())
 					}
 				}
 			}
 		}
 	}
 	return idx
+}
+
+// addDeclSpan records an allow span covering [start, end) when the doc
+// comment carries a directive, or when a directive sits on the line the
+// declaration starts on (the lines index is already populated — comments
+// are indexed before declarations).
+func (idx *allowIndex) addDeclSpan(fset *token.FileSet, doc *ast.CommentGroup, start, end token.Pos) {
+	names := map[string]bool{}
+	if doc != nil {
+		for _, c := range doc.List {
+			for n := range directive(c) {
+				names[n] = true
+			}
+		}
+	}
+	pos := fset.Position(start)
+	for n := range idx.lines[lineKey{file: pos.Filename, line: pos.Line}] {
+		names[n] = true
+	}
+	if len(names) > 0 {
+		idx.spans = append(idx.spans, allowSpan{start: start, end: end, names: names})
+	}
 }
 
 func (idx *allowIndex) allowed(analyzer string, fset *token.FileSet, pos token.Pos) bool {

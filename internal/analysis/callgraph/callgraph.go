@@ -40,6 +40,13 @@ type Node struct {
 	// Edges are the static call sites in this node's body, in source
 	// order, excluding those inside nested literals.
 	Edges []Edge
+	// ValueEdges are call sites through local function-valued variables
+	// whose bindings were statically collectible: `f := t.M; f()` yields
+	// an edge to M here, one per binding when f was assigned more than
+	// once. They are kept apart from Edges so clients opt in — the
+	// escape summaries consume them; the walk-based passes keep their
+	// original (registration-rooted) semantics.
+	ValueEdges []Edge
 	// Lits are the function literals nested directly in this node's
 	// body (not inside deeper literals).
 	Lits []*Node
@@ -68,6 +75,9 @@ type Graph struct {
 	// Nodes lists all nodes (declarations before the literals nested in
 	// them), in load order.
 	Nodes []*Node
+
+	escapes map[*types.Func]*Summary
+	impls   map[*types.Func][]*Node
 }
 
 // Build constructs the graph over every loaded package. The result is
@@ -92,10 +102,86 @@ func Build(pkgs []*analysis.Package) *Graph {
 				g.Funcs[fn] = n
 				g.Nodes = append(g.Nodes, n)
 				g.scanBody(n, fd.Body)
+				g.resolveValueEdges(n)
 			}
 		}
 	}
 	return g
+}
+
+// resolveValueEdges finds call sites through local function-valued
+// variables in a declared function's frame (nested literals share it)
+// and records every statically collectible binding as a ValueEdge on
+// the node owning the call site. Bindings are gathered flow-
+// insensitively: each assignment of a named function or method value to
+// an identifier adds a target; a variable assigned twice carries both.
+func (g *Graph) resolveValueEdges(root *Node) {
+	info := root.Pkg.Info
+	bindings := map[types.Object][]*types.Func{}
+	bind := func(lhs, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		var fn *types.Func
+		switch r := ast.Unparen(rhs).(type) {
+		case *ast.Ident:
+			fn, _ = info.Uses[r].(*types.Func)
+		case *ast.SelectorExpr:
+			fn, _ = info.Uses[r.Sel].(*types.Func)
+		}
+		if fn != nil {
+			bindings[obj] = append(bindings[obj], fn)
+		}
+	}
+	ast.Inspect(root.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					bind(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i := range n.Names {
+				if i < len(n.Values) {
+					bind(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	if len(bindings) == 0 {
+		return
+	}
+	var attach func(owner *Node, body ast.Node)
+	attach = func(owner *Node, body ast.Node) {
+		ast.Inspect(body, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit:
+				attach(g.Lits[x], x.Body)
+				return false
+			case *ast.CallExpr:
+				id, ok := ast.Unparen(x.Fun).(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := info.Uses[id]
+				for _, fn := range bindings[obj] {
+					owner.ValueEdges = append(owner.ValueEdges, Edge{Site: x, Callee: fn})
+				}
+			}
+			return true
+		})
+	}
+	attach(root, root.Decl.Body)
 }
 
 // scanBody fills n.Edges and n.Lits from body, recursing to build
@@ -132,6 +218,32 @@ func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
 	}
 	fn, _ := obj.(*types.Func)
 	return fn
+}
+
+// OrderedCalls collects the call expressions under n in evaluation
+// order (post-order: arguments before the call), skipping nested
+// function literals — they run at some other time. Flow-sensitive
+// clients (statemachine-style abstract interpreters) fold call effects
+// in this order.
+func OrderedCalls(n ast.Node) []*ast.CallExpr {
+	var out []*ast.CallExpr
+	var stack []ast.Node
+	ast.Inspect(n, func(x ast.Node) bool {
+		if x == nil {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if call, ok := top.(*ast.CallExpr); ok {
+				out = append(out, call)
+			}
+			return true
+		}
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		stack = append(stack, x)
+		return true
+	})
+	return out
 }
 
 // Visit decides what to do with one call site during a Walk. Returning

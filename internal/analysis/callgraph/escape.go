@@ -1,0 +1,439 @@
+// Interprocedural pointer-escape summaries over the call graph.
+//
+// A summary answers, per function and per parameter (receiver
+// included): can a value passed here flow somewhere that outlives the
+// call — a package-level variable, a channel, a goroutine, or the
+// caller via a return value? The shardaffinity analyzer uses the first
+// three kinds as proof obligations: connection state handed to a callee
+// whose summary says the parameter escapes has left the
+// quasi-synchronous executor.
+//
+// The analysis proves *escapes*, not non-escape: a parameter with an
+// empty summary merely has no statically visible escape. Aliasing is
+// flow-insensitive within a function body (x := p makes x carry p's
+// parameter bits; reference-typed field reads and index expressions
+// propagate — field-sensitively, a pointer loaded out of a parameter
+// still points into it), and summaries propagate through calls to a
+// fixed point: direct calls, method calls, calls through local
+// function-valued variables (ValueEdges), and interface dispatch
+// resolved class-hierarchy style via Impls. Calls whose callee cannot
+// be resolved contribute nothing — unknown is not an escape, which
+// keeps the summaries usable as findings rather than noise.
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// EscapeKind is a bitmask of the ways a parameter's value can outlive
+// the call it was passed to.
+type EscapeKind uint8
+
+const (
+	// EscGlobal: stored (directly or via an alias) into a package-level
+	// variable, or into something reachable from one.
+	EscGlobal EscapeKind = 1 << iota
+	// EscChannel: sent on a channel.
+	EscChannel
+	// EscGoroutine: passed to or captured by a function started with go.
+	EscGoroutine
+	// EscReturn: returned to the caller. Not transitive through calls —
+	// a callee returning its argument does not by itself move the value
+	// anywhere the caller could not already reach.
+	EscReturn
+)
+
+// Describe renders the mask for diagnostics, strongest kind first.
+func (k EscapeKind) Describe() string {
+	var parts []string
+	if k&EscGoroutine != 0 {
+		parts = append(parts, "a goroutine")
+	}
+	if k&EscChannel != 0 {
+		parts = append(parts, "a channel")
+	}
+	if k&EscGlobal != 0 {
+		parts = append(parts, "a package-level variable")
+	}
+	if k&EscReturn != 0 {
+		parts = append(parts, "a return value")
+	}
+	if len(parts) == 0 {
+		return "nowhere"
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Summary holds the escape facts of one declared function: Recv for the
+// receiver (zero for plain functions), Params by declared order.
+type Summary struct {
+	Recv   EscapeKind
+	Params []EscapeKind
+}
+
+// Param returns the escape kinds of parameter i, mapping out-of-range
+// indexes onto the final (variadic) parameter.
+func (s *Summary) Param(i int) EscapeKind {
+	if len(s.Params) == 0 {
+		return 0
+	}
+	if i >= len(s.Params) {
+		i = len(s.Params) - 1
+	}
+	return s.Params[i]
+}
+
+// Escapes computes (and caches) parameter-escape summaries for every
+// declared function in the graph, iterating call-site propagation to a
+// fixed point. Kinds only ever grow, so the iteration terminates.
+func (g *Graph) Escapes() map[*types.Func]*Summary {
+	if g.escapes != nil {
+		return g.escapes
+	}
+	g.escapes = map[*types.Func]*Summary{}
+	for fn := range g.Funcs {
+		sig := fn.Type().(*types.Signature)
+		g.escapes[fn] = &Summary{Params: make([]EscapeKind, sig.Params().Len())}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, node := range g.Funcs {
+			if g.escapeScan(node, g.escapes[fn]) {
+				changed = true
+			}
+		}
+	}
+	return g.escapes
+}
+
+// escapeScan recomputes one function's summary against the current
+// summaries of its callees, merging into sum; reports whether sum grew.
+func (e *Graph) escapeScan(node *Node, sum *Summary) bool {
+	info := node.Pkg.Info
+	sig := node.Fn.Type().(*types.Signature)
+
+	// Bit 0 is the receiver, bit i+1 is parameter i.
+	alias := map[types.Object]uint64{}
+	if r := sig.Recv(); r != nil {
+		alias[r] = 1
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		alias[sig.Params().At(i)] = 1 << (i + 1)
+	}
+
+	refBits := func(x ast.Expr) uint64 { return escRefBits(info, alias, x) }
+
+	// Flow-insensitive alias closure over every assignment in the body
+	// (nested literals included — they read and write the same frame).
+	for again := true; again; {
+		again = false
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := info.Defs[id]
+					if obj == nil {
+						obj = info.Uses[id]
+					}
+					if obj == nil {
+						continue
+					}
+					if bits := refBits(n.Rhs[i]); bits&^alias[obj] != 0 {
+						alias[obj] |= bits
+						again = true
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if i >= len(n.Values) {
+						break
+					}
+					obj := info.Defs[name]
+					if obj == nil {
+						continue
+					}
+					if bits := refBits(n.Values[i]); bits&^alias[obj] != 0 {
+						alias[obj] |= bits
+						again = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	kinds := make([]EscapeKind, 1+sig.Params().Len())
+	mark := func(bits uint64, k EscapeKind) {
+		for b := 0; b < len(kinds); b++ {
+			if bits&(1<<b) != 0 {
+				kinds[b] |= k
+			}
+		}
+	}
+
+	// ValueEdges let calls through stored function values participate in
+	// summary propagation alongside statically resolved callees.
+	valueTargets := map[*ast.CallExpr][]*types.Func{}
+	collectValue := func(n *Node) {
+		for _, ve := range n.ValueEdges {
+			valueTargets[ve.Site] = append(valueTargets[ve.Site], ve.Callee)
+		}
+	}
+	collectValue(node)
+	var lits func(n *Node)
+	lits = func(n *Node) {
+		for _, l := range n.Lits {
+			collectValue(l)
+			lits(l)
+		}
+	}
+	lits(node)
+
+	applyCall := func(call *ast.CallExpr, extra EscapeKind) {
+		var callees []*types.Func
+		if fn := Callee(info, call); fn != nil {
+			if e.Funcs[fn] != nil {
+				callees = append(callees, fn)
+			} else if impls := e.Impls(fn); len(impls) > 0 {
+				for _, impl := range impls {
+					callees = append(callees, impl.Fn)
+				}
+			}
+		} else {
+			callees = valueTargets[call]
+		}
+		const transitive = EscGlobal | EscChannel | EscGoroutine
+		for i, arg := range call.Args {
+			bits := refBits(arg)
+			if bits == 0 {
+				continue
+			}
+			mark(bits, extra)
+			for _, callee := range callees {
+				if cs := e.escapes[callee]; cs != nil {
+					mark(bits, cs.Param(i)&transitive)
+				}
+			}
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if bits := refBits(sel.X); bits != 0 {
+				mark(bits, extra)
+				for _, callee := range callees {
+					if cs := e.escapes[callee]; cs != nil {
+						mark(bits, cs.Recv&transitive)
+					}
+				}
+			}
+		}
+	}
+
+	// Event scan: sends, go statements, stores to package-level
+	// variables, returns (outer frame only), and calls.
+	var scan func(n ast.Node, inLit bool)
+	scan = func(root ast.Node, inLit bool) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				scan(n.Body, true)
+				return false
+			case *ast.SendStmt:
+				mark(refBits(n.Value), EscChannel)
+			case *ast.GoStmt:
+				applyCall(n.Call, EscGoroutine)
+				if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					ast.Inspect(lit.Body, func(x ast.Node) bool {
+						if id, ok := x.(*ast.Ident); ok {
+							if obj := info.Uses[id]; obj != nil {
+								mark(alias[obj], EscGoroutine)
+							}
+						}
+						return true
+					})
+				} else if bits := refBits(n.Call.Fun); bits != 0 {
+					// go m() on a stored method value bound to a parameter.
+					mark(bits, EscGoroutine)
+				}
+				return false
+			case *ast.ReturnStmt:
+				if !inLit {
+					for _, r := range n.Results {
+						mark(refBits(r), EscReturn)
+					}
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if !escGlobalLHS(info, lhs) {
+						continue
+					}
+					if i < len(n.Rhs) {
+						mark(escIdentBits(info, alias, n.Rhs[i]), EscGlobal)
+					} else if len(n.Rhs) == 1 {
+						mark(escIdentBits(info, alias, n.Rhs[0]), EscGlobal)
+					}
+				}
+			case *ast.CallExpr:
+				applyCall(n, 0)
+			}
+			return true
+		})
+	}
+	scan(node.Decl.Body, false)
+
+	grew := false
+	merge := func(dst *EscapeKind, k EscapeKind) {
+		if k&^*dst != 0 {
+			*dst |= k
+			grew = true
+		}
+	}
+	merge(&sum.Recv, kinds[0])
+	for i := range sum.Params {
+		merge(&sum.Params[i], kinds[i+1])
+	}
+	return grew
+}
+
+// escRefBits returns the parameter-alias bits a value computed by x may
+// carry. Reference-typed selector and index reads propagate (a pointer
+// loaded from a parameter still points into it); basic-typed reads do
+// not (an int copied out of a struct carries nothing).
+func escRefBits(info *types.Info, alias map[types.Object]uint64, x ast.Expr) uint64 {
+	switch x := x.(type) {
+	case *ast.Ident:
+		if obj := info.Uses[x]; obj != nil {
+			return alias[obj]
+		}
+	case *ast.ParenExpr:
+		return escRefBits(info, alias, x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return escRefBits(info, alias, x.X)
+		}
+	case *ast.StarExpr:
+		return escRefBits(info, alias, x.X)
+	case *ast.SelectorExpr:
+		if escRefType(info, x) {
+			return escRefBits(info, alias, x.X)
+		}
+	case *ast.IndexExpr:
+		if escRefType(info, x) {
+			return escRefBits(info, alias, x.X)
+		}
+	case *ast.SliceExpr:
+		return escRefBits(info, alias, x.X)
+	case *ast.TypeAssertExpr:
+		return escRefBits(info, alias, x.X)
+	case *ast.CompositeLit:
+		var bits uint64
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			bits |= escRefBits(info, alias, elt)
+		}
+		return bits
+	}
+	return 0
+}
+
+// escRefType reports whether x's type can carry a reference into the
+// value it was read from.
+func escRefType(info *types.Info, x ast.Expr) bool {
+	tv, ok := info.Types[x]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Interface, *types.Signature:
+		return true
+	}
+	return false
+}
+
+// escIdentBits is the blanket form of escRefBits for global stores: any
+// aliased identifier appearing anywhere under x taints the store
+// (appends, composite literals, map inserts all count).
+func escIdentBits(info *types.Info, alias map[types.Object]uint64, x ast.Expr) uint64 {
+	var bits uint64
+	ast.Inspect(x, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				bits |= alias[obj]
+			}
+		}
+		return true
+	})
+	return bits
+}
+
+// escGlobalLHS reports whether an assignment target writes through a
+// package-level variable.
+func escGlobalLHS(info *types.Info, lhs ast.Expr) bool {
+	for {
+		switch x := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = x.X
+		case *ast.IndexExpr:
+			lhs = x.X
+		case *ast.StarExpr:
+			lhs = x.X
+		case *ast.SelectorExpr:
+			lhs = x.X
+		case *ast.Ident:
+			v, ok := info.Uses[x].(*types.Var)
+			if !ok {
+				return false
+			}
+			return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+		default:
+			return false
+		}
+	}
+}
+
+// Impls resolves an interface method to the module's concrete methods
+// that may be its dynamic target (class-hierarchy analysis): every
+// declared method with the same name whose receiver type implements the
+// interface. Results are cached on the graph.
+func (g *Graph) Impls(m *types.Func) []*Node {
+	sig, ok := m.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	iface, ok := sig.Recv().Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	if g.impls == nil {
+		g.impls = map[*types.Func][]*Node{}
+	}
+	if cached, ok := g.impls[m]; ok {
+		return cached
+	}
+	var out []*Node
+	for fn, node := range g.Funcs {
+		fsig := fn.Type().(*types.Signature)
+		if fsig.Recv() == nil || fn.Name() != m.Name() {
+			continue
+		}
+		recv := fsig.Recv().Type()
+		if _, isIface := recv.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		if types.Implements(recv, iface) || types.Implements(types.NewPointer(recv), iface) {
+			out = append(out, node)
+		}
+	}
+	g.impls[m] = out
+	return out
+}

@@ -1,0 +1,141 @@
+package callgraph
+
+import (
+	"go/types"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+func loadEscapePkg(t *testing.T) *analysis.Package {
+	t.Helper()
+	loader := load.NewLoader(load.TreeResolver{Root: "testdata"})
+	pkgs, err := loader.Load("escapetest")
+	if err != nil {
+		t.Fatalf("loading testdata: %v", err)
+	}
+	return pkgs[0]
+}
+
+func summaryOf(t *testing.T, g *Graph, sums map[*types.Func]*Summary, name string) *Summary {
+	t.Helper()
+	s := sums[nodeNamed(t, g, name).Fn]
+	if s == nil {
+		t.Fatalf("no summary for %s", name)
+	}
+	return s
+}
+
+func TestEscapeSummaries(t *testing.T) {
+	pkg := loadEscapePkg(t)
+	g := Build([]*analysis.Package{pkg})
+	sums := g.Escapes()
+
+	cases := []struct {
+		fn    string
+		param int
+		want  EscapeKind
+	}{
+		{"storesGlobal", 0, EscGlobal},
+		{"sendsChannel", 0, EscChannel},
+		{"spawns", 0, EscGoroutine},
+		{"keeps", 0, 0},
+		{"returns", 0, EscReturn},
+		{"viaHelper", 0, EscGlobal},
+		{"viaAlias", 0, EscChannel},
+		{"viaFieldRead", 0, EscGlobal},
+	}
+	for _, c := range cases {
+		if got := summaryOf(t, g, sums, c.fn).Param(c.param); got != c.want {
+			t.Errorf("%s param %d escapes = %v (%s), want %v (%s)",
+				c.fn, c.param, got, got.Describe(), c.want, c.want.Describe())
+		}
+	}
+}
+
+// TestEscapeInterfaceDispatch is the golden that would have caught a
+// missed interface-dispatch edge: the escape in impl.Sink must be
+// visible through a call on the interface.
+func TestEscapeInterfaceDispatch(t *testing.T) {
+	pkg := loadEscapePkg(t)
+	g := Build([]*analysis.Package{pkg})
+	sums := g.Escapes()
+
+	if got := summaryOf(t, g, sums, "viaInterface").Param(1); got&EscGlobal == 0 {
+		t.Errorf("viaInterface's p = %v (%s), want EscGlobal through interface dispatch",
+			got, got.Describe())
+	}
+}
+
+// TestEscapeMethodValue is the golden that would have caught a missed
+// method-value edge: `f := s.Send; f(p)` must propagate Send's channel
+// escape.
+func TestEscapeMethodValue(t *testing.T) {
+	pkg := loadEscapePkg(t)
+	g := Build([]*analysis.Package{pkg})
+	sums := g.Escapes()
+
+	if got := summaryOf(t, g, sums, "viaMethodValue").Param(1); got&EscChannel == 0 {
+		t.Errorf("viaMethodValue's p = %v (%s), want EscChannel through the stored method value",
+			got, got.Describe())
+	}
+}
+
+func TestEscapeReceiver(t *testing.T) {
+	pkg := loadEscapePkg(t)
+	g := Build([]*analysis.Package{pkg})
+	sums := g.Escapes()
+
+	if got := summaryOf(t, g, sums, "Leak").Recv; got&EscGlobal == 0 {
+		t.Errorf("Leak's receiver = %v, want EscGlobal", got)
+	}
+	if got := summaryOf(t, g, sums, "viaRecv").Param(0); got&EscGlobal == 0 {
+		t.Errorf("viaRecv's r = %v, want EscGlobal through the receiver position", got)
+	}
+}
+
+// TestValueEdges: the call through the stored method value appears as a
+// ValueEdge (and not as a plain Edge, preserving existing clients).
+func TestValueEdges(t *testing.T) {
+	pkg := loadEscapePkg(t)
+	g := Build([]*analysis.Package{pkg})
+
+	n := nodeNamed(t, g, "viaMethodValue")
+	var names []string
+	for _, e := range n.ValueEdges {
+		names = append(names, e.Callee.Name())
+	}
+	if len(names) != 1 || names[0] != "Send" {
+		t.Errorf("viaMethodValue's value edges = %v, want [Send]", names)
+	}
+	for _, e := range n.Edges {
+		if e.Callee.Name() == "Send" {
+			t.Errorf("Send leaked into plain Edges; it must stay a ValueEdge")
+		}
+	}
+}
+
+// TestImpls resolves the interface method to its concrete
+// implementation, class-hierarchy style.
+func TestImpls(t *testing.T) {
+	pkg := loadEscapePkg(t)
+	g := Build([]*analysis.Package{pkg})
+
+	var ifaceSink *types.Func
+	for _, e := range nodeNamed(t, g, "viaInterface").Edges {
+		if e.Callee.Name() == "Sink" {
+			ifaceSink = e.Callee
+		}
+	}
+	if ifaceSink == nil {
+		t.Fatal("no Sink edge from viaInterface")
+	}
+	impls := g.Impls(ifaceSink)
+	if len(impls) != 1 || impls[0].Fn.Name() != "Sink" {
+		t.Fatalf("Impls(I.Sink) = %v, want the one concrete Sink", impls)
+	}
+	if recv := impls[0].Fn.Type().(*types.Signature).Recv(); recv == nil {
+		t.Fatal("resolved implementation has no receiver")
+	}
+}

@@ -1,0 +1,176 @@
+package sessiontype
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// state is a set of session states a connection value may occupy —
+// the typestate analogue of statemachine's RFC 793 mask, but over the
+// user-facing lifecycle instead of the internal eleven states.
+type state uint8
+
+const (
+	// stHandshaking: the value exists but the three-way handshake has
+	// not completed — the accept factory's view of its argument.
+	stHandshaking state = 1 << iota
+	// stEstab: Open returned, or an established-side handler fired.
+	stEstab
+	// stSendClosed: Shutdown sent our FIN; receiving is still legal.
+	stSendClosed
+	// stClosed: Close or Abort was called; every data op is dead.
+	stClosed
+)
+
+// stAny is the seed for connection values of unknown provenance.
+const stAny = stHandshaking | stEstab | stSendClosed | stClosed
+
+// stateOrder fixes the rendering and diagnostics order.
+var stateOrder = []state{stHandshaking, stEstab, stSendClosed, stClosed}
+
+var stateNames = map[state]string{
+	stHandshaking: "Handshaking",
+	stEstab:       "Estab",
+	stSendClosed:  "SendClosed",
+	stClosed:      "Closed",
+}
+
+func (s state) String() string {
+	var parts []string
+	for _, b := range stateOrder {
+		if s&b != 0 {
+			parts = append(parts, stateNames[b])
+		}
+	}
+	if len(parts) == 0 {
+		return "∅"
+	}
+	return strings.Join(parts, "|")
+}
+
+// Op is one operation of the declared session protocol: the states it
+// is legal in, the state it leaves the connection in, whether it
+// releases the connection (satisfies the must-close obligation), and
+// the finding label for each illegal source state. This table IS the
+// declared protocol — the analyzer diffs observed usage paths against
+// it, and -sessiontype-dot renders it.
+type Op struct {
+	Name     string
+	OK       state
+	Next     state
+	Releases bool
+	Bad      map[state]string
+}
+
+// Protocol declares the socket lifecycle the paper's user API implies:
+// Open/Listen → Send/Recv → Close/Abort, with Shutdown as the half-close
+// refinement (receive stays legal until the peer finishes).
+var Protocol = []Op{
+	{Name: "Write", OK: stEstab, Next: stEstab, Bad: map[state]string{
+		stHandshaking: "send-before-established",
+		stSendClosed:  "send-after-shutdown",
+		stClosed:      "use-after-close",
+	}},
+	{Name: "WriteUrgent", OK: stEstab, Next: stEstab, Bad: map[state]string{
+		stHandshaking: "send-before-established",
+		stSendClosed:  "send-after-shutdown",
+		stClosed:      "use-after-close",
+	}},
+	{Name: "Read", OK: stEstab | stSendClosed, Next: 0, Bad: map[state]string{
+		stHandshaking: "receive-before-established",
+		stClosed:      "use-after-close",
+	}},
+	{Name: "ReadFull", OK: stEstab | stSendClosed, Next: 0, Bad: map[state]string{
+		stHandshaking: "receive-before-established",
+		stClosed:      "use-after-close",
+	}},
+	{Name: "Shutdown", OK: stHandshaking | stEstab | stSendClosed, Next: stSendClosed, Releases: true, Bad: map[state]string{
+		stClosed: "double-close",
+	}},
+	{Name: "Close", OK: stHandshaking | stEstab | stSendClosed, Next: stClosed, Releases: true, Bad: map[state]string{
+		stClosed: "double-close",
+	}},
+	{Name: "Abort", OK: stHandshaking | stEstab | stSendClosed, Next: stClosed, Releases: true, Bad: map[state]string{
+		stClosed: "double-close",
+	}},
+}
+
+// badLabel picks the finding label for an op applied in mask cur
+// (strongest state first: a definitely-closed connection reads as
+// use-after-close even if a stale handshaking bit survives joins).
+func badLabel(op *Op, cur state) string {
+	for i := len(stateOrder) - 1; i >= 0; i-- {
+		b := stateOrder[i]
+		if cur&b != 0 {
+			if label, ok := op.Bad[b]; ok {
+				return label
+			}
+		}
+	}
+	return "protocol violation"
+}
+
+// next computes the post-op mask from cur: states the op is legal in
+// move to Next (or stay put when Next is 0), illegal states persist so
+// later ops on a joined path still see them.
+func next(op *Op, cur state) state {
+	legal := cur & op.OK
+	out := cur &^ op.OK
+	if legal != 0 {
+		if op.Next != 0 {
+			out |= op.Next
+		} else {
+			out |= legal
+		}
+	}
+	return out
+}
+
+// Dot renders the declared protocol as Graphviz, each edge annotated
+// with the number of call sites the analysis proved to take it. Nodes
+// and edges emit in fixed (state-order, protocol-order) sequence and
+// the edge list is sorted, so CI artifact diffs are stable across runs.
+func Dot(proved map[string]int) string {
+	var b strings.Builder
+	b.WriteString("digraph session_protocol {\n")
+	b.WriteString("\trankdir=LR;\n")
+	b.WriteString("\tnode [shape=box, fontname=\"Helvetica\", fontsize=11];\n")
+	b.WriteString("\tedge [fontname=\"Helvetica\", fontsize=9];\n")
+	for _, s := range stateOrder {
+		fmt.Fprintf(&b, "\t%q;\n", stateNames[s])
+	}
+	type edge struct{ from, to, label string }
+	var edges []edge
+	for i := range Protocol {
+		op := &Protocol[i]
+		label := op.Name
+		if n := proved[op.Name]; n > 0 {
+			label = fmt.Sprintf("%s (%d sites)", op.Name, n)
+		}
+		for _, src := range stateOrder {
+			if op.OK&src == 0 {
+				continue
+			}
+			dst := op.Next
+			if dst == 0 {
+				dst = src
+			}
+			edges = append(edges, edge{stateNames[src], stateNames[dst], label})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		if edges[i].to != edges[j].to {
+			return edges[i].to < edges[j].to
+		}
+		return edges[i].label < edges[j].label
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "\t%q -> %q [label=%q];\n", e.from, e.to, e.label)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,999 @@
+// Package sessiontype checks connection call sites against the
+// declared session protocol: Open/Listen → Send/Recv → Close/Abort.
+//
+// The paper's user interface is a session in all but name — a TCP
+// connection must be opened (or accepted), may carry data only while
+// established, and must be released exactly once. SML's module language
+// cannot quite express that order statically and neither can Go's type
+// system, so this pass carries the protocol as data (see Protocol in
+// protocol.go) and diffs every client's usage paths against it with a
+// per-connection-value typestate automaton — the session-types reading
+// of the stack promised by ROADMAP item 5.
+//
+// The endpoint shape is discovered structurally, not by import path: a
+// named type with Write, WriteUrgent, Close, and Abort methods is the
+// connection; functions anywhere in the module returning (*Conn, error)
+// are establishment points; a struct of callback fields taking *Conn is
+// the handler record; parameters of accept-factory type seed in the
+// Handshaking state. The analysis is CFG-based and short-circuit-aware
+// (same engine discipline as statemachine): facts are per-variable
+// state masks, joined by union, with a final reporting pass over the
+// fixpoint so loop-carried joins never produce retracted findings.
+//
+// Findings: use-after-close, send-before-established,
+// receive-before-established, send-after-shutdown, double-close, and
+// connection leaks (opened, never released, never escaping). Helper
+// functions are summarized interprocedurally — a callee that closes or
+// uses a connection parameter transfers that effect to the caller's
+// automaton, and the callgraph's escape summaries decide when a value
+// leaves the frame. The endpoint's own package is exempt: the
+// implementation manipulates connections in every state by
+// construction; the protocol binds its clients.
+package sessiontype
+
+import (
+	"errors"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
+	"repro/internal/analysis/cfg"
+	"repro/internal/analysis/dataflow"
+)
+
+// Analyzer is the sessiontype pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "sessiontype",
+	Doc:  "connection call sites must follow the session protocol Open/Listen → Send/Recv → Close (use-after-close, send-before-established, double-close, leaked connections)",
+	Run:  run,
+}
+
+// shape is the discovered endpoint surface the protocol binds to.
+type shape struct {
+	conn    *types.Named
+	ptr     types.Type // *conn
+	connPkg *types.Package
+	handler *types.Named
+	ops     map[*types.Func]*Op
+	opens   map[*types.Func]bool
+	// roles seeds the entry state of *Conn parameters: accept factories
+	// start Handshaking, established-side handler callbacks start Estab,
+	// error handlers start anywhere. Keys are *types.Func or
+	// *ast.FuncLit; absent means stAny.
+	roles map[any]state
+}
+
+var requiredOps = []string{"Write", "WriteUrgent", "Close", "Abort"}
+
+// typePackages is the type-level search space for the endpoint shape:
+// the loaded packages plus their direct imports. The latter matter when
+// the driver analyzes a client package in isolation (analysistest) —
+// the endpoint is then only reachable as an import.
+func typePackages(pkgs []*analysis.Package) []*types.Package {
+	var out []*types.Package
+	seen := map[*types.Package]bool{}
+	add := func(p *types.Package) {
+		if p != nil && !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, p := range pkgs {
+		add(p.Types)
+	}
+	for _, p := range pkgs {
+		for _, imp := range p.Types.Imports() {
+			add(imp)
+		}
+	}
+	return out
+}
+
+// buildShape discovers the endpoint across every loaded package (and
+// their imports), or returns nil when the module has none (the pass is
+// then a no-op). Shape discovery needs signatures only, so it works on
+// type information alone.
+func buildShape(pkgs []*analysis.Package) *shape {
+	sh := &shape{
+		ops:   map[*types.Func]*Op{},
+		opens: map[*types.Func]bool{},
+		roles: map[any]state{},
+	}
+	tpkgs := typePackages(pkgs)
+	for _, tp := range tpkgs {
+		scope := tp.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			methods := map[string]*types.Func{}
+			for i := 0; i < named.NumMethods(); i++ {
+				m := named.Method(i)
+				methods[m.Name()] = m
+			}
+			complete := true
+			for _, r := range requiredOps {
+				if methods[r] == nil {
+					complete = false
+					break
+				}
+			}
+			if !complete {
+				continue
+			}
+			sh.conn = named
+			sh.connPkg = tp
+			for i := range Protocol {
+				op := &Protocol[i]
+				if m := methods[op.Name]; m != nil {
+					sh.ops[m] = op
+				}
+			}
+			break
+		}
+		if sh.conn != nil {
+			break
+		}
+	}
+	if sh.conn == nil {
+		return nil
+	}
+	sh.ptr = types.NewPointer(sh.conn)
+
+	// The handler record: a struct of callback fields in the endpoint's
+	// package, at least one taking the connection first.
+	scope := sh.connPkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok || st.NumFields() == 0 {
+			continue
+		}
+		allFunc, hasConn := true, false
+		for i := 0; i < st.NumFields(); i++ {
+			fsig, ok := st.Field(i).Type().(*types.Signature)
+			if !ok {
+				allFunc = false
+				break
+			}
+			if fsig.Params().Len() > 0 && types.Identical(fsig.Params().At(0).Type(), sh.ptr) {
+				hasConn = true
+			}
+		}
+		if allFunc && hasConn {
+			sh.handler = named
+			break
+		}
+	}
+
+	// Establishment points: any function or method whose results are
+	// (*Conn, error) — TCP.Open, OpenFrom, and every wrapper a client
+	// layered on top.
+	errType := types.Universe.Lookup("error").Type()
+	checkOpen := func(fn *types.Func) {
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return
+		}
+		res := sig.Results()
+		if res.Len() == 2 &&
+			types.Identical(res.At(0).Type(), sh.ptr) &&
+			types.Identical(res.At(1).Type(), errType) {
+			sh.opens[fn] = true
+		}
+	}
+	for _, tp := range tpkgs {
+		tscope := tp.Scope()
+		for _, name := range tscope.Names() {
+			switch obj := tscope.Lookup(name).(type) {
+			case *types.Func:
+				checkOpen(obj)
+			case *types.TypeName:
+				named, ok := obj.Type().(*types.Named)
+				if !ok || obj.IsAlias() {
+					continue
+				}
+				for i := 0; i < named.NumMethods(); i++ {
+					checkOpen(named.Method(i))
+				}
+				if iface, ok := named.Underlying().(*types.Interface); ok {
+					for i := 0; i < iface.NumMethods(); i++ {
+						checkOpen(iface.Method(i))
+					}
+				}
+			}
+		}
+	}
+
+	for _, pkg := range pkgs {
+		sh.collectRoles(pkg)
+	}
+	return sh
+}
+
+// collectRoles classifies functions and literals by how the module hands
+// them to the endpoint: arguments at accept-factory parameters seed
+// Handshaking; handler-record fields seed Estab (or stAny for the error
+// field, whose connection may be in any state when it fires).
+func (sh *shape) collectRoles(pkg *analysis.Package) {
+	info := pkg.Info
+	errType := types.Universe.Lookup("error").Type()
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if sh.handler == nil {
+					return true
+				}
+				t := info.TypeOf(n)
+				if p, ok := t.(*types.Pointer); ok {
+					t = p.Elem()
+				}
+				if t == nil || !types.Identical(t, sh.handler.Underlying()) && !types.Identical(t, sh.handler) {
+					return true
+				}
+				st := sh.handler.Underlying().(*types.Struct)
+				for i, elt := range n.Elts {
+					var fsig *types.Signature
+					value := elt
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						key, ok := kv.Key.(*ast.Ident)
+						if !ok {
+							continue
+						}
+						for j := 0; j < st.NumFields(); j++ {
+							if st.Field(j).Name() == key.Name {
+								fsig, _ = st.Field(j).Type().(*types.Signature)
+								break
+							}
+						}
+						value = kv.Value
+					} else if i < st.NumFields() {
+						fsig, _ = st.Field(i).Type().(*types.Signature)
+					}
+					if fsig == nil || fsig.Params().Len() == 0 ||
+						!types.Identical(fsig.Params().At(0).Type(), sh.ptr) {
+						continue
+					}
+					role := stEstab
+					if p := fsig.Params(); types.Identical(p.At(p.Len()-1).Type(), errType) {
+						role = stAny
+					}
+					sh.addRole(info, value, role)
+				}
+			case *ast.CallExpr:
+				sig, ok := info.TypeOf(n.Fun).(*types.Signature)
+				if !ok {
+					return true
+				}
+				for i, arg := range n.Args {
+					if sh.isFactory(paramAt(sig, i)) {
+						sh.addRole(info, arg, stHandshaking)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (sh *shape) addRole(info *types.Info, e ast.Expr, role state) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.FuncLit:
+		sh.roles[e] |= role
+	case *ast.Ident:
+		if fn, ok := info.Uses[e].(*types.Func); ok {
+			sh.roles[fn] |= role
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[e.Sel].(*types.Func); ok {
+			sh.roles[fn] |= role
+		}
+	}
+}
+
+// isFactory reports whether t is the accept-factory type
+// func(*Conn, ...) Handler.
+func (sh *shape) isFactory(t types.Type) bool {
+	if sh.handler == nil {
+		return false
+	}
+	sig, ok := t.(*types.Signature)
+	if !ok {
+		return false
+	}
+	return sig.Params().Len() >= 1 &&
+		types.Identical(sig.Params().At(0).Type(), sh.ptr) &&
+		sig.Results().Len() == 1 &&
+		types.Identical(sig.Results().At(0).Type(), sh.handler)
+}
+
+func (sh *shape) roleOf(key any) state {
+	if r, ok := sh.roles[key]; ok {
+		return r
+	}
+	return stAny
+}
+
+// paramAt resolves the declared type of argument i, folding overflow
+// arguments onto the final (variadic) parameter.
+func paramAt(sig *types.Signature, i int) types.Type {
+	p := sig.Params()
+	if p.Len() == 0 {
+		return nil
+	}
+	if i >= p.Len() {
+		i = p.Len() - 1
+	}
+	return p.At(i).Type()
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	shv := pass.Shared.Memo("sessiontype.shape", func() any {
+		return buildShape(pass.Shared.Packages)
+	})
+	sh, _ := shv.(*shape)
+	if sh == nil {
+		return nil, nil
+	}
+	if pass.Pkg == sh.connPkg || strings.TrimSuffix(pass.Pkg.Path(), "_test") == sh.connPkg.Path() {
+		return nil, nil
+	}
+	g := pass.Shared.Memo("callgraph", func() any {
+		return callgraph.Build(pass.Shared.Packages)
+	}).(*callgraph.Graph)
+	pkg := pass.Shared.PackageOf(pass.Pkg)
+	if pkg == nil {
+		return nil, nil
+	}
+	e := newEngine(sh, pkg, g, func(pos token.Pos, format string, args ...any) {
+		pass.Reportf(pos, format, args...)
+	})
+	e.runPackage()
+	return nil, nil
+}
+
+// Extract runs the analysis over every loaded package and renders the
+// proved protocol graph for -sessiontype-dot: the declared automaton
+// with each edge annotated by the call sites proved to take it.
+func Extract(pkgs []*analysis.Package) (string, error) {
+	sh := buildShape(pkgs)
+	if sh == nil {
+		return "", errors.New("no session endpoint found (need a type with Write, WriteUrgent, Close, and Abort methods)")
+	}
+	g := callgraph.Build(pkgs)
+	counts := map[string]int{}
+	for _, pkg := range pkgs {
+		if pkg.Types == sh.connPkg || strings.TrimSuffix(pkg.Types.Path(), "_test") == sh.connPkg.Path() {
+			continue
+		}
+		e := newEngine(sh, pkg, g, func(token.Pos, string, ...any) {})
+		e.runPackage()
+		for op, sites := range e.proved {
+			counts[op] += len(sites)
+		}
+	}
+	return Dot(counts), nil
+}
+
+// engine analyzes one package's functions against a discovered shape.
+type engine struct {
+	sh     *shape
+	pkg    *analysis.Package
+	graph  *callgraph.Graph
+	sums   map[*types.Func]*helperSummary
+	report func(pos token.Pos, format string, args ...any)
+	proved map[string]map[token.Pos]bool
+}
+
+func newEngine(sh *shape, pkg *analysis.Package, g *callgraph.Graph, report func(token.Pos, string, ...any)) *engine {
+	return &engine{
+		sh:     sh,
+		pkg:    pkg,
+		graph:  g,
+		sums:   map[*types.Func]*helperSummary{},
+		report: report,
+		proved: map[string]map[token.Pos]bool{},
+	}
+}
+
+func (e *engine) runPackage() {
+	for _, f := range e.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body == nil {
+					return false
+				}
+				if fn, ok := e.pkg.Info.Defs[n.Name].(*types.Func); ok {
+					e.analyze(n.Body, fn.Type().(*types.Signature), e.sh.roleOf(fn))
+				}
+			case *ast.FuncLit:
+				if sig, ok := e.pkg.Info.TypeOf(n).(*types.Signature); ok {
+					e.analyze(n.Body, sig, e.sh.roleOf(n))
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (e *engine) prove(op *Op, pos token.Pos) {
+	m := e.proved[op.Name]
+	if m == nil {
+		m = map[token.Pos]bool{}
+		e.proved[op.Name] = m
+	}
+	m[pos] = true
+}
+
+// mentionsSession cheaply decides whether a body can matter: it must
+// touch a protocol op, an establishment function, or a connection-typed
+// variable.
+func (e *engine) mentionsSession(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := e.pkg.Info.Uses[id]
+		if obj == nil {
+			obj = e.pkg.Info.Defs[id]
+		}
+		switch o := obj.(type) {
+		case *types.Func:
+			if e.sh.opens[o] {
+				found = true
+			} else if _, isOp := e.sh.ops[o]; isOp {
+				found = true
+			}
+		case *types.Var:
+			if types.Identical(o.Type(), e.sh.ptr) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// facts maps each tracked connection variable (by union-find root) to
+// the set of session states it may be in.
+type facts map[*types.Var]state
+
+func (f facts) copy() facts {
+	out := make(facts, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+func joinFacts(a, b facts) facts {
+	out := a.copy()
+	for k, v := range b {
+		out[k] |= v
+	}
+	return out
+}
+
+func equalFacts(a, b facts) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if w, ok := b[k]; !ok || w != v {
+			return false
+		}
+	}
+	return true
+}
+
+// fnAnalysis is the per-function automaton state: the union-find over
+// aliased connection variables, plus the flow-insensitive side tables
+// the leak check reads (where each connection was opened, whether it
+// was ever released, whether it ever left the frame).
+type fnAnalysis struct {
+	e         *engine
+	parent    map[*types.Var]*types.Var
+	opened    map[*types.Var]token.Pos
+	closed    map[*types.Var]bool
+	escaped   map[*types.Var]bool
+	reported  map[token.Pos]bool
+	reporting bool
+}
+
+func (e *engine) analyze(body *ast.BlockStmt, sig *types.Signature, role state) {
+	entry := facts{}
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if types.Identical(p.Type(), e.sh.ptr) {
+			entry[p] = role
+		}
+	}
+	if len(entry) == 0 && !e.mentionsSession(body) {
+		return
+	}
+	fa := &fnAnalysis{
+		e:        e,
+		parent:   map[*types.Var]*types.Var{},
+		opened:   map[*types.Var]token.Pos{},
+		closed:   map[*types.Var]bool{},
+		escaped:  map[*types.Var]bool{},
+		reported: map[token.Pos]bool{},
+	}
+	g := cfg.New(body)
+	res := dataflow.Forward(g, dataflow.Problem[facts]{
+		Entry:    entry,
+		Join:     joinFacts,
+		Equal:    equalFacts,
+		Transfer: fa.transfer,
+		Branch:   fa.branch,
+		Case:     fa.caseFn,
+	})
+	// Report against the fixpoint, not during solving: a mask that looks
+	// illegal on the first visit may gain a legal state once a back edge
+	// joins in, and a finding must never be retracted.
+	fa.reporting = true
+	for _, b := range g.Blocks {
+		in, ok := res.Reached(b)
+		if !ok {
+			continue
+		}
+		out := fa.transfer(b, in)
+		switch t := b.Term.(type) {
+		case *cfg.If:
+			fa.branch(t.Cond, out)
+		case *cfg.Switch:
+			if t.Tag != nil {
+				fa.caseFn(t.Tag, nil, false, out)
+			}
+		}
+	}
+	fa.leaks()
+}
+
+func (fa *fnAnalysis) transfer(b *cfg.Block, in facts) facts {
+	fm := in.copy()
+	for _, s := range b.Nodes {
+		fa.stmt(s, fm)
+	}
+	return fm
+}
+
+func (fa *fnAnalysis) branch(cond ast.Expr, out facts) (facts, facts) {
+	fm := out.copy()
+	fa.escapeLitCaptures(cond, fm)
+	fa.callsIn(cond, fm)
+	return fm, fm
+}
+
+func (fa *fnAnalysis) caseFn(tag ast.Expr, _ []ast.Expr, _ bool, out facts) facts {
+	fm := out.copy()
+	if tag != nil {
+		fa.callsIn(tag, fm)
+	}
+	return fm
+}
+
+func (fa *fnAnalysis) stmt(s ast.Stmt, fm facts) {
+	// A RangeStmt block node is the whole statement, but only the ranged
+	// expression evaluates at the loop head — the body has its own blocks.
+	if r, ok := s.(*ast.RangeStmt); ok {
+		fa.escapeLitCaptures(r.X, fm)
+		fa.callsIn(r.X, fm)
+		return
+	}
+	fa.escapeLitCaptures(s, fm)
+	switch s := s.(type) {
+	case *ast.DeferStmt:
+		fa.call(s.Call, fm, true)
+	case *ast.GoStmt:
+		fa.escapeIdents(s.Call, fm)
+	case *ast.ReturnStmt:
+		fa.callsIn(s, fm)
+		for _, r := range s.Results {
+			fa.escapeIdents(r, fm)
+		}
+	case *ast.SendStmt:
+		fa.callsIn(s, fm)
+		fa.escapeIdents(s.Value, fm)
+	case *ast.AssignStmt:
+		fa.assign(s, fm)
+	default:
+		fa.callsIn(s, fm)
+	}
+}
+
+func (fa *fnAnalysis) assign(s *ast.AssignStmt, fm facts) {
+	fa.callsIn(s, fm)
+	// c, err := Open(...): the establishment seed, and the site the leak
+	// check anchors to.
+	if len(s.Rhs) == 1 && len(s.Lhs) == 2 {
+		if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+			if fn := callgraph.Callee(fa.e.pkg.Info, call); fn != nil && fa.e.sh.opens[fn] {
+				if v := fa.varOf(s.Lhs[0]); v != nil {
+					r := fa.root(v)
+					fm[r] = stEstab
+					if _, seen := fa.opened[r]; !seen {
+						fa.opened[r] = call.Pos()
+					}
+				}
+				return
+			}
+		}
+	}
+	if len(s.Lhs) != len(s.Rhs) {
+		// Other multi-value forms (map reads, type asserts, channel
+		// receives) produce connections of unknown provenance.
+		for _, l := range s.Lhs {
+			if v := fa.varOf(l); v != nil {
+				fm[fa.root(v)] = stAny
+			}
+		}
+		return
+	}
+	for i := range s.Lhs {
+		lhs, rhs := s.Lhs[i], s.Rhs[i]
+		lv, rv := fa.varOf(lhs), fa.varOf(rhs)
+		switch {
+		case lv != nil && rv != nil:
+			if _, tracked := fm[fa.root(rv)]; tracked {
+				fa.union(lv, rv, fm)
+			} else {
+				fm[fa.root(lv)] = stAny
+			}
+		case lv != nil:
+			fm[fa.root(lv)] = stAny
+		case rv != nil:
+			// Stored into a field, slot, or global: the value outlives
+			// this frame's automaton.
+			fa.escape(rv, fm)
+		default:
+			fa.escapeIdents(rhs, fm)
+		}
+	}
+}
+
+// call folds one call's effect into the automaton: protocol ops
+// transition (and report against the fixpoint mask), helper calls apply
+// their summarized effects, and arguments to anything unresolvable
+// escape. Deferred calls only mark release/escape — they run at exit,
+// so they neither transition nor get checked against the current state.
+func (fa *fnAnalysis) call(call *ast.CallExpr, fm facts, deferred bool) {
+	info := fa.e.pkg.Info
+	callee := callgraph.Callee(info, call)
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && callee != nil {
+		if op, isOp := fa.e.sh.ops[callee]; isOp {
+			if v := fa.varOf(sel.X); v != nil {
+				r := fa.root(v)
+				if op.Releases {
+					fa.closed[r] = true
+				}
+				if cur, tracked := fm[r]; tracked && !deferred {
+					if cur&op.OK == 0 {
+						fa.reportOnce(call.Pos(), "%s: %s.%s while the connection is %s",
+							badLabel(op, cur), v.Name(), op.Name, cur)
+					} else if fa.reporting {
+						fa.e.prove(op, call.Pos())
+					}
+					fm[r] = next(op, cur)
+				}
+			}
+			return
+		}
+		// Any other method on the connection (State, Stats, ...) is
+		// protocol-neutral: no transition, and the receiver stays put.
+		if recv := recvOf(callee); recv != nil &&
+			(types.Identical(recv, fa.e.sh.ptr) || types.Identical(recv, fa.e.sh.conn.Underlying()) || types.Identical(recv, fa.e.sh.conn)) {
+			return
+		}
+	}
+	sig, _ := info.TypeOf(call.Fun).(*types.Signature)
+	for i, arg := range call.Args {
+		v := fa.varOf(arg)
+		if v == nil {
+			continue
+		}
+		r := fa.root(v)
+		var node *callgraph.Node
+		if callee != nil {
+			node = fa.e.graph.Funcs[callee]
+		}
+		var pt types.Type
+		if sig != nil {
+			pt = paramAt(sig, i)
+		}
+		if node != nil && pt != nil && types.Identical(pt, fa.e.sh.ptr) {
+			eff := fa.e.summary(callee).param(i)
+			if eff.closes {
+				fa.closed[r] = true
+			}
+			if cur, tracked := fm[r]; tracked && !deferred {
+				if eff.uses && cur == stClosed {
+					fa.reportOnce(arg.Pos(), "use-after-close: %s is closed when passed to %s, which sends or receives on it",
+						v.Name(), callee.Name())
+				}
+				if eff.closes {
+					fm[r] = cur | stClosed
+				}
+			}
+			if eff.escapes {
+				fa.escape(v, fm)
+			}
+		} else {
+			// Unknown callee, out-of-module callee, or a parameter wider
+			// than *Conn: assume anything can happen to the value.
+			fa.escape(v, fm)
+		}
+	}
+}
+
+func (fa *fnAnalysis) callsIn(n ast.Node, fm facts) {
+	for _, call := range callgraph.OrderedCalls(n) {
+		fa.call(call, fm, false)
+	}
+}
+
+func (fa *fnAnalysis) reportOnce(pos token.Pos, format string, args ...any) {
+	if !fa.reporting || fa.reported[pos] {
+		return
+	}
+	fa.reported[pos] = true
+	fa.e.report(pos, format, args...)
+}
+
+// varOf resolves an expression to the local connection variable it
+// names, or nil. Package-level variables are excluded: a connection
+// held in a global has left every frame's automaton.
+func (fa *fnAnalysis) varOf(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	info := fa.e.pkg.Info
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || !types.Identical(v.Type(), fa.e.sh.ptr) {
+		return nil
+	}
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return nil
+	}
+	return v
+}
+
+func (fa *fnAnalysis) root(v *types.Var) *types.Var {
+	r := v
+	for fa.parent[r] != nil {
+		r = fa.parent[r]
+	}
+	if r != v {
+		fa.parent[v] = r
+	}
+	return r
+}
+
+// union merges newVar into existing's equivalence class (c2 := c), so
+// ops through either name drive one automaton and a close through the
+// alias discharges the original's obligation.
+func (fa *fnAnalysis) union(newVar, existing *types.Var, fm facts) {
+	nr, er := fa.root(newVar), fa.root(existing)
+	if nr == er {
+		return
+	}
+	if st, ok := fm[nr]; ok {
+		fm[er] |= st
+		delete(fm, nr)
+	}
+	if pos, ok := fa.opened[nr]; ok {
+		if _, seen := fa.opened[er]; !seen {
+			fa.opened[er] = pos
+		}
+		delete(fa.opened, nr)
+	}
+	fa.parent[nr] = er
+}
+
+func (fa *fnAnalysis) escape(v *types.Var, fm facts) {
+	r := fa.root(v)
+	fa.escaped[r] = true
+	delete(fm, r)
+}
+
+func (fa *fnAnalysis) escapeIdents(n ast.Node, fm facts) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok {
+			if v := fa.varOf(id); v != nil {
+				fa.escape(v, fm)
+			}
+		}
+		return true
+	})
+}
+
+// escapeLitCaptures escapes every connection variable a nested function
+// literal captures: the closure may run at any time, so the value's
+// lifecycle is no longer this frame's to prove.
+func (fa *fnAnalysis) escapeLitCaptures(n ast.Node, fm facts) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if lit, ok := x.(*ast.FuncLit); ok {
+			fa.escapeIdents(lit.Body, fm)
+			return false
+		}
+		return true
+	})
+}
+
+// leaks reports connections established in this frame that were never
+// released on any path and never escaped it.
+func (fa *fnAnalysis) leaks() {
+	for v, pos := range fa.opened {
+		if fa.marked(fa.closed, v) || fa.marked(fa.escaped, v) {
+			continue
+		}
+		fa.e.report(pos, "connection leak: opened here but never released — no Close, Shutdown, or Abort on any path, and the connection never leaves the function")
+	}
+}
+
+// marked checks a side table up to alias equivalence: the mark may sit
+// on any variable later unioned with v.
+func (fa *fnAnalysis) marked(m map[*types.Var]bool, v *types.Var) bool {
+	r := fa.root(v)
+	for k := range m {
+		if fa.root(k) == r {
+			return true
+		}
+	}
+	return false
+}
+
+func recvOf(fn *types.Func) types.Type {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return sig.Recv().Type()
+}
+
+// helperSummary is the interprocedural view of a function's connection
+// parameters: does it send/receive on one, release one, or let one
+// escape the session frame (directly or transitively).
+type helperSummary struct {
+	params map[int]*paramEffect
+}
+
+type paramEffect struct {
+	uses, closes, escapes bool
+}
+
+func (s *helperSummary) param(i int) paramEffect {
+	if p := s.params[i]; p != nil {
+		return *p
+	}
+	return paramEffect{}
+}
+
+// summary computes (and memoizes) a helper's effect on its connection
+// parameters. Recursion is broken optimistically: the placeholder for
+// an in-progress function claims no effects, which under-approximates
+// cycles but never invents findings. The escape side comes from the
+// callgraph's interprocedural escape summaries — a parameter flowing to
+// a global, channel, goroutine, or return value has left the frame.
+func (e *engine) summary(fn *types.Func) *helperSummary {
+	if s, ok := e.sums[fn]; ok {
+		return s
+	}
+	s := &helperSummary{params: map[int]*paramEffect{}}
+	e.sums[fn] = s
+	node := e.graph.Funcs[fn]
+	if node == nil {
+		return s
+	}
+	sig := fn.Type().(*types.Signature)
+	paramIdx := map[*types.Var]int{}
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if types.Identical(p.Type(), e.sh.ptr) {
+			paramIdx[p] = i
+		}
+	}
+	if len(paramIdx) == 0 {
+		return s
+	}
+	info := node.Pkg.Info
+	at := func(x ast.Expr) (int, bool) {
+		id, ok := ast.Unparen(x).(*ast.Ident)
+		if !ok {
+			return 0, false
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok {
+			return 0, false
+		}
+		i, ok := paramIdx[v]
+		return i, ok
+	}
+	eff := func(i int) *paramEffect {
+		p := s.params[i]
+		if p == nil {
+			p = &paramEffect{}
+			s.params[i] = p
+		}
+		return p
+	}
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := callgraph.Callee(info, call)
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && callee != nil {
+			if op, isOp := e.sh.ops[callee]; isOp {
+				if i, ok := at(sel.X); ok {
+					if op.Releases {
+						eff(i).closes = true
+					} else {
+						eff(i).uses = true
+					}
+				}
+				return true
+			}
+		}
+		csig, _ := info.TypeOf(call.Fun).(*types.Signature)
+		for j, arg := range call.Args {
+			i, ok := at(arg)
+			if !ok {
+				continue
+			}
+			var sub *callgraph.Node
+			if callee != nil {
+				sub = e.graph.Funcs[callee]
+			}
+			var pt types.Type
+			if csig != nil {
+				pt = paramAt(csig, j)
+			}
+			if sub != nil && pt != nil && types.Identical(pt, e.sh.ptr) {
+				se := e.summary(callee).param(j)
+				p := eff(i)
+				p.uses = p.uses || se.uses
+				p.closes = p.closes || se.closes
+				p.escapes = p.escapes || se.escapes
+			} else {
+				eff(i).escapes = true
+			}
+		}
+		return true
+	})
+	if esc := e.graph.Escapes()[fn]; esc != nil {
+		for _, i := range paramIdx {
+			if esc.Param(i) != 0 {
+				eff(i).escapes = true
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,49 @@
+package sessiontype
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/load"
+)
+
+func TestSessionType(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "sessionapi", "sessiontest")
+}
+
+func TestExtractDot(t *testing.T) {
+	loader := load.NewLoader(load.TreeResolver{Root: "testdata"})
+	pkgs, err := loader.Load("sessionapi", "sessiontest")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	dot, err := Extract(pkgs)
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	for _, want := range []string{
+		"digraph session_protocol",
+		`"Handshaking"`,
+		`"Estab"`,
+		`"SendClosed"`,
+		`"Closed"`,
+		`"Estab" -> "Closed"`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("dot output missing %q:\n%s", want, dot)
+		}
+	}
+	// Legal call sites were proved and counted on their edges.
+	if !strings.Contains(dot, "sites)") {
+		t.Errorf("dot output has no proved site counts:\n%s", dot)
+	}
+	// Deterministic output: a second extraction is byte-identical.
+	dot2, err := Extract(pkgs)
+	if err != nil {
+		t.Fatalf("Extract (second run): %v", err)
+	}
+	if dot != dot2 {
+		t.Errorf("Extract is not deterministic:\n--- first\n%s\n--- second\n%s", dot, dot2)
+	}
+}

@@ -1,0 +1,32 @@
+// Package sessionapi is a miniature endpoint with the structural shape
+// the sessiontype analyzer discovers: a connection type carrying the
+// protocol ops, a handler record of callbacks, and establishment
+// functions returning (*Conn, error). The implementation package is
+// exempt from the protocol, so nothing here is reported.
+package sessionapi
+
+type Conn struct{ st int }
+
+func (c *Conn) Write(b []byte) (int, error)       { return len(b), nil }
+func (c *Conn) WriteUrgent(b []byte) (int, error) { return len(b), nil }
+func (c *Conn) Read(b []byte) (int, error)        { return 0, nil }
+func (c *Conn) ReadFull(b []byte) (int, error)    { return 0, nil }
+func (c *Conn) Close() error                      { return nil }
+func (c *Conn) Shutdown() error                   { return nil }
+func (c *Conn) Abort()                            {}
+func (c *Conn) State() int                        { return c.st }
+
+type Handler struct {
+	Established func(*Conn)
+	Data        func(*Conn, []byte)
+	PeerClosed  func(*Conn)
+	Error       func(*Conn, error)
+}
+
+type Endpoint struct{ conns []*Conn }
+
+func (e *Endpoint) Open(addr string) (*Conn, error) { return &Conn{}, nil }
+
+func (e *Endpoint) OpenFrom(addr string, port int) (*Conn, error) { return &Conn{}, nil }
+
+func (e *Endpoint) Listen(port int, accept func(*Conn) Handler) error { return nil }

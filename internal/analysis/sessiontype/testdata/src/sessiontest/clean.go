@@ -1,0 +1,147 @@
+package sessiontest
+
+import "sessionapi"
+
+// Legal sessions: nothing in this file is reported.
+
+func openUseClose(ep *sessionapi.Endpoint) error {
+	c, err := ep.Open("peer")
+	if err != nil {
+		return err
+	}
+	if _, err := c.Write([]byte("hello")); err != nil {
+		c.Abort()
+		return err
+	}
+	return c.Close()
+}
+
+func deferredClose(ep *sessionapi.Endpoint) error {
+	c, err := ep.Open("peer")
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	_, err = c.Write([]byte("hello"))
+	return err
+}
+
+// Closing on one path and writing on the other is path-sensitive, not a
+// violation: the automaton keeps the branches apart.
+func branchy(ep *sessionapi.Endpoint, n int) {
+	c, err := ep.Open("peer")
+	if err != nil {
+		return
+	}
+	if n > 0 {
+		c.Close()
+		return
+	}
+	c.Write([]byte("x"))
+	c.Close()
+}
+
+// Shutdown half-closes: reading stays legal, and Close afterwards is
+// the normal full teardown, not a double close.
+func halfClose(ep *sessionapi.Endpoint) {
+	c, err := ep.Open("peer")
+	if err != nil {
+		return
+	}
+	c.Write([]byte("fin"))
+	c.Shutdown()
+	var buf [16]byte
+	c.Read(buf[:])
+	c.Close()
+}
+
+// The returned connection escapes to the caller; the caller owns the
+// close obligation. (This function is itself an establishment point.)
+func dial(ep *sessionapi.Endpoint) (*sessionapi.Conn, error) {
+	c, err := ep.Open("peer")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.Write([]byte("preamble")); err != nil {
+		c.Abort()
+		return nil, err
+	}
+	return c, nil
+}
+
+type registry struct{ active []*sessionapi.Conn }
+
+// Stored connections escape the frame: the registry owns them now.
+func keepAlive(ep *sessionapi.Endpoint, r *registry) error {
+	c, err := ep.Open("peer")
+	if err != nil {
+		return err
+	}
+	r.active = append(r.active, c)
+	return nil
+}
+
+// A helper discharges the close obligation for its caller.
+func delegatedClose(ep *sessionapi.Endpoint) {
+	c, err := ep.Open("peer")
+	if err != nil {
+		return
+	}
+	c.Write([]byte("bye"))
+	cleanup(c)
+}
+
+func cleanup(c *sessionapi.Conn) {
+	c.Close()
+}
+
+// Aliases drive one automaton: closing through the second name
+// discharges the first name's obligation.
+func aliased(ep *sessionapi.Endpoint) {
+	c, err := ep.Open("peer")
+	if err != nil {
+		return
+	}
+	d := c
+	d.Write([]byte("x"))
+	d.Close()
+}
+
+// A full handler: established-side callbacks start in Estab, the accept
+// factory may legally Abort a handshaking connection, and the error
+// callback's connection may be in any state.
+func serve(ep *sessionapi.Endpoint, allow bool) error {
+	return ep.Listen(80, func(c *sessionapi.Conn) sessionapi.Handler {
+		if !allow {
+			c.Abort()
+			return sessionapi.Handler{}
+		}
+		return sessionapi.Handler{
+			Established: func(c *sessionapi.Conn) {
+				c.Write([]byte("220 ready"))
+			},
+			Data: func(c *sessionapi.Conn, b []byte) {
+				c.Write(b)
+			},
+			PeerClosed: func(c *sessionapi.Conn) {
+				c.Close()
+			},
+			Error: func(c *sessionapi.Conn, err error) {},
+		}
+	})
+}
+
+// Neutral methods (State) neither transition nor escape.
+func pollState(ep *sessionapi.Endpoint) {
+	c, err := ep.Open("peer")
+	if err != nil {
+		return
+	}
+	for c.State() > 0 {
+		var buf [8]byte
+		if _, err := c.Read(buf[:]); err != nil {
+			break
+		}
+	}
+	c.Close()
+}

@@ -1,0 +1,87 @@
+// Package sessiontest seeds one of each sessiontype violation.
+package sessiontest
+
+import "sessionapi"
+
+func useAfterClose(ep *sessionapi.Endpoint) {
+	c, err := ep.Open("peer")
+	if err != nil {
+		return
+	}
+	c.Close()
+	c.Write([]byte("x")) // want "use-after-close"
+}
+
+func doubleClose(ep *sessionapi.Endpoint) {
+	c, err := ep.Open("peer")
+	if err != nil {
+		return
+	}
+	c.Close()
+	c.Close() // want "double-close"
+}
+
+func sendBeforeEstablished(ep *sessionapi.Endpoint) {
+	ep.Listen(7, func(c *sessionapi.Conn) sessionapi.Handler {
+		c.Write([]byte("hello")) // want "send-before-established"
+		return sessionapi.Handler{}
+	})
+}
+
+func recvBeforeEstablished(ep *sessionapi.Endpoint) {
+	ep.Listen(9, acceptEarlyRead)
+}
+
+func acceptEarlyRead(c *sessionapi.Conn) sessionapi.Handler {
+	var buf [4]byte
+	c.Read(buf[:]) // want "receive-before-established"
+	return sessionapi.Handler{}
+}
+
+func leak(ep *sessionapi.Endpoint) {
+	c, err := ep.Open("peer") // want "connection leak"
+	if err != nil {
+		return
+	}
+	c.Write([]byte("hi"))
+}
+
+func sendAfterShutdown(ep *sessionapi.Endpoint) {
+	c, err := ep.Open("peer")
+	if err != nil {
+		return
+	}
+	c.Shutdown()
+	c.Write([]byte("late")) // want "send-after-shutdown"
+	c.Close()
+}
+
+func helperUseAfterClose(ep *sessionapi.Endpoint) {
+	c, err := ep.Open("peer")
+	if err != nil {
+		return
+	}
+	c.Close()
+	sendAll(c, nil) // want "use-after-close"
+}
+
+func sendAll(c *sessionapi.Conn, b []byte) {
+	for len(b) > 0 {
+		n, err := c.Write(b)
+		if err != nil {
+			return
+		}
+		b = b[n:]
+	}
+}
+
+func handlerUseAfterClose(ep *sessionapi.Endpoint) {
+	ep.Listen(11, func(c *sessionapi.Conn) sessionapi.Handler {
+		return sessionapi.Handler{
+			Data: func(c *sessionapi.Conn, b []byte) {
+				c.Close()
+				c.Write(b) // want "use-after-close"
+			},
+		}
+	})
+}

@@ -1,0 +1,511 @@
+// Package shardaffinity proves the machine-checked precondition for
+// sharding the TCP engine (ROADMAP item 1): no per-connection state —
+// no *Conn, no *tcb, nothing mutable reachable from one — ever flows
+// out of the quasi-synchronous executor.
+//
+// The executor's discipline makes per-connection state single-threaded
+// by construction: every action on a connection funnels through
+// enqueue/run/perform on one goroutine. Sharding the engine N ways is
+// safe exactly when that state never crosses the executor boundary —
+// into a goroutine, a channel, a package-level variable, or an observer
+// package (flight and seal may see digests, never live pointers). This
+// pass is the proof: it computes the affine type set (the connection
+// type plus every mutable same-package type reachable from its fields,
+// stopping at connection *containers* — the engine and listener are the
+// sharding boundary itself, not per-connection state) and reports every
+// expression that moves an affine value across the boundary.
+//
+// Escape is checked both directly (go statements, channel sends, stores
+// through package-level variables, observer calls, closures capturing
+// affine variables into goroutines) and interprocedurally: passing an
+// affine value to a function whose callgraph escape summary says the
+// parameter reaches a global, channel, or goroutine is the same
+// violation one call later. Returning an affine value is not flagged —
+// the caller is still inside the synchronous frame.
+package shardaffinity
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
+)
+
+// Analyzer is the shardaffinity pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "shardaffinity",
+	Doc:  "per-connection state must stay inside the quasi-synchronous executor: no affine value may reach a goroutine, channel, package-level variable, or observer package",
+	Run:  run,
+}
+
+// observerPackages may observe the engine but only through digests and
+// scalars — handing them a live pointer would let them read connection
+// state off-thread after sharding.
+var observerPackages = map[string]bool{
+	"flight": true,
+	"seal":   true,
+}
+
+// escMask is the escape-summary evidence that convicts a call:
+// return-escape is excluded, since the caller is still synchronous.
+const escMask = callgraph.EscGlobal | callgraph.EscChannel | callgraph.EscGoroutine
+
+// shape is the discovered executor surface.
+type shape struct {
+	conn    *types.Named
+	execPkg *types.Package
+	// affine is the per-connection state: conn plus every mutable
+	// same-package named type reachable from its fields, containers
+	// excluded.
+	affine map[*types.Named]bool
+	// containers caches reaches-a-connection answers for named types.
+	containers map[*types.Named]bool
+}
+
+// buildShape finds the executor: the named type carrying the
+// quasi-synchronous funnel (enqueue and perform methods). Searching
+// imports too keeps the pass working when a client package is analyzed
+// in isolation.
+func buildShape(pkgs []*analysis.Package) *shape {
+	var tpkgs []*types.Package
+	seen := map[*types.Package]bool{}
+	add := func(p *types.Package) {
+		if p != nil && !seen[p] {
+			seen[p] = true
+			tpkgs = append(tpkgs, p)
+		}
+	}
+	for _, p := range pkgs {
+		add(p.Types)
+	}
+	for _, p := range pkgs {
+		for _, imp := range p.Types.Imports() {
+			add(imp)
+		}
+	}
+	for _, tp := range tpkgs {
+		scope := tp.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			var hasEnqueue, hasPerform bool
+			for i := 0; i < named.NumMethods(); i++ {
+				switch named.Method(i).Name() {
+				case "enqueue":
+					hasEnqueue = true
+				case "perform":
+					hasPerform = true
+				}
+			}
+			if hasEnqueue && hasPerform {
+				sh := &shape{
+					conn:       named,
+					execPkg:    tp,
+					affine:     map[*types.Named]bool{named: true},
+					containers: map[*types.Named]bool{},
+				}
+				sh.computeAffine()
+				return sh
+			}
+		}
+	}
+	return nil
+}
+
+// computeAffine closes the affine set over the connection's fields:
+// named same-package types whose values carry mutable state (structs,
+// slices, maps, channels, pointers), stopping at containers and at
+// package boundaries.
+func (sh *shape) computeAffine() {
+	visited := map[types.Type]bool{}
+	var visit func(t types.Type)
+	visit = func(t types.Type) {
+		if t == nil || visited[t] {
+			return
+		}
+		visited[t] = true
+		switch t := t.(type) {
+		case *types.Pointer:
+			visit(t.Elem())
+		case *types.Slice:
+			visit(t.Elem())
+		case *types.Array:
+			visit(t.Elem())
+		case *types.Map:
+			visit(t.Elem())
+		case *types.Chan:
+			visit(t.Elem())
+		case *types.Named:
+			if t.Obj().Pkg() != sh.execPkg || sh.affine[t] || sh.isContainer(t) {
+				return
+			}
+			switch t.Underlying().(type) {
+			case *types.Struct, *types.Slice, *types.Map, *types.Chan, *types.Pointer:
+				sh.affine[t] = true
+			}
+			visit(t.Underlying())
+		case *types.Struct:
+			for i := 0; i < t.NumFields(); i++ {
+				visit(t.Field(i).Type())
+			}
+		}
+	}
+	visit(sh.conn.Underlying())
+}
+
+// isContainer reports whether a connection is reachable from t's
+// fields: the engine's registry, a listener's half-open backlog, a
+// client wrapper holding a connection. Containers sit at or above the
+// sharding boundary, so they are not themselves affine.
+func (sh *shape) isContainer(t *types.Named) bool {
+	if got, ok := sh.containers[t]; ok {
+		return got
+	}
+	sh.containers[t] = false // cycles resolve optimistically
+	got := sh.reachesConn(t.Underlying(), map[types.Type]bool{})
+	sh.containers[t] = got
+	return got
+}
+
+func (sh *shape) reachesConn(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch t := t.(type) {
+	case *types.Pointer:
+		return sh.reachesConn(t.Elem(), seen)
+	case *types.Slice:
+		return sh.reachesConn(t.Elem(), seen)
+	case *types.Array:
+		return sh.reachesConn(t.Elem(), seen)
+	case *types.Map:
+		return sh.reachesConn(t.Elem(), seen)
+	case *types.Chan:
+		return sh.reachesConn(t.Elem(), seen)
+	case *types.Named:
+		if origin(t) == sh.conn {
+			return true
+		}
+		return sh.reachesConn(t.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if sh.reachesConn(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func origin(t *types.Named) *types.Named {
+	if o := t.Origin(); o != nil {
+		return o
+	}
+	return t
+}
+
+// isAffine reports whether a value of type t carries per-connection
+// state: an affine named type, or anything that holds one. Containers
+// break the recursion — moving the whole engine is not a per-connection
+// escape.
+func (sh *shape) isAffine(t types.Type) bool {
+	return sh.affineType(t, map[types.Type]bool{})
+}
+
+func (sh *shape) affineType(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch t := t.(type) {
+	case *types.Pointer:
+		return sh.affineType(t.Elem(), seen)
+	case *types.Slice:
+		return sh.affineType(t.Elem(), seen)
+	case *types.Array:
+		return sh.affineType(t.Elem(), seen)
+	case *types.Map:
+		return sh.affineType(t.Elem(), seen)
+	case *types.Chan:
+		return sh.affineType(t.Elem(), seen)
+	case *types.Named:
+		o := origin(t)
+		if sh.affine[o] {
+			return true
+		}
+		if sh.isContainer(o) {
+			return false
+		}
+		return sh.affineType(t.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if sh.affineType(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	shv := pass.Shared.Memo("shardaffinity.shape", func() any {
+		return buildShape(pass.Shared.Packages)
+	})
+	sh, _ := shv.(*shape)
+	if sh == nil {
+		return nil, nil
+	}
+	if observerPackages[pass.Pkg.Name()] {
+		return nil, nil
+	}
+	g := pass.Shared.Memo("callgraph", func() any {
+		return callgraph.Build(pass.Shared.Packages)
+	}).(*callgraph.Graph)
+	pkg := pass.Shared.PackageOf(pass.Pkg)
+	if pkg == nil {
+		return nil, nil
+	}
+	c := &checker{sh: sh, pass: pass, pkg: pkg, graph: g, escapes: g.Escapes()}
+	c.check()
+	return nil, nil
+}
+
+type checker struct {
+	sh      *shape
+	pass    *analysis.Pass
+	pkg     *analysis.Package
+	graph   *callgraph.Graph
+	escapes map[*types.Func]*callgraph.Summary
+}
+
+// qual renders type names package-qualified but path-free.
+func (c *checker) qual(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+// offender is one affine value found inside an expression.
+type offender struct {
+	name string
+	typ  types.Type
+	pos  token.Pos
+}
+
+// crossing decides whether evaluating e moves an affine value across a
+// boundary: either e's own value is affine, or e contains a function
+// literal capturing an affine variable — the closure carries the state
+// wherever it goes. An affine variable that only feeds a scalar-typed
+// subexpression (ch <- digest(c)) does not cross.
+func (c *checker) crossing(e ast.Expr) *offender {
+	if t := c.pkg.Info.TypeOf(e); t != nil && c.sh.isAffine(t) {
+		return &offender{name: exprName(e), typ: t, pos: e.Pos()}
+	}
+	var best *offender
+	ast.Inspect(e, func(x ast.Node) bool {
+		lit, ok := x.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		if off := c.captured(lit); off != nil && (best == nil || off.pos < best.pos) {
+			best = off
+		}
+		return false
+	})
+	return best
+}
+
+// captured finds the earliest affine-typed variable a function literal
+// closes over.
+func (c *checker) captured(lit *ast.FuncLit) *offender {
+	var best *offender
+	ast.Inspect(lit.Body, func(x ast.Node) bool {
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := c.pkg.Info.Uses[id].(*types.Var)
+		if !ok || !c.sh.isAffine(v.Type()) {
+			return true
+		}
+		if best == nil || id.Pos() < best.pos {
+			best = &offender{name: id.Name, typ: v.Type(), pos: id.Pos()}
+		}
+		return true
+	})
+	return best
+}
+
+// goCrossing decides what a go statement moves onto the new goroutine:
+// its arguments (evaluated now, delivered there), a method-value
+// receiver, or anything a spawned literal captures.
+func (c *checker) goCrossing(call *ast.CallExpr) *offender {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if t := c.pkg.Info.TypeOf(sel.X); t != nil && c.sh.isAffine(t) {
+			return &offender{name: exprName(sel.X), typ: t, pos: sel.X.Pos()}
+		}
+	}
+	if off := c.crossing(call.Fun); off != nil {
+		return off
+	}
+	for _, arg := range call.Args {
+		if off := c.crossing(arg); off != nil {
+			return off
+		}
+	}
+	return nil
+}
+
+func exprName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return "value"
+}
+
+func (c *checker) check() {
+	for _, f := range c.pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					v, ok := c.pkg.Info.Defs[name].(*types.Var)
+					if !ok || !c.sh.isAffine(v.Type()) {
+						continue
+					}
+					c.pass.Reportf(name.Pos(), "shard affinity: package-level %s holds %s — per-connection state must live inside its executor shard", name.Name, c.qual(v.Type()))
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if off := c.goCrossing(n.Call); off != nil {
+					c.pass.Reportf(n.Pos(), "shard affinity: %s (%s) reaches a goroutine — per-connection state is pinned to its executor shard", off.name, c.qual(off.typ))
+				}
+			case *ast.SendStmt:
+				if off := c.crossing(n.Value); off != nil {
+					c.pass.Reportf(n.Pos(), "shard affinity: %s (%s) is sent on a channel — per-connection state is pinned to its executor shard", off.name, c.qual(off.typ))
+				}
+			case *ast.AssignStmt:
+				c.checkAssign(n)
+			case *ast.CallExpr:
+				c.checkCall(n)
+			}
+			return true
+		})
+	}
+}
+
+// checkAssign flags stores of affine values through package-level
+// variables (direct assignment, map insert, slice element, field of a
+// global).
+func (c *checker) checkAssign(s *ast.AssignStmt) {
+	for i, lhs := range s.Lhs {
+		base := baseIdent(lhs)
+		if base == nil {
+			continue
+		}
+		v, ok := c.pkg.Info.Uses[base].(*types.Var)
+		if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+			continue
+		}
+		var rhs ast.Expr
+		if len(s.Lhs) == len(s.Rhs) {
+			rhs = s.Rhs[i]
+		} else if len(s.Rhs) == 1 {
+			rhs = s.Rhs[0]
+		} else {
+			continue
+		}
+		if off := c.crossing(rhs); off != nil {
+			c.pass.Reportf(s.Pos(), "shard affinity: %s (%s) is stored in package-level %s — per-connection state is pinned to its executor shard", off.name, c.qual(off.typ), base.Name)
+		}
+	}
+}
+
+// baseIdent unwraps an assignment target to the identifier it writes
+// through: registry[k], global.field, (*global) all root at the ident.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// checkCall flags affine arguments handed to observer packages, and —
+// interprocedurally — to any function whose escape summary moves the
+// parameter to a global, channel, or goroutine.
+func (c *checker) checkCall(call *ast.CallExpr) {
+	callee := callgraph.Callee(c.pkg.Info, call)
+	if callee == nil {
+		return
+	}
+	if callee.Pkg() != nil && observerPackages[callee.Pkg().Name()] && !observerPackages[c.pass.Pkg.Name()] {
+		for _, arg := range call.Args {
+			if t := c.pkg.Info.TypeOf(arg); t != nil && c.sh.isAffine(t) {
+				c.pass.Reportf(arg.Pos(), "shard affinity: live %s passed to observer package %s — observers may see digests, never pointers", c.qual(t), callee.Pkg().Name())
+				return
+			}
+		}
+		return
+	}
+	// The executor package's own API is the sanctioned path INTO the
+	// shard: Write, Close, enqueue and the action queue hand the
+	// connection to the run loop by design, and the run loop is the
+	// shard. Escape summaries convict only helpers declared outside
+	// the executor; direct go/send/global crossings inside it are
+	// still caught syntactically.
+	if callee.Pkg() == c.sh.execPkg {
+		return
+	}
+	sum := c.escapes[callee]
+	if sum == nil {
+		return
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if t := c.pkg.Info.TypeOf(sel.X); t != nil && c.sh.isAffine(t) {
+			if kinds := sum.Recv & escMask; kinds != 0 {
+				c.pass.Reportf(call.Pos(), "shard affinity: %s receiver escapes through %s (%s) — per-connection state is pinned to its executor shard", c.qual(t), callee.Name(), kinds.Describe())
+			}
+		}
+	}
+	for i, arg := range call.Args {
+		t := c.pkg.Info.TypeOf(arg)
+		if t == nil || !c.sh.isAffine(t) {
+			continue
+		}
+		if kinds := sum.Param(i) & escMask; kinds != 0 {
+			c.pass.Reportf(arg.Pos(), "shard affinity: %s argument escapes through %s (%s) — per-connection state is pinned to its executor shard", c.qual(t), callee.Name(), kinds.Describe())
+		}
+	}
+}

@@ -1,0 +1,11 @@
+package shardaffinity
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestShardAffinity(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "executor", "shardtest")
+}

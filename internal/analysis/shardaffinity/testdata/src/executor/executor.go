@@ -1,0 +1,38 @@
+// Package executor is a miniature quasi-synchronous engine with the
+// structural shape shardaffinity discovers: a connection type carrying
+// the enqueue/perform funnel, per-connection state types reachable from
+// it (affine), and a container engine (not affine — the sharding
+// boundary itself).
+package executor
+
+type action func(*Conn)
+
+type TCB struct {
+	seq uint32
+	q   []byte
+}
+
+type sendQueue struct {
+	segs [][]byte
+}
+
+type Conn struct {
+	tcb *TCB
+	out sendQueue
+	eng *Engine
+}
+
+func (c *Conn) enqueue(a action) { a(c) }
+func (c *Conn) run()             {}
+func (c *Conn) perform(a action) { a(c) }
+func (c *Conn) Close() error     { return nil }
+
+type Engine struct {
+	conns map[int]*Conn
+}
+
+func (e *Engine) Open() (*Conn, error) {
+	c := &Conn{tcb: &TCB{}, eng: e}
+	e.conns[len(e.conns)] = c
+	return c, nil
+}

@@ -1,0 +1,42 @@
+package shardtest
+
+import (
+	"executor"
+	"flight"
+)
+
+// Legal uses: synchronous helpers, digests to observers, local
+// wrappers, scalars crossing goroutines. Nothing here is reported.
+
+func serve(e *executor.Engine) error {
+	c, err := e.Open()
+	if err != nil {
+		return err
+	}
+	pump(c)
+	flight.Record(digest(c))
+	return c.Close()
+}
+
+func digest(c *executor.Conn) uint64 { return 7 }
+
+type holder struct {
+	c *executor.Conn
+}
+
+func wrap(e *executor.Engine) {
+	c, err := e.Open()
+	if err != nil {
+		return
+	}
+	h := holder{c: c}
+	h.c.Close()
+}
+
+func goScalar(n int, done chan int) {
+	go func() { done <- n }()
+}
+
+func sendScalar(c *executor.Conn, stats chan uint64) {
+	stats <- digest(c)
+}

@@ -1,0 +1,76 @@
+// Package shardtest seeds one of each shardaffinity violation.
+package shardtest
+
+import (
+	"executor"
+	"flight"
+)
+
+var cached *executor.Conn // want "shard affinity"
+
+var registry = map[int]*executor.Conn{} // want "shard affinity"
+
+func spawn(e *executor.Engine) {
+	c, err := e.Open()
+	if err != nil {
+		return
+	}
+	go pump(c)              // want "goroutine"
+	go func() { ping(c) }() // want "goroutine"
+	c.Close()
+}
+
+func pump(c *executor.Conn) {}
+
+func ping(c *executor.Conn) {}
+
+func send(e *executor.Engine, ch chan *executor.Conn) {
+	c, err := e.Open()
+	if err != nil {
+		return
+	}
+	ch <- c // want "channel"
+}
+
+func stash(e *executor.Engine) {
+	c, err := e.Open()
+	if err != nil {
+		return
+	}
+	cached = c      // want "package-level"
+	registry[1] = c // want "package-level"
+}
+
+func observe(e *executor.Engine) {
+	c, err := e.Open()
+	if err != nil {
+		return
+	}
+	flight.Watch(c) // want "observer"
+	flight.Record(uint64(len(registry)))
+	c.Close()
+}
+
+func indirect(e *executor.Engine) {
+	c, err := e.Open()
+	if err != nil {
+		return
+	}
+	hold(c) // want "escapes through hold"
+	c.Close()
+}
+
+func hold(c *executor.Conn) {
+	cached = c // want "package-level"
+}
+
+func tcbLeak(e *executor.Engine) {
+	c, err := e.Open()
+	if err != nil {
+		return
+	}
+	go tickTCB(c) // want "goroutine"
+	c.Close()
+}
+
+func tickTCB(c *executor.Conn) {}

@@ -1,0 +1,11 @@
+package taint
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestTaint(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "tainttest")
+}

@@ -1,0 +1,93 @@
+package tainttest
+
+// Sanitized idioms: every use here is validated first and must stay
+// silent.
+
+// The guard idiom: an early return proves the field was checked.
+func guarded(b []byte) byte {
+	f, err := unmarshalFrame(b)
+	if err != nil {
+		return 0
+	}
+	if int(f.off) >= len(f.data) {
+		return 0
+	}
+	return f.data[f.off]
+}
+
+// The clamp idiom: the comparison bounds the local on both edges.
+func clamped(f *frame) []byte {
+	n := int(f.size)
+	if n > 4096 {
+		n = 4096
+	}
+	return make([]byte, n)
+}
+
+// A declared sanitizer in the branch condition cleanses its argument.
+func viaSanitizer(f *frame) []byte {
+	if !okSize(f.size) {
+		return nil
+	}
+	return make([]byte, f.size)
+}
+
+// A declared sanitizer's result is clean even when fed wire data.
+//
+//foxvet:sanitizes
+func min16(n uint32) uint32 {
+	if n > 16 {
+		return 16
+	}
+	return n
+}
+
+func viaClampHelper(f *frame) []byte {
+	return make([]byte, min16(f.size))
+}
+
+// Bounded loop: the count is validated before use as a bound.
+func boundedLoop(f *frame) int {
+	n := int(f.count)
+	if n > 64 {
+		return 0
+	}
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += i
+	}
+	return sum
+}
+
+// len of wire data is a measurement, not a claim.
+func measured(f *frame) []byte {
+	out := make([]byte, len(f.data))
+	copy(out, f.data)
+	return out
+}
+
+// The charge uses the clamped local, never the raw claim.
+func chargeChecked(f *frame) {
+	n := int(f.size)
+	if n > 1<<16 {
+		n = 1 << 16
+	}
+	memCharge(n)
+}
+
+// Reassignment invalidates a stale proof — and the fresh guard renews
+// it.
+func reguarded(f *frame, b []byte) byte {
+	if int(f.off) >= len(f.data) {
+		return 0
+	}
+	_ = f.data[f.off]
+	g, err := unmarshalFrame(b)
+	if err != nil {
+		return 0
+	}
+	if int(g.off) >= len(g.data) {
+		return 0
+	}
+	return g.data[g.off]
+}

@@ -1,0 +1,51 @@
+// Package allowtest exercises //foxvet:allow directive scoping against
+// a toy analyzer that reports every integer literal.
+package allowtest
+
+type cfg struct{ a, b, c int }
+
+// One allow in the doc comment covers the whole multi-line composite
+// literal — no per-line directives needed.
+//
+//foxvet:allow toy
+var suppressed = cfg{
+	a: 1,
+	b: 2,
+	c: 3,
+}
+
+var reported = cfg{
+	a: 4, // want "integer literal"
+	b: 5, // want "integer literal"
+}
+
+// A trailing directive on the declaration's opening line also covers
+// the whole declaration.
+var trailing = cfg{ //foxvet:allow toy
+	a: 6,
+	b: 7,
+}
+
+//foxvet:allow toy
+func wholeFunc() int {
+	x := 8
+	return x
+}
+
+func lineOnly() int {
+	x := 9  //foxvet:allow toy
+	y := 10 // want "integer literal"
+	return x + y
+}
+
+// Inside a grouped declaration, a spec-level doc directive scopes to
+// that one spec.
+var (
+	//foxvet:allow toy
+	okSpec = cfg{
+		a: 11,
+	}
+	badSpec = cfg{
+		a: 12, // want "integer literal"
+	}
+)

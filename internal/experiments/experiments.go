@@ -169,6 +169,7 @@ func Throughput(impl Impl, o Options) TransferResult {
 			binary.BigEndian.PutUint32(req[:], uint32(o.Bytes))
 			conn.Write(req[:])
 			done.Wait()
+			conn.Close()
 		case XKernelBaseline:
 			blCfg := baseline.Config{InitialWindow: o.Window}
 			if o.SMLEra {

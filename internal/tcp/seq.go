@@ -41,16 +41,27 @@ type seq uint32
 //foxvet:allow seqcmp
 func seqSub(a, b seq) uint32 { return uint32(a) - uint32(b) }
 
-// seqLT reports a < b in sequence space.
+// seqLT reports a < b in sequence space. The four predicates and
+// seqBetween are the wrap-safe validation layer for peer-chosen
+// sequence numbers, so the taint pass treats passing a wire field
+// through them as sanitizing it.
+//
+//foxvet:sanitizes
 func seqLT(a, b seq) bool { return int32(seqSub(a, b)) < 0 }
 
 // seqLEQ reports a <= b in sequence space.
+//
+//foxvet:sanitizes
 func seqLEQ(a, b seq) bool { return int32(seqSub(a, b)) <= 0 }
 
 // seqGT reports a > b in sequence space.
+//
+//foxvet:sanitizes
 func seqGT(a, b seq) bool { return int32(seqSub(a, b)) > 0 }
 
 // seqGEQ reports a >= b in sequence space.
+//
+//foxvet:sanitizes
 func seqGEQ(a, b seq) bool { return int32(seqSub(a, b)) >= 0 }
 
 // seqMax returns the later of a and b in sequence space.
@@ -63,4 +74,6 @@ func seqMax(a, b seq) seq {
 
 // seqBetween reports lo <= x < hi in sequence space — RFC 793's window
 // acceptance comparisons.
+//
+//foxvet:sanitizes
 func seqBetween(lo, x, hi seq) bool { return seqLEQ(lo, x) && seqLT(x, hi) }
