@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check lint foxvet foxvet-json foxvet-baseline statemachine-dot sessiontype-dot bench chaos audit fmt
+.PHONY: build test check lint foxvet foxvet-json foxvet-baseline statemachine-dot sessiontype-dot copyflow-dot bench chaos audit fmt
 
 build:
 	$(GO) build ./...
@@ -11,7 +11,8 @@ test:
 # foxvet runs the tree's own analyzers (internal/analysis, assembled by
 # cmd/foxvet): seqcmp, singledoor, quasisync, layering, atomiccounter,
 # statemachine, noblock, hotpathalloc, sessiontype, shardaffinity,
-# taint. See the "Static invariants" section of README.md.
+# taint, intrange, copyflow. See the "Static invariants" section of
+# README.md.
 foxvet:
 	$(GO) run ./cmd/foxvet ./...
 
@@ -22,8 +23,9 @@ foxvet:
 foxvet-baseline:
 	$(GO) run ./cmd/foxvet -write-baseline foxvet.baseline.json ./...
 
-# foxvet-json writes the findings as a JSON array to foxvet.json — the
-# artifact CI uploads on every run.
+# foxvet-json writes the self-describing report object (foxvet/v2:
+# schema, analyzers, findings) to foxvet.json — the artifact CI uploads
+# on every run.
 foxvet-json:
 	$(GO) run ./cmd/foxvet -json ./... > foxvet.json; \
 	status=$$?; cat foxvet.json; exit $$status
@@ -39,6 +41,12 @@ statemachine-dot:
 # transition.
 sessiontype-dot:
 	$(GO) run ./cmd/foxvet -sessiontype-dot ./...
+
+# copyflow-dot prints the proved copy map of the zero-copy datapath:
+# every copy site per layer, classified sanctioned / reviewed boundary /
+# violation, with site counts. A clean tree has no red nodes.
+copyflow-dot:
+	$(GO) run ./cmd/foxvet -copyflow-dot ./...
 
 # check is the full gate: go vet, the structural analyzers, and every
 # test under the race detector. The stats package's atomic/plain split is

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -37,8 +39,9 @@ func TestRealModuleClean(t *testing.T) {
 	}
 }
 
-// TestJSONOutput checks the -json path produces a well-formed (possibly
-// empty) array on a clean tree.
+// TestJSONOutput checks the -json path produces a well-formed
+// self-describing report on a clean tree: the schema version, the full
+// analyzer registry, and an empty findings array.
 func TestJSONOutput(t *testing.T) {
 	var out, errOut strings.Builder
 	code, err := vet(options{
@@ -54,8 +57,21 @@ func TestJSONOutput(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("unexpected findings:\n%s", out.String())
 	}
-	if got := strings.TrimSpace(out.String()); got != "[]" {
-		t.Fatalf("expected empty JSON array on a clean tree, got %q", got)
+	var rep report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("report does not parse: %v\n%s", err, out.String())
+	}
+	if rep.Schema != reportSchema {
+		t.Fatalf("schema = %q, want %q", rep.Schema, reportSchema)
+	}
+	if len(rep.Analyzers) != len(analyzers) {
+		t.Fatalf("report names %d analyzers, registry has %d", len(rep.Analyzers), len(analyzers))
+	}
+	if !sort.StringsAreSorted(rep.Analyzers) {
+		t.Fatalf("analyzer list not sorted: %v", rep.Analyzers)
+	}
+	if len(rep.Findings) != 0 {
+		t.Fatalf("expected no findings on a clean tree, got %v", rep.Findings)
 	}
 }
 
@@ -120,6 +136,41 @@ func TestSessionTypeDot(t *testing.T) {
 	}
 	if again := render(); again != dot {
 		t.Fatalf("sessiontype dot output is not deterministic:\n--- first\n%s\n--- second\n%s", dot, again)
+	}
+}
+
+// TestCopyFlowDot checks the -copyflow-dot path renders the proved copy
+// map deterministically, with the sanctioned copies and the datapath
+// clusters present.
+func TestCopyFlowDot(t *testing.T) {
+	render := func() string {
+		var out, errOut strings.Builder
+		code, err := vet(options{
+			copyDot:  true,
+			patterns: []string{"./..."},
+			dir:      moduleRoot(t),
+			stdout:   &out,
+			stderr:   &errOut,
+		})
+		if err != nil {
+			t.Fatalf("vet: %v", err)
+		}
+		if code != 0 {
+			t.Fatalf("unexpected exit code %d", code)
+		}
+		return out.String()
+	}
+	dot := render()
+	for _, want := range []string{"digraph copyflow", "cluster_tcp", "cluster_wire", "queueTake", "sanctioned"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("copyflow dot output missing %q:\n%s", want, dot)
+		}
+	}
+	if strings.Contains(dot, "color=red") {
+		t.Fatalf("the shipped tree must not contain violating copy sites:\n%s", dot)
+	}
+	if again := render(); again != dot {
+		t.Fatalf("copyflow dot output is not deterministic:\n--- first\n%s\n--- second\n%s", dot, again)
 	}
 }
 

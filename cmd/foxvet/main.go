@@ -1,33 +1,40 @@
-// Command foxvet is the repro tree's multichecker: it runs the eleven
+// Command foxvet is the repro tree's multichecker: it runs the thirteen
 // structural analyzers from internal/analysis over the module and exits
 // non-zero on any diagnostic. The passes machine-check the invariants
 // the paper got from ML's module system — wrap-safe sequence arithmetic
 // (seqcmp), the single-door state machine (singledoor), its RFC 793
 // conformance (statemachine), the quasi-synchronous event discipline
 // (quasisync), its scheduler-blocking dual (noblock), the single-copy
-// data path (hotpathalloc), the Fig. 9 layer DAG (layering) — plus the
-// atomic-counter contract from the metrics PR (atomiccounter), the
-// socket-lifecycle session types (sessiontype), the executor escape
-// proof (shardaffinity), and wire-data validation (taint).
+// data path by allocation (hotpathalloc) and by interprocedural payload
+// flow (copyflow), the Fig. 9 layer DAG (layering), value-range
+// width-safety on the datapath's conversions, shifts, and offsets
+// (intrange) — plus the atomic-counter contract from the metrics PR
+// (atomiccounter), the socket-lifecycle session types (sessiontype),
+// the executor escape proof (shardaffinity), and wire-data validation
+// (taint).
 //
 // Usage:
 //
 //	foxvet [-tests] [-list] [-json] [-run names] [-baseline file]
 //	       [-write-baseline file] [-statemachine-dot] [-sessiontype-dot]
-//	       [packages...]
+//	       [-copyflow-dot] [packages...]
 //
 // Package patterns follow the usual shape: ./... walks the module,
 // import paths name single packages. With no arguments foxvet runs on
 // ./... relative to the current directory.
 //
-// -json emits findings as a JSON array ({file, line, col, analyzer,
-// message}) on stdout for CI artifact upload; the exit status still
-// reflects whether findings exist. -run restricts the run to a
+// -json emits a report object {schema, analyzers, findings} on stdout
+// for CI artifact upload — schema names the report format version
+// (foxvet/v2), analyzers records which passes produced it, findings is
+// the array of {file, line, col, analyzer, message}; the exit status
+// still reflects whether findings exist. -run restricts the run to a
 // comma-separated subset of analyzers so CI can isolate one per job.
 // -statemachine-dot extracts the setState transition relation from the
 // loaded packages and prints it as Graphviz annotated against the RFC
 // 793 table, then exits; -sessiontype-dot does the same for the proved
-// socket-lifecycle protocol.
+// socket-lifecycle protocol, and -copyflow-dot for the proved copy map
+// of the zero-copy datapath (sanctioned, boundary, and violating copy
+// sites per layer).
 //
 // -baseline suppresses findings recorded in a baseline file (matched by
 // file, analyzer, and message — positions may drift, content may not)
@@ -50,7 +57,9 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/atomiccounter"
+	"repro/internal/analysis/copyflow"
 	"repro/internal/analysis/hotpathalloc"
+	"repro/internal/analysis/intrange"
 	"repro/internal/analysis/layering"
 	"repro/internal/analysis/load"
 	"repro/internal/analysis/noblock"
@@ -65,7 +74,9 @@ import (
 
 var analyzers = []*analysis.Analyzer{
 	atomiccounter.Analyzer,
+	copyflow.Analyzer,
 	hotpathalloc.Analyzer,
+	intrange.Analyzer,
 	layering.Analyzer,
 	noblock.Analyzer,
 	quasisync.Analyzer,
@@ -84,6 +95,7 @@ type options struct {
 	jsonOut       bool
 	dot           bool
 	sessionDot    bool
+	copyDot       bool
 	run           string
 	baseline      string
 	writeBaseline string
@@ -103,6 +115,20 @@ type finding struct {
 	Message  string `json:"message"`
 }
 
+// reportSchema versions the -json report shape so CI consumers can
+// detect format changes instead of guessing from field presence.
+// foxvet/v2 wrapped the bare v1 findings array in {schema, analyzers,
+// findings}.
+const reportSchema = "foxvet/v2"
+
+// report is the -json output: self-describing so an archived artifact
+// records which format and which passes produced it.
+type report struct {
+	Schema    string    `json:"schema"`
+	Analyzers []string  `json:"analyzers"`
+	Findings  []finding `json:"findings"`
+}
+
 func main() {
 	tests := flag.Bool("tests", false, "also analyze _test.go files")
 	list := flag.Bool("list", false, "list the registered analyzers and exit")
@@ -112,8 +138,9 @@ func main() {
 	writeBaseline := flag.String("write-baseline", "", "record current findings to this baseline file and exit")
 	dot := flag.Bool("statemachine-dot", false, "print the extracted TCP state machine as Graphviz and exit")
 	sessionDot := flag.Bool("sessiontype-dot", false, "print the proved socket session protocol as Graphviz and exit")
+	copyDot := flag.Bool("copyflow-dot", false, "print the proved copy map of the zero-copy datapath as Graphviz and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: foxvet [-tests] [-list] [-json] [-run names] [-baseline file] [-write-baseline file] [-statemachine-dot] [-sessiontype-dot] [packages...]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: foxvet [-tests] [-list] [-json] [-run names] [-baseline file] [-write-baseline file] [-statemachine-dot] [-sessiontype-dot] [-copyflow-dot] [packages...]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Registered analyzers:\n")
 		printAnalyzers(flag.CommandLine.Output())
 		flag.PrintDefaults()
@@ -134,6 +161,7 @@ func main() {
 		jsonOut:       *jsonOut,
 		dot:           *dot,
 		sessionDot:    *sessionDot,
+		copyDot:       *copyDot,
 		run:           *run,
 		baseline:      *baseline,
 		writeBaseline: *writeBaseline,
@@ -211,6 +239,14 @@ func vet(opts options) (int, error) {
 		fmt.Fprint(opts.stdout, dot)
 		return 0, nil
 	}
+	if opts.copyDot {
+		dot, err := copyflow.Extract(pkgs)
+		if err != nil {
+			return 0, err
+		}
+		fmt.Fprint(opts.stdout, dot)
+		return 0, nil
+	}
 
 	diags, err := analysis.Run(pkgs, selected)
 	if err != nil {
@@ -250,9 +286,14 @@ func vet(opts options) (int, error) {
 	}
 
 	if opts.jsonOut {
+		names := make([]string, len(selected))
+		for i, a := range selected {
+			names[i] = a.Name
+		}
+		sort.Strings(names)
 		enc := json.NewEncoder(opts.stdout)
 		enc.SetIndent("", "\t")
-		if err := enc.Encode(findings); err != nil {
+		if err := enc.Encode(report{Schema: reportSchema, Analyzers: names, Findings: findings}); err != nil {
 			return 0, err
 		}
 	} else {

@@ -1,0 +1,48 @@
+package copyflow
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/load"
+)
+
+// TestCopyFlow covers the sanctioned copies, every event kind, the
+// boundary directive (line and doc form, with and without a reason),
+// the interprocedural parameter fixpoint, and the silent header-write
+// and out-of-scope twins.
+func TestCopyFlow(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "tcp", "app")
+}
+
+// TestExtractDeterministic renders the proved copy map twice over the
+// real module and requires byte-identical output, matching the
+// statemachine and sessiontype dot guarantees.
+func TestExtractDeterministic(t *testing.T) {
+	root, err := filepath.Abs("../../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func() string {
+		pkgs, _, err := load.LoadModule(root, false, "./internal/...")
+		if err != nil {
+			t.Fatalf("load: %v", err)
+		}
+		dot, err := Extract(pkgs)
+		if err != nil {
+			t.Fatalf("extract: %v", err)
+		}
+		return dot
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("copyflow dot not deterministic:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+	for _, want := range []string{"cluster_tcp", "cluster_wire", "sanctioned", "queueTake"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("copyflow dot missing %q:\n%s", want, a)
+		}
+	}
+}

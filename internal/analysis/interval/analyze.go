@@ -1,0 +1,688 @@
+package interval
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/cfg"
+)
+
+// SeqPred classifies a function as one of the wrap-safe sequence-space
+// comparison predicates. p(a, b) constrains the wrapping difference
+// SeqSub(a, b) over a 32-bit space; SeqBetween(lo, x, hi) is
+// LEQ(lo, x) && LT(x, hi).
+type SeqPred int
+
+const (
+	SeqLT SeqPred = iota + 1
+	SeqLEQ
+	SeqGT
+	SeqGEQ
+	SeqBetween
+)
+
+const halfSpace = int64(1) << 31 // 2³¹, the seq-space horizon
+
+// Analysis configures one run of the engine over a function body. Only
+// Info is required; every hook widens what the engine can prove, never
+// what it assumes.
+type Analysis struct {
+	// Info is the type information of the package owning the bodies.
+	Info *types.Info
+
+	// Callee resolves a call site to its static target, when known.
+	// When nil, direct ident and selector calls resolve through Info
+	// (the callgraph.Callee discipline).
+	Callee func(*ast.CallExpr) *types.Func
+
+	// Summary returns a proved interval for fn's single result
+	// (bottom-up summaries from Summarize).
+	Summary func(fn *types.Func) (Interval, bool)
+
+	// Measure reports that fn is a measurement method (Len, Headroom,
+	// ...) whose result is modelled as [0, MaxSliceLen].
+	Measure func(fn *types.Func) bool
+
+	// SeqPred identifies the wrap-safe comparison predicates.
+	SeqPred func(fn *types.Func) (SeqPred, bool)
+
+	// SeqSub identifies the wrapping 32-bit sequence difference.
+	SeqSub func(fn *types.Func) bool
+
+	// CallKills reports the set of field/variable names the resolved
+	// callee may write (a modset). When absent or unknown, every call
+	// discards all sequence facts; when known, only facts mentioning a
+	// written name die — this is what lets a guard survive an
+	// interleaved call to a helper that provably does not touch the
+	// guarded fields.
+	CallKills func(fn *types.Func) (map[string]bool, bool)
+
+	// Seed pre-binds intervals (e.g. parameter contracts in tests).
+	Seed map[*types.Var]Interval
+
+	untracked map[*types.Var]bool
+}
+
+// Env is the abstract state at a program point: an interval per tracked
+// integer variable plus the sequence-predicate facts currently in
+// force. dead marks an infeasible point.
+type Env struct {
+	vars map[*types.Var]Interval
+	seq  map[seqKey]seqFact
+	dead bool
+}
+
+type seqKey struct{ a, b string }
+
+type seqFact struct {
+	pred  SeqPred
+	paths []string // selector paths mentioned by the args, for kills
+}
+
+// Dead reports that the point is unreachable under the abstraction.
+func (e *Env) Dead() bool { return e != nil && e.dead }
+
+// Get returns the interval of v at this point.
+func (e *Env) Get(v *types.Var) Interval {
+	def := OfType(v.Type())
+	if e == nil || e.vars == nil {
+		return def
+	}
+	if iv, ok := e.vars[v]; ok {
+		return iv
+	}
+	return def
+}
+
+func (e *Env) set(v *types.Var, iv Interval) {
+	def := OfType(v.Type())
+	if iv == def {
+		delete(e.vars, v)
+		return
+	}
+	if e.vars == nil {
+		e.vars = map[*types.Var]Interval{}
+	}
+	e.vars[v] = iv
+}
+
+func (e *Env) clone() *Env {
+	c := &Env{dead: e.dead}
+	if len(e.vars) > 0 {
+		c.vars = make(map[*types.Var]Interval, len(e.vars))
+		for k, v := range e.vars {
+			c.vars[k] = v
+		}
+	}
+	if len(e.seq) > 0 {
+		c.seq = make(map[seqKey]seqFact, len(e.seq))
+		for k, v := range e.seq {
+			c.seq[k] = v
+		}
+	}
+	return c
+}
+
+func join(a, b *Env) *Env {
+	if a.dead {
+		return b.clone()
+	}
+	if b.dead {
+		return a.clone()
+	}
+	j := &Env{}
+	for v, iv := range a.vars {
+		j.set(v, Union(iv, b.Get(v)))
+	}
+	for v, iv := range b.vars {
+		if _, seen := a.vars[v]; !seen {
+			j.set(v, Union(iv, a.Get(v)))
+		}
+	}
+	for k, fa := range a.seq {
+		fb, ok := b.seq[k]
+		if !ok {
+			continue
+		}
+		if p, ok := joinPred(fa.pred, fb.pred); ok {
+			if j.seq == nil {
+				j.seq = map[seqKey]seqFact{}
+			}
+			j.seq[k] = seqFact{pred: p, paths: fa.paths}
+		}
+	}
+	return j
+}
+
+func joinPred(a, b SeqPred) (SeqPred, bool) {
+	if a == b {
+		return a, true
+	}
+	weaker := func(x, y SeqPred) (SeqPred, bool) {
+		switch {
+		case x == SeqLT && y == SeqLEQ:
+			return SeqLEQ, true
+		case x == SeqGT && y == SeqGEQ:
+			return SeqGEQ, true
+		}
+		return 0, false
+	}
+	if p, ok := weaker(a, b); ok {
+		return p, ok
+	}
+	return weaker(b, a)
+}
+
+func equalEnv(a, b *Env) bool {
+	if a.dead != b.dead {
+		return false
+	}
+	if len(a.vars) != len(b.vars) || len(a.seq) != len(b.seq) {
+		return false
+	}
+	for v, iv := range a.vars {
+		if o, ok := b.vars[v]; !ok || o != iv {
+			return false
+		}
+	}
+	for k, f := range a.seq {
+		if o, ok := b.seq[k]; !ok || o.pred != f.pred {
+			return false
+		}
+	}
+	return true
+}
+
+func widenEnv(old, next *Env) *Env {
+	if old.dead {
+		return next
+	}
+	w := &Env{dead: next.dead, seq: next.seq}
+	for v, iv := range next.vars {
+		w.set(v, Widen(old.Get(v), iv))
+	}
+	// A var tracked in old but default in next already widened to the
+	// type interval via Get's default — nothing to record.
+	return w
+}
+
+// Result carries the fixpoint: the abstract state before every
+// statement and at every leaf branch condition. Statements in
+// unreachable code have no entry.
+type Result struct {
+	Graph  *cfg.Graph
+	Before map[ast.Stmt]*Env
+	AtCond map[ast.Expr]*Env
+	// Incomplete is set if the safety iteration cap was hit; clients
+	// must not report proofs from an incomplete result.
+	Incomplete bool
+}
+
+// Func runs the engine to fixpoint over one function (or literal) body.
+func (a *Analysis) Func(body *ast.BlockStmt) *Result {
+	g := cfg.New(body)
+	res := &Result{
+		Graph:  g,
+		Before: map[ast.Stmt]*Env{},
+		AtCond: map[ast.Expr]*Env{},
+	}
+	a.untracked = untrackedVars(body, a.Info)
+
+	heads := loopHeads(g)
+	in := map[*cfg.Block]*Env{}
+	entry := &Env{}
+	for v, iv := range a.Seed {
+		entry.set(v, iv)
+	}
+	in[g.Entry] = entry
+
+	work := []*cfg.Block{g.Entry}
+	queued := map[*cfg.Block]bool{g.Entry: true}
+	steps, limit := 0, 256*(len(g.Blocks)+1)
+
+	flow := func(to *cfg.Block, e *Env) {
+		if e.dead {
+			return
+		}
+		cur, ok := in[to]
+		if !ok {
+			in[to] = e
+		} else {
+			j := join(cur, e)
+			if heads[to] {
+				j = widenEnv(cur, j)
+			}
+			if equalEnv(cur, j) {
+				return
+			}
+			in[to] = j
+		}
+		if !queued[to] {
+			queued[to] = true
+			work = append(work, to)
+		}
+	}
+
+	for len(work) > 0 {
+		if steps++; steps > limit {
+			res.Incomplete = true
+			break
+		}
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+
+		env := in[b].clone()
+		for _, s := range b.Nodes {
+			res.Before[s] = env.clone()
+			env = a.transfer(env, s)
+		}
+		switch t := b.Term.(type) {
+		case *cfg.Jump:
+			flow(t.To, env)
+		case *cfg.If:
+			res.AtCond[t.Cond] = env.clone()
+			flow(t.Then, a.refine(env.clone(), t.Cond, true))
+			flow(t.Else, a.refine(env.clone(), t.Cond, false))
+		case *cfg.Switch:
+			res.AtCond[t.Tag] = env.clone()
+			for _, c := range t.Cases {
+				flow(c.Target, a.refineSwitch(env.clone(), t.Tag, c.Values))
+			}
+			flow(t.Default, env.clone())
+		case *cfg.Choice:
+			for _, to := range t.Targets {
+				flow(to, env.clone())
+			}
+		}
+	}
+	return res
+}
+
+// untrackedVars collects variables whose value the frame does not own:
+// address-taken vars and vars assigned inside nested function literals.
+func untrackedVars(body *ast.BlockStmt, info *types.Info) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	mark := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			if v, ok := info.ObjectOf(id).(*types.Var); ok {
+				out[v] = true
+			}
+		}
+	}
+	var inLit int
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				mark(n.X)
+			}
+		case *ast.FuncLit:
+			inLit++
+			ast.Inspect(n.Body, walk)
+			inLit--
+			return false
+		case *ast.AssignStmt:
+			if inLit > 0 {
+				for _, l := range n.Lhs {
+					mark(l)
+				}
+			}
+		case *ast.IncDecStmt:
+			if inLit > 0 {
+				mark(n.X)
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	return out
+}
+
+func loopHeads(g *cfg.Graph) map[*cfg.Block]bool {
+	heads := map[*cfg.Block]bool{}
+	state := map[*cfg.Block]int{} // 0 unvisited, 1 on stack, 2 done
+	type frame struct {
+		b  *cfg.Block
+		ss []*cfg.Block
+		i  int
+	}
+	stack := []frame{{b: g.Entry, ss: succs(g.Entry)}}
+	state[g.Entry] = 1
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.i < len(f.ss) {
+			s := f.ss[f.i]
+			f.i++
+			switch state[s] {
+			case 0:
+				state[s] = 1
+				stack = append(stack, frame{b: s, ss: succs(s)})
+			case 1:
+				heads[s] = true
+			}
+			continue
+		}
+		state[f.b] = 2
+		stack = stack[:len(stack)-1]
+	}
+	return heads
+}
+
+func succs(b *cfg.Block) []*cfg.Block {
+	switch t := b.Term.(type) {
+	case *cfg.Jump:
+		return []*cfg.Block{t.To}
+	case *cfg.If:
+		return []*cfg.Block{t.Then, t.Else}
+	case *cfg.Switch:
+		out := make([]*cfg.Block, 0, len(t.Cases)+1)
+		for _, c := range t.Cases {
+			out = append(out, c.Target)
+		}
+		return append(out, t.Default)
+	case *cfg.Choice:
+		return t.Targets
+	}
+	return nil
+}
+
+// ---- transfer -------------------------------------------------------
+
+func (a *Analysis) transfer(env *Env, s ast.Stmt) *Env {
+	if env.dead {
+		return env
+	}
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+			// Tuple assignment: havoc every target.
+			a.killCalls(env, s.Rhs[0])
+			for _, l := range s.Lhs {
+				a.assign(env, l, Top, true)
+			}
+			return env
+		}
+		// Go assignments are simultaneous: evaluate every rhs against
+		// the pre-state before writing any lhs.
+		ivs := make([]Interval, len(s.Rhs))
+		for i, r := range s.Rhs {
+			if s.Tok == token.ASSIGN || s.Tok == token.DEFINE {
+				ivs[i] = a.Eval(r, env)
+			} else {
+				ivs[i] = a.binop(compoundOp(s.Tok), a.Eval(s.Lhs[i], env), a.Eval(r, env), a.typeOf(s.Lhs[i]))
+			}
+		}
+		for _, r := range s.Rhs {
+			a.killCalls(env, r)
+		}
+		for i, l := range s.Lhs {
+			a.assign(env, l, ivs[i], true)
+		}
+	case *ast.IncDecStmt:
+		one := Const(1)
+		op := token.ADD
+		if s.Tok == token.DEC {
+			op = token.SUB
+		}
+		a.assign(env, s.X, a.binop(op, a.Eval(s.X, env), one, a.typeOf(s.X)), true)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					iv := Const(0) // integer zero value
+					if i < len(vs.Values) {
+						iv = a.Eval(vs.Values[i], env)
+						a.killCalls(env, vs.Values[i])
+					}
+					a.assign(env, name, iv, true)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		if isPanic(s.X, a.Info) {
+			env.dead = true
+			return env
+		}
+		a.killCalls(env, s.X)
+	case *ast.RangeStmt:
+		a.killCalls(env, s.X)
+		havoc := func(e ast.Expr, iv Interval) {
+			if e == nil {
+				return
+			}
+			a.assign(env, e, iv, true)
+		}
+		key := Top
+		if s.X != nil {
+			switch a.typeOf(s.X).Underlying().(type) {
+			case *types.Slice, *types.Array, *types.Pointer, *types.Basic:
+				// index-like keys (slices, arrays, strings, range-over-int)
+				key = Range(0, PosInf)
+			}
+		}
+		havoc(s.Key, key)
+		havoc(s.Value, Top)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			a.killCalls(env, r)
+		}
+	default:
+		// go/defer/send statements: calls may run; their facts die.
+		a.killCalls(env, s)
+	}
+	return env
+}
+
+// assign writes iv to an lvalue: tracked integer idents get the value,
+// everything else just invalidates facts along its path.
+func (a *Analysis) assign(env *Env, l ast.Expr, iv Interval, kill bool) {
+	if kill {
+		killFactsPath(env, lvaluePath(l))
+	}
+	id, ok := l.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	v, ok := a.Info.ObjectOf(id).(*types.Var)
+	if !ok || !a.tracked(v) {
+		return
+	}
+	env.set(v, ClampToType(iv, v.Type()))
+}
+
+// tracked reports whether the engine owns v's value: a function-local
+// integer variable that is never address-taken or written by a nested
+// literal. Package-level variables are out — any call could write them.
+func (a *Analysis) tracked(v *types.Var) bool {
+	if a.untracked[v] || !IsInteger(v.Type()) {
+		return false
+	}
+	if p := v.Parent(); p != nil && p.Parent() == types.Universe {
+		return false // package scope
+	}
+	return true
+}
+
+// lvaluePath renders the written location as a dotted selector path;
+// writes through indexes report the path of the indexed expression, and
+// unknown shapes report "" (kill everything).
+func lvaluePath(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := lvaluePath(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return lvaluePath(e.X)
+	case *ast.ParenExpr:
+		return lvaluePath(e.X)
+	}
+	return ""
+}
+
+// killFactsPath drops every fact whose mentioned paths overlap the
+// written path (segment-wise prefix in either direction). An empty path
+// is an unknown write and clears all facts.
+func killFactsPath(env *Env, path string) {
+	if len(env.seq) == 0 {
+		return
+	}
+	if path == "" {
+		env.seq = nil
+		return
+	}
+	for k, f := range env.seq {
+		for _, p := range f.paths {
+			if pathsOverlap(path, p) {
+				delete(env.seq, k)
+				break
+			}
+		}
+	}
+}
+
+func pathsOverlap(a, b string) bool {
+	return strings.HasPrefix(a, b+".") || strings.HasPrefix(b, a+".") || a == b
+}
+
+// killCalls applies call effects within node: facts mentioning names a
+// callee may write are dropped (all facts when the callee or its modset
+// is unknown). Builtins are pure except copy, which writes through its
+// first argument.
+func (a *Analysis) killCalls(env *Env, node ast.Node) {
+	if node == nil || len(env.seq) == 0 {
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if a.isConversion(call) {
+			return true
+		}
+		if name, ok := builtinName(call, a.Info); ok {
+			if name == "copy" && len(call.Args) > 0 {
+				killFactsPath(env, lvaluePath(call.Args[0]))
+			}
+			return true
+		}
+		fn := a.callee(call)
+		if fn != nil {
+			if a.SeqSub != nil && a.SeqSub(fn) {
+				return true
+			}
+			if a.SeqPred != nil {
+				if _, ok := a.SeqPred(fn); ok {
+					return true
+				}
+			}
+			if a.Measure != nil && a.Measure(fn) {
+				return true
+			}
+			if a.CallKills != nil {
+				if writes, ok := a.CallKills(fn); ok {
+					for k, f := range env.seq {
+						if factMentions(f, writes) {
+							delete(env.seq, k)
+						}
+					}
+					return true
+				}
+			}
+		}
+		env.seq = nil
+		return true
+	})
+}
+
+// callee resolves a call through the configured hook, defaulting to
+// direct ident/selector resolution through the type info.
+func (a *Analysis) callee(call *ast.CallExpr) *types.Func {
+	if a.Callee != nil {
+		return a.Callee(call)
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := a.Info.ObjectOf(fun).(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := a.Info.ObjectOf(fun.Sel).(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func factMentions(f seqFact, names map[string]bool) bool {
+	for _, p := range f.paths {
+		for _, seg := range strings.Split(p, ".") {
+			if names[seg] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isPanic(e ast.Expr, info *types.Info) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	name, ok := builtinName(call, info)
+	return ok && name == "panic"
+}
+
+func builtinName(call *ast.CallExpr, info *types.Info) (string, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if _, ok := info.ObjectOf(id).(*types.Builtin); !ok {
+		return "", false
+	}
+	return id.Name, true
+}
+
+func compoundOp(tok token.Token) token.Token {
+	switch tok {
+	case token.ADD_ASSIGN:
+		return token.ADD
+	case token.SUB_ASSIGN:
+		return token.SUB
+	case token.MUL_ASSIGN:
+		return token.MUL
+	case token.QUO_ASSIGN:
+		return token.QUO
+	case token.REM_ASSIGN:
+		return token.REM
+	case token.AND_ASSIGN:
+		return token.AND
+	case token.OR_ASSIGN:
+		return token.OR
+	case token.XOR_ASSIGN:
+		return token.XOR
+	case token.SHL_ASSIGN:
+		return token.SHL
+	case token.SHR_ASSIGN:
+		return token.SHR
+	case token.AND_NOT_ASSIGN:
+		return token.AND_NOT
+	}
+	return token.ILLEGAL
+}

@@ -1,0 +1,492 @@
+package interval
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+func (a *Analysis) typeOf(e ast.Expr) types.Type {
+	if tv, ok := a.Info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	return types.Typ[types.Invalid]
+}
+
+func (a *Analysis) isConversion(call *ast.CallExpr) bool {
+	tv, ok := a.Info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// Eval computes the interval of an integer-valued expression at the
+// point described by env (nil env means "no flow information": type
+// intervals only). Non-integer expressions yield ⊤.
+func (a *Analysis) Eval(e ast.Expr, env *Env) Interval {
+	// Constants first: go/types folded every constant expression.
+	if tv, ok := a.Info.Types[e]; ok && tv.Value != nil {
+		return constInterval(tv.Value)
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return a.Eval(e.X, env)
+	case *ast.Ident:
+		if v, ok := a.Info.ObjectOf(e).(*types.Var); ok {
+			if !a.tracked(v) {
+				return OfType(v.Type())
+			}
+			return env.Get(v)
+		}
+	case *ast.BinaryExpr:
+		t := a.typeOf(e)
+		if !IsInteger(t) {
+			return Top
+		}
+		return a.binop(e.Op, a.Eval(e.X, env), a.Eval(e.Y, env), t)
+	case *ast.UnaryExpr:
+		switch e.Op {
+		case token.ADD:
+			return a.Eval(e.X, env)
+		case token.SUB:
+			return ClampToType(Neg(a.Eval(e.X, env)), a.typeOf(e))
+		case token.XOR: // ^x
+			return OfType(a.typeOf(e))
+		}
+	case *ast.CallExpr:
+		return a.evalCall(e, env)
+	}
+	return OfType(a.typeOf(e))
+}
+
+func (a *Analysis) binop(op token.Token, x, y Interval, t types.Type) Interval {
+	var r Interval
+	switch op {
+	case token.ADD:
+		r = Add(x, y)
+	case token.SUB:
+		r = Sub(x, y)
+	case token.MUL:
+		r = Mul(x, y)
+	case token.QUO:
+		r = Div(x, y)
+	case token.REM:
+		r = Mod(x, y)
+	case token.SHL:
+		r = Shl(x, y)
+	case token.SHR:
+		r = Shr(x, y)
+		// An unbounded unsigned operand still has a width: u>>k for a
+		// w-bit u is at most 2^(w-k)-1, which the ±inf sentinels lose.
+		if k, ok := y.IsConst(); ok && x.Lo >= 0 && r.Hi == PosInf {
+			if w := int64(BitWidth(t)); k > 0 && w-k <= 62 {
+				r.Hi = int64(1)<<uint(w-k) - 1
+			}
+		}
+	case token.AND:
+		r = And(x, y)
+	case token.OR:
+		r = Or(x, y)
+	case token.XOR:
+		r = Xor(x, y)
+	case token.AND_NOT:
+		r = AndNot(x, y)
+	default:
+		return Top
+	}
+	return ClampToType(r, t)
+}
+
+func (a *Analysis) evalCall(call *ast.CallExpr, env *Env) Interval {
+	// Conversion: the value survives when it fits the target type;
+	// otherwise it wraps somewhere inside the target's range.
+	if a.isConversion(call) && len(call.Args) == 1 {
+		t := a.typeOf(call)
+		if !IsInteger(t) {
+			return Top
+		}
+		return ClampToType(a.Eval(call.Args[0], env), t)
+	}
+	if name, ok := builtinName(call, a.Info); ok {
+		switch name {
+		case "len", "cap", "copy":
+			return LenInterval
+		case "min", "max":
+			if len(call.Args) == 0 {
+				return Top
+			}
+			r := a.Eval(call.Args[0], env)
+			for _, arg := range call.Args[1:] {
+				o := a.Eval(arg, env)
+				if name == "min" {
+					r = Range(minI(r.Lo, o.Lo), minI(r.Hi, o.Hi))
+				} else {
+					r = Range(maxI(r.Lo, o.Lo), maxI(r.Hi, o.Hi))
+				}
+			}
+			return r
+		}
+		return OfType(a.typeOf(call))
+	}
+	if fn := a.callee(call); fn != nil {
+		if a.SeqSub != nil && a.SeqSub(fn) && len(call.Args) == 2 {
+			return a.evalSeqSub(call, env)
+		}
+		if a.Measure != nil && a.Measure(fn) {
+			return LenInterval
+		}
+		if a.Summary != nil {
+			if iv, ok := a.Summary(fn); ok {
+				return ClampToType(iv, a.typeOf(call))
+			}
+		}
+	}
+	return OfType(a.typeOf(call))
+}
+
+// evalSeqSub refines the wrapping 32-bit difference seqSub(p, q) using
+// the predicate facts in force. The raw range is the full uint32 space;
+// a guard through seqLT/seqLEQ/seqGT/seqGEQ pins the difference to one
+// half of it.
+func (a *Analysis) evalSeqSub(call *ast.CallExpr, env *Env) Interval {
+	base := ClampToType(Range(0, 1<<32-1), a.typeOf(call))
+	if env == nil || len(env.seq) == 0 {
+		return base
+	}
+	p, q := types.ExprString(call.Args[0]), types.ExprString(call.Args[1])
+	if f, ok := env.seq[seqKey{p, q}]; ok {
+		// Fact about seqSub(p, q) directly: the int32 view's sign.
+		switch f.pred {
+		case SeqLT: // int32 view < 0
+			base, _ = Intersect(base, Range(halfSpace, 1<<32-1))
+		case SeqGT: // int32 view > 0
+			base, _ = Intersect(base, Range(1, halfSpace-1))
+		case SeqGEQ: // int32 view >= 0
+			base, _ = Intersect(base, Range(0, halfSpace-1))
+		}
+	}
+	if f, ok := env.seq[seqKey{q, p}]; ok {
+		// Fact about the mirrored difference: negate modulo 2³².
+		switch f.pred {
+		case SeqLT: // seqSub(q,p) ∈ [2³¹, 2³²−1] ⇒ seqSub(p,q) ∈ [1, 2³¹]
+			base, _ = Intersect(base, Range(1, halfSpace))
+		case SeqLEQ: // ⇒ seqSub(p,q) ∈ [0, 2³¹]
+			base, _ = Intersect(base, Range(0, halfSpace))
+		case SeqGT: // seqSub(q,p) ∈ [1, 2³¹−1] ⇒ seqSub(p,q) ∈ [2³¹+1, 2³²−1]
+			base, _ = Intersect(base, Range(halfSpace+1, 1<<32-1))
+		}
+	}
+	return base
+}
+
+func constInterval(v constant.Value) Interval {
+	v = constant.ToInt(v)
+	if v.Kind() != constant.Int {
+		return Top
+	}
+	if n, ok := constant.Int64Val(v); ok {
+		return Const(n)
+	}
+	if constant.Sign(v) > 0 {
+		return Range(PosInf-1, PosInf)
+	}
+	return Range(NegInf, NegInf+1)
+}
+
+// ---- branch refinement ---------------------------------------------
+
+// refine narrows env along the `branch` edge of leaf condition cond.
+func (a *Analysis) refine(env *Env, cond ast.Expr, branch bool) *Env {
+	if env.dead {
+		return env
+	}
+	switch cond := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		op := cond.Op
+		if !branch {
+			op = negateCmp(op)
+		}
+		if op == token.ILLEGAL {
+			return env
+		}
+		a.refineCmp(env, cond.X, cond.Y, op)
+	case *ast.CallExpr:
+		a.refineSeqCall(env, cond, branch)
+	}
+	return env
+}
+
+func negateCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GEQ
+	case token.LEQ:
+		return token.GTR
+	case token.GTR:
+		return token.LEQ
+	case token.GEQ:
+		return token.LSS
+	case token.EQL:
+		return token.NEQ
+	case token.NEQ:
+		return token.EQL
+	}
+	return token.ILLEGAL
+}
+
+func (a *Analysis) refineCmp(env *Env, x, y ast.Expr, op token.Token) {
+	xi, yi := a.Eval(x, env), a.Eval(y, env)
+	switch op {
+	case token.LSS: // x < y
+		a.narrow(env, x, Range(NegInf, satSub(yi.Hi, 1)))
+		a.narrow(env, y, Range(satAdd(xi.Lo, 1), PosInf))
+	case token.LEQ:
+		a.narrow(env, x, Range(NegInf, yi.Hi))
+		a.narrow(env, y, Range(xi.Lo, PosInf))
+	case token.GTR:
+		a.narrow(env, x, Range(satAdd(yi.Lo, 1), PosInf))
+		a.narrow(env, y, Range(NegInf, satSub(xi.Hi, 1)))
+	case token.GEQ:
+		a.narrow(env, x, Range(yi.Lo, PosInf))
+		a.narrow(env, y, Range(NegInf, xi.Hi))
+	case token.EQL:
+		a.narrow(env, x, yi)
+		a.narrow(env, y, xi)
+		a.refineShiftZero(env, x, y, true)
+	case token.NEQ:
+		if c, ok := yi.IsConst(); ok {
+			a.trimEndpoint(env, x, c)
+		}
+		if c, ok := xi.IsConst(); ok {
+			a.trimEndpoint(env, y, c)
+		}
+		a.refineShiftZero(env, x, y, false)
+	}
+}
+
+// refineShiftZero handles the idiom `x>>k == 0` (and its loop-guard
+// negation): for an unsigned x it proves x < 2ᵏ on the == edge.
+func (a *Analysis) refineShiftZero(env *Env, x, y ast.Expr, eq bool) {
+	if !eq {
+		return
+	}
+	c, ok := a.Eval(y, env).IsConst()
+	if !ok || c != 0 {
+		return
+	}
+	sh, ok := ast.Unparen(x).(*ast.BinaryExpr)
+	if !ok || sh.Op != token.SHR {
+		return
+	}
+	k, ok := a.Eval(sh.Y, env).IsConst()
+	if !ok || k <= 0 || k >= 63 {
+		return
+	}
+	if base := a.Eval(sh.X, env); base.Lo >= 0 {
+		a.narrow(env, sh.X, Range(0, (int64(1)<<uint(k))-1))
+	}
+}
+
+// narrow intersects a tracked variable with iv; an empty meet marks the
+// edge infeasible.
+func (a *Analysis) narrow(env *Env, e ast.Expr, iv Interval) {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return
+	}
+	v, ok := a.Info.ObjectOf(id).(*types.Var)
+	if !ok || !a.tracked(v) {
+		return
+	}
+	met, ok := Intersect(env.Get(v), iv)
+	if !ok {
+		env.dead = true
+		return
+	}
+	env.set(v, met)
+}
+
+func (a *Analysis) trimEndpoint(env *Env, e ast.Expr, c int64) {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return
+	}
+	v, ok := a.Info.ObjectOf(id).(*types.Var)
+	if !ok || !a.tracked(v) {
+		return
+	}
+	iv := env.Get(v)
+	if iv.Lo == c && iv.Hi == c {
+		env.dead = true
+		return
+	}
+	if iv.Lo == c {
+		iv.Lo = satAdd(c, 1)
+	}
+	if iv.Hi == c {
+		iv.Hi = satSub(c, 1)
+	}
+	env.set(v, iv)
+}
+
+// refineSeqCall records a sequence-predicate fact from a branch through
+// seqLT/seqLEQ/seqGT/seqGEQ/seqBetween.
+func (a *Analysis) refineSeqCall(env *Env, call *ast.CallExpr, branch bool) {
+	if a.SeqPred == nil {
+		return
+	}
+	fn := a.callee(call)
+	if fn == nil {
+		return
+	}
+	pred, ok := a.SeqPred(fn)
+	if !ok {
+		return
+	}
+	record := func(x, y ast.Expr, p SeqPred) {
+		k := seqKey{types.ExprString(x), types.ExprString(y)}
+		if env.seq == nil {
+			env.seq = map[seqKey]seqFact{}
+		}
+		env.seq[k] = seqFact{pred: p, paths: append(selectorPaths(x), selectorPaths(y)...)}
+	}
+	if pred == SeqBetween {
+		if len(call.Args) != 3 || !branch {
+			return // ¬(lo≤x ∧ x<hi) is a disjunction: no single fact
+		}
+		record(call.Args[0], call.Args[1], SeqLEQ)
+		record(call.Args[1], call.Args[2], SeqLT)
+		return
+	}
+	if len(call.Args) != 2 {
+		return
+	}
+	if !branch {
+		switch pred {
+		case SeqLT:
+			pred = SeqGEQ
+		case SeqLEQ:
+			pred = SeqGT
+		case SeqGT:
+			pred = SeqLEQ
+		case SeqGEQ:
+			pred = SeqLT
+		}
+	}
+	record(call.Args[0], call.Args[1], pred)
+}
+
+// selectorPaths lists the ident/selector chains mentioned by e, used to
+// invalidate facts when one of their inputs is overwritten.
+func selectorPaths(e ast.Expr) []string {
+	var out []string
+	ast.Inspect(e, func(n ast.Node) bool {
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if p := lvaluePath(expr); p != "" {
+			out = append(out, p)
+			return false // the full chain covers its sub-chains
+		}
+		return true
+	})
+	return out
+}
+
+// refineSwitch narrows the tag variable to the hull of a case's
+// constant values on that case's edge.
+func (a *Analysis) refineSwitch(env *Env, tag ast.Expr, values []ast.Expr) *Env {
+	if env.dead || len(values) == 0 {
+		return env
+	}
+	hull, ok := Interval{}, false
+	for _, v := range values {
+		tv, found := a.Info.Types[v]
+		if !found || tv.Value == nil {
+			return env
+		}
+		ci := constInterval(tv.Value)
+		if !ok {
+			hull, ok = ci, true
+		} else {
+			hull = Union(hull, ci)
+		}
+	}
+	if ok {
+		a.narrow(env, tag, hull)
+	}
+	return env
+}
+
+// ---- bottom-up result summaries ------------------------------------
+
+// FuncSource names one function body for Summarize.
+type FuncSource struct {
+	Fn   *types.Func
+	Body *ast.BlockStmt
+	Info *types.Info
+}
+
+// Summarize computes proved result intervals for every function in
+// funcs that has exactly one integer result, iterating `rounds` times
+// so leaf summaries feed their callers (pessimistic start: a function
+// not yet summarized contributes its result type's full interval).
+// Hooks are taken from base; Info is swapped per function.
+func Summarize(funcs []FuncSource, rounds int, base *Analysis) map[*types.Func]Interval {
+	out := map[*types.Func]Interval{}
+	for r := 0; r < rounds; r++ {
+		changed := false
+		for _, f := range funcs {
+			sig, ok := f.Fn.Type().(*types.Signature)
+			if !ok || sig.Results().Len() != 1 || !IsInteger(sig.Results().At(0).Type()) {
+				continue
+			}
+			resType := sig.Results().At(0).Type()
+			a := *base
+			a.Info = f.Info
+			prev := a.Summary
+			a.Summary = func(fn *types.Func) (Interval, bool) {
+				if iv, ok := out[fn]; ok {
+					return iv, true
+				}
+				if prev != nil {
+					return prev(fn)
+				}
+				return Interval{}, false
+			}
+			res := a.Func(f.Body)
+			if res.Incomplete {
+				continue
+			}
+			var iv Interval
+			seen := false
+			for s, env := range res.Before {
+				ret, ok := s.(*ast.ReturnStmt)
+				if !ok || len(ret.Results) != 1 {
+					continue
+				}
+				ri := a.Eval(ret.Results[0], env)
+				if seen {
+					iv = Union(iv, ri)
+				} else {
+					iv, seen = ri, true
+				}
+			}
+			if !seen {
+				continue
+			}
+			iv = ClampToType(iv, resType)
+			if iv == OfType(resType) {
+				continue // no information beyond the type
+			}
+			if old, ok := out[f.Fn]; !ok || old != iv {
+				out[f.Fn] = iv
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,431 @@
+// Package interval implements a value-range abstract interpretation
+// engine over the cfg package: constant propagation, arithmetic
+// transfer functions, branch-guard refinement, and widening for
+// termination. The analyzers built on it (intrange, and indirectly
+// copyflow's size reasoning) use it to prove width safety — that a
+// narrowing integer conversion cannot truncate, that an allocation size
+// cannot be negative, that a variable shift count stays inside the
+// operand's width.
+//
+// The domain is the classic integer interval [Lo, Hi] with the int64
+// extremes standing in for ±∞. Two deliberate modelling axioms keep the
+// domain honest about this codebase:
+//
+//   - `int` and `int64` are modelled as unbounded (their type interval
+//     is ⊤): the engine proves facts about values, not about 64-bit
+//     wraparound, which the datapath never approaches.
+//
+//   - len/cap and the measurement methods of the packet layer (Len,
+//     Headroom, Tailroom, Buffered, MTU, ...) are modelled as
+//     [0, 2³¹−1]: no single buffer in this stack reaches 2 GiB. This is
+//     the same 31-bit integer-magnitude assumption the source paper's
+//     Standard ML implementation lives under, stated once here instead
+//     of at every conversion site.
+//
+// Sequence-space arithmetic gets first-class support: when the client
+// declares the wrap-safe predicate family (seqLT/seqLEQ/seqGT/seqGEQ
+// over a 32-bit space, with seqSub the wrapping difference), branch
+// guards through those predicates refine the range of the matching
+// seqSub call — `if seqGT(q.seq, rcvNxt) { return }` proves the
+// fall-through's seqSub(rcvNxt, q.seq) ∈ [0, 2³¹] even though the raw
+// subtraction spans the whole uint32 range.
+package interval
+
+import (
+	"fmt"
+	"go/types"
+	"math"
+)
+
+// NegInf and PosInf are the sentinel bounds. An Interval with Lo ==
+// NegInf is unbounded below; Hi == PosInf is unbounded above.
+const (
+	NegInf = math.MinInt64
+	PosInf = math.MaxInt64
+)
+
+// Interval is a closed integer range [Lo, Hi]. The zero value is the
+// empty-ish [0,0]; use Top for "no information".
+type Interval struct {
+	Lo, Hi int64
+}
+
+// Top is the unbounded interval.
+var Top = Interval{NegInf, PosInf}
+
+// Const is the singleton interval {v}.
+func Const(v int64) Interval { return Interval{v, v} }
+
+// Range builds [lo, hi], normalizing sentinel misuse so that a
+// well-formed interval never has Lo == PosInf or Hi == NegInf.
+func Range(lo, hi int64) Interval {
+	if lo == PosInf {
+		lo = PosInf - 1
+	}
+	if hi == NegInf {
+		hi = NegInf + 1
+	}
+	return Interval{lo, hi}
+}
+
+func (iv Interval) String() string {
+	lo, hi := "-inf", "+inf"
+	if iv.Lo != NegInf {
+		lo = fmt.Sprint(iv.Lo)
+	}
+	if iv.Hi != PosInf {
+		hi = fmt.Sprint(iv.Hi)
+	}
+	return "[" + lo + "," + hi + "]"
+}
+
+// IsConst reports whether the interval is a singleton.
+func (iv Interval) IsConst() (int64, bool) { return iv.Lo, iv.Lo == iv.Hi && iv.Lo != NegInf }
+
+// NonNeg reports a proved lower bound of zero.
+func (iv Interval) NonNeg() bool { return iv.Lo >= 0 }
+
+// Bounded reports that both ends are finite.
+func (iv Interval) Bounded() bool { return iv.Lo != NegInf && iv.Hi != PosInf }
+
+// In reports iv ⊆ o.
+func (iv Interval) In(o Interval) bool { return iv.Lo >= o.Lo && iv.Hi <= o.Hi }
+
+// Union is the interval hull of a and b.
+func Union(a, b Interval) Interval {
+	return Interval{minI(a.Lo, b.Lo), maxI(a.Hi, b.Hi)}
+}
+
+// Intersect returns a ∩ b; ok is false when the meet is empty.
+func Intersect(a, b Interval) (Interval, bool) {
+	r := Interval{maxI(a.Lo, b.Lo), minI(a.Hi, b.Hi)}
+	return r, r.Lo <= r.Hi
+}
+
+// Widen keeps the bounds of old that next left stable and discards the
+// ones that moved — the standard interval widening that forces loop
+// fixpoints to terminate.
+func Widen(old, next Interval) Interval {
+	w := old
+	if next.Lo < old.Lo {
+		w.Lo = NegInf
+	}
+	if next.Hi > old.Hi {
+		w.Hi = PosInf
+	}
+	return w
+}
+
+func minI(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ---- saturating bound arithmetic -----------------------------------
+
+func satAdd(a, b int64) int64 {
+	if a == NegInf || b == NegInf {
+		return NegInf
+	}
+	if a == PosInf || b == PosInf {
+		return PosInf
+	}
+	s := a + b
+	if b > 0 && s < a {
+		return PosInf
+	}
+	if b < 0 && s > a {
+		return NegInf
+	}
+	return s
+}
+
+func satSub(a, b int64) int64 {
+	if a == PosInf || b == NegInf {
+		return PosInf
+	}
+	if a == NegInf || b == PosInf {
+		return NegInf
+	}
+	s := a - b
+	if b < 0 && s < a {
+		return PosInf
+	}
+	if b > 0 && s > a {
+		return NegInf
+	}
+	return s
+}
+
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	neg := (a < 0) != (b < 0)
+	if a == NegInf || a == PosInf || b == NegInf || b == PosInf {
+		if neg {
+			return NegInf
+		}
+		return PosInf
+	}
+	p := a * b
+	if p/b != a {
+		if neg {
+			return NegInf
+		}
+		return PosInf
+	}
+	return p
+}
+
+// Add returns the interval of x+y for x ∈ a, y ∈ b (mathematical
+// addition — the caller clamps to the Go type to model wraparound).
+func Add(a, b Interval) Interval { return Range(satAdd(a.Lo, b.Lo), satAdd(a.Hi, b.Hi)) }
+
+// Sub returns the interval of x−y.
+func Sub(a, b Interval) Interval { return Range(satSub(a.Lo, b.Hi), satSub(a.Hi, b.Lo)) }
+
+// Neg returns the interval of −x.
+func Neg(a Interval) Interval { return Sub(Const(0), a) }
+
+// Mul returns the interval of x*y via the four corner products.
+func Mul(a, b Interval) Interval {
+	p1 := satMul(a.Lo, b.Lo)
+	p2 := satMul(a.Lo, b.Hi)
+	p3 := satMul(a.Hi, b.Lo)
+	p4 := satMul(a.Hi, b.Hi)
+	return Range(minI(minI(p1, p2), minI(p3, p4)), maxI(maxI(p1, p2), maxI(p3, p4)))
+}
+
+// Div returns the interval of Go's truncated x/y. When the divisor
+// interval contains zero the result is ⊤ (the run-time panics there;
+// the engine does not model path pruning on division).
+func Div(a, b Interval) Interval {
+	if b.Lo <= 0 && b.Hi >= 0 {
+		return Top
+	}
+	if !a.Bounded() && (a.Lo == NegInf && a.Hi == PosInf) {
+		return Top
+	}
+	q := func(x, y int64) int64 {
+		switch {
+		case y == NegInf || y == PosInf:
+			return 0
+		case x == NegInf:
+			if y > 0 {
+				return NegInf
+			}
+			return PosInf
+		case x == PosInf:
+			if y > 0 {
+				return PosInf
+			}
+			return NegInf
+		}
+		return x / y
+	}
+	q1 := q(a.Lo, b.Lo)
+	q2 := q(a.Lo, b.Hi)
+	q3 := q(a.Hi, b.Lo)
+	q4 := q(a.Hi, b.Hi)
+	return Range(minI(minI(q1, q2), minI(q3, q4)), maxI(maxI(q1, q2), maxI(q3, q4)))
+}
+
+// Mod returns the interval of Go's x%y (sign follows the dividend).
+func Mod(a, b Interval) Interval {
+	hi := maxI(absBound(b.Lo), absBound(b.Hi))
+	if hi != PosInf && hi > 0 {
+		hi--
+	}
+	if a.Lo >= 0 {
+		return Range(0, minI(a.Hi, hi))
+	}
+	if hi == PosInf {
+		return Top
+	}
+	return Range(-hi, hi)
+}
+
+func absBound(x int64) int64 {
+	if x == NegInf || x == PosInf {
+		return PosInf
+	}
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func satShl(a int64, s int64) int64 {
+	if a == 0 {
+		return 0
+	}
+	if a == NegInf {
+		return NegInf
+	}
+	if a == PosInf || s >= 62 {
+		if a > 0 {
+			return PosInf
+		}
+		return NegInf
+	}
+	r := a << uint(s)
+	if r>>uint(s) != a {
+		if a > 0 {
+			return PosInf
+		}
+		return NegInf
+	}
+	return r
+}
+
+// Shl returns the interval of x<<s; ⊤ unless both operands are
+// non-negative (the only shape the datapath uses).
+func Shl(a, s Interval) Interval {
+	if a.Lo < 0 || s.Lo < 0 {
+		return Top
+	}
+	hi := s.Hi
+	if hi == PosInf {
+		hi = 63
+	}
+	return Range(satShl(a.Lo, s.Lo), satShl(a.Hi, hi))
+}
+
+// Shr returns the interval of x>>s for non-negative x.
+func Shr(a, s Interval) Interval {
+	if a.Lo < 0 || s.Lo < 0 {
+		return Top
+	}
+	shr := func(x, k int64) int64 {
+		if x == PosInf {
+			return PosInf
+		}
+		if k >= 63 {
+			return 0
+		}
+		return x >> uint(k)
+	}
+	hi := s.Hi
+	if hi == PosInf {
+		hi = 63
+	}
+	return Range(shr(a.Lo, hi), shr(a.Hi, s.Lo))
+}
+
+// And returns the interval of x&y for non-negative operands
+// (x&y ≤ min(x,y)); ⊤ otherwise.
+func And(a, b Interval) Interval {
+	if a.Lo < 0 || b.Lo < 0 {
+		return Top
+	}
+	return Range(0, minI(a.Hi, b.Hi))
+}
+
+// Or returns the interval of x|y for non-negative operands
+// (max(x,y) ≤ x|y ≤ x+y); ⊤ otherwise.
+func Or(a, b Interval) Interval {
+	if a.Lo < 0 || b.Lo < 0 {
+		return Top
+	}
+	return Range(maxI(a.Lo, b.Lo), satAdd(a.Hi, b.Hi))
+}
+
+// Xor returns the interval of x^y for non-negative operands.
+func Xor(a, b Interval) Interval {
+	if a.Lo < 0 || b.Lo < 0 {
+		return Top
+	}
+	return Range(0, satAdd(a.Hi, b.Hi))
+}
+
+// AndNot returns the interval of x&^y for non-negative x.
+func AndNot(a, b Interval) Interval {
+	if a.Lo < 0 {
+		return Top
+	}
+	return Range(0, a.Hi)
+}
+
+// ---- type seeding ---------------------------------------------------
+
+// MaxSliceLen is the modelled upper bound of len/cap and of the packet
+// layer's measurement methods: the 31-bit magnitude axiom (see the
+// package comment).
+const MaxSliceLen = math.MaxInt32
+
+// LenInterval is the modelled result of len/cap.
+var LenInterval = Interval{0, MaxSliceLen}
+
+// OfType returns the interval every value of t inhabits. `int`, `int64`
+// and non-integer types yield ⊤; unsigned 64-bit types yield [0, +inf].
+func OfType(t types.Type) Interval {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return Top
+	}
+	switch b.Kind() {
+	case types.Int8:
+		return Interval{math.MinInt8, math.MaxInt8}
+	case types.Int16:
+		return Interval{math.MinInt16, math.MaxInt16}
+	case types.Int32:
+		return Interval{math.MinInt32, math.MaxInt32}
+	case types.Uint8:
+		return Interval{0, math.MaxUint8}
+	case types.Uint16:
+		return Interval{0, math.MaxUint16}
+	case types.Uint32:
+		return Interval{0, math.MaxUint32}
+	case types.Uint, types.Uint64, types.Uintptr:
+		return Interval{0, PosInf}
+	default:
+		return Top
+	}
+}
+
+// IsInteger reports whether t is (or is defined over) an integer type.
+func IsInteger(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// BitWidth returns the width in bits of integer type t (64 for int,
+// uint, uintptr and anything unknown).
+func BitWidth(t types.Type) int {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return 64
+	}
+	switch b.Kind() {
+	case types.Int8, types.Uint8:
+		return 8
+	case types.Int16, types.Uint16:
+		return 16
+	case types.Int32, types.Uint32:
+		return 32
+	default:
+		return 64
+	}
+}
+
+// ClampToType returns iv when it fits inside t's type interval, and
+// t's full interval otherwise — the sound model of Go's wrapping
+// conversions and arithmetic: either the mathematical result is
+// representable, or all bets are off within the type.
+func ClampToType(iv Interval, t types.Type) Interval {
+	tv := OfType(t)
+	if iv.In(tv) {
+		return iv
+	}
+	return tv
+}

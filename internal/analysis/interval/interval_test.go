@@ -1,0 +1,428 @@
+package interval
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// typecheck parses and checks one file of test source.
+func typecheck(t *testing.T, src string) (*ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return f, info
+}
+
+func findFunc(t *testing.T, f *ast.File, name string) *ast.FuncDecl {
+	t.Helper()
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd
+		}
+	}
+	t.Fatalf("no function %q", name)
+	return nil
+}
+
+// testCallee resolves direct ident/selector calls through the checker.
+func testCallee(info *types.Info) func(*ast.CallExpr) *types.Func {
+	return func(call *ast.CallExpr) *types.Func {
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			fn, _ := info.ObjectOf(fun).(*types.Func)
+			return fn
+		case *ast.SelectorExpr:
+			fn, _ := info.ObjectOf(fun.Sel).(*types.Func)
+			return fn
+		}
+		return nil
+	}
+}
+
+// probes returns the intervals of each probe(expr) argument, in source
+// order, evaluated at the statement's fixpoint env.
+func probes(t *testing.T, a *Analysis, res *Result) []Interval {
+	t.Helper()
+	type hit struct {
+		pos token.Pos
+		iv  Interval
+	}
+	var hits []hit
+	for s, env := range res.Before {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "probe" || len(call.Args) != 1 {
+			continue
+		}
+		hits = append(hits, hit{call.Pos(), a.Eval(call.Args[0], env)})
+	}
+	for i := range hits {
+		for j := i + 1; j < len(hits); j++ {
+			if hits[j].pos < hits[i].pos {
+				hits[i], hits[j] = hits[j], hits[i]
+			}
+		}
+	}
+	out := make([]Interval, len(hits))
+	for i, h := range hits {
+		out[i] = h.iv
+	}
+	return out
+}
+
+const seqPrelude = `
+package p
+
+type seq uint32
+
+func probe(vs ...interface{}) {}
+
+func seqSub(a, b seq) uint32  { return uint32(a) - uint32(b) }
+func seqLT(a, b seq) bool     { return int32(seqSub(a, b)) < 0 }
+func seqLEQ(a, b seq) bool    { return int32(seqSub(a, b)) <= 0 }
+func seqGT(a, b seq) bool     { return int32(seqSub(a, b)) > 0 }
+func seqGEQ(a, b seq) bool    { return int32(seqSub(a, b)) >= 0 }
+func seqBetween(lo, x, hi seq) bool { return seqLEQ(lo, x) && seqLT(x, hi) }
+`
+
+func seqAnalysis(info *types.Info) *Analysis {
+	return &Analysis{
+		Info:   info,
+		Callee: testCallee(info),
+		SeqSub: func(fn *types.Func) bool { return fn.Name() == "seqSub" },
+		SeqPred: func(fn *types.Func) (SeqPred, bool) {
+			switch fn.Name() {
+			case "seqLT":
+				return SeqLT, true
+			case "seqLEQ":
+				return SeqLEQ, true
+			case "seqGT":
+				return SeqGT, true
+			case "seqGEQ":
+				return SeqGEQ, true
+			case "seqBetween":
+				return SeqBetween, true
+			}
+			return 0, false
+		},
+	}
+}
+
+func TestWideningTerminatesOnLoopCounters(t *testing.T) {
+	f, info := typecheck(t, seqPrelude+`
+func kernel(data []byte) int {
+	s := 0
+	for n := 0; n+4 <= len(data); n += 4 {
+		probe(n)
+		s += int(data[n])
+	}
+	return s
+}
+`)
+	a := seqAnalysis(info)
+	res := a.Func(findFunc(t, f, "kernel").Body)
+	if res.Incomplete {
+		t.Fatal("fixpoint did not converge")
+	}
+	ps := probes(t, a, res)
+	if len(ps) != 1 {
+		t.Fatalf("probes = %d, want 1", len(ps))
+	}
+	// Widening blows the upper bound but the checksum-offset property —
+	// a stable non-negative lower bound — survives.
+	if got := ps[0]; got.Lo != 0 || got.Hi != PosInf {
+		t.Fatalf("loop counter = %v, want [0,+inf]", got)
+	}
+}
+
+func TestGuardRefinementBoundsCounter(t *testing.T) {
+	f, info := typecheck(t, seqPrelude+`
+func count() int {
+	last := 0
+	for i := 0; i < 10; i++ {
+		probe(i)
+		last = i
+	}
+	return last
+}
+`)
+	a := seqAnalysis(info)
+	res := a.Func(findFunc(t, f, "count").Body)
+	ps := probes(t, a, res)
+	if len(ps) != 1 {
+		t.Fatalf("probes = %d, want 1", len(ps))
+	}
+	if got := ps[0]; got != (Interval{0, 9}) {
+		t.Fatalf("bounded counter = %v, want [0,9]", got)
+	}
+}
+
+func TestGuardRefinementClampDiamond(t *testing.T) {
+	f, info := typecheck(t, seqPrelude+`
+func adv(w uint32) uint16 {
+	if w > 0xffff {
+		w = 0xffff
+	}
+	probe(w)
+	return uint16(w)
+}
+`)
+	a := seqAnalysis(info)
+	res := a.Func(findFunc(t, f, "adv").Body)
+	ps := probes(t, a, res)
+	if len(ps) != 1 || ps[0] != (Interval{0, 0xffff}) {
+		t.Fatalf("clamped window = %v, want [0,65535]", ps)
+	}
+}
+
+func TestSeqPredicateRefinement(t *testing.T) {
+	// The drainOutOfOrder shape: falling through the seqGT guard proves
+	// the mirrored wrapping difference lands in [0, 2³¹] — a finite
+	// range, not the raw uint32 space.
+	f, info := typecheck(t, seqPrelude+`
+func drain(qseq, rcvNxt seq, data []byte) []byte {
+	if seqGT(qseq, rcvNxt) {
+		return nil
+	}
+	probe(seqSub(rcvNxt, qseq))
+	return data[seqSub(rcvNxt, qseq):]
+}
+`)
+	a := seqAnalysis(info)
+	res := a.Func(findFunc(t, f, "drain").Body)
+	ps := probes(t, a, res)
+	if len(ps) != 1 {
+		t.Fatalf("probes = %d, want 1", len(ps))
+	}
+	want := Interval{0, 1 << 31}
+	if ps[0] != want {
+		t.Fatalf("seqSub under ¬seqGT = %v, want %v", ps[0], want)
+	}
+}
+
+func TestSeqLTGuardProvesPositiveCut(t *testing.T) {
+	// The checkSequence trim: under seqLT(s, nxt) the cut
+	// seqSub(nxt, s) is at least one byte.
+	f, info := typecheck(t, seqPrelude+`
+func trim(s, nxt seq) uint32 {
+	if seqLT(s, nxt) {
+		probe(seqSub(nxt, s))
+		return seqSub(nxt, s)
+	}
+	return 0
+}
+`)
+	a := seqAnalysis(info)
+	res := a.Func(findFunc(t, f, "trim").Body)
+	ps := probes(t, a, res)
+	want := Interval{1, 1 << 31}
+	if len(ps) != 1 || ps[0] != want {
+		t.Fatalf("seqSub under seqLT = %v, want %v", ps, want)
+	}
+}
+
+func TestSeqBetweenRecordsBothFacts(t *testing.T) {
+	f, info := typecheck(t, seqPrelude+`
+func window(lo, x, hi seq) uint32 {
+	if seqBetween(lo, x, hi) {
+		probe(seqSub(x, lo))
+	}
+	return 0
+}
+`)
+	a := seqAnalysis(info)
+	res := a.Func(findFunc(t, f, "window").Body)
+	ps := probes(t, a, res)
+	want := Interval{0, 1 << 31} // from LEQ(lo, x) mirrored
+	if len(ps) != 1 || ps[0] != want {
+		t.Fatalf("seqSub under seqBetween = %v, want %v", ps, want)
+	}
+}
+
+func TestSeqFactsSurviveHarmlessCallsOnly(t *testing.T) {
+	src := seqPrelude + `
+type T struct {
+	rcvNxt seq
+	bytes  int
+}
+
+func (t *T) release()  { t.bytes = 0 }
+func (t *T) advance()  { t.rcvNxt++ }
+
+func drain(t *T, q seq) uint32 {
+	if seqGT(q, t.rcvNxt) {
+		return 0
+	}
+	t.release()
+	probe(seqSub(t.rcvNxt, q))
+	t.advance()
+	probe(seqSub(t.rcvNxt, q))
+	return 0
+}
+`
+	f, info := typecheck(t, src)
+	a := seqAnalysis(info)
+	modsets := map[string]map[string]bool{
+		"release": {"bytes": true},
+		"advance": {"rcvNxt": true},
+	}
+	a.CallKills = func(fn *types.Func) (map[string]bool, bool) {
+		if m, ok := modsets[fn.Name()]; ok {
+			return m, true
+		}
+		return nil, false
+	}
+	res := a.Func(findFunc(t, f, "drain").Body)
+	ps := probes(t, a, res)
+	if len(ps) != 2 {
+		t.Fatalf("probes = %d, want 2", len(ps))
+	}
+	// release() writes only t.bytes: the guard survives.
+	if want := (Interval{0, 1 << 31}); ps[0] != want {
+		t.Fatalf("after release() = %v, want %v", ps[0], want)
+	}
+	// advance() writes t.rcvNxt: the guard dies, full uint32 range.
+	if want := (Interval{0, 1<<32 - 1}); ps[1] != want {
+		t.Fatalf("after advance() = %v, want %v", ps[1], want)
+	}
+}
+
+func TestShiftZeroLoopRefinement(t *testing.T) {
+	// The checksum Fold idiom: the loop exit edge proves sum fits 16 bits.
+	f, info := typecheck(t, seqPrelude+`
+func fold(sum uint32) uint16 {
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	probe(sum)
+	return uint16(sum)
+}
+`)
+	a := seqAnalysis(info)
+	res := a.Func(findFunc(t, f, "fold").Body)
+	ps := probes(t, a, res)
+	if len(ps) != 1 || ps[0] != (Interval{0, 0xffff}) {
+		t.Fatalf("folded sum = %v, want [0,65535]", ps)
+	}
+}
+
+func TestPanicGuardPrunesPath(t *testing.T) {
+	f, info := typecheck(t, seqPrelude+`
+func alloc(size int) []byte {
+	if size < 0 {
+		panic("negative")
+	}
+	probe(size)
+	return make([]byte, size)
+}
+`)
+	a := seqAnalysis(info)
+	res := a.Func(findFunc(t, f, "alloc").Body)
+	ps := probes(t, a, res)
+	if len(ps) != 1 || !ps[0].NonNeg() {
+		t.Fatalf("guarded size = %v, want non-negative", ps)
+	}
+}
+
+func TestSummarizeDerivesResultRanges(t *testing.T) {
+	f, info := typecheck(t, seqPrelude+`
+func headerBytes(opt bool) int {
+	if opt {
+		return 24
+	}
+	return 20
+}
+
+func use(opt bool) {
+	probe(headerBytes(opt) / 4)
+}
+`)
+	base := seqAnalysis(info)
+	var funcs []FuncSource
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			if fn, ok := info.ObjectOf(fd.Name).(*types.Func); ok {
+				funcs = append(funcs, FuncSource{Fn: fn, Body: fd.Body, Info: info})
+			}
+		}
+	}
+	sums := Summarize(funcs, 3, base)
+	var hdr *types.Func
+	for fn := range sums {
+		if fn.Name() == "headerBytes" {
+			hdr = fn
+		}
+	}
+	if hdr == nil || sums[hdr] != (Interval{20, 24}) {
+		t.Fatalf("headerBytes summary = %v, want [20,24]", sums[hdr])
+	}
+
+	a := *base
+	a.Summary = func(fn *types.Func) (Interval, bool) {
+		iv, ok := sums[fn]
+		return iv, ok
+	}
+	res := a.Func(findFunc(t, f, "use").Body)
+	ps := probes(t, &a, res)
+	if len(ps) != 1 || ps[0] != (Interval{5, 6}) {
+		t.Fatalf("headerBytes/4 = %v, want [5,6]", ps)
+	}
+}
+
+func TestDomainOps(t *testing.T) {
+	cases := []struct {
+		name string
+		got  Interval
+		want Interval
+	}{
+		{"add", Add(Range(1, 2), Range(10, 20)), Range(11, 22)},
+		{"add-sat", Add(Range(1, PosInf), Range(1, 1)), Range(2, PosInf)},
+		{"sub", Sub(Range(10, 20), Range(1, 2)), Range(8, 19)},
+		{"mul", Mul(Range(-2, 3), Range(4, 5)), Range(-10, 15)},
+		{"mul-sat", Mul(Range(2, PosInf), Range(2, 2)), Range(4, PosInf)},
+		{"div", Div(Range(10, 100), Range(2, 5)), Range(2, 50)},
+		{"div-zero", Div(Range(10, 100), Range(0, 5)), Top},
+		{"mod", Mod(Range(0, 1000), Range(16, 16)), Range(0, 15)},
+		{"shl", Shl(Range(1, 1), Range(0, 14)), Range(1, 16384)},
+		{"shr", Shr(Range(0, 0xffff), Range(8, 8)), Range(0, 0xff)},
+		{"and", And(Range(0, 1000), Range(0, 15)), Range(0, 15)},
+		{"union", Union(Range(0, 5), Range(10, 20)), Range(0, 20)},
+		{"widen-stable", Widen(Range(0, 10), Range(0, 10)), Range(0, 10)},
+		{"widen-hi", Widen(Range(0, 10), Range(0, 11)), Range(0, PosInf)},
+		{"widen-lo", Widen(Range(0, 10), Range(-1, 10)), Range(NegInf, 10)},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+	if iv, ok := Intersect(Range(0, 5), Range(6, 9)); ok {
+		t.Errorf("Intersect disjoint = %v, want empty", iv)
+	}
+}

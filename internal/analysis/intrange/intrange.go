@@ -1,0 +1,505 @@
+// Package intrange proves width safety on the datapath with the
+// interval (value-range) engine: the numeric facts the paper's SML
+// types carried for free — 31-bit default ints, explicit word types at
+// the wire boundary — restated as machine-checked range proofs over
+// Go's silent integer conversions.
+//
+// The pass runs the abstract interpreter over every function in the
+// datapath packages (tcp, ip, ethernet, wire, basis, checksum) and
+// reports:
+//
+//   - R1 (truncation): an integer conversion whose operand range is
+//     not provably within the target type — the classic
+//     uint32↔int/uint16 bugs on seq/window/length values. Conversions
+//     whose source type already fits the target are silent.
+//   - R2 (shift range): a shift whose count is not provably within
+//     [0, width-1] of the shifted operand. Go defines over-wide shifts
+//     as 0, which turns a backoff counter into a zero-length timer —
+//     exactly the silent failure this rule exists to catch. Window
+//     scaling (RFC 7323) clamps its exponent to 14, so a compliant
+//     shift proves in range by the clamp alone.
+//   - R3 (size sanity): make sizes and the size arguments of the
+//     packet allocators (AllocPacket, NewPacket) and mutators (Push,
+//     Pull, Extend, TrimTail, TrimTo) provably non-negative, so the
+//     memory-accounting charge derived from them cannot go negative.
+//   - R4 (offset sanity): index and slice-bound expressions in
+//     //foxvet:hotpath functions and the checksum package provably
+//     non-negative — the accumulator-offset proofs; upper bounds come
+//     from the guard refinement making loop ranges finite.
+//
+// Two modelling axioms keep the pass honest rather than noisy, and
+// both are documented where the engine defines them (see package
+// interval): int/int64 are unbounded, and len/cap and the measurement
+// methods (Len, Headroom, Tailroom, MTU, ...) return at most 2³¹-1 —
+// the paper's SML default-int magnitude. Under the axiom,
+// seq(len(data)) is a proof, not a finding.
+//
+// Interprocedural precision comes from three module-wide structures
+// memoized across packages: the call graph, bottom-up interval
+// summaries for single-integer-result functions (headerBytes and
+// friends), and per-function modsets — the set of field/package-var
+// names a call may transitively write — which let a seq-space guard
+// survive the helper calls interleaved between the guard and the use
+// (drainOutOfOrder's shape). The modsets are used only to retain
+// comparison facts, never to widen a variable, so an over-small
+// modset costs precision on facts about mutable shared state but
+// cannot manufacture a range that excludes a reachable value.
+package intrange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
+	"repro/internal/analysis/interval"
+)
+
+// Analyzer is the intrange pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "intrange",
+	Doc:  "prove width safety on the datapath: no silently truncating integer conversions, shift counts within the operand width, allocation sizes and hotpath/checksum offsets provably non-negative",
+	Run:  run,
+}
+
+// hotDirective marks functions whose index expressions are checked.
+const hotDirective = "//foxvet:hotpath"
+
+// scoped names the datapath packages the pass proves.
+var scoped = map[string]bool{
+	"tcp":      true,
+	"ip":       true,
+	"ethernet": true,
+	"wire":     true,
+	"basis":    true,
+	"checksum": true,
+}
+
+// measureNames are the niladic measurement methods covered by the
+// 31-bit axiom: they report a size of something that exists in memory.
+var measureNames = map[string]bool{
+	"Len":      true,
+	"Cap":      true,
+	"Headroom": true,
+	"Tailroom": true,
+	"Buffered": true,
+	"MTU":      true,
+	"Size":     true,
+}
+
+// sizeArgs maps packet allocator/mutator names to the argument indexes
+// that must be provably non-negative (R3).
+var sizeArgs = map[string][]int{
+	"AllocPacket": {0, 1, 2},
+	"NewPacket":   {0, 1},
+	"Push":        {0},
+	"Pull":        {0},
+	"Extend":      {0},
+	"TrimTail":    {0},
+	"TrimTo":      {0},
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !scoped[lastElem(pass.Pkg.Path())] {
+		return nil, nil
+	}
+	w := worldOf(pass)
+	for _, f := range pass.Files {
+		if testFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, w, fd)
+		}
+	}
+	return nil, nil
+}
+
+// world is the module-wide interprocedural context, built once and
+// shared by every per-package run.
+type world struct {
+	graph *callgraph.Graph
+	sums  map[*types.Func]interval.Interval
+	mods  map[*types.Func]*modset
+}
+
+func worldOf(pass *analysis.Pass) *world {
+	return pass.Shared.Memo("intrange.world", func() any {
+		g := pass.Shared.Memo("callgraph", func() any {
+			return callgraph.Build(pass.Shared.Packages)
+		}).(*callgraph.Graph)
+		w := &world{graph: g}
+		w.mods = buildModsets(g)
+		var srcs []interval.FuncSource
+		for _, pkg := range pass.Shared.Packages {
+			if !scoped[lastElem(pkg.Path)] {
+				continue
+			}
+			for _, f := range pkg.Files {
+				if testFile(pkg.Fset, f) {
+					continue
+				}
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+					if !ok {
+						continue
+					}
+					srcs = append(srcs, interval.FuncSource{Fn: fn, Body: fd.Body, Info: pkg.Info})
+				}
+			}
+		}
+		base := w.analysis(nil)
+		w.sums = interval.Summarize(srcs, 3, base)
+		return w
+	}).(*world)
+}
+
+// analysis builds the engine hooks over the world; info is the package
+// whose bodies are being interpreted (nil inside Summarize, which
+// swaps in each source's own info).
+func (w *world) analysis(info *types.Info) *interval.Analysis {
+	return &interval.Analysis{
+		Info: info,
+		Summary: func(fn *types.Func) (interval.Interval, bool) {
+			iv, ok := w.sums[fn]
+			return iv, ok
+		},
+		Measure: isMeasure,
+		SeqSub:  isSeqSub,
+		SeqPred: seqPredOf,
+		CallKills: func(fn *types.Func) (map[string]bool, bool) {
+			m := w.mods[fn]
+			if m == nil || !m.complete {
+				return nil, false
+			}
+			return m.writes, true
+		},
+	}
+}
+
+func fnPkg(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	return lastElem(fn.Pkg().Path())
+}
+
+// isSeqSub recognizes tcp's wrapping sequence difference.
+func isSeqSub(fn *types.Func) bool {
+	return fnPkg(fn) == "tcp" && fn.Name() == "seqSub"
+}
+
+// seqPredOf recognizes the wrap-safe comparison predicates.
+func seqPredOf(fn *types.Func) (interval.SeqPred, bool) {
+	if fnPkg(fn) != "tcp" {
+		return 0, false
+	}
+	switch fn.Name() {
+	case "seqLT":
+		return interval.SeqLT, true
+	case "seqLEQ":
+		return interval.SeqLEQ, true
+	case "seqGT":
+		return interval.SeqGT, true
+	case "seqGEQ":
+		return interval.SeqGEQ, true
+	case "seqBetween":
+		return interval.SeqBetween, true
+	}
+	return 0, false
+}
+
+// isMeasure recognizes the niladic size methods under the 31-bit axiom.
+func isMeasure(fn *types.Func) bool {
+	if !measureNames[fn.Name()] {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	return interval.IsInteger(sig.Results().At(0).Type())
+}
+
+// checkFunc runs the engine over a declaration and every function
+// literal nested in it (each literal gets its own fixpoint — the
+// engine does not descend into literals).
+func checkFunc(pass *analysis.Pass, w *world, fd *ast.FuncDecl) {
+	hot := marked(fd) || lastElem(pass.Pkg.Path()) == "checksum"
+	bodies := []*ast.BlockStmt{fd.Body}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			bodies = append(bodies, lit.Body)
+		}
+		return true
+	})
+	a := w.analysis(pass.TypesInfo)
+	for _, body := range bodies {
+		res := a.Func(body)
+		c := &checker{pass: pass, a: a, hot: hot}
+		c.scanResult(res)
+	}
+}
+
+func marked(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, cm := range fd.Doc.List {
+		if cm.Text == hotDirective || strings.HasPrefix(cm.Text, hotDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// checker applies the four rules to an analyzed body.
+type checker struct {
+	pass *analysis.Pass
+	a    *interval.Analysis
+	hot  bool
+}
+
+func (c *checker) scanResult(res *interval.Result) {
+	for _, b := range res.Graph.Blocks {
+		for _, n := range b.Nodes {
+			c.scanNode(n, res.Before[n])
+		}
+	}
+	// Branch conditions live on terminators, not in block nodes; the
+	// engine records the env at each decomposed leaf. Driver output is
+	// position-sorted, but scan in order anyway for reproducibility.
+	conds := make([]ast.Expr, 0, len(res.AtCond))
+	for e := range res.AtCond {
+		conds = append(conds, e)
+	}
+	sort.Slice(conds, func(i, j int) bool { return conds[i].Pos() < conds[j].Pos() })
+	for _, e := range conds {
+		c.scanNode(e, res.AtCond[e])
+	}
+}
+
+// scanNode applies the rules to one statement or condition under its
+// fixpoint env. Nested literals are analyzed separately; a range
+// statement's body is lowered into its own blocks, so only the range
+// expression is scanned here.
+func (c *checker) scanNode(n ast.Node, env *interval.Env) {
+	if env == nil || env.Dead() {
+		return
+	}
+	if r, ok := n.(*ast.RangeStmt); ok {
+		c.scanNode(r.X, env)
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch e := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			if op := shiftAssign(e.Tok); op != token.ILLEGAL && len(e.Lhs) == 1 && len(e.Rhs) == 1 {
+				c.checkShift(e.Lhs[0], e.Rhs[0], env)
+			}
+		case *ast.BinaryExpr:
+			if e.Op == token.SHL || e.Op == token.SHR {
+				c.checkShift(e.X, e.Y, env)
+			}
+		case *ast.CallExpr:
+			c.checkCall(e, env)
+		case *ast.IndexExpr:
+			c.checkIndex(e, env)
+		case *ast.SliceExpr:
+			c.checkSlice(e, env)
+		}
+		return true
+	})
+}
+
+func shiftAssign(tok_ token.Token) token.Token {
+	switch tok_ {
+	case token.SHL_ASSIGN:
+		return token.SHL
+	case token.SHR_ASSIGN:
+		return token.SHR
+	}
+	return token.ILLEGAL
+}
+
+// checkCall handles R1 (conversions) and R3 (allocation sizes).
+func (c *checker) checkCall(call *ast.CallExpr, env *interval.Env) {
+	info := c.pass.TypesInfo
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) != 1 {
+			return
+		}
+		src := info.TypeOf(call.Args[0])
+		dst := info.TypeOf(call)
+		if src == nil || dst == nil || !interval.IsInteger(src) || !interval.IsInteger(dst) {
+			return
+		}
+		if interval.BitWidth(dst) >= interval.BitWidth(src) {
+			// Widening, or a same-width sign reinterpretation — the
+			// int32(seqSub(...)) idiom the wrap-safe predicates are
+			// built on. R1 is about dropped high bits, not sign.
+			return
+		}
+		dstIv := interval.OfType(dst)
+		if interval.OfType(src).In(dstIv) {
+			return
+		}
+		got := c.a.Eval(call.Args[0], env)
+		if !got.In(dstIv) {
+			c.pass.Reportf(call.Pos(), "conversion to %s may truncate: operand range %s does not fit %s",
+				typeName(c.pass, dst), got, dstIv)
+		}
+		return
+	}
+	if name, ok := builtinOf(info, call); ok {
+		if name == "make" {
+			for _, arg := range call.Args[1:] {
+				c.requireNonNeg(arg, env, "make size")
+			}
+		}
+		return
+	}
+	fn := calleeOf(info, call)
+	if fn == nil {
+		return
+	}
+	if idx, ok := sizeArgs[fn.Name()]; ok && packetFunc(fn) {
+		for _, i := range idx {
+			if i < len(call.Args) {
+				c.requireNonNeg(call.Args[i], env, fn.Name()+" size")
+			}
+		}
+	}
+}
+
+// packetFunc reports whether fn is one of the basis packet entry points
+// (by package for the allocators, by receiver type for the mutators) —
+// or a testdata stand-in using the same names on a Packet type.
+func packetFunc(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		return ok && named.Obj().Name() == "Packet"
+	}
+	return true
+}
+
+// checkIndex is R4: offsets provably non-negative on the hot path.
+func (c *checker) checkIndex(e *ast.IndexExpr, env *interval.Env) {
+	if !c.hot {
+		return
+	}
+	if !indexable(c.pass.TypesInfo.TypeOf(e.X)) {
+		return
+	}
+	c.requireNonNeg(e.Index, env, "index")
+}
+
+func (c *checker) checkSlice(e *ast.SliceExpr, env *interval.Env) {
+	if !c.hot {
+		return
+	}
+	for _, bound := range []ast.Expr{e.Low, e.High, e.Max} {
+		if bound != nil {
+			c.requireNonNeg(bound, env, "slice bound")
+		}
+	}
+}
+
+// indexable excludes map indexing (any key type) from R4.
+func indexable(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	case *types.Pointer:
+		_, ok := u.Elem().Underlying().(*types.Array)
+		return ok
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	}
+	return false
+}
+
+func (c *checker) requireNonNeg(e ast.Expr, env *interval.Env, what string) {
+	iv := c.a.Eval(e, env)
+	if !iv.NonNeg() {
+		c.pass.Reportf(e.Pos(), "%s not provably non-negative: range %s", what, iv)
+	}
+}
+
+// checkShift is R2.
+func (c *checker) checkShift(operand, count ast.Expr, env *interval.Env) {
+	t := c.pass.TypesInfo.TypeOf(operand)
+	if t == nil || !interval.IsInteger(t) {
+		return
+	}
+	width := int64(interval.BitWidth(t))
+	iv := c.a.Eval(count, env)
+	if iv.Lo < 0 || iv.Hi >= width {
+		c.pass.Reportf(count.Pos(), "shift count range %s not provably within [0,%d] for the %d-bit operand",
+			iv, width-1, width)
+	}
+}
+
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.ObjectOf(fun).(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.ObjectOf(fun.Sel).(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func builtinOf(info *types.Info, call *ast.CallExpr) (string, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	b, ok := info.ObjectOf(id).(*types.Builtin)
+	if !ok {
+		return "", false
+	}
+	return b.Name(), true
+}
+
+// typeName renders a type relative to the package under analysis.
+func typeName(pass *analysis.Pass, t types.Type) string {
+	return types.TypeString(t, types.RelativeTo(pass.Pkg))
+}
+
+func lastElem(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+func testFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Package).Filename, "_test.go")
+}

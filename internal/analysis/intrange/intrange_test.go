@@ -1,0 +1,17 @@
+package intrange
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+// TestIntRange covers every rule and its clean twin: narrowing
+// conversions against guard refinement, the 31-bit measurement axiom,
+// and bottom-up summaries; shift counts against the RFC 7323 clamp;
+// allocation sizes; hotpath and whole-package-checksum offsets,
+// including the drainOutOfOrder-shaped seq-predicate proof and the
+// carry-fold exit refinement.
+func TestIntRange(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "tcp", "checksum", "app")
+}

@@ -1,0 +1,161 @@
+// Modsets: the set of field and package-variable names a function may
+// transitively write. The engine consumes them through CallKills — a
+// sequence-space fact survives a call iff the callee's modset is
+// complete and disjoint from the names the fact mentions. That is what
+// lets drainOutOfOrder's seqGT guard survive the queue-maintenance
+// calls between the guard and the delivery slice.
+//
+// The collection is name-based, matching the engine's fact paths:
+//   - writes through a selector record the field name (tcb.rcvNxt = x,
+//     and x.f op= y, x.f++ likewise);
+//   - writes to package-level variables record the variable name;
+//   - writes through an explicit pointer dereference (*p = x) have an
+//     unknown target, so the function's modset becomes incomplete and
+//     every call to it kills all facts;
+//   - writes to locals are invisible to callers and are skipped; an
+//     element write through a local alias can change shared contents
+//     but not the value of any named integer field, and facts range
+//     over integers only.
+// Taking the address of a selector or package variable counts as a
+// write to it — the pointer may be stored and used later.
+//
+// Edges with no resolved callee (interface calls, stored function
+// values the callgraph could not bind) and callees without a loaded
+// body (stdlib) also force incompleteness: the caller then provides no
+// fact retention, which is the safe direction.
+
+package intrange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/callgraph"
+)
+
+type modset struct {
+	writes   map[string]bool
+	complete bool
+}
+
+func buildModsets(g *callgraph.Graph) map[*types.Func]*modset {
+	sets := make(map[*types.Func]*modset, len(g.Funcs))
+	for fn, n := range g.Funcs {
+		m := &modset{writes: map[string]bool{}, complete: true}
+		collectWrites(n, m)
+		sets[fn] = m
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, n := range g.Funcs {
+			m := sets[fn]
+			for _, e := range allEdges(n) {
+				if e.Callee == nil {
+					if m.complete {
+						m.complete = false
+						changed = true
+					}
+					continue
+				}
+				cm := sets[e.Callee]
+				if cm == nil {
+					// No body loaded for the callee (stdlib or
+					// interface method): unknown writes.
+					if m.complete {
+						m.complete = false
+						changed = true
+					}
+					continue
+				}
+				if !cm.complete && m.complete {
+					m.complete = false
+					changed = true
+				}
+				for name := range cm.writes {
+					if !m.writes[name] {
+						m.writes[name] = true
+						changed = true
+					}
+				}
+			}
+			_ = fn
+		}
+	}
+	return sets
+}
+
+// allEdges flattens a node's call sites including nested literals —
+// a closure built on a path is conservatively assumed to run when the
+// function does.
+func allEdges(n *callgraph.Node) []callgraph.Edge {
+	var out []callgraph.Edge
+	var walk func(n *callgraph.Node)
+	walk = func(n *callgraph.Node) {
+		out = append(out, n.Edges...)
+		out = append(out, n.ValueEdges...)
+		for _, lit := range n.Lits {
+			walk(lit)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// collectWrites records the direct writes in a declaration's body,
+// including nested literals (they share the frame).
+func collectWrites(n *callgraph.Node, m *modset) {
+	info := n.Pkg.Info
+	ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+		switch s := x.(type) {
+		case *ast.AssignStmt:
+			for _, l := range s.Lhs {
+				addWrite(info, m, l)
+			}
+		case *ast.IncDecStmt:
+			addWrite(info, m, s.X)
+		case *ast.RangeStmt:
+			if s.Key != nil {
+				addWrite(info, m, s.Key)
+			}
+			if s.Value != nil {
+				addWrite(info, m, s.Value)
+			}
+		case *ast.CallExpr:
+			if name, ok := builtinOf(info, s); ok && name == "copy" && len(s.Args) > 0 {
+				addWrite(info, m, s.Args[0])
+			}
+		case *ast.UnaryExpr:
+			if s.Op == token.AND {
+				addWrite(info, m, s.X)
+			}
+		}
+		return true
+	})
+}
+
+func addWrite(info *types.Info, m *modset, l ast.Expr) {
+	switch e := ast.Unparen(l).(type) {
+	case *ast.Ident:
+		if e.Name == "_" {
+			return
+		}
+		v, ok := info.ObjectOf(e).(*types.Var)
+		if !ok {
+			return
+		}
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			m.writes[e.Name] = true // package-level variable
+		}
+	case *ast.SelectorExpr:
+		m.writes[e.Sel.Name] = true
+	case *ast.IndexExpr:
+		addWrite(info, m, e.X)
+	case *ast.StarExpr:
+		m.complete = false
+	case *ast.CompositeLit:
+		// &T{...} reached through the address-of case: fresh value.
+	default:
+		m.complete = false
+	}
+}

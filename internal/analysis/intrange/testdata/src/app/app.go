@@ -1,0 +1,15 @@
+// Package app sits outside the datapath scope: the same shapes that
+// are findings in tcp/checksum are silent here.
+package app
+
+func truncates(n int) uint16 {
+	return uint16(n)
+}
+
+func badShift(w uint32, k int) uint32 {
+	return w << uint(k)
+}
+
+func badMake(n int) []byte {
+	return make([]byte, n)
+}

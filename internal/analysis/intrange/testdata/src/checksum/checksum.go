@@ -1,0 +1,31 @@
+// Package checksum exercises intrange's whole-package hotpath rule:
+// every offset in the checksum kernels is checked, and the carry-fold
+// loop's exit refinement ((sum>>16) == 0) proves the final narrowing.
+package checksum
+
+// fold proves: on the loop's exit edge sum>>16 == 0, so sum is within
+// [0,0xffff] and the narrowing is lossless.
+func fold(sum uint32) uint16 {
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return uint16(sum)
+}
+
+func foldMissing(sum uint32) uint16 {
+	return uint16(sum) // want "conversion to uint16 may truncate"
+}
+
+// accumulate proves the loop-counter offsets non-negative through
+// widening: the zero lower bound is stable at the loop head.
+func accumulate(data []byte) uint32 {
+	var s uint32
+	for i := 0; i+2 <= len(data); i += 2 {
+		s += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	return s
+}
+
+func offsetUnproven(data []byte, n int) byte {
+	return data[n] // want "index not provably non-negative"
+}

@@ -1,0 +1,171 @@
+// Package tcp exercises the intrange analyzer inside a scoped package
+// carrying the real module's sequence machinery: narrowing conversions
+// (R1), shift counts (R2), allocation sizes (R3), and hotpath offsets
+// (R4), with the clean twins proving the guard-refinement, summary,
+// and seq-predicate paths.
+package tcp
+
+type seq uint32
+
+func seqSub(a, b seq) uint32 { return uint32(a) - uint32(b) }
+
+func seqLT(a, b seq) bool  { return int32(seqSub(a, b)) < 0 }
+func seqLEQ(a, b seq) bool { return int32(seqSub(a, b)) <= 0 }
+func seqGT(a, b seq) bool  { return int32(seqSub(a, b)) > 0 }
+func seqGEQ(a, b seq) bool { return int32(seqSub(a, b)) >= 0 }
+
+func seqBetween(lo, x, hi seq) bool { return seqLEQ(lo, x) && seqLT(x, hi) }
+
+// --- R1: narrowing conversions ---
+
+func truncates(n int) uint16 {
+	return uint16(n) // want "conversion to uint16 may truncate"
+}
+
+func guarded(n int) uint16 {
+	if n < 0 || n > 0xffff {
+		return 0
+	}
+	return uint16(n)
+}
+
+// fromLen proves under the 31-bit measurement axiom: a length always
+// fits uint32.
+func fromLen(data []byte) uint32 {
+	return uint32(len(data))
+}
+
+// reinterpret is the sanctioned same-width sign flip the predicates
+// are built on — not a narrowing, not flagged.
+func reinterpret(d uint32) int32 {
+	return int32(d)
+}
+
+func clampDiamond(n int) uint16 {
+	if n > 0xffff {
+		n = 0xffff
+	}
+	if n < 0 {
+		n = 0
+	}
+	return uint16(n)
+}
+
+// --- R2: shift counts ---
+
+func badShift(w uint32, k int) uint32 {
+	return w << uint(k) // want "shift count range .* not provably within"
+}
+
+// windowScale proves by the RFC 7323 clamp alone.
+func windowScale(w uint32, k int) uint32 {
+	if k < 0 {
+		k = 0
+	}
+	if k > 14 {
+		k = 14
+	}
+	return w << uint(k)
+}
+
+func constShift(w uint32) uint32 {
+	return w >> 16
+}
+
+// --- R3: allocation sizes ---
+
+func badMake(n int) []byte {
+	return make([]byte, n) // want "make size not provably non-negative"
+}
+
+func goodMake(n int) []byte {
+	if n < 0 {
+		n = 0
+	}
+	return make([]byte, n)
+}
+
+func headerBytes(opts bool) int {
+	if opts {
+		return 24
+	}
+	return 20
+}
+
+// summaryMake proves through the bottom-up summary of headerBytes:
+// [20,24] is non-negative at every call site.
+func summaryMake() []byte {
+	return make([]byte, headerBytes(true))
+}
+
+type Packet struct{ buf []byte }
+
+func (p *Packet) Push(n int) []byte {
+	if n < 0 || n > len(p.buf) {
+		return nil
+	}
+	return p.buf[:n]
+}
+
+func badPush(p *Packet, n int) {
+	p.Push(n) // want "Push size not provably non-negative"
+}
+
+func goodPush(p *Packet, n int) {
+	if n < 0 {
+		return
+	}
+	p.Push(n)
+}
+
+// --- R4: hotpath offsets ---
+
+//foxvet:hotpath
+func hotIndex(b []byte, i int) byte {
+	return b[i] // want "index not provably non-negative"
+}
+
+//foxvet:hotpath
+func hotIndexGuarded(b []byte, i int) byte {
+	if i < 0 || i >= len(b) {
+		return 0
+	}
+	return b[i]
+}
+
+// coldIndex is unmarked: R4 does not apply outside the hot path.
+func coldIndex(b []byte, i int) byte {
+	return b[i]
+}
+
+// sumBytes proves widening terminates and keeps the stable zero bound
+// through the loop head.
+//
+//foxvet:hotpath
+func sumBytes(b []byte) (s int) {
+	for i := 0; i < len(b); i++ {
+		s += int(b[i])
+	}
+	return s
+}
+
+type segmentT struct {
+	seq  seq
+	data []byte
+}
+
+// deliverTail is the drainOutOfOrder shape: the wrap-safe guard pins
+// seqSub to the non-negative half-space, so the slice bound proves.
+//
+//foxvet:hotpath
+func deliverTail(rcvNxt seq, q *segmentT) []byte {
+	if seqGT(q.seq, rcvNxt) {
+		return nil
+	}
+	return q.data[seqSub(rcvNxt, q.seq):]
+}
+
+//foxvet:hotpath
+func hotSlice(b []byte, lo int) []byte {
+	return b[lo:] // want "slice bound not provably non-negative"
+}

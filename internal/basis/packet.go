@@ -21,6 +21,9 @@ type Packet struct {
 // headroom bytes reserved in front for headers and tailroom bytes behind
 // for trailers. This is the single copy of the send path.
 func NewPacket(headroom, tailroom int, data []byte) *Packet {
+	if headroom < 0 || tailroom < 0 {
+		panic("basis.NewPacket: negative headroom/tailroom")
+	}
 	p := AllocPacket(headroom, tailroom, len(data))
 	copy(p.buf[p.off:], data)
 	return p

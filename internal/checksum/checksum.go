@@ -111,13 +111,13 @@ func SumNaive(initial uint16, data []byte) uint16 {
 	n := 0
 	for ; n+2 <= len(data); n += 2 {
 		sum += uint32(data[n])<<8 | uint32(data[n+1])
-		if sum > 0xffff {
+		for sum > 0xffff {
 			sum = sum&0xffff + 1
 		}
 	}
 	if n < len(data) {
 		sum += uint32(data[n]) << 8
-		if sum > 0xffff {
+		for sum > 0xffff {
 			sum = sum&0xffff + 1
 		}
 	}

@@ -271,7 +271,11 @@ func (t *Transport) Send(dst protocol.Address, pkt *basis.Packet) error {
 	if !ok {
 		return fmt.Errorf("ethernet: cannot send to %T address %v", dst, dst)
 	}
-	binary.BigEndian.PutUint16(pkt.Push(lengthPrefix), uint16(pkt.Len()-lengthPrefix))
+	n := pkt.Len()
+	if n > 0xffff {
+		return fmt.Errorf("ethernet: frame length %d overflows the length prefix", n)
+	}
+	binary.BigEndian.PutUint16(pkt.Push(lengthPrefix), uint16(n))
 	return t.e.Send(mac, t.etherType, pkt)
 }
 

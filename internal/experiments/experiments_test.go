@@ -102,6 +102,31 @@ func TestTable2ProfilesBothHosts(t *testing.T) {
 	}
 }
 
+// TestTable2CopiesPerKB pins the one-copy invariant numerically: the
+// sender performs one queueTake copy per segment, so copies-per-KB
+// tracks segments-per-KB (payload/MSS), and the receiver — draining
+// batches through Conn.Read — copies no more often than the sender.
+func TestTable2CopiesPerKB(t *testing.T) {
+	o := fast()
+	o.Bytes = 50_000
+	rep, _ := Table2Report(o)
+	s, r := rep.SenderProfile, rep.ReceiverProfile
+	if s == nil || r == nil {
+		t.Fatal("profiles missing from the table 2 report")
+	}
+	if s.Copies == 0 || s.CopiesPerKB <= 0 {
+		t.Fatalf("sender copy accounting empty: copies=%d per_kb=%v", s.Copies, s.CopiesPerKB)
+	}
+	// One copy per ~1456-byte segment bounds the rate near 1/KB; a
+	// second copy anywhere on the path would double it.
+	if s.CopiesPerKB > 1.5 {
+		t.Fatalf("sender copies-per-KB = %v, the one-copy path predicts <= ~0.72", s.CopiesPerKB)
+	}
+	if r.CopiesPerKB > s.CopiesPerKB {
+		t.Fatalf("receiver copies-per-KB %v exceeds sender %v", r.CopiesPerKB, s.CopiesPerKB)
+	}
+}
+
 func TestGCExperimentRuns(t *testing.T) {
 	o := fast()
 	r := GCExperiment(o)

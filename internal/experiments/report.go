@@ -65,12 +65,17 @@ type RTTJSON struct {
 	MaxRTTNS  int64  `json:"max_rtt_ns"`
 }
 
-// ProfileJSON is a Table 2 execution profile.
+// ProfileJSON is a Table 2 execution profile. Copies and CopiesPerKB
+// lift the CatCopy section count out of the rows: the one-copy datapath
+// invariant (copyflow) predicts copies-per-KB stays flat as payload
+// grows — one queueTake (or Read) copy per segment, nothing compounding.
 type ProfileJSON struct {
-	TotalNS int64            `json:"total_ns"`
-	NumGC   uint32           `json:"num_gc"`
-	Sum     float64          `json:"sum_percent"`
-	Rows    []ProfileRowJSON `json:"rows"`
+	TotalNS     int64            `json:"total_ns"`
+	NumGC       uint32           `json:"num_gc"`
+	Sum         float64          `json:"sum_percent"`
+	Copies      uint64           `json:"copies"`
+	CopiesPerKB float64          `json:"copies_per_kb"`
+	Rows        []ProfileRowJSON `json:"rows"`
 }
 
 // ProfileRowJSON is one profile category.
@@ -108,13 +113,19 @@ func rttJSON(r RTTResult) RTTJSON {
 	}
 }
 
-func profileJSON(r profile.Report) *ProfileJSON {
+func profileJSON(r profile.Report, bytes int) *ProfileJSON {
 	p := &ProfileJSON{TotalNS: int64(r.Total), NumGC: r.NumGC, Sum: r.Sum}
 	for _, row := range r.Rows {
 		p.Rows = append(p.Rows, ProfileRowJSON{
 			Label: row.Label, TimeNS: int64(row.Time),
 			Percent: row.Percent, Busy: row.Busy, Count: row.Count,
 		})
+		if row.Label == profile.CatCopy.String() {
+			p.Copies = row.Count
+			if bytes > 0 {
+				p.CopiesPerKB = float64(row.Count) / (float64(bytes) / 1024)
+			}
+		}
 	}
 	return p
 }
@@ -137,8 +148,8 @@ func Table2Report(o Options) (Report, string) {
 	return Report{
 		Table:           2,
 		Throughput:      []TransferJSON{transferJSON(r)},
-		SenderProfile:   profileJSON(r.Sender),
-		ReceiverProfile: profileJSON(r.Receiver),
+		SenderProfile:   profileJSON(r.Sender, r.Bytes),
+		ReceiverProfile: profileJSON(r.Receiver, r.Bytes),
 	}, text
 }
 

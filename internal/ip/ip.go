@@ -192,7 +192,7 @@ func (p *IP) Send(dst Addr, proto byte, pkt *basis.Packet) error {
 			end = len(data)
 			more = false
 		}
-		fp := basis.NewPacket(Headroom, ethernet.Tailroom, data[off:end])
+		fp := basis.NewPacket(Headroom, ethernet.Tailroom, data[off:end]) //foxvet:boundary-copy fragmentation: each fragment is an independent datagram with its own header and lifetime
 		p.stats.FragmentsSent++
 		p.cfg.Metrics.FragCreates.Inc()
 		p.sendOne(dst, proto, id, off/8, more, fp)
@@ -203,6 +203,13 @@ func (p *IP) Send(dst Addr, proto byte, pkt *basis.Packet) error {
 // sendOne fills in one IP header and routes the packet.
 func (p *IP) sendOne(dst Addr, proto byte, id uint16, fragOff8 int, moreFrags bool, pkt *basis.Packet) {
 	totalLen := pkt.Len() + headerLen
+	if totalLen > 0xffff || fragOff8 < 0 || fragOff8 > 0x1fff {
+		// Unreachable by construction — Send fragments to the MTU —
+		// but the wire fields are 16 and 13 bits wide, and the proof
+		// wants the bound local.
+		p.cfg.Trace.Printf("drop: length %d or offset %d overflows the header fields", totalLen, fragOff8)
+		return
+	}
 	h := pkt.Push(headerLen)
 	h[0] = 0x45
 	h[1] = 0
@@ -359,7 +366,7 @@ func (p *IP) forward(src, dst Addr, pkt *basis.Packet) {
 	}
 	// The wire packet has no link-layer headroom left; a router copies
 	// the datagram into a fresh frame, as real forwarding does.
-	fwd := basis.NewPacket(ethernet.Headroom, ethernet.Tailroom, b)
+	fwd := basis.NewPacket(ethernet.Headroom, ethernet.Tailroom, b) //foxvet:boundary-copy forwarding: a router re-buffers into a fresh frame, as real forwarding does
 	fb := fwd.Bytes()
 	fb[8]--
 	// Refresh the header checksum over the modified header.
@@ -405,7 +412,7 @@ func (p *IP) reassemble(key reasmKey, off int, more bool, pkt *basis.Packet) *ba
 			}
 		}, p.cfg.ReassemblyTimeout)
 	}
-	data := append([]byte(nil), pkt.Bytes()...)
+	data := append([]byte(nil), pkt.Bytes()...) //foxvet:boundary-copy reassembly: fragments outlive their wire packets until the datagram completes
 	r.frags = append(r.frags, fragment{off: off, data: data, last: !more})
 
 	// Check completeness: contiguous coverage from 0 through a last
@@ -425,7 +432,7 @@ func (p *IP) reassemble(key reasmKey, off int, more bool, pkt *basis.Packet) *ba
 		if f.off+len(f.data) > end {
 			continue // overlapping junk past the end; ignore
 		}
-		copy(assembled[f.off:], f.data)
+		copy(assembled[f.off:], f.data) //foxvet:boundary-copy reassembly: splicing retained fragments back into one datagram
 		for i := f.off; i < f.off+len(f.data); i++ {
 			covered[i] = true
 		}
@@ -482,6 +489,9 @@ func (n *network) PseudoHeaderChecksum(dst protocol.Address, length int) uint16 
 	a, ok := dst.(Addr)
 	if !ok {
 		return 0
+	}
+	if length < 0 || length > 0xffff {
+		return 0 // the pseudo-header length field cannot express it
 	}
 	var acc checksum.Accumulator
 	acc.Add(n.ip.cfg.Local[:])

@@ -122,7 +122,7 @@ func (c *Conn) emit(sg *segment, pkt *basis.Packet) {
 	}
 	if pkt == nil {
 		cp := c.t.cfg.Prof.Start(profile.CatCopy)
-		pkt = basis.NewPacket(c.t.net.Headroom()+sg.headerBytes(), c.t.net.Tailroom(), sg.data)
+		pkt = basis.NewPacket(c.t.net.Headroom()+sg.headerBytes(), c.t.net.Tailroom(), sg.data) //foxvet:boundary-copy retransmission: the original packet left with the device, so the wire image is rebuilt from the retained segment (charged to CatCopy)
 		cp.Stop()
 	}
 	compute := c.t.cfg.computeChecksums()
@@ -191,7 +191,7 @@ func (c *Conn) twoMSL() sim.Duration { return 2 * c.t.cfg.MSL }
 // persistBackoff returns the persist-probe interval for the current
 // backoff count, doubling up to a minute.
 func (c *Conn) persistBackoff() sim.Duration {
-	d := c.t.cfg.PersistInterval << uint(c.tcb.backoff)
+	d := c.t.cfg.PersistInterval << c.tcb.shiftBackoff()
 	if d > time.Minute {
 		d = time.Minute
 	}

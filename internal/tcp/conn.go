@@ -400,7 +400,7 @@ func (c *Conn) WriteUrgent(data []byte) error {
 		return nil
 	}
 	c.recUop("wurg", len(data))
-	c.tcb.sndUpSeq = c.tcb.sndNxt + seq(c.tcb.queuedBytes) + seq(len(data))
+	c.tcb.sndUpSeq = c.tcb.sndNxt + seq(sat32(c.tcb.queuedBytes)) + seq(len(data))
 	c.tcb.urgentPending = true
 	return c.Write(data)
 }

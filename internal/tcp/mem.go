@@ -182,8 +182,8 @@ func (l *Listener) evictOldestHalfOpen() {
 func (c *Conn) advertisedWindowFor(w uint32) uint16 {
 	switch c.t.mem.state {
 	case memPressure:
-		if w > uint32(c.tcb.mss) {
-			w = uint32(c.tcb.mss)
+		if w > c.tcb.mss32() {
+			w = c.tcb.mss32()
 		}
 	case memExhausted:
 		w = 0

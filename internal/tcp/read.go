@@ -40,11 +40,7 @@ func (c *Conn) bufferData(data []byte) {
 
 // updateRcvWnd recomputes the advertised window from buffer occupancy.
 func (c *Conn) updateRcvWnd() {
-	free := c.t.cfg.InitialWindow - c.recv.buffered
-	if free < 0 {
-		free = 0
-	}
-	c.tcb.rcvWnd = uint32(free)
+	c.tcb.rcvWnd = sat32(c.t.cfg.InitialWindow - c.recv.buffered)
 }
 
 // Read copies buffered in-order data into dst, blocking the calling
@@ -103,7 +99,7 @@ func (c *Conn) finishRead(n int) {
 
 	// Receiver SWS avoidance: volunteer a window update only once the
 	// window has reopened substantially past what the peer last heard.
-	threshold := uint32(min(c.tcb.mss, c.t.cfg.InitialWindow/2))
+	threshold := min(c.tcb.mss32(), sat32(c.t.cfg.InitialWindow/2))
 	if c.tcb.rcvWnd >= c.tcb.lastAdvWnd+threshold {
 		c.tcb.ackNow = true
 		c.enqueue(actMaybeSend{})

@@ -110,7 +110,7 @@ func (c *Conn) rcvSynSent(sg *segment) {
 	tcb.rcvNxt = sg.seq + 1
 	if sg.mss != 0 {
 		tcb.mss = min(int(sg.mss), c.t.MTU())
-		tcb.cwnd = uint32(tcb.mss)
+		tcb.cwnd = tcb.mss32()
 	}
 	tcb.sndWnd = uint32(sg.wnd)
 	tcb.sndWl1 = sg.seq

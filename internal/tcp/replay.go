@@ -180,6 +180,11 @@ func ReplayJournal(recs []flight.Record) (*ReplayResult, error) {
 			case flight.CausePkt:
 				switch rec.Action {
 				case "Process_Data":
+					plen := rec.PLen
+					if plen < 0 {
+						div(i, rec.Seq, rec.Conn, "negative payload length %d in journal", plen)
+						continue
+					}
 					sg := &segment{
 						srcPort: rcn.c.key.rport,
 						dstPort: rcn.c.key.lport,
@@ -189,7 +194,7 @@ func ReplayJournal(recs []flight.Record) (*ReplayResult, error) {
 						wnd:     rec.PWnd,
 						up:      rec.PUp,
 						mss:     rec.PMSS,
-						data:    make([]byte, rec.PLen),
+						data:    make([]byte, plen),
 					}
 					rcn.c.enqueue(actProcessData{seg: sg})
 				case "Delete_TCB":
@@ -440,8 +445,12 @@ func (c *Conn) replayUop(rec *flight.Record) error {
 	switch rec.Op {
 	case "write":
 		// Write's per-chunk body: queue, charge, ask the Send module.
-		c.tcb.queuePush(make([]byte, rec.N))
-		c.t.memCharge(rec.N)
+		n := rec.N
+		if n < 0 {
+			return fmt.Errorf("negative write length %d in journal", n)
+		}
+		c.tcb.queuePush(make([]byte, n))
+		c.t.memCharge(n)
 		c.enqueue(actMaybeSend{})
 	case "read":
 		rem := rec.N
@@ -465,7 +474,7 @@ func (c *Conn) replayUop(rec *flight.Record) error {
 	case "abort":
 		c.stateAbort(ErrAborted)
 	case "wurg":
-		c.tcb.sndUpSeq = c.tcb.sndNxt + seq(c.tcb.queuedBytes) + seq(rec.N)
+		c.tcb.sndUpSeq = c.tcb.sndNxt + seq(sat32(c.tcb.queuedBytes)) + seq(sat32(rec.N))
 		c.tcb.urgentPending = true
 	default:
 		return fmt.Errorf("unknown user operation %q", rec.Op)

@@ -38,7 +38,7 @@ func (c *Conn) ackAdvance(ack seq) {
 	tcb.dupAcks = 0
 
 	if c.t.cfg.congestionControl() {
-		mss := uint32(tcb.mss)
+		mss := tcb.mss32()
 		if tcb.cwnd < tcb.ssthresh {
 			tcb.cwnd += mss // slow start
 		} else {
@@ -97,7 +97,7 @@ func (c *Conn) rttSample(m sim.Duration) {
 
 // currentRTO applies the exponential backoff to the base RTO.
 func (c *Conn) currentRTO() sim.Duration {
-	d := c.tcb.rto << uint(c.tcb.backoff)
+	d := c.tcb.rto << c.tcb.shiftBackoff()
 	if d > c.t.cfg.MaxRTO {
 		d = c.t.cfg.MaxRTO
 	}
@@ -142,7 +142,7 @@ func (c *Conn) resendTimeout() {
 // back to slow start.
 func (c *Conn) congestionLoss() {
 	tcb := c.tcb
-	mss := uint32(tcb.mss)
+	mss := tcb.mss32()
 	half := tcb.flightSize() / 2
 	if half < 2*mss {
 		half = 2 * mss

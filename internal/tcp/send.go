@@ -93,6 +93,11 @@ func (c *Conn) sendModule() {
 //
 //foxvet:hotpath
 func (c *Conn) sendData(n int) {
+	// maybeSend only passes 0 < n <= min(window, MSS); the guard makes
+	// that contract local, keeping seq(n) provably lossless.
+	if n <= 0 || n > 0xffffffff {
+		return
+	}
 	tcb := c.tcb
 	now := c.t.s.Now()
 
@@ -120,7 +125,13 @@ func (c *Conn) sendData(n int) {
 	if tcb.urgentPending {
 		if seqGT(tcb.sndUpSeq, sg.seq) {
 			sg.flags |= flagURG
-			sg.up = uint16(seqSub(tcb.sndUpSeq, sg.seq))
+			up := seqSub(tcb.sndUpSeq, sg.seq)
+			if up > 0xffff {
+				// The 16-bit pointer cannot reach farther; RFC 793's
+				// field saturates rather than wraps.
+				up = 0xffff
+			}
+			sg.up = uint16(up)
 		}
 		if seqGEQ(sg.seq+seq(n), tcb.sndUpSeq) {
 			tcb.urgentPending = false

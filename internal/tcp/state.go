@@ -15,7 +15,7 @@ func (c *Conn) stateActiveOpen() {
 	tcb.iss = iss
 	tcb.sndUna = iss
 	tcb.sndNxt = iss + 1
-	tcb.cwnd = uint32(tcb.mss)
+	tcb.cwnd = tcb.mss32()
 	tcb.ssthresh = 0xffff
 	tcb.recover = iss
 	c.setState(StateSynSent)
@@ -53,7 +53,7 @@ func (c *Conn) statePassiveSyn(sg *segment) {
 	tcb.sndUna = iss
 	tcb.sndNxt = iss + 1
 	tcb.sndWl2 = iss
-	tcb.cwnd = uint32(tcb.mss)
+	tcb.cwnd = tcb.mss32()
 	tcb.ssthresh = 0xffff
 	tcb.recover = iss
 	c.setState(StateSynPassive)

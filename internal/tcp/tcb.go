@@ -193,7 +193,7 @@ type TCB struct {
 // newTCB returns a TCB with the paper's configuration applied.
 func newTCB(cfg *Config, now sim.Time) *TCB {
 	t := &TCB{
-		rcvWnd:       uint32(cfg.InitialWindow),
+		rcvWnd:       sat32(cfg.InitialWindow),
 		maxWnd:       0,
 		mss:          defaultMSS,
 		rto:          cfg.InitialRTO,
@@ -204,6 +204,50 @@ func newTCB(cfg *Config, now sim.Time) *TCB {
 
 // flightSize is the amount of data sent but not yet acknowledged.
 func (t *TCB) flightSize() uint32 { return seqSub(t.sndNxt, t.sndUna) }
+
+// sat32 converts a byte count to the 32-bit window domain, saturating
+// instead of wrapping: a negative count advertises nothing and anything
+// past 2³²-1 pins to the most the field can say. Both branches are
+// unreachable under the memory accounting; the clamp makes the bound
+// local so intrange can prove the conversion lossless.
+func sat32(n int) uint32 {
+	if n < 0 {
+		return 0
+	}
+	if n > 0xffffffff {
+		return 0xffffffff
+	}
+	return uint32(n)
+}
+
+// mss32 returns the MSS in the 32-bit domain window arithmetic uses.
+// The MSS is negotiated from a 16-bit wire option, so the clamp states
+// the field's invariant rather than changing behavior.
+func (t *TCB) mss32() uint32 {
+	m := t.mss
+	if m < 0 {
+		m = 0
+	}
+	if m > 0xffff {
+		m = 0xffff
+	}
+	return uint32(m)
+}
+
+// shiftBackoff returns the exponential-backoff shift clamped to [0,16].
+// Past 2¹⁶ every RTO and persist cap has long since won, and Go defines
+// a 64-bit shift by ≥64 as zero — which would turn the persist timer
+// into a zero-delay livelock instead of a long wait.
+func (t *TCB) shiftBackoff() uint {
+	b := t.backoff
+	if b < 0 {
+		b = 0
+	}
+	if b > 16 {
+		b = 16
+	}
+	return uint(b)
+}
 
 // sendWindow is the usable window: the peer's advertised window, further
 // limited by the congestion window when congestion control is on.
@@ -227,13 +271,23 @@ func (t *TCB) queuePush(data []byte) {
 //
 //foxvet:hotpath
 func (t *TCB) queueTake(dst []byte, max int) int {
+	if max < 0 {
+		max = 0
+	}
 	taken := 0
 	for taken < max {
 		front, ok := t.queued.Front()
 		if !ok {
 			break
 		}
-		avail := front.data[t.queuedFront:]
+		// The cursor is maintained inside the front buffer (PopFront
+		// resets it); the clamp makes that invariant local to the
+		// bounds proof.
+		off := min(t.queuedFront, len(front.data))
+		if off < 0 {
+			off = 0
+		}
+		avail := front.data[off:]
 		n := copy(dst[taken:max], avail)
 		taken += n
 		if n == len(avail) {

@@ -358,12 +358,19 @@ func (t *TCP) ActiveConns() int { return len(t.conns) }
 func (t *TCP) Scheduler() *sim.Scheduler { return t.s }
 
 // localMSS is the MSS we announce: the lower layer's payload capacity.
-func (t *TCP) localMSS() uint16 { return uint16(t.MTU()) }
+func (t *TCP) localMSS() uint16 {
+	m := t.MTU()
+	if m > 0xffff {
+		m = 0xffff // the MSS option field saturates
+	}
+	return uint16(m)
+}
 
 // chooseISS picks an initial send sequence number from the 4 µs clock
 // RFC 793 prescribes.
 func (t *TCP) chooseISS() seq {
-	return seq(uint64(t.s.Now()) / uint64(4*time.Microsecond))
+	ticks := uint64(t.s.Now()) / uint64(4*time.Microsecond)
+	return seq(ticks % (1 << 32)) // the 32-bit ISS clock wraps by design
 }
 
 // handler is the lower layer's upcall: internalize the segment (the

@@ -185,7 +185,7 @@ func (p *Port) Send(pkt *basis.Packet) {
 	// explicit SendCost models the whole kernel crossing).
 	seg.s.Exclude(func() {
 		data := make([]byte, pkt.Len())
-		copy(data, pkt.Bytes())
+		copy(data, pkt.Bytes()) //foxvet:boundary-copy simulated kernel crossing: the NIC DMA copy the paper charges to SendCost, off the host clock
 		seg.stats.Sent++
 		seg.txq.Enqueue(txFrame{from: p, data: data})
 		seg.txC.Signal()
@@ -223,10 +223,10 @@ func (seg *Segment) mediumLoop() {
 		for i := 0; i < copies; i++ {
 			data := f.data
 			if i > 0 {
-				data = append([]byte(nil), f.data...)
+				data = append([]byte(nil), f.data...) //foxvet:boundary-copy fault injection: a duplicated frame is physically a second frame on the medium
 			}
 			if seg.rng.Chance(seg.cfg.Corrupt) && len(data) > 0 {
-				data = append([]byte(nil), data...)
+				data = append([]byte(nil), data...) //foxvet:boundary-copy fault injection: corruption must not flip bits in the sender's retained buffer
 				data[seg.rng.Intn(len(data))] ^= 0xff
 				seg.stats.Corrupted++
 			}
@@ -246,7 +246,7 @@ func (seg *Segment) mediumLoop() {
 				// DMA does.
 				buf := data
 				if len(seg.ports) > 2 {
-					buf = append([]byte(nil), data...)
+					buf = append([]byte(nil), data...) //foxvet:boundary-copy broadcast medium: each receiving NIC DMAs into its own buffer
 				}
 				port.inq.Enqueue(delivery{availAt: availAt, data: buf})
 				port.inC.Signal()
