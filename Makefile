@@ -63,12 +63,16 @@ lint: check
 bench:
 	$(GO) test -bench=. -benchmem
 
-# chaos runs the deterministic adversary soak under the race detector:
-# SYN floods, spoofed RFC 5961 probes, gap bombs, and junk against a
-# lossy transfer, with exact per-seed assertions (see
-# internal/adversary/soak_test.go and the EXPERIMENTS.md recipe).
+# chaos runs the deterministic soaks under the race detector: the
+# adversary soak (SYN floods, spoofed RFC 5961 probes, gap bombs, junk
+# against a lossy transfer) and the fault-plane partition soak (scripted
+# flap/partition/burst schedules; every connection completes or aborts
+# with the progress timeout inside a computable bound), with exact
+# per-seed assertions (see internal/adversary/soak_test.go,
+# internal/fault/soak_test.go, and the EXPERIMENTS.md recipe). Set
+# CHAOS_OUT to collect .fsched/journal/pcap artifacts on failure.
 chaos:
-	$(GO) test -race -count=1 -v ./internal/adversary/
+	$(GO) test -race -count=1 -v ./internal/adversary/ ./internal/fault/
 
 # audit exercises the tamper-evidence pipeline end to end: a lossy
 # foxstat run journals both hosts through the Merkle batcher into

@@ -11,6 +11,10 @@
 // Flags -bytes, -window, -scale, -loss, -seed, -rounds adjust the
 // workload; defaults reproduce the paper's setup (10^6 bytes, 4096-byte
 // window, 10 Mb/s wire, CPU scaled 1000× to a DECstation 5000/125).
+// -fault runs the throughput transfers under a scripted fault schedule
+// (a built-in scenario name — flap, partition, burst, squeeze — or a
+// .fsched file), measuring degradation and recovery instead of the
+// clean-wire numbers.
 //
 // -json renders the requested tables (1 and/or 2) as a versioned
 // foxbench/v1 document instead of text; -o writes it to a file.
@@ -42,9 +46,17 @@ func main() {
 	rounds := flag.Int("rounds", 100, "round trips for the RTT experiment")
 	smlera := flag.Bool("smlera", false, "charge the paper's 1994 per-KB copy/checksum costs (Table 1 full-factor mode)")
 	smlfactor := flag.Float64("smlfactor", 0, "multiply Fox hosts' CPU charges, modeling SML/NJ code generation (try 5)")
+	faultFlag := flag.String("fault", "", "fault scenario (built-in name or .fsched file) applied to throughput runs")
 	jsonOut := flag.Bool("json", false, "emit table results as JSON (tables 1 and 2 only)")
 	outPath := flag.String("o", "", "write JSON to this file instead of stdout")
 	flag.Parse()
+
+	if *faultFlag != "" {
+		if _, err := experiments.FaultSchedule(*faultFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "foxbench:", err)
+			os.Exit(2)
+		}
+	}
 
 	o := experiments.Options{
 		Bytes:     *bytes,
@@ -56,6 +68,7 @@ func main() {
 		Rounds:    *rounds,
 		SMLEra:    *smlera,
 		SMLFactor: *smlfactor,
+		Fault:     *faultFlag,
 	}
 
 	if *jsonOut {

@@ -10,6 +10,15 @@
 //	foxstat -scenario hostile    the transfer with an attacker host flooding the
 //	                             server (SYN flood, junk, blind RSTs); the server's
 //	                             "hard" counter group shows the defenses working
+//	foxstat -scenario flap       the transfer on a slightly lossy wire while a
+//	                             scripted fault schedule runs: flap drops the
+//	                             client's carrier twice; partition splits the
+//	                             hosts and heals; burst switches to Gilbert–
+//	                             Elliott bursty loss plus a corruption storm;
+//	                             squeeze collapses bandwidth to 56 kb/s with a
+//	                             delay spike. The "fault" counter group records
+//	                             every applied transition, and -flight journals
+//	                             carry the fault timeline as observer records
 //	foxstat -json                machine-readable output
 //	foxstat -json -o stats.json  written to a file
 package main
@@ -64,7 +73,8 @@ type docJSON struct {
 }
 
 func main() {
-	scenario := flag.String("scenario", "transfer", "transfer | lossy | hostile")
+	scenario := flag.String("scenario", "transfer",
+		"transfer | lossy | hostile | "+strings.Join(foxnet.FaultScenarios(), " | "))
 	bytes := flag.Int("bytes", 64_000, "payload size for the transfer")
 	jsonOut := flag.Bool("json", false, "emit JSON instead of text")
 	outPath := flag.String("o", "", "write output to this file instead of stdout")
@@ -84,6 +94,8 @@ func main() {
 	wcfg := foxnet.WireConfig{}
 	hosts := 2
 	hostCfgs := []*foxnet.HostConfig{nil, nil}
+	var faultSched foxnet.FaultSchedule
+	var faultMIB *foxnet.FaultMIB
 	switch *scenario {
 	case "transfer":
 	case "lossy":
@@ -97,8 +109,28 @@ func main() {
 		// hard group; the third host carries the attacker.
 		hostCfgs = []*foxnet.HostConfig{nil, {TCP: foxnet.TCPConfig{MaxSynBacklog: 32}}, nil}
 	default:
-		fmt.Fprintln(os.Stderr, "unknown scenario:", *scenario)
-		os.Exit(2)
+		sc, ok := foxnet.NamedFault(*scenario)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown scenario: %s (want transfer, lossy, hostile, %s)\n",
+				*scenario, strings.Join(foxnet.FaultScenarios(), ", "))
+			os.Exit(2)
+		}
+		// A mildly lossy wire keeps the fault schedule honest: recovery
+		// happens under background loss, not on a perfect medium.
+		faultSched = sc
+		faultMIB = &foxnet.FaultMIB{}
+		wcfg.Loss = 0.02
+		wcfg.Seed = 7
+	}
+	if faultMIB != nil {
+		// Unless the user sized the payload, make the transfer long
+		// enough to still be in flight when the schedule starts hurting
+		// the wire — a 64 KB default finishes before the first fault.
+		bytesSet := false
+		flag.Visit(func(f *flag.Flag) { bytesSet = bytesSet || f.Name == "bytes" })
+		if !bytesSet {
+			*bytes = 2_000_000
+		}
 	}
 	if *ringN > 0 || *flightDir != "" {
 		for i := range hostCfgs {
@@ -118,6 +150,9 @@ func main() {
 	var conns []*foxnet.Conn
 	var openErr error
 	substrate := foxnet.NewRegistry("net")
+	if faultMIB != nil {
+		substrate.Register("fault", faultMIB)
+	}
 
 	s.Run(func() {
 		net = foxnet.NewNetwork(s, wcfg, hosts, hostCfgs...)
@@ -143,6 +178,11 @@ func main() {
 			// conns[0] is the server-side connection: its accept upcall
 			// ran during the handshake Open just completed.
 			attack(s, net, conns[0], conn.LocalPort())
+		}
+		if faultMIB != nil {
+			// The schedule's offsets count from the established
+			// connection, so the faults hit the transfer itself.
+			net.StartFault(faultSched, faultMIB)
 		}
 		conn.Write(make([]byte, *bytes))
 		conn.Close()

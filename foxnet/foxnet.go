@@ -27,6 +27,7 @@ import (
 	"repro/internal/arp"
 	"repro/internal/basis"
 	"repro/internal/ethernet"
+	"repro/internal/fault"
 	"repro/internal/flight"
 	"repro/internal/flight/seal"
 	"repro/internal/icmp"
@@ -85,6 +86,13 @@ type (
 	SealOptions = seal.Options
 	// Address is any layer's peer address.
 	Address = protocol.Address
+	// FaultSchedule is a deterministic fault-injection script (see
+	// Network.StartFault and internal/fault's .fsched format).
+	FaultSchedule = fault.Schedule
+	// FaultRunner applies a FaultSchedule in virtual time.
+	FaultRunner = fault.Runner
+	// FaultMIB counts applied fault transitions.
+	FaultMIB = stats.FaultMIB
 )
 
 // NewScheduler returns a deterministic virtual-time scheduler.
@@ -103,6 +111,15 @@ var NewRegistrySized = stats.NewRegistrySized
 // NewFlightRecorder returns a flight recorder journaling to w (see
 // TCPConfig.Flight).
 var NewFlightRecorder = flight.NewRecorder
+
+// NamedFault returns a built-in fault scenario by name (flap,
+// partition, burst, squeeze); FaultScenarios lists the names and
+// ParseFaultFile loads a custom .fsched script.
+var (
+	NamedFault     = fault.Named
+	FaultScenarios = fault.Names
+	ParseFaultFile = fault.ParseFile
+)
 
 // HostConfig customizes one host in a network.
 type HostConfig struct {
@@ -378,7 +395,37 @@ func (n *Network) RegisterSubstrateMetrics(r *stats.Registry) {
 			{Name: "Corrupted", Value: float64(ws.Corrupted)},
 			{Name: "Jittered", Value: float64(ws.Jittered)},
 			{Name: "Oversize", Value: float64(ws.Oversize)},
+			{Name: "Cut", Value: float64(ws.Cut)},
 		}
+	})
+}
+
+// StartFault begins applying a fault schedule to the network's segment,
+// offsets measured from now. Schedule port names "A", "B", "C", …
+// resolve positionally to hosts 1, 2, 3, … (the built-in scenarios are
+// written against that convention); literal port names pass through.
+// Every applied transition increments mib (pass nil to discard the
+// counts — register it as a "fault" group to surface them) and is
+// journaled into every host's flight recorder as an observer-only
+// record, so sealed journals carry the fault timeline. Must be called
+// inside the scheduler's Run.
+func (n *Network) StartFault(sc FaultSchedule, mib *FaultMIB) *FaultRunner {
+	alias := make(map[string]string, len(n.Hosts))
+	for i, h := range n.Hosts {
+		if i < 26 {
+			alias[string(rune('A'+i))] = h.Name // the segment port's name
+		}
+	}
+	var recs []*flight.Recorder
+	for _, h := range n.Hosts {
+		if h.Flight != nil {
+			recs = append(recs, h.Flight)
+		}
+	}
+	return fault.Start(n.S, n.Segment, sc, fault.Options{
+		MIB:       mib,
+		Recorders: recs,
+		PortAlias: alias,
 	})
 }
 

@@ -51,6 +51,7 @@ var infrastructure = map[string]bool{
 	"checksum": true,
 	"core":     true,
 	"decode":   true,
+	"fault":    true,
 	"flight":   true,
 	"pcap":     true,
 	"profile":  true,

@@ -80,9 +80,15 @@ var observerFiles = map[string]bool{
 // every function in it is an observer: none may reach the executor's
 // door or the synchronous modules, or sealing a journal could perturb
 // the run being sealed.
+// The fault plane (internal/fault) is an observer for the same reason
+// from the other direction: it perturbs the wire through the segment's
+// sanctioned control API and journals what it did, but must never
+// mutate a TCB except through packets the stack receives normally.
 var observerPackages = map[string]bool{
 	"repro/internal/flight/seal": true,
+	"repro/internal/fault":       true,
 	"flightseal":                 true, // this analyzer's own golden testdata
+	"faultplane":                 true,
 }
 
 // allowedPackages exempts packages that attach wire handlers but sit

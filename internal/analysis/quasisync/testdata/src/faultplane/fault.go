@@ -1,0 +1,49 @@
+// Package faultplane exercises the analyzer's observer-package rule
+// for internal/fault: the fault plane perturbs the wire through the
+// segment's sanctioned control API and journals what it did, but every
+// function in it is an observer — none may reach the executor's door
+// (enqueue/run/perform) or a synchronous module, or injecting a fault
+// would perturb the very run whose degradation it scripts.
+package faultplane
+
+type conn struct {
+	toDo []int
+	down bool
+}
+
+// The executor boundary, as the stack under observation declares it.
+func (c *conn) enqueue(a int) { c.toDo = append(c.toDo, a) }
+
+func (c *conn) run() {
+	for len(c.toDo) > 0 {
+		c.toDo = c.toDo[1:]
+	}
+}
+
+// applyTransition is a compliant fault runner: it flips wire state
+// through the control surface and counts what it did.
+func applyTransition(c *conn) {
+	c.down = !c.down
+}
+
+// badFaultKick drives the executor to "help" the stack notice the
+// partition instead of letting retransmission timers find out.
+func badFaultKick(c *conn) {
+	c.run() // want "badFaultKick is a journal observer \\(in an observer package\\) and calls run"
+}
+
+// badFaultEnqueue injects a synthetic action from the fault plane, via
+// a helper — the walk descends and reports at the offending call site.
+func badFaultEnqueue(c *conn) {
+	inject(c)
+}
+
+func inject(c *conn) {
+	c.enqueue(1) // want "inject is a journal observer \\(in an observer package\\) and calls enqueue"
+}
+
+// badFaultSync calls straight into a synchronous module (declared in
+// this package's receive.go) to simulate a delivery.
+func badFaultSync(c *conn) {
+	c.receiveSegment() // want "badFaultSync is a journal observer \\(in an observer package\\) and calls receiveSegment, declared in receive.go"
+}

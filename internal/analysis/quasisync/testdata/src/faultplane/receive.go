@@ -1,0 +1,6 @@
+package faultplane
+
+// receiveSegment stands for the synchronous Receive module.
+func (c *conn) receiveSegment() {
+	c.toDo = c.toDo[:0]
+}

@@ -25,9 +25,11 @@ import (
 
 	"repro/foxnet"
 	"repro/internal/baseline"
+	"repro/internal/fault"
 	"repro/internal/flight"
 	"repro/internal/profile"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/tcp"
 	"repro/internal/wire"
 )
@@ -83,6 +85,27 @@ type Options struct {
 	// comparison isolates pure structure; with it the comparison also
 	// carries the 1994 code-generation gap the paper's Table 1 folds in.
 	SMLEra bool
+	// Fault names a built-in fault scenario (flap, partition, burst,
+	// squeeze) or a .fsched file path; the schedule starts against the
+	// wire when a throughput run begins, so the benchmark measures the
+	// stack degrading and recovering under scripted faults. Resolve
+	// with FaultSchedule to validate before running.
+	Fault string
+	// FaultMIB, when non-nil, counts the applied transitions.
+	FaultMIB *stats.FaultMIB
+}
+
+// FaultSchedule resolves Options.Fault: a built-in scenario name first,
+// else a path to a .fsched file.
+func FaultSchedule(name string) (fault.Schedule, error) {
+	if sc, ok := fault.Named(name); ok {
+		return sc, nil
+	}
+	if strings.ContainsAny(name, "/.") {
+		return fault.ParseFile(name)
+	}
+	return fault.Schedule{}, fmt.Errorf("unknown fault scenario %q (built-ins: %s)",
+		name, strings.Join(fault.Names(), ", "))
 }
 
 func (o *Options) fill() {
@@ -133,10 +156,23 @@ func Throughput(impl Impl, o Options) TransferResult {
 		o.SMLFactor = 0 // the code-generation penalty is the SML stack's
 	}
 	res := TransferResult{Impl: impl, Bytes: o.Bytes}
+	// Resolve the fault schedule outside the scheduler: ParseFile does
+	// real file I/O, which has no business inside a coroutine body.
+	var faultSched fault.Schedule
+	if o.Fault != "" {
+		sc, err := FaultSchedule(o.Fault)
+		if err != nil {
+			panic(fmt.Sprintf("experiment fault schedule: %v", err))
+		}
+		faultSched = sc
+	}
 	s := sim.New(sim.Config{ChargeCPU: !o.NoCharge, CPUScale: o.CPUScale, Priority: o.PriorityScheduler})
 	s.Run(func() {
 		net, profs := buildHosts(s, o)
 		sender, receiver := net.Host(0), net.Host(1)
+		if o.Fault != "" {
+			net.StartFault(faultSched, o.FaultMIB)
+		}
 
 		var start, stop sim.Time
 		received := 0

@@ -1,0 +1,192 @@
+// Package fault is the deterministic, scripted fault-injection plane:
+// a Schedule of timed transitions — link flaps, partitions, bursty
+// loss, corruption storms, bandwidth collapse, delay spikes — applied
+// to a live wire.Segment at exact virtual times. The paper validates
+// Fox Net by running the real stack over an adversarial simulated wire;
+// this package makes the adversary's *timeline* first-class: faults
+// that change mid-flight, reproducibly, from a small text format
+// (testdata/scenarios/*.fsched) that foxstat, foxbench, and the chaos
+// soak all drive.
+//
+// The package is pure observation and wire control. It calls only the
+// sanctioned Segment control API (SetLink, Partition, Heal,
+// SetBurstLoss, SetCorruptStorm, SetRateLimit, SetDelaySpike) — never
+// a protocol stack; foxvet's quasisync pass registers it as an
+// observer package and proves no path from here reaches the TCP
+// executor, and the layering pass holds it to the infrastructure
+// import discipline. Every probabilistic draw a fault makes comes from
+// the segment's dedicated fault RNG stream, so attaching a schedule
+// never perturbs the frame-level outcomes of the delivery stream's
+// fixed-seed draws (DESIGN.md §15).
+//
+// Every applied transition increments the stats.FaultMIB group and is
+// journaled as an observer-only flight record (flight.KindFault), so a
+// sealed journal carries the fault timeline alongside the machine
+// history it explains — foxreplay skips the records but readers can
+// attribute any divergence window to the scripted events inside it.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Kind names a transition, exactly as spelled in the .fsched format.
+type Kind string
+
+// The transition vocabulary. Set/clear pairs: partition/heal,
+// burstloss/burstend, corruptstorm/corruptend, ratelimit/rateclear,
+// delayspike/delayclear; linkdown/linkup act per port.
+const (
+	LinkDown     Kind = "linkdown"     // lower a port's carrier
+	LinkUp       Kind = "linkup"       // raise it again
+	Partition    Kind = "partition"    // split the medium into groups
+	Heal         Kind = "heal"         // one broadcast domain again
+	BurstLoss    Kind = "burstloss"    // Gilbert–Elliott model replaces i.i.d. loss
+	BurstEnd     Kind = "burstend"     // i.i.d. Config.Loss applies again
+	CorruptStorm Kind = "corruptstorm" // extra corruption probability
+	CorruptEnd   Kind = "corruptend"   // storm over
+	RateLimit    Kind = "ratelimit"    // bandwidth collapse (bits/s)
+	RateClear    Kind = "rateclear"    // configured bandwidth again
+	DelaySpike   Kind = "delayspike"   // extra one-way delay
+	DelayClear   Kind = "delayclear"   // configured propagation again
+)
+
+// Transition is one timed fault event. Only the fields its Kind uses
+// are meaningful.
+type Transition struct {
+	At   sim.Duration // offset from schedule start
+	Kind Kind
+
+	Port   string         // linkdown/linkup: which port
+	Groups map[string]int // partition: port name → group id
+
+	PGB, PBG     float64 // burstloss: P(good→bad), P(bad→good)
+	LossG, LossB float64 // burstloss: loss probability per state
+
+	P     float64      // corruptstorm probability
+	BPS   int64        // ratelimit bits per second
+	Delay sim.Duration // delayspike extra delay
+}
+
+// Detail renders the transition's arguments the way the .fsched format
+// spells them — the string journaled in the flight record's "fd" field.
+func (t Transition) Detail() string {
+	switch t.Kind {
+	case LinkDown, LinkUp:
+		return t.Port
+	case Partition:
+		return renderGroups(t.Groups)
+	case BurstLoss:
+		return fmt.Sprintf("%g %g %g %g", t.PGB, t.PBG, t.LossG, t.LossB)
+	case CorruptStorm:
+		return fmt.Sprintf("%g", t.P)
+	case RateLimit:
+		return fmt.Sprintf("%d", t.BPS)
+	case DelaySpike:
+		return t.Delay.String()
+	}
+	return ""
+}
+
+// renderGroups prints a partition map in the "a,b | c,d" form, groups
+// ordered by id and members sorted, so the rendering is deterministic.
+func renderGroups(groups map[string]int) string {
+	byID := map[int][]string{}
+	ids := []int{}
+	for name, id := range groups {
+		if len(byID[id]) == 0 {
+			ids = append(ids, id)
+		}
+		byID[id] = append(byID[id], name)
+	}
+	sort.Ints(ids)
+	parts := make([]string, 0, len(ids))
+	for _, id := range ids {
+		members := byID[id]
+		sort.Strings(members)
+		parts = append(parts, strings.Join(members, ","))
+	}
+	return strings.Join(parts, " | ")
+}
+
+// String renders the transition as a complete .fsched line.
+func (t Transition) String() string {
+	if d := t.Detail(); d != "" {
+		return fmt.Sprintf("%v %s %s", t.At, t.Kind, d)
+	}
+	return fmt.Sprintf("%v %s", t.At, t.Kind)
+}
+
+// Schedule is an ordered list of timed transitions. Schedules are
+// values: parse once, run against any number of segments.
+type Schedule struct {
+	Name        string
+	Transitions []Transition // non-decreasing At, enforced by Parse
+}
+
+// String renders the whole schedule in .fsched form, one transition
+// per line — valid input for Parse, so schedules round-trip.
+func (sc Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# scenario: %s\n", sc.Name)
+	for _, t := range sc.Transitions {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Horizon is the offset of the last transition — the earliest moment
+// the whole script has been applied. Zero for an empty schedule.
+func (sc Schedule) Horizon() sim.Duration {
+	if n := len(sc.Transitions); n > 0 {
+		return sc.Transitions[n-1].At
+	}
+	return 0
+}
+
+// Outage sums the spans during which any scripted abnormal condition
+// is in force (from each set transition to its matching clear, or to
+// the horizon if never cleared) — the figure a soak adds to its
+// completion bound, since a connection cannot be expected to make
+// progress while the script is actively hurting the wire.
+func (sc Schedule) Outage() sim.Duration {
+	var total sim.Duration
+	active := map[Kind]sim.Duration{} // set-kind → activation offset
+	downs := map[string]sim.Duration{}
+	clearOf := map[Kind]Kind{Heal: Partition, BurstEnd: BurstLoss,
+		CorruptEnd: CorruptStorm, RateClear: RateLimit, DelayClear: DelaySpike}
+	for _, t := range sc.Transitions {
+		switch t.Kind {
+		case LinkDown:
+			if _, on := downs[t.Port]; !on {
+				downs[t.Port] = t.At
+			}
+		case LinkUp:
+			if at, on := downs[t.Port]; on {
+				total += t.At - at
+				delete(downs, t.Port)
+			}
+		case Partition, BurstLoss, CorruptStorm, RateLimit, DelaySpike:
+			if _, on := active[t.Kind]; !on {
+				active[t.Kind] = t.At
+			}
+		case Heal, BurstEnd, CorruptEnd, RateClear, DelayClear:
+			if at, on := active[clearOf[t.Kind]]; on {
+				total += t.At - at
+				delete(active, clearOf[t.Kind])
+			}
+		}
+	}
+	for _, at := range downs {
+		total += sc.Horizon() - at
+	}
+	for _, at := range active {
+		total += sc.Horizon() - at
+	}
+	return total
+}

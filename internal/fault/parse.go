@@ -1,0 +1,262 @@
+// The .fsched text format: one transition per line,
+//
+//	<offset> <kind> [args]
+//
+// where <offset> is a Go duration (non-decreasing down the file) and
+// the args depend on the kind:
+//
+//	10ms  linkdown h1              lower port h1's carrier
+//	40ms  linkup   h1              raise it again
+//	50ms  partition h1,h2 | h3     split into groups (members comma-
+//	                               separated, groups separated by |)
+//	2s    heal                     remove the partition
+//	3s    burstloss 0.1 0.3 0.01 0.6
+//	                               Gilbert–Elliott: P(good→bad),
+//	                               P(bad→good), loss in good, loss in bad
+//	5s    burstend
+//	6s    corruptstorm 0.2         extra corruption probability
+//	7s    corruptend
+//	8s    ratelimit 56000          bandwidth collapse to 56 kb/s
+//	9s    rateclear
+//	10s   delayspike 50ms          extra one-way delay
+//	11s   delayclear
+//
+// Blank lines and #-comments are ignored. Every probability must be in
+// [0, 1] and every duration and rate non-negative; Parse rejects the
+// file otherwise, naming the line.
+
+package fault
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Parse reads a schedule in .fsched form. name labels the schedule in
+// errors, journals, and artifact dumps.
+func Parse(name string, r io.Reader) (Schedule, error) {
+	sc := Schedule{Name: name}
+	scan := bufio.NewScanner(r)
+	lineNo := 0
+	var prev sim.Duration
+	for scan.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scan.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		tr, err := parseLine(line)
+		if err != nil {
+			return Schedule{}, fmt.Errorf("%s:%d: %v", name, lineNo, err)
+		}
+		if tr.At < prev {
+			return Schedule{}, fmt.Errorf("%s:%d: offset %v goes backwards (previous %v)", name, lineNo, tr.At, prev)
+		}
+		prev = tr.At
+		sc.Transitions = append(sc.Transitions, tr)
+	}
+	if err := scan.Err(); err != nil {
+		return Schedule{}, fmt.Errorf("%s: %v", name, err)
+	}
+	return sc, nil
+}
+
+// ParseFile loads a .fsched file; the schedule is named after the file
+// (base name without extension).
+func ParseFile(path string) (Schedule, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Schedule{}, err
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	return Parse(name, f)
+}
+
+// parseLine decodes one "<offset> <kind> [args]" line.
+func parseLine(line string) (Transition, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Transition{}, fmt.Errorf("want \"<offset> <kind> [args]\", got %q", line)
+	}
+	off, err := time.ParseDuration(fields[0])
+	if err != nil {
+		return Transition{}, fmt.Errorf("bad offset %q: %v", fields[0], err)
+	}
+	if off < 0 {
+		return Transition{}, fmt.Errorf("negative offset %v", off)
+	}
+	tr := Transition{At: sim.Duration(off), Kind: Kind(fields[1])}
+	args := fields[2:]
+	switch tr.Kind {
+	case LinkDown, LinkUp:
+		if len(args) != 1 {
+			return Transition{}, fmt.Errorf("%s wants one port name", tr.Kind)
+		}
+		tr.Port = args[0]
+	case Partition:
+		groups, err := parseGroups(strings.Join(args, " "))
+		if err != nil {
+			return Transition{}, err
+		}
+		tr.Groups = groups
+	case Heal, BurstEnd, CorruptEnd, RateClear, DelayClear:
+		if len(args) != 0 {
+			return Transition{}, fmt.Errorf("%s takes no arguments", tr.Kind)
+		}
+	case BurstLoss:
+		if len(args) != 4 {
+			return Transition{}, fmt.Errorf("burstloss wants 4 probabilities: P(good→bad) P(bad→good) loss-good loss-bad")
+		}
+		ps := [4]*float64{&tr.PGB, &tr.PBG, &tr.LossG, &tr.LossB}
+		for i, a := range args {
+			p, err := parseProb(a)
+			if err != nil {
+				return Transition{}, err
+			}
+			*ps[i] = p
+		}
+	case CorruptStorm:
+		if len(args) != 1 {
+			return Transition{}, fmt.Errorf("corruptstorm wants one probability")
+		}
+		if tr.P, err = parseProb(args[0]); err != nil {
+			return Transition{}, err
+		}
+	case RateLimit:
+		if len(args) != 1 {
+			return Transition{}, fmt.Errorf("ratelimit wants bits per second")
+		}
+		bps, err := strconv.ParseInt(args[0], 10, 64)
+		if err != nil {
+			return Transition{}, fmt.Errorf("bad rate %q: %v", args[0], err)
+		}
+		if bps <= 0 {
+			return Transition{}, fmt.Errorf("rate %d must be positive", bps)
+		}
+		tr.BPS = bps
+	case DelaySpike:
+		if len(args) != 1 {
+			return Transition{}, fmt.Errorf("delayspike wants a duration")
+		}
+		d, err := time.ParseDuration(args[0])
+		if err != nil {
+			return Transition{}, fmt.Errorf("bad delay %q: %v", args[0], err)
+		}
+		if d < 0 {
+			return Transition{}, fmt.Errorf("negative delay %v", d)
+		}
+		tr.Delay = sim.Duration(d)
+	default:
+		return Transition{}, fmt.Errorf("unknown transition kind %q", fields[1])
+	}
+	return tr, nil
+}
+
+// parseGroups decodes "a,b | c,d" into a name→group map.
+func parseGroups(s string) (map[string]int, error) {
+	groups := map[string]int{}
+	for id, part := range strings.Split(s, "|") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("partition: empty group %d", id)
+		}
+		for _, name := range strings.Split(part, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				return nil, fmt.Errorf("partition: empty port name in group %d", id)
+			}
+			if old, dup := groups[name]; dup {
+				return nil, fmt.Errorf("partition: port %q in groups %d and %d", name, old, id)
+			}
+			groups[name] = id
+		}
+	}
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("partition wants \"a,b | c,d\" groups")
+	}
+	return groups, nil
+}
+
+func parseProb(s string) (float64, error) {
+	p, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad probability %q: %v", s, err)
+	}
+	if p < 0 || p > 1 || p != p {
+		return 0, fmt.Errorf("probability %v out of [0, 1]", p)
+	}
+	return p, nil
+}
+
+// Built-in scenarios, mirrored 1:1 by testdata/scenarios/*.fsched so
+// the files stay parseable and the names work without a filesystem
+// (foxstat -scenario, foxbench -fault). Port names h1/h2/h3 follow the
+// foxnet convention (ip.HostAddr(n).String() = "10.0.0.n"); scenarios
+// that name ports use the segment's first ports via Runner remapping —
+// see Options.PortAlias.
+var builtins = map[string]string{
+	// flap: the client's link drops twice, briefly, mid-transfer.
+	"flap": `# scenario: flap — two short carrier losses on port A
+500ms linkdown A
+1500ms linkup A
+4s linkdown A
+5500ms linkup A
+`,
+	// partition: the medium splits for a while, then heals.
+	"partition": `# scenario: partition — split A from everyone, then heal
+1s partition A | B
+9s heal
+`,
+	// burst: Gilbert–Elliott bursty loss, then a corruption storm.
+	"burst": `# scenario: burst — bursty loss then a corruption storm
+500ms burstloss 0.05 0.25 0.005 0.5
+6s burstend
+7s corruptstorm 0.2
+9s corruptend
+`,
+	// squeeze: bandwidth collapse plus a delay spike.
+	"squeeze": `# scenario: squeeze — 56k bandwidth collapse with a delay spike
+1s ratelimit 56000
+2s delayspike 30ms
+6s delayclear
+8s rateclear
+`,
+}
+
+// Names lists the built-in scenario names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(builtins))
+	for name := range builtins {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Named returns a built-in schedule by name. The boolean reports
+// whether the name exists. Built-ins are parsed from the same text the
+// testdata files carry, so they are exercised by the parser tests.
+func Named(name string) (Schedule, bool) {
+	text, ok := builtins[name]
+	if !ok {
+		return Schedule{}, false
+	}
+	sc, err := Parse(name, strings.NewReader(text))
+	if err != nil {
+		panic("fault: built-in scenario " + name + " does not parse: " + err.Error())
+	}
+	return sc, true
+}

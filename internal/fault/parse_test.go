@@ -1,0 +1,106 @@
+package fault
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestBuiltinsMirrorTestdata: every built-in scenario must parse to the
+// same schedule as its testdata/scenarios twin — the files are the
+// documented, artifact-dumpable form of the names foxstat accepts.
+func TestBuiltinsMirrorTestdata(t *testing.T) {
+	names := Names()
+	if len(names) == 0 {
+		t.Fatal("no built-in scenarios")
+	}
+	for _, name := range names {
+		builtin, ok := Named(name)
+		if !ok {
+			t.Fatalf("Named(%q) vanished", name)
+		}
+		fromFile, err := ParseFile(filepath.Join("testdata", "scenarios", name+".fsched"))
+		if err != nil {
+			t.Fatalf("testdata twin of %q: %v", name, err)
+		}
+		if !reflect.DeepEqual(builtin.Transitions, fromFile.Transitions) {
+			t.Errorf("built-in %q diverges from its testdata file:\nbuiltin: %v\nfile:    %v",
+				name, builtin.Transitions, fromFile.Transitions)
+		}
+	}
+}
+
+// TestScheduleRoundTrip: String() output is valid .fsched that parses
+// back to the identical transition list.
+func TestScheduleRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		sc, _ := Named(name)
+		back, err := Parse(name, strings.NewReader(sc.String()))
+		if err != nil {
+			t.Fatalf("%s round trip: %v", name, err)
+		}
+		if !reflect.DeepEqual(sc.Transitions, back.Transitions) {
+			t.Errorf("%s did not round trip:\n%v\n%v", name, sc.Transitions, back.Transitions)
+		}
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := []struct{ line, wantErr string }{
+		{"10ms burstloss 0.1 0.3 0.01 1.5", "out of [0, 1]"},
+		{"10ms corruptstorm -0.1", "out of [0, 1]"},
+		{"10ms corruptstorm NaN", "out of [0, 1]"},
+		{"-5ms heal", "negative offset"},
+		{"10ms ratelimit -56000", "must be positive"},
+		{"10ms delayspike -1ms", "negative delay"},
+		{"10ms explode h1", "unknown transition kind"},
+		{"10ms partition a | a", `in groups 0 and 1`},
+		{"10ms linkdown", "one port name"},
+		{"10ms heal now", "takes no arguments"},
+		{"banana", "want \"<offset> <kind> [args]\""},
+	}
+	for _, c := range cases {
+		_, err := Parse("t", strings.NewReader(c.line+"\n"))
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("Parse(%q) err = %v, want substring %q", c.line, err, c.wantErr)
+		}
+	}
+	// Offsets must be non-decreasing: a schedule is an ordered script.
+	if _, err := Parse("t", strings.NewReader("10ms heal\n5ms heal\n")); err == nil ||
+		!strings.Contains(err.Error(), "goes backwards") {
+		t.Errorf("backwards offsets accepted: %v", err)
+	}
+}
+
+func TestHorizonAndOutage(t *testing.T) {
+	text := `1s partition A | B
+3s heal
+4s linkdown A
+5s linkup A
+6s burstloss 0.1 0.5 0 1
+8s burstend
+`
+	sc, err := Parse("t", strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sc.Horizon(), sim.Duration(8*time.Second); got != want {
+		t.Errorf("Horizon = %v, want %v", got, want)
+	}
+	// 2s partition + 1s link flap + 2s burst window.
+	if got, want := sc.Outage(), sim.Duration(5*time.Second); got != want {
+		t.Errorf("Outage = %v, want %v", got, want)
+	}
+	// An uncleared condition counts to the horizon.
+	sc2, err := Parse("t", strings.NewReader("1s partition A | B\n5s linkdown A\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sc2.Outage(), sim.Duration(4*time.Second); got != want {
+		t.Errorf("open-ended Outage = %v, want %v", got, want)
+	}
+}

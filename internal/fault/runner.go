@@ -1,0 +1,181 @@
+package fault
+
+import (
+	"repro/internal/basis"
+	"repro/internal/flight"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// Options configures a Runner.
+type Options struct {
+	// MIB, when non-nil, counts every applied transition (register it
+	// as the "fault" group to surface it in foxstat).
+	MIB *stats.FaultMIB
+	// Recorders each receive an observer-only flight record per applied
+	// transition, so every host's sealed journal carries the fault
+	// timeline. Nil entries are skipped.
+	Recorders []*flight.Recorder
+	// PortAlias maps the schedule's port names to the segment's real
+	// port names — built-in scenarios say "A"/"B", a three-host rig maps
+	// them to "10.0.0.1"/"10.0.0.2". Names absent from the map pass
+	// through unchanged.
+	PortAlias map[string]string
+	// Trace, when enabled, prints each transition as it is applied.
+	Trace *basis.Tracer
+}
+
+// Runner walks one Schedule against one Segment in virtual time. Create
+// with Start; the runner forks its own scheduler thread, sleeps to each
+// transition's offset, and applies it through the segment's sanctioned
+// control API. Deterministic: same schedule, same segment, same seed →
+// same timeline, and the fault plane draws only from the segment's
+// dedicated fault RNG stream.
+type Runner struct {
+	s       *sim.Scheduler
+	seg     *wire.Segment
+	sched   Schedule
+	opt     Options
+	applied int
+	done    bool
+}
+
+// Start begins applying sched to seg, offsets measured from now. It
+// must be called from inside the scheduler's Run, like wire.NewSegment.
+// Every port the schedule names (after aliasing) must already exist on
+// the segment; Start panics otherwise — a schedule/rig mismatch would
+// otherwise silently no-op every transition while still counting them.
+func Start(s *sim.Scheduler, seg *wire.Segment, sched Schedule, opt Options) *Runner {
+	if opt.MIB == nil {
+		// A detached group keeps the increment sites unconditional,
+		// exactly like tcp.Config.Metrics.
+		opt.MIB = &stats.FaultMIB{}
+	}
+	r := &Runner{s: s, seg: seg, sched: sched, opt: opt}
+	r.checkPorts()
+	s.Fork("fault:"+sched.Name, r.run)
+	return r
+}
+
+// checkPorts verifies every port the schedule names resolves to a port
+// the segment has. Ports a partition map omits legally default to
+// group 0; ports the schedule names that do not exist are an error.
+func (r *Runner) checkPorts() {
+	have := map[string]bool{}
+	for _, name := range r.seg.PortNames() {
+		have[name] = true
+	}
+	bad := func(name string) {
+		panic("fault: schedule " + r.sched.Name + " names unknown port " + r.port(name))
+	}
+	for _, tr := range r.sched.Transitions {
+		switch tr.Kind {
+		case LinkDown, LinkUp:
+			if !have[r.port(tr.Port)] {
+				bad(tr.Port)
+			}
+		case Partition:
+			for name := range tr.Groups {
+				if !have[r.port(name)] {
+					bad(name)
+				}
+			}
+		}
+	}
+}
+
+// Applied reports how many transitions have fired so far.
+func (r *Runner) Applied() int { return r.applied }
+
+// Done reports whether the whole schedule has been applied.
+func (r *Runner) Done() bool { return r.done }
+
+func (r *Runner) run() {
+	start := r.s.Now()
+	for i := range r.sched.Transitions {
+		tr := &r.sched.Transitions[i]
+		if wait := sim.Duration(start + sim.Time(tr.At) - r.s.Now()); wait > 0 {
+			r.s.Sleep(wait)
+		}
+		r.apply(tr)
+	}
+	r.done = true
+}
+
+// port resolves a schedule port name through the alias map.
+func (r *Runner) port(name string) string {
+	if real, ok := r.opt.PortAlias[name]; ok {
+		return real
+	}
+	return name
+}
+
+// apply fires one transition: segment control call, MIB counters, and
+// one observer-only flight record per attached recorder.
+func (r *Runner) apply(tr *Transition) {
+	m := r.opt.MIB
+	switch tr.Kind {
+	case LinkDown:
+		r.seg.SetLink(r.port(tr.Port), false)
+		m.LinkDowns.Inc()
+		m.Active.Inc()
+	case LinkUp:
+		r.seg.SetLink(r.port(tr.Port), true)
+		m.LinkUps.Inc()
+		m.Active.Dec()
+	case Partition:
+		groups := make(map[string]int, len(tr.Groups))
+		for name, id := range tr.Groups {
+			groups[r.port(name)] = id
+		}
+		r.seg.Partition(groups)
+		m.Partitions.Inc()
+		m.Active.Inc()
+	case Heal:
+		r.seg.Heal()
+		m.Heals.Inc()
+		m.Active.Dec()
+	case BurstLoss:
+		r.seg.SetBurstLoss(tr.PGB, tr.PBG, tr.LossG, tr.LossB)
+		m.BurstStarts.Inc()
+		m.Active.Inc()
+	case BurstEnd:
+		r.seg.ClearBurstLoss()
+		m.BurstEnds.Inc()
+		m.Active.Dec()
+	case CorruptStorm:
+		r.seg.SetCorruptStorm(tr.P)
+		m.CorruptStorms.Inc()
+		m.Active.Inc()
+	case CorruptEnd:
+		r.seg.SetCorruptStorm(0)
+		m.Active.Dec()
+	case RateLimit:
+		r.seg.SetRateLimit(tr.BPS)
+		m.RateLimits.Inc()
+		m.Active.Inc()
+	case RateClear:
+		r.seg.SetRateLimit(0)
+		m.Active.Dec()
+	case DelaySpike:
+		r.seg.SetDelaySpike(tr.Delay)
+		m.DelaySpikes.Inc()
+		m.Active.Inc()
+	case DelayClear:
+		r.seg.SetDelaySpike(0)
+		m.Active.Dec()
+	}
+	m.Transitions.Inc()
+	r.applied++
+	if r.opt.Trace.On() {
+		r.opt.Trace.Printf("fault %s: %s", r.sched.Name, tr.String())
+	}
+	at := int64(r.s.Now())
+	detail := tr.Detail()
+	for _, rec := range r.opt.Recorders {
+		if rec != nil {
+			rec.Fault(at, string(tr.Kind), detail)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package fault_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/basis"
+	"repro/internal/fault"
+	"repro/internal/flight"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// TestRunnerAppliesOnTime: a linkdown/linkup flap fires at the scripted
+// virtual offsets, counted exactly in the FaultMIB, and the Active
+// gauge returns to zero once the script has cleared everything it set.
+func TestRunnerAppliesOnTime(t *testing.T) {
+	sched, err := fault.Parse("flaptest", strings.NewReader(
+		"10ms linkdown B\n30ms linkup B\n40ms partition A | B\n60ms heal\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mib := &stats.FaultMIB{}
+	s := sim.New(sim.Config{})
+	s.Run(func() {
+		seg := wire.NewSegment(s, wire.Config{}, nil)
+		a := seg.NewPort("a", nil)
+		b := seg.NewPort("b", nil)
+		heard := 0
+		b.SetHandler(func(p *basis.Packet) { heard++ })
+		r := fault.Start(s, seg, sched, fault.Options{
+			MIB:       mib,
+			PortAlias: map[string]string{"A": "a", "B": "b"},
+		})
+		send := func() { a.Send(basis.NewPacket(0, 0, []byte("probe"))) }
+
+		s.Sleep(5 * time.Millisecond) // t=5ms: before the flap
+		send()
+		s.Sleep(15 * time.Millisecond) // t=20ms: b is down
+		send()
+		s.Sleep(15 * time.Millisecond) // t=35ms: up again
+		send()
+		s.Sleep(15 * time.Millisecond) // t=50ms: partitioned
+		send()
+		s.Sleep(20 * time.Millisecond) // t=70ms: healed
+		send()
+		s.Sleep(10 * time.Millisecond)
+
+		if heard != 3 {
+			t.Errorf("heard %d probes, want 3 (down and partitioned ones dropped)", heard)
+		}
+		if !r.Done() || r.Applied() != 4 {
+			t.Errorf("runner done=%v applied=%d, want true/4", r.Done(), r.Applied())
+		}
+	})
+	if got := mib.Transitions.Load(); got != 4 {
+		t.Errorf("Transitions = %d, want 4", got)
+	}
+	for name, got := range map[string]uint64{
+		"LinkDowns":  mib.LinkDowns.Load(),
+		"LinkUps":    mib.LinkUps.Load(),
+		"Partitions": mib.Partitions.Load(),
+		"Heals":      mib.Heals.Load(),
+	} {
+		if got != 1 {
+			t.Errorf("%s = %d, want 1", name, got)
+		}
+	}
+	if got := mib.Active.Load(); got != 0 {
+		t.Errorf("Active = %d after a fully-cleared script, want 0", got)
+	}
+	if high := mib.Active.High(); high != 1 {
+		t.Errorf("Active high-water = %d, want 1", high)
+	}
+}
+
+// TestRunnerJournalsTransitions: every applied transition lands in each
+// attached recorder as an observer-only KindFault record carrying the
+// transition kind, its rendered detail, and the virtual time it fired.
+func TestRunnerJournalsTransitions(t *testing.T) {
+	sched, ok := fault.Named("squeeze")
+	if !ok {
+		t.Fatal("no squeeze scenario")
+	}
+	var buf bytes.Buffer
+	rec := flight.NewRecorder(&buf)
+	s := sim.New(sim.Config{})
+	s.Run(func() {
+		seg := wire.NewSegment(s, wire.Config{}, nil)
+		fault.Start(s, seg, sched, fault.Options{Recorders: []*flight.Recorder{rec, nil}})
+		s.Sleep(10 * time.Second)
+	})
+	recs, err := flight.ReadAll(&buf)
+	if err != nil {
+		t.Fatalf("journal does not read back: %v", err)
+	}
+	if len(recs) != len(sched.Transitions) {
+		t.Fatalf("journaled %d records, want %d", len(recs), len(sched.Transitions))
+	}
+	for i, r := range recs {
+		tr := sched.Transitions[i]
+		if r.Kind != flight.KindFault {
+			t.Errorf("record %d kind %q, want %q", i, r.Kind, flight.KindFault)
+		}
+		if r.FaultKind != string(tr.Kind) || r.FaultDetail != tr.Detail() {
+			t.Errorf("record %d = %s %q, want %s %q", i, r.FaultKind, r.FaultDetail, tr.Kind, tr.Detail())
+		}
+		if got, want := sim.Time(r.At), sim.Time(tr.At); got != want {
+			t.Errorf("record %d at %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestRateLimitAndDelaySlowDelivery: the squeeze scenario's bandwidth
+// collapse and delay spike visibly delay frames while active and stop
+// doing so once cleared.
+func TestRateLimitAndDelaySlowDelivery(t *testing.T) {
+	s := sim.New(sim.Config{})
+	s.Run(func() {
+		seg := wire.NewSegment(s, wire.Config{}, nil)
+		a := seg.NewPort("a", nil)
+		b := seg.NewPort("b", nil)
+		var arrivals []sim.Time
+		b.SetHandler(func(p *basis.Packet) { arrivals = append(arrivals, s.Now()) })
+		latency := func() sim.Duration {
+			start := s.Now()
+			a.Send(basis.NewPacket(0, 0, make([]byte, 1000)))
+			s.Sleep(5 * time.Second)
+			return sim.Duration(arrivals[len(arrivals)-1] - start)
+		}
+		base := latency()
+		seg.SetRateLimit(56_000) // 1000 bytes at 56 kb/s ≈ 143 ms of tx time
+		squeezed := latency()
+		seg.SetRateLimit(0)
+		seg.SetDelaySpike(30 * time.Millisecond)
+		spiked := latency()
+		seg.SetDelaySpike(0)
+		after := latency()
+		if squeezed < 100*time.Millisecond || squeezed <= base {
+			t.Errorf("rate-limited latency %v, want ≫ base %v", squeezed, base)
+		}
+		if d := spiked - base; d != 30*time.Millisecond {
+			t.Errorf("delay spike added %v, want exactly 30ms", d)
+		}
+		if after != base {
+			t.Errorf("latency %v after clearing, want base %v", after, base)
+		}
+	})
+}
+
+// TestRunnerRejectsUnknownPorts: a schedule naming a port the segment
+// does not have is a rig mismatch; silently ignoring it would let a
+// whole scenario no-op while still counting transitions.
+func TestRunnerRejectsUnknownPorts(t *testing.T) {
+	for _, line := range []string{"1ms linkdown ghost", "1ms partition ghost | a"} {
+		sched, err := fault.Parse("t", strings.NewReader(line+"\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := sim.New(sim.Config{})
+		panicked := false
+		s.Run(func() {
+			seg := wire.NewSegment(s, wire.Config{}, nil)
+			seg.NewPort("a", nil)
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						panicked = true
+						if !strings.Contains(fmt.Sprint(r), "ghost") {
+							t.Errorf("panic %v does not name the unknown port", r)
+						}
+					}
+				}()
+				fault.Start(s, seg, sched, fault.Options{})
+			}()
+		})
+		if !panicked {
+			t.Errorf("schedule %q accepted against a segment without that port; want panic at Start", line)
+		}
+	}
+}

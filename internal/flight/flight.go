@@ -28,13 +28,14 @@ import (
 
 // Record kind names, as written in the "k" field.
 const (
-	KindHdr  = "hdr"  // run header: host, MTU, resolved Config
-	KindOpen = "open" // connection creation (active or passive)
-	KindUop  = "uop"  // user operation: open/write/read/close/abort/wurg
-	KindEnq  = "enq"  // one tcp_action enqueued, with its cause
-	KindBeg  = "beg"  // executor begins performing an enqueued action
-	KindEnd  = "end"  // executor finished it; "d" holds the TCB delta
-	KindSeal = "seal" // Merkle batch committed into the sealed chain
+	KindHdr   = "hdr"  // run header: host, MTU, resolved Config
+	KindOpen  = "open" // connection creation (active or passive)
+	KindUop   = "uop"  // user operation: open/write/read/close/abort/wurg
+	KindEnq   = "enq"  // one tcp_action enqueued, with its cause
+	KindBeg   = "beg"  // executor begins performing an enqueued action
+	KindEnd   = "end"  // executor finished it; "d" holds the TCB delta
+	KindSeal  = "seal" // Merkle batch committed into the sealed chain
+	KindFault = "flt"  // scripted fault-plane transition (observer-only)
 )
 
 // Cause kinds, as written in the "ck" field of open/uop/enq records.
@@ -205,6 +206,23 @@ func (r *Recorder) Hdr(host string, mtu int, cfg []byte) {
 	r.buf = appendIntField(r.buf, "mtu", int64(mtu))
 	r.buf = append(r.buf, `,"cfg":`...)
 	r.buf = append(r.buf, cfg...)
+	r.buf = append(r.buf, '}')
+	r.flush()
+}
+
+// Fault records one scripted fault-plane transition (internal/fault)
+// applied to the wire beneath this host: the transition kind ("fk") and
+// its rendered arguments ("fd") at virtual time at. The record is pure
+// observation — replay skips it — but it timestamps the fault timeline
+// inside the journal so any divergence can be attributed to a scripted
+// event. Transitions are rare; this is not a hot path, and the record
+// carries no action seq so the executor's numbering is undisturbed.
+func (r *Recorder) Fault(at int64, kind, detail string) {
+	r.buf = r.buf[:0]
+	r.buf = append(r.buf, `{"k":"flt"`...)
+	r.buf = appendIntField(r.buf, "at", at)
+	r.buf = appendStrField(r.buf, "fk", kind)
+	r.buf = appendStrField(r.buf, "fd", detail)
 	r.buf = append(r.buf, '}')
 	r.flush()
 }

@@ -67,6 +67,11 @@ type Record struct {
 	Prev      string `json:"prev"` // previous seal's hash (zeros for batch 0)
 	SealH     string `json:"sh"`   // this seal's chain hash
 
+	// flt: one scripted fault-plane transition (internal/fault) applied
+	// to the wire beneath this host, for divergence attribution.
+	FaultKind   string `json:"fk"` // transition kind, e.g. "partition"
+	FaultDetail string `json:"fd"` // rendered transition arguments
+
 	// compaction tombstone: a cold record whose bulky payload was
 	// dropped keeps the SHA-256 of its original JSON body here, so the
 	// batch root above it still verifies.

@@ -243,6 +243,25 @@ type SealMIB struct {
 	VerifyFailures  Counter // chain verifications that found tampering
 }
 
+// FaultMIB counts the scripted fault plane's activity: every schedule
+// transition applied to the wire, broken out by kind, plus a gauge of
+// how many abnormal conditions are currently in force. SNMP has no
+// fault-injection group; the names follow the .fsched vocabulary
+// (internal/fault).
+type FaultMIB struct {
+	Transitions   Counter // schedule transitions applied, total
+	LinkDowns     Counter // linkdown transitions
+	LinkUps       Counter // linkup transitions
+	Partitions    Counter // partition transitions
+	Heals         Counter // heal transitions
+	BurstStarts   Counter // burstloss activations
+	BurstEnds     Counter // burstend deactivations
+	CorruptStorms Counter // corruptstorm activations (corruptend clears)
+	RateLimits    Counter // ratelimit activations (rateclear clears)
+	DelaySpikes   Counter // delayspike activations (delayclear clears)
+	Active        Gauge   // abnormal conditions currently in force
+}
+
 // IPMIB is the RFC 2011-style ip group.
 type IPMIB struct {
 	InReceives      Counter

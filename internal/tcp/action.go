@@ -189,11 +189,15 @@ func advertisedWindow(w uint32) uint16 {
 func (c *Conn) twoMSL() sim.Duration { return 2 * c.t.cfg.MSL }
 
 // persistBackoff returns the persist-probe interval for the current
-// backoff count, doubling up to a minute.
+// backoff count, doubling up to a minute or the configured
+// BackoffCeiling, whichever is lower.
 func (c *Conn) persistBackoff() sim.Duration {
 	d := c.t.cfg.PersistInterval << c.tcb.shiftBackoff()
 	if d > time.Minute {
 		d = time.Minute
+	}
+	if d > c.t.cfg.BackoffCeiling {
+		d = c.t.cfg.BackoffCeiling
 	}
 	return d
 }

@@ -371,8 +371,8 @@ func TestLinkDeadLongerThanUserTimeoutFails(t *testing.T) {
 		s.Sleep(200 * time.Millisecond)
 		b.Port.SetUp(false) // and never back
 		s.Sleep(time.Minute)
-		if gotErr != tcp.ErrTimeout {
-			t.Fatalf("err = %v, want ErrTimeout after dead link", gotErr)
+		if gotErr != tcp.ErrProgressTimeout {
+			t.Fatalf("err = %v, want ErrProgressTimeout after dead link", gotErr)
 		}
 	})
 }

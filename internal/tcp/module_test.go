@@ -613,8 +613,8 @@ func TestResendUserTimeoutFailsConnection(t *testing.T) {
 		c.enqueue(actMaybeSend{})
 		c.run()
 		s.Sleep(time.Minute)
-		if gotErr != ErrTimeout {
-			t.Fatalf("err = %v, want ErrTimeout", gotErr)
+		if gotErr != ErrProgressTimeout {
+			t.Fatalf("err = %v, want ErrProgressTimeout", gotErr)
 		}
 		if c.state != StateClosed {
 			t.Fatalf("state = %v", c.state)

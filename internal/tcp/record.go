@@ -32,6 +32,7 @@ type recordedConfig struct {
 	InitialRTO        int64 `json:"irto"`
 	MinRTO            int64 `json:"minrto"`
 	MaxRTO            int64 `json:"maxrto"`
+	BackoffCeiling    int64 `json:"bc"`
 	SendBufferLimit   int   `json:"sbl"`
 	ReassemblyLimit   int   `json:"rl"`
 	MaxSynBacklog     int   `json:"msb"`
@@ -62,6 +63,7 @@ func (t *TCP) journalConfig() recordedConfig {
 		InitialRTO:        int64(cfg.InitialRTO),
 		MinRTO:            int64(cfg.MinRTO),
 		MaxRTO:            int64(cfg.MaxRTO),
+		BackoffCeiling:    int64(cfg.BackoffCeiling),
 		SendBufferLimit:   cfg.SendBufferLimit,
 		ReassemblyLimit:   cfg.ReassemblyLimit,
 		MaxSynBacklog:     cfg.MaxSynBacklog,
@@ -100,6 +102,7 @@ func (rc recordedConfig) config() Config {
 		InitialRTO:              sim.Duration(rc.InitialRTO),
 		MinRTO:                  sim.Duration(rc.MinRTO),
 		MaxRTO:                  sim.Duration(rc.MaxRTO),
+		BackoffCeiling:          sim.Duration(rc.BackoffCeiling),
 		SendBufferLimit:         rc.SendBufferLimit,
 		ReassemblyLimit:         rc.ReassemblyLimit,
 		MaxSynBacklog:           rc.MaxSynBacklog,

@@ -142,6 +142,13 @@ func ReplayJournal(recs []flight.Record) (*ReplayResult, error) {
 			// checks seals before replay ever starts.
 			continue
 
+		case flight.KindFault:
+			// Scripted fault-plane timeline (internal/fault): pure
+			// observation of what the wire was doing, not an action the
+			// machine performed. Replay runs over a null net, so the
+			// fault has already had its effect on the recorded history.
+			continue
+
 		case flight.KindHdr:
 			div(i, 0, "", "duplicate hdr record")
 
@@ -339,7 +346,7 @@ func ReplayJournalParallel(recs []flight.Record, workers int) (*ReplayResult, er
 	next := 0
 	for i := 1; i < len(recs); i++ {
 		rec := &recs[i]
-		if rec.Kind == flight.KindSeal || rec.Kind == flight.KindHdr {
+		if rec.Kind == flight.KindSeal || rec.Kind == flight.KindHdr || rec.Kind == flight.KindFault {
 			continue
 		}
 		w, ok := shard[rec.Conn]

@@ -95,11 +95,15 @@ func (c *Conn) rttSample(m sim.Duration) {
 	c.t.cfg.Metrics.RttUsec.Observe(uint64(tcb.srtt / time.Microsecond))
 }
 
-// currentRTO applies the exponential backoff to the base RTO.
+// currentRTO applies the exponential backoff to the base RTO, capped at
+// BackoffCeiling (fill clamps the ceiling to MaxRTO, so this is the
+// tighter of the two bounds). The ceiling is what bounds recovery time
+// after a partition heals: however maxed the exponential got during the
+// outage, the next retransmission is at most one ceiling away.
 func (c *Conn) currentRTO() sim.Duration {
 	d := c.tcb.rto << c.tcb.shiftBackoff()
-	if d > c.t.cfg.MaxRTO {
-		d = c.t.cfg.MaxRTO
+	if d > c.t.cfg.BackoffCeiling {
+		d = c.t.cfg.BackoffCeiling
 	}
 	return d
 }
@@ -117,7 +121,8 @@ func (c *Conn) resendTimeout() {
 	now := c.t.s.Now()
 	if sim.Duration(now-tcb.lastProgress) >= c.t.cfg.UserTimeout {
 		c.t.cfg.Trace.Printf("conn %v: user timeout after %d retransmits", c.key, tcb.backoff)
-		c.stateAbort(ErrTimeout)
+		c.t.stats.ProgressTimeouts++
+		c.stateAbort(ErrProgressTimeout)
 		return
 	}
 	tcb.backoff++
@@ -195,6 +200,16 @@ func (c *Conn) persistTimeout() {
 	tcb := c.tcb
 	if tcb.sndWnd > 0 || (tcb.queuedBytes == 0 && !tcb.finQueued) {
 		return // window opened or nothing left to say
+	}
+	// RFC 9293 §3.8.5: the user timeout governs zero-window probing
+	// too. Without this a peer that vanished mid-zero-window (a
+	// partition, a crashed host) would be probed forever, pinning the
+	// connection's buffers and memory charges.
+	if sim.Duration(c.t.s.Now()-tcb.lastProgress) >= c.t.cfg.UserTimeout {
+		c.t.cfg.Trace.Printf("conn %v: user timeout after %d zero-window probes", c.key, tcb.backoff)
+		c.t.stats.ProgressTimeouts++
+		c.stateAbort(ErrProgressTimeout)
+		return
 	}
 	if tcb.queuedBytes > 0 && tcb.flightSize() == 0 {
 		probe := &segment{

@@ -70,6 +70,12 @@ type Config struct {
 	InitialRTO sim.Duration
 	MinRTO     sim.Duration
 	MaxRTO     sim.Duration
+	// BackoffCeiling caps the backed-off retransmission and persist
+	// timeouts (rto << backoff) below MaxRTO, bounding how long a
+	// connection coasts on a maxed exponential after a partition heals:
+	// the next probe is at most BackoffCeiling away, so recovery time
+	// after a heal is bounded by it. Default MaxRTO (no extra cap).
+	BackoffCeiling sim.Duration
 
 	// SendBufferLimit bounds bytes queued but unsent per connection;
 	// Write blocks when it is full. Default 64 KiB.
@@ -177,6 +183,9 @@ func (c *Config) fill() {
 	if c.MaxRTO == 0 {
 		c.MaxRTO = 64 * time.Second
 	}
+	if c.BackoffCeiling == 0 || c.BackoffCeiling > c.MaxRTO {
+		c.BackoffCeiling = c.MaxRTO
+	}
 	if c.SendBufferLimit == 0 {
 		c.SendBufferLimit = 64 << 10
 	}
@@ -224,13 +233,20 @@ var Enable = func() *bool { b := true; return &b }()
 
 // Errors delivered to users.
 var (
-	ErrReset     = errors.New("tcp: connection reset by peer")
-	ErrRefused   = errors.New("tcp: connection refused")
-	ErrTimeout   = errors.New("tcp: operation timed out")
-	ErrAborted   = errors.New("tcp: connection aborted")
-	ErrClosed    = errors.New("tcp: connection closed")
-	ErrPortInUse = errors.New("tcp: port in use")
-	ErrNotEstab  = errors.New("tcp: connection not established")
+	ErrReset   = errors.New("tcp: connection reset by peer")
+	ErrRefused = errors.New("tcp: connection refused")
+	ErrTimeout = errors.New("tcp: operation timed out")
+	// ErrProgressTimeout is the RFC 9293 §3.8.5 / RFC 5482 user
+	// timeout: the connection was aborted because retransmissions (or
+	// zero-window probes) made no forward progress for
+	// Config.UserTimeout. Distinguishable from ErrTimeout so callers
+	// can tell "the network stopped moving our data" from other
+	// timeouts; Read/Write return it once the abort lands.
+	ErrProgressTimeout = errors.New("tcp: user timeout: no forward progress")
+	ErrAborted         = errors.New("tcp: connection aborted")
+	ErrClosed          = errors.New("tcp: connection closed")
+	ErrPortInUse       = errors.New("tcp: port in use")
+	ErrNotEstab        = errors.New("tcp: connection not established")
 )
 
 // Stats counts endpoint-wide TCP activity.
@@ -252,6 +268,10 @@ type Stats struct {
 	ConnsOpened   uint64
 	ConnsAccepted uint64
 	UnknownDest   uint64
+	// ProgressTimeouts counts connections aborted by the RFC 9293 user
+	// timeout: no forward progress for Config.UserTimeout despite
+	// retransmissions or zero-window probes.
+	ProgressTimeouts uint64
 }
 
 // connKey identifies a connection: the peer's lower-layer address and the

@@ -1,0 +1,151 @@
+// Fault-plane control surface: the sanctioned API through which a fault
+// schedule (internal/fault) manipulates a live Segment. Everything here
+// mutates medium-level state only — link carrier, partition grouping,
+// the burst-loss model, corruption storms, bandwidth and delay
+// overrides. Nothing in this file can reach a protocol stack: schedules
+// change what the wire does to frames, never what the hosts do with
+// them.
+//
+// Determinism: every probabilistic draw a control feature makes comes
+// from the segment's dedicated fault stream (Segment.faultRNG), never
+// from the delivery stream that drives the static Config.Loss/
+// Duplicate/Corrupt/Jitter draws. Activating a schedule therefore
+// consumes nothing from the delivery stream, so the frame-level
+// outcomes of a fixed-seed run without faults are bit-identical to the
+// same run with a schedule attached whose transitions never fire (and,
+// outside active fault windows, identical to one whose transitions
+// did). See DESIGN.md §15.
+package wire
+
+import (
+	"fmt"
+
+	"repro/internal/basis"
+	"repro/internal/sim"
+)
+
+// control holds the live fault-plane overrides consulted by mediumLoop.
+// Zero value = no faults active.
+type control struct {
+	groups map[string]int // port name → partition group; nil when healed
+	burst  *burstState    // Gilbert–Elliott model; nil when inactive
+	stormP float64        // extra corruption probability; 0 when off
+	rate   int64          // bandwidth override in bits/s; 0 = Config value
+	extra  sim.Duration   // extra one-way delay; 0 when off
+}
+
+// burstState is the Gilbert–Elliott two-state loss model: a good state
+// with low loss and a bad state with high loss, switching between them
+// with the configured transition probabilities on every frame. While
+// active it replaces the i.i.d. Config.Loss decision; its draws come
+// exclusively from the fault stream.
+type burstState struct {
+	pGB, pBG     float64 // P(good→bad), P(bad→good) per frame
+	lossG, lossB float64 // per-frame loss probability in each state
+	bad          bool
+}
+
+// step advances the two-state chain one frame and reports whether that
+// frame is lost. All draws are from the fault stream.
+func (b *burstState) step(rng *basis.Rand) bool {
+	if b.bad {
+		if rng.Chance(b.pBG) {
+			b.bad = false
+		}
+	} else if rng.Chance(b.pGB) {
+		b.bad = true
+	}
+	if b.bad {
+		return rng.Chance(b.lossB)
+	}
+	return rng.Chance(b.lossG)
+}
+
+// SetLink raises or lowers the named port's carrier — the scripted form
+// of Port.SetUp. It reports whether a port by that name is attached.
+func (seg *Segment) SetLink(name string, up bool) bool {
+	for _, p := range seg.ports {
+		if p.name == name {
+			p.SetUp(up)
+			return true
+		}
+	}
+	return false
+}
+
+// Partition splits the medium: a frame is delivered only to ports in
+// the same group as its sender. Ports absent from the map are group 0.
+// The map is copied; passing nil is equivalent to Heal.
+func (seg *Segment) Partition(groups map[string]int) {
+	if len(groups) == 0 {
+		seg.ctl.groups = nil
+		return
+	}
+	g := make(map[string]int, len(groups))
+	for name, id := range groups {
+		g[name] = id
+	}
+	seg.ctl.groups = g
+}
+
+// Heal removes any partition: the medium is one broadcast domain again.
+func (seg *Segment) Heal() { seg.ctl.groups = nil }
+
+// Partitioned reports whether a partition is currently in force.
+func (seg *Segment) Partitioned() bool { return seg.ctl.groups != nil }
+
+// SetBurstLoss activates the Gilbert–Elliott burst-loss model,
+// replacing the i.i.d. Config.Loss decision until ClearBurstLoss. The
+// model starts in the good state. Probabilities outside [0, 1] panic —
+// schedules are validated at parse time, so reaching here with a bad
+// value is a programming error.
+func (seg *Segment) SetBurstLoss(pGB, pBG, lossG, lossB float64) {
+	for _, p := range [...]float64{pGB, pBG, lossG, lossB} {
+		if p < 0 || p > 1 || p != p {
+			panic(fmt.Sprintf("wire: burst-loss probability %v out of [0,1]", p))
+		}
+	}
+	seg.ctl.burst = &burstState{pGB: pGB, pBG: pBG, lossG: lossG, lossB: lossB}
+}
+
+// ClearBurstLoss deactivates the burst model; Config.Loss applies again.
+func (seg *Segment) ClearBurstLoss() { seg.ctl.burst = nil }
+
+// SetCorruptStorm layers an extra per-copy corruption probability on
+// top of Config.Corrupt (a storm is additional damage, not a
+// replacement — the base stream stays aligned). p = 0 ends the storm.
+func (seg *Segment) SetCorruptStorm(p float64) {
+	if p < 0 || p > 1 || p != p {
+		panic(fmt.Sprintf("wire: corrupt-storm probability %v out of [0,1]", p))
+	}
+	seg.ctl.stormP = p
+}
+
+// SetRateLimit overrides the medium bandwidth (bits per second) —
+// bandwidth collapse. bps = 0 restores Config.BitsPerSecond. Negative
+// rates panic.
+func (seg *Segment) SetRateLimit(bps int64) {
+	if bps < 0 {
+		panic(fmt.Sprintf("wire: negative rate limit %d", bps))
+	}
+	seg.ctl.rate = bps
+}
+
+// SetDelaySpike adds a fixed extra one-way delay to every delivery —
+// a latency spike. d = 0 ends the spike. Negative delays panic.
+func (seg *Segment) SetDelaySpike(d sim.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("wire: negative delay spike %v", d))
+	}
+	seg.ctl.extra = d
+}
+
+// PortNames lists the attached ports in attachment order — the universe
+// a partition schedule splits.
+func (seg *Segment) PortNames() []string {
+	names := make([]string, len(seg.ports))
+	for i, p := range seg.ports {
+		names[i] = p.name
+	}
+	return names
+}

@@ -51,6 +51,36 @@ type Config struct {
 	JitterMax sim.Duration
 }
 
+// Validate rejects configurations that would silently misbehave:
+// probabilities outside [0, 1] (or NaN) and negative durations or
+// rates. NewSegment calls it and panics on error, so a bad config is
+// loud at construction; callers that want the error instead (flag
+// parsing, scenario loaders) call Validate themselves first.
+func (c Config) Validate() error {
+	probs := [...]struct {
+		name string
+		p    float64
+	}{{"Loss", c.Loss}, {"Duplicate", c.Duplicate}, {"Corrupt", c.Corrupt}, {"Jitter", c.Jitter}}
+	for _, f := range probs {
+		if f.p < 0 || f.p > 1 || f.p != f.p {
+			return fmt.Errorf("wire: Config.%s = %v, want a probability in [0, 1]", f.name, f.p)
+		}
+	}
+	durs := [...]struct {
+		name string
+		d    sim.Duration
+	}{{"Propagation", c.Propagation}, {"SendCost", c.SendCost}, {"JitterMax", c.JitterMax}}
+	for _, f := range durs {
+		if f.d < 0 {
+			return fmt.Errorf("wire: Config.%s = %v, want a non-negative duration", f.name, f.d)
+		}
+	}
+	if c.BitsPerSecond < 0 {
+		return fmt.Errorf("wire: Config.BitsPerSecond = %d, want non-negative", c.BitsPerSecond)
+	}
+	return nil
+}
+
 func (c *Config) fill() {
 	if c.BitsPerSecond == 0 {
 		c.BitsPerSecond = 10_000_000
@@ -75,19 +105,27 @@ type Stats struct {
 	Corrupted  uint64
 	Jittered   uint64
 	Oversize   uint64 // frames rejected for exceeding MaxFrame
+	Cut        uint64 // deliveries suppressed by an active partition
 }
 
 // Segment is one shared broadcast medium.
 type Segment struct {
-	s     *sim.Scheduler
-	cfg   Config
-	rng   *basis.Rand
-	ports []*Port
-	txq   basis.FIFO[txFrame]
-	txC   *sim.Cond
-	stats Stats
-	trace *basis.Tracer
-	tap   func(from string, data []byte)
+	s   *sim.Scheduler
+	cfg Config
+	// rng drives the static Config.Loss/Duplicate/Corrupt/Jitter draws
+	// (the delivery stream); faultRNG is a separate stream, seeded from
+	// the same Config.Seed, that the scripted fault plane draws from.
+	// The split keeps fixed-seed frame outcomes stable when a schedule
+	// is attached — see control.go and DESIGN.md §15.
+	rng      *basis.Rand
+	faultRNG *basis.Rand
+	ctl      control
+	ports    []*Port
+	txq      basis.FIFO[txFrame]
+	txC      *sim.Cond
+	stats    Stats
+	trace    *basis.Tracer
+	tap      func(from string, data []byte)
 }
 
 type txFrame struct {
@@ -113,11 +151,21 @@ type Port struct {
 	down    bool
 }
 
+// faultStreamSalt derives the fault stream's seed from Config.Seed.
+// Any odd constant works; what matters is that the two streams are
+// distinct for every seed.
+const faultStreamSalt = 0x6661756c74 // "fault"
+
 // NewSegment creates a segment and starts its medium thread. It must be
-// called from inside the scheduler's Run.
+// called from inside the scheduler's Run. An invalid Config panics —
+// call Config.Validate first to get the error instead.
 func NewSegment(s *sim.Scheduler, cfg Config, trace *basis.Tracer) *Segment {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	cfg.fill()
-	seg := &Segment{s: s, cfg: cfg, rng: basis.NewRand(cfg.Seed), trace: trace}
+	seg := &Segment{s: s, cfg: cfg, rng: basis.NewRand(cfg.Seed),
+		faultRNG: basis.NewRand(cfg.Seed ^ faultStreamSalt), trace: trace}
 	seg.txC = sim.NewCond(s)
 	s.Fork("wire", seg.mediumLoop)
 	return seg
@@ -207,10 +255,22 @@ func (seg *Segment) mediumLoop() {
 		if seg.tap != nil {
 			seg.s.Exclude(func() { seg.tap(f.from.name, f.data) })
 		}
-		txTime := sim.Duration(int64(len(f.data)) * 8 * int64(time.Second) / seg.cfg.BitsPerSecond)
+		bps := seg.cfg.BitsPerSecond
+		if seg.ctl.rate > 0 {
+			bps = seg.ctl.rate // scripted bandwidth collapse
+		}
+		txTime := sim.Duration(int64(len(f.data)) * 8 * int64(time.Second) / bps)
 		seg.s.Sleep(txTime)
 
-		if seg.rng.Chance(seg.cfg.Loss) {
+		// The loss decision: the burst model, while active, replaces the
+		// i.i.d. draw and consumes only fault-stream values. (When
+		// Config.Loss is in (0,1) the delivery stream keeps its draw so
+		// the stream stays frame-aligned across a burst window.)
+		lost := seg.rng.Chance(seg.cfg.Loss)
+		if b := seg.ctl.burst; b != nil {
+			lost = b.step(seg.faultRNG)
+		}
+		if lost {
 			seg.stats.Lost++
 			seg.trace.Printf("frame from %s lost (%d bytes)", f.from.name, len(f.data))
 			continue
@@ -230,7 +290,14 @@ func (seg *Segment) mediumLoop() {
 				data[seg.rng.Intn(len(data))] ^= 0xff
 				seg.stats.Corrupted++
 			}
-			availAt := seg.s.Now() + sim.Time(seg.cfg.Propagation)
+			// A corruption storm is extra damage layered on top of the
+			// static rate; its draws come from the fault stream only.
+			if seg.ctl.stormP > 0 && seg.faultRNG.Chance(seg.ctl.stormP) && len(data) > 0 {
+				data = append([]byte(nil), data...) //foxvet:boundary-copy fault injection: storm corruption must not flip bits in the sender's retained buffer
+				data[seg.faultRNG.Intn(len(data))] ^= 0xff
+				seg.stats.Corrupted++
+			}
+			availAt := seg.s.Now() + sim.Time(seg.cfg.Propagation) + sim.Time(seg.ctl.extra)
 			if seg.rng.Chance(seg.cfg.Jitter) {
 				extra := sim.Duration(seg.rng.Intn(int(seg.cfg.JitterMax)))
 				availAt += sim.Time(extra)
@@ -238,6 +305,12 @@ func (seg *Segment) mediumLoop() {
 			}
 			for _, port := range seg.ports {
 				if port == f.from {
+					continue
+				}
+				// An active partition cuts delivery across the split:
+				// only ports in the sender's group hear the frame.
+				if g := seg.ctl.groups; g != nil && g[port.name] != g[f.from.name] {
+					seg.stats.Cut++
 					continue
 				}
 				// Each receiving controller gets its own buffer: one
