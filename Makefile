@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check lint foxvet foxvet-json foxvet-baseline statemachine-dot sessiontype-dot copyflow-dot bench chaos audit fmt
+.PHONY: build test check lint foxvet foxvet-json foxvet-baseline statemachine-dot sessiontype-dot copyflow-dot bench chaos audit telemetry fmt
 
 build:
 	$(GO) build ./...
@@ -83,6 +83,19 @@ audit:
 	rm -rf audit-journals
 	$(GO) run ./cmd/foxstat -scenario lossy -flight audit-journals -seals
 	$(GO) run ./cmd/foxreplay -verify -workers 4 audit-journals
+
+# telemetry gates the observation plane: the unit and integration tests
+# (histogram goldens, seqlock rings, zero-alloc emit, endpoint smoke),
+# then the bit-identicality check — foxbench -telemetry runs the same
+# transfer unobserved and telemetered and refuses to attest unless the
+# virtual results match exactly, and finally a foxstat scrape proves the
+# /metrics rendering end to end.
+telemetry:
+	$(GO) test -race -count=1 ./internal/telemetry/ ./internal/seqplot/ ./cmd/foxstat/
+	$(GO) test -race -count=1 -run 'TestTelemetry' ./internal/tcp/ ./internal/experiments/
+	$(GO) run ./cmd/foxbench -telemetry -bytes 200000 | tee /dev/stderr | grep -q "identical off/on"
+	$(GO) run ./cmd/foxstat -scrape metrics.txt
+	grep -q "^fox_action_latency_ns" metrics.txt
 
 fmt:
 	gofmt -w .

@@ -6,6 +6,7 @@
 //	foxbench -gc             the §5 garbage-collection experiment
 //	foxbench -ablate         design-choice ablations (DESIGN.md §5)
 //	foxbench -flight         flight-recorder overhead, off vs on (PR 5)
+//	foxbench -telemetry      telemetry-plane overhead, off vs on (PR 10)
 //	foxbench -all            everything
 //
 // Flags -bytes, -window, -scale, -loss, -seed, -rounds adjust the
@@ -17,7 +18,10 @@
 // clean-wire numbers.
 //
 // -json renders the requested tables (1 and/or 2) as a versioned
-// foxbench/v1 document instead of text; -o writes it to a file.
+// foxbench/v2 document instead of text; -o writes it to a file. The
+// Table 1 JSON runs the structured arm with telemetry attached, so the
+// document carries per-action latency percentiles and the sender's
+// cwnd trace alongside the aggregate figures.
 package main
 
 import (
@@ -34,6 +38,7 @@ func main() {
 	gc := flag.Bool("gc", false, "run the garbage-collection experiment")
 	ablate := flag.Bool("ablate", false, "run the design-choice ablations")
 	flightB := flag.Bool("flight", false, "measure flight-recorder overhead on the bulk transfer (off vs on)")
+	telemetryB := flag.Bool("telemetry", false, "measure telemetry-plane overhead on the bulk transfer (off vs on)")
 	sweep := flag.Bool("sweep", false, "sweep TCP window sizes for both implementations")
 	lossSweep := flag.Bool("losssweep", false, "sweep wire loss rates for both implementations")
 	all := flag.Bool("all", false, "run everything")
@@ -85,8 +90,12 @@ func main() {
 			r, _ := experiments.FlightReport(o)
 			reports = append(reports, r)
 		}
+		if *telemetryB || *all {
+			r, _ := experiments.TelemetryReport(o)
+			reports = append(reports, r)
+		}
 		if len(reports) == 0 {
-			fmt.Fprintln(os.Stderr, "foxbench: -json requires -table 1, -table 2, -flight, or -all")
+			fmt.Fprintln(os.Stderr, "foxbench: -json requires -table 1, -table 2, -flight, -telemetry, or -all")
 			os.Exit(2)
 		}
 		b, err := experiments.NewDocument(o, reports...).Marshal()
@@ -121,6 +130,10 @@ func main() {
 	if *flightB || *all {
 		ran = true
 		fmt.Println(experiments.FlightOverhead(o).Text)
+	}
+	if *telemetryB || *all {
+		ran = true
+		fmt.Println(experiments.TelemetryOverhead(o).Text)
 	}
 	if *gc || *all {
 		ran = true

@@ -28,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -54,8 +55,27 @@ type connJSON struct {
 	RTONS         int64  `json:"rto_ns"`
 	SendWindow    uint32 `json:"send_window"`
 	CongWindow    uint32 `json:"cong_window"`
+	Ssthresh      uint32 `json:"ssthresh"`
+	FlightSize    uint32 `json:"flight_size"`
 	RecvWindow    uint32 `json:"recv_window"`
 	ToDoHighWater int    `json:"to_do_high_water"`
+}
+
+// connStatsJSON snapshots one connection's TCB statistics.
+func connStatsJSON(c *foxnet.Conn) connJSON {
+	st := c.Stats()
+	return connJSON{
+		Name:    c.Name(),
+		State:   st.State.String(),
+		BytesIn: st.BytesIn, BytesOut: st.BytesOut,
+		SegsIn: st.SegsIn, SegsOut: st.SegsOut,
+		Retransmits: st.Retransmits, DupAcks: st.DupAcks,
+		SRTTNS: int64(st.SRTT), RTTVarNS: int64(st.RTTVar), RTONS: int64(st.RTO),
+		SendWindow: st.SendWindow, CongWindow: st.CongWindow,
+		Ssthresh: st.Ssthresh, FlightSize: st.FlightSize,
+		RecvWindow:    st.RecvWindow,
+		ToDoHighWater: st.ToDoHighWater,
+	}
 }
 
 type hostJSON struct {
@@ -82,6 +102,9 @@ func main() {
 	flightDir := flag.String("flight", "", "record per-host flight journals into this directory (replay with foxreplay)")
 	sealed := flag.Bool("seal", false, "route -flight journals through the Merkle batcher: tamper-evident rotated segments (verify with foxreplay -verify)")
 	sealList := flag.Bool("seals", false, "after the run, list each sealed segment with its root hash and leaf coverage (implies -seal)")
+	serveAddr := flag.String("serve", "", "serve live telemetry over HTTP on this address (/metrics, /conns, /series/<conn>, /profile); keeps serving after the run until interrupted")
+	watch := flag.Duration("watch", 0, "print periodic telemetry snapshots to stderr at this interval while the scenario runs")
+	scrapePath := flag.String("scrape", "", "after the run, render the Prometheus /metrics payload to this file")
 	flag.Parse()
 	if *sealList {
 		*sealed = true
@@ -132,7 +155,8 @@ func main() {
 			*bytes = 2_000_000
 		}
 	}
-	if *ringN > 0 || *flightDir != "" {
+	telemetered := *serveAddr != "" || *watch > 0 || *scrapePath != ""
+	if *ringN > 0 || *flightDir != "" || telemetered {
 		for i := range hostCfgs {
 			if hostCfgs[i] == nil {
 				hostCfgs[i] = &foxnet.HostConfig{}
@@ -142,6 +166,17 @@ func main() {
 			}
 			hostCfgs[i].FlightDir = *flightDir
 			hostCfgs[i].FlightSeal = *sealed
+			if telemetered {
+				hostCfgs[i].Telemetry = foxnet.NewTelemetry(foxnet.TelemetryOptions{})
+			}
+		}
+	}
+	var planes []*foxnet.Telemetry
+	var planeNames []string
+	if telemetered {
+		for i, hc := range hostCfgs {
+			planes = append(planes, hc.Telemetry)
+			planeNames = append(planeNames, fmt.Sprintf("host%d", i+1))
 		}
 	}
 
@@ -152,6 +187,28 @@ func main() {
 	substrate := foxnet.NewRegistry("net")
 	if faultMIB != nil {
 		substrate.Register("fault", faultMIB)
+	}
+
+	// The exporter and the watcher run on OS goroutines concurrent with
+	// the simulation; until finish() flips the done flag they read only
+	// the planes' atomics.
+	var srv *liveServer
+	if telemetered {
+		srv = newLiveServer(planes, planeNames)
+	}
+	if *serveAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*serveAddr, srv.mux()); err != nil {
+				fmt.Fprintln(os.Stderr, "foxstat: serve:", err)
+				os.Exit(1)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "foxstat: serving telemetry on %s (/metrics /conns /series/<conn> /profile)\n", *serveAddr)
+	}
+	var watchStop chan struct{}
+	if *watch > 0 {
+		watchStop = make(chan struct{})
+		go watchLoop(os.Stderr, planes, planeNames, *watch, watchStop)
 	}
 
 	s.Run(func() {
@@ -189,9 +246,29 @@ func main() {
 		// Long enough for retransmissions and TIME-WAIT on the lossy wire.
 		s.Sleep(30 * time.Second)
 	})
+	if watchStop != nil {
+		close(watchStop)
+		// One final snapshot so a short run still shows its end state.
+		writeWatch(os.Stderr, planes, planeNames)
+	}
+	if srv != nil {
+		srv.finish(net, conns, substrate)
+	}
 	if openErr != nil {
 		fmt.Fprintln(os.Stderr, "open:", openErr)
 		os.Exit(1)
+	}
+	if *scrapePath != "" {
+		f, err := os.Create(*scrapePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "foxstat:", err)
+			os.Exit(1)
+		}
+		srv.writeMetrics(f)
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "foxstat:", err)
+			os.Exit(1)
+		}
 	}
 
 	// Seal the partial batch and flush the journals: segment writes are
@@ -227,10 +304,15 @@ func main() {
 
 	if *jsonOut {
 		writeJSON(out, net, conns, substrate, *scenario, *bytes, sealReports)
-		return
+	} else {
+		writeText(out, net, conns, substrate)
+		writeSeals(out, sealReports)
 	}
-	writeText(out, net, conns, substrate)
-	writeSeals(out, sealReports)
+
+	if *serveAddr != "" {
+		fmt.Fprintln(os.Stderr, "foxstat: run complete; still serving (Ctrl-C to stop)")
+		select {}
+	}
 }
 
 // writeSeals prints the -seals listing: every sealed segment with its
@@ -329,8 +411,9 @@ func writeText(out io.Writer, net *foxnet.Network, conns []*foxnet.Conn, substra
 			fmt.Fprintf(out, "  state %v  in %d B / %d segs  out %d B / %d segs\n",
 				st.State, st.BytesIn, st.SegsIn, st.BytesOut, st.SegsOut)
 			fmt.Fprintf(out, "  srtt %v  rttvar %v  rto %v\n", st.SRTT, st.RTTVar, st.RTO)
-			fmt.Fprintf(out, "  rexmits %d  dupacks %d  snd_wnd %d  cwnd %d  rcv_wnd %d  to_do hw %d\n",
-				st.Retransmits, st.DupAcks, st.SendWindow, st.CongWindow, st.RecvWindow, st.ToDoHighWater)
+			fmt.Fprintf(out, "  rexmits %d  dupacks %d  snd_wnd %d  cwnd %d  ssthresh %d  flight %d  rcv_wnd %d  to_do hw %d\n",
+				st.Retransmits, st.DupAcks, st.SendWindow, st.CongWindow,
+				st.Ssthresh, st.FlightSize, st.RecvWindow, st.ToDoHighWater)
 		}
 		ring := h.Stats.Ring()
 		if n := ring.Len(); n > 0 {
@@ -359,17 +442,7 @@ func writeJSON(out io.Writer, net *foxnet.Network, conns []*foxnet.Conn, substra
 		}
 		hj := hostJSON{Snapshot: snap, Events: h.Stats.Ring().Events()}
 		for _, c := range connsOf(h, conns) {
-			st := c.Stats()
-			hj.Connections = append(hj.Connections, connJSON{
-				Name:    c.Name(),
-				State:   st.State.String(),
-				BytesIn: st.BytesIn, BytesOut: st.BytesOut,
-				SegsIn: st.SegsIn, SegsOut: st.SegsOut,
-				Retransmits: st.Retransmits, DupAcks: st.DupAcks,
-				SRTTNS: int64(st.SRTT), RTTVarNS: int64(st.RTTVar), RTONS: int64(st.RTO),
-				SendWindow: st.SendWindow, CongWindow: st.CongWindow, RecvWindow: st.RecvWindow,
-				ToDoHighWater: st.ToDoHighWater,
-			})
+			hj.Connections = append(hj.Connections, connStatsJSON(c))
 		}
 		doc.Hosts = append(doc.Hosts, hj)
 	}

@@ -1,0 +1,214 @@
+package main
+
+// The live exporter behind -serve, -watch, and -scrape. The HTTP
+// handlers run on OS goroutines while the simulation owns the main
+// goroutine, so everything they read mid-run must be atomic: the
+// telemetry planes are built for exactly that (atomic histogram
+// buckets, seqlocked series slots, atomic name pointers). The richer
+// post-run data — registries, per-connection TCB stats, the substrate —
+// is plain memory mutated by the simulation, so handlers only touch it
+// after the done flag is set; finish() stores those pointers before the
+// atomic.Bool release-store, which is the happens-before edge the
+// handlers' acquire-load pairs with.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/foxnet"
+	"repro/internal/seqplot"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+)
+
+type liveServer struct {
+	planes []*foxnet.Telemetry
+	names  []string // host label per plane, index-aligned
+
+	done atomic.Bool
+	// Set by finish() before done; read by handlers only after done.
+	net       *foxnet.Network
+	conns     []*foxnet.Conn
+	substrate *foxnet.Registry
+}
+
+func newLiveServer(planes []*foxnet.Telemetry, names []string) *liveServer {
+	return &liveServer{planes: planes, names: names}
+}
+
+// finish publishes the post-run data to the handlers. Call it exactly
+// once, after s.Run returns.
+func (ls *liveServer) finish(net *foxnet.Network, conns []*foxnet.Conn, substrate *foxnet.Registry) {
+	ls.net = net
+	ls.conns = conns
+	ls.substrate = substrate
+	ls.done.Store(true)
+}
+
+// mux routes the four endpoints.
+func (ls *liveServer) mux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("/metrics", ls.handleMetrics)
+	m.HandleFunc("/conns", ls.handleConns)
+	m.HandleFunc("/series/", ls.handleSeries)
+	m.HandleFunc("/profile", ls.handleProfile)
+	return m
+}
+
+func (ls *liveServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	ls.writeMetrics(w)
+}
+
+// writeMetrics renders the full Prometheus payload: every plane always,
+// and once the run has finished, the MIB registries and substrate
+// counters as gauges. -scrape uses the same renderer, so the CI
+// artifact is byte-for-byte what a late /metrics scrape returns.
+func (ls *liveServer) writeMetrics(w io.Writer) {
+	for i, tl := range ls.planes {
+		tl.WriteMetrics(w, ls.names[i])
+	}
+	if !ls.done.Load() {
+		return
+	}
+	fmt.Fprintf(w, "# HELP fox_mib MIB counter groups for every layer of every host\n# TYPE fox_mib gauge\n")
+	for _, h := range ls.net.Hosts {
+		writeSnapshotProm(w, h.Stats.Snapshot())
+	}
+	writeSnapshotProm(w, ls.substrate.Snapshot())
+}
+
+func writeSnapshotProm(w io.Writer, snap stats.Snapshot) {
+	for _, g := range snap.Groups {
+		for _, s := range g.Samples {
+			fmt.Fprintf(w, "fox_mib{host=%q,group=%q,name=%q} %g\n", snap.Host, g.Name, s.Name, s.Value)
+		}
+	}
+}
+
+// liveConnJSON is one connection in the /conns listing: the series view
+// is available mid-run, the full TCB stats only once the run finished.
+type liveConnJSON struct {
+	Host        string           `json:"host"`
+	Conn        string           `json:"conn"`
+	TotalPoints uint64           `json:"total_points"`
+	Last        *telemetry.Point `json:"last,omitempty"`
+	Stats       *connJSON        `json:"stats,omitempty"`
+}
+
+func (ls *liveServer) handleConns(w http.ResponseWriter, r *http.Request) {
+	var out []liveConnJSON
+	statsByName := map[string]*connJSON{}
+	if ls.done.Load() {
+		for _, h := range ls.net.Hosts {
+			for _, c := range connsOf(h, ls.conns) {
+				cj := connStatsJSON(c)
+				statsByName[c.Name()] = &cj
+			}
+		}
+	}
+	for i, tl := range ls.planes {
+		for _, sr := range tl.Series() {
+			lc := liveConnJSON{
+				Host: ls.names[i], Conn: sr.Name(), TotalPoints: sr.Total(),
+				Stats: statsByName[sr.Name()],
+			}
+			if p, ok := sr.Last(); ok {
+				lc.Last = &p
+			}
+			out = append(out, lc)
+		}
+	}
+	writeJSONResponse(w, out)
+}
+
+// handleSeries serves /series/<conn>: the connection's sampled ring as
+// JSON, or as the cwnd/ssthresh/flight SVG chart with ?svg=1. <conn> is
+// a series name (as listed by /conns) or a zero-based index into the
+// concatenated series list.
+func (ls *liveServer) handleSeries(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/series/")
+	sr := ls.lookupSeries(name)
+	if sr == nil {
+		http.Error(w, "unknown series "+name, http.StatusNotFound)
+		return
+	}
+	pts := sr.Points()
+	if r.URL.Query().Get("svg") != "" {
+		w.Header().Set("Content-Type", "image/svg+xml")
+		seqplot.WriteSeriesSVG(w, sr.Name(), pts, 0, 0)
+		return
+	}
+	writeJSONResponse(w, struct {
+		Conn   string            `json:"conn"`
+		Total  uint64            `json:"total_points"`
+		Points []telemetry.Point `json:"points"`
+	}{sr.Name(), sr.Total(), pts})
+}
+
+func (ls *liveServer) lookupSeries(name string) *telemetry.Series {
+	all := []*telemetry.Series{}
+	for _, tl := range ls.planes {
+		if sr := tl.Lookup(name); sr != nil {
+			return sr
+		}
+		all = append(all, tl.Series()...)
+	}
+	if i, err := strconv.Atoi(name); err == nil && i >= 0 && i < len(all) {
+		return all[i]
+	}
+	return nil
+}
+
+func (ls *liveServer) handleProfile(w http.ResponseWriter, r *http.Request) {
+	out := map[string]telemetry.ProfReport{}
+	for i, tl := range ls.planes {
+		out[ls.names[i]] = tl.Prof.Report()
+	}
+	writeJSONResponse(w, out)
+}
+
+func writeJSONResponse(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// watchLoop prints one snapshot line per plane every interval until
+// stopped — the -watch flag. It runs on an OS goroutine and reads only
+// the planes' atomics, so it observes the simulation without ever
+// touching it (the file output stays outside the coroutine world).
+func watchLoop(w io.Writer, planes []*foxnet.Telemetry, names []string, every time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			writeWatch(w, planes, names)
+		}
+	}
+}
+
+// writeWatch renders one -watch snapshot: per host, the action count,
+// action-latency p99, and the newest point of each connection's series.
+func writeWatch(w io.Writer, planes []*foxnet.Telemetry, names []string) {
+	for i, tl := range planes {
+		a := tl.Action.Snapshot()
+		fmt.Fprintf(w, "watch %s: %d actions (p99 %d ns)", names[i], a.Count, a.P99)
+		for _, sr := range tl.Series() {
+			if p, ok := sr.Last(); ok {
+				fmt.Fprintf(w, "  [%s cwnd %d flight %d srtt %dns]", sr.Name(), p.Cwnd, p.Flight, p.SRTT)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}

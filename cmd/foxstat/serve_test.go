@@ -1,0 +1,112 @@
+package main
+
+// Smoke tests for the live telemetry endpoints, exercised against a
+// hand-populated plane through httptest — exactly the mid-run state the
+// server sees before finish() is called.
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/foxnet"
+	"repro/internal/telemetry"
+)
+
+func testServer() *liveServer {
+	tl := foxnet.NewTelemetry(foxnet.TelemetryOptions{})
+	tl.Action.Observe(120)
+	tl.Action.Observe(480)
+	tl.RTT.Observe(3_000_000)
+	tl.Prof.Record(telemetry.ActProcessData, 200, 20)
+	tl.Prof.Record(telemetry.ActSendSegment, 100, 10)
+	sr := tl.OpenSeries("10.0.0.2:80<->:1024")
+	sr.Append(&telemetry.Point{At: 1_000_000, Cwnd: 4096, Ssthresh: 65535, RTO: 3_000_000})
+	sr.Append(&telemetry.Point{At: 2_000_000, Cwnd: 5120, Ssthresh: 65535, RTO: 3_000_000})
+	return newLiveServer([]*foxnet.Telemetry{tl}, []string{"host1"})
+}
+
+func get(t *testing.T, srv *liveServer, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	srv.mux().ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec.Code, rec.Body.String()
+}
+
+func TestServeMetrics(t *testing.T) {
+	code, body := get(t, testServer(), "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		`fox_action_latency_ns{host="host1",quantile="0.99"}`,
+		`fox_action_latency_ns_count{host="host1"} 2`,
+		`fox_executor_actions_total{host="host1",action="Process_Data"} 1`,
+		`fox_conn_cwnd_bytes{host="host1",conn="10.0.0.2:80<->:1024"} 5120`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestServeConns(t *testing.T) {
+	code, body := get(t, testServer(), "/conns")
+	if code != 200 {
+		t.Fatalf("/conns status %d", code)
+	}
+	var rows []liveConnJSON
+	if err := json.Unmarshal([]byte(body), &rows); err != nil {
+		t.Fatalf("/conns is not JSON: %v\n%s", err, body)
+	}
+	if len(rows) != 1 || rows[0].Conn != "10.0.0.2:80<->:1024" || rows[0].TotalPoints != 2 {
+		t.Fatalf("/conns rows = %+v", rows)
+	}
+	if rows[0].Last == nil || rows[0].Last.Cwnd != 5120 {
+		t.Fatalf("/conns last point = %+v, want cwnd 5120", rows[0].Last)
+	}
+}
+
+func TestServeSeries(t *testing.T) {
+	srv := testServer()
+	for _, path := range []string{"/series/10.0.0.2:80<->:1024", "/series/0"} {
+		code, body := get(t, srv, path)
+		if code != 200 {
+			t.Fatalf("%s status %d", path, code)
+		}
+		var doc struct {
+			Conn        string            `json:"conn"`
+			TotalPoints uint64            `json:"total_points"`
+			Points      []telemetry.Point `json:"points"`
+		}
+		if err := json.Unmarshal([]byte(body), &doc); err != nil {
+			t.Fatalf("%s is not JSON: %v", path, err)
+		}
+		if doc.TotalPoints != 2 || len(doc.Points) != 2 || doc.Points[1].Cwnd != 5120 {
+			t.Fatalf("%s doc = %+v", path, doc)
+		}
+	}
+	if code, _ := get(t, srv, "/series/nope"); code != 404 {
+		t.Errorf("unknown series status %d, want 404", code)
+	}
+	code, body := get(t, srv, "/series/0?svg=1")
+	if code != 200 || !strings.Contains(body, "<svg") {
+		t.Errorf("svg render: status %d, body prefix %.60s", code, body)
+	}
+}
+
+func TestServeProfile(t *testing.T) {
+	code, body := get(t, testServer(), "/profile")
+	if code != 200 {
+		t.Fatalf("/profile status %d", code)
+	}
+	var doc map[string]telemetry.ProfReport
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/profile is not JSON: %v", err)
+	}
+	rep, ok := doc["host1"]
+	if !ok || len(rep.Actions) != 2 {
+		t.Fatalf("/profile doc = %+v", doc)
+	}
+}

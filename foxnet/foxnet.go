@@ -37,6 +37,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/tcp"
+	"repro/internal/telemetry"
 	"repro/internal/udp"
 	"repro/internal/wire"
 )
@@ -84,6 +85,12 @@ type (
 	// SealOptions parameterizes the tamper-evident journal batcher (see
 	// HostConfig.FlightSeal).
 	SealOptions = seal.Options
+	// Telemetry is a host's observation plane: hot-path latency
+	// histograms, per-connection time-series rings, and the executor
+	// profile (see HostConfig.Telemetry and cmd/foxstat -serve).
+	Telemetry = telemetry.Telemetry
+	// TelemetryOptions sizes the plane's rings and sampling cadence.
+	TelemetryOptions = telemetry.Options
 	// Address is any layer's peer address.
 	Address = protocol.Address
 	// FaultSchedule is a deterministic fault-injection script (see
@@ -111,6 +118,11 @@ var NewRegistrySized = stats.NewRegistrySized
 // NewFlightRecorder returns a flight recorder journaling to w (see
 // TCPConfig.Flight).
 var NewFlightRecorder = flight.NewRecorder
+
+// NewTelemetry returns a telemetry plane with all rings preallocated;
+// every field a live exporter reads is atomic, so it may be scraped
+// while the simulation runs (see HostConfig.Telemetry).
+var NewTelemetry = telemetry.New
 
 // NamedFault returns a built-in fault scenario by name (flap,
 // partition, burst, squeeze); FaultScenarios lists the names and
@@ -165,6 +177,12 @@ type HostConfig struct {
 	// segment rotation thresholds) when FlightSeal is set. The MIB field
 	// is ignored; the host's registry supplies it.
 	FlightSealOptions SealOptions
+	// Telemetry, when non-nil, attaches the observation plane to this
+	// host's TCP: latency histograms, per-connection series, executor
+	// profile — all atomic, live-scrapable mid-run. An explicit
+	// TCP.Telemetry takes precedence. Pure observation: virtual results
+	// are bit-identical with or without it.
+	Telemetry *Telemetry
 }
 
 // Host is one simulated machine running the standard stack.
@@ -188,6 +206,8 @@ type Host struct {
 	// Flight is this host's flight recorder, nil unless FlightDir (or an
 	// explicit TCP.Flight) was configured.
 	Flight *FlightRecorder
+	// Telemetry is this host's observation plane, nil unless configured.
+	Telemetry *Telemetry
 }
 
 // SyncFlight seals the journal's partial batch and flushes it to its
@@ -326,7 +346,11 @@ func (n *Network) addHost(id byte, hc HostConfig) *Host {
 			tcfg.Flight = flight.NewRecorder(&flightSink{dir: hc.FlightDir, name: h.Name})
 		}
 	}
+	if tcfg.Telemetry == nil {
+		tcfg.Telemetry = hc.Telemetry
+	}
 	h.Flight = tcfg.Flight
+	h.Telemetry = tcfg.Telemetry
 	h.TCP = tcp.New(s, h.IP.Network(ip.ProtoTCP), tcfg)
 	return h
 }

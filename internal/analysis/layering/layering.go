@@ -47,21 +47,22 @@ var rank = map[string]int{
 // infrastructure names the substrate packages that sit below the whole
 // stack: any layer may import them, and they may import no layer.
 var infrastructure = map[string]bool{
-	"basis":    true,
-	"checksum": true,
-	"core":     true,
-	"decode":   true,
-	"fault":    true,
-	"flight":   true,
-	"pcap":     true,
-	"profile":  true,
-	"protocol": true,
-	"seal":     true,
-	"seqplot":  true,
-	"sim":      true,
-	"stats":    true,
-	"timers":   true,
-	"wire":     true,
+	"basis":     true,
+	"checksum":  true,
+	"core":      true,
+	"decode":    true,
+	"fault":     true,
+	"flight":    true,
+	"pcap":      true,
+	"profile":   true,
+	"protocol":  true,
+	"seal":      true,
+	"seqplot":   true,
+	"sim":       true,
+	"stats":     true,
+	"telemetry": true,
+	"timers":    true,
+	"wire":      true,
 }
 
 func lastElem(path string) string {

@@ -72,6 +72,11 @@ var boundary = map[string]bool{
 // make a recorded run diverge from the same run unrecorded.
 var observerFiles = map[string]bool{
 	"record.go": true,
+	// The telemetry hooks are the recorder's sibling at the same door:
+	// they read the TCB and mutate histogram/series/profile atomics, and
+	// the same rule keeps a telemetered run bit-identical to an
+	// unobserved one.
+	"telemetry.go": true,
 }
 
 // observerPackages extend the observer rule from single files to whole
@@ -84,11 +89,17 @@ var observerFiles = map[string]bool{
 // from the other direction: it perturbs the wire through the segment's
 // sanctioned control API and journals what it did, but must never
 // mutate a TCB except through packets the stack receives normally.
+// The telemetry plane (internal/telemetry) holds the histograms, series
+// rings, and profiler the telemetry.go hooks write into; it is pure
+// data-structure code, and making the whole package an observer proves
+// no helper buried in it can reach back into the machine it measures.
 var observerPackages = map[string]bool{
 	"repro/internal/flight/seal": true,
 	"repro/internal/fault":       true,
+	"repro/internal/telemetry":   true,
 	"flightseal":                 true, // this analyzer's own golden testdata
 	"faultplane":                 true,
+	"telemetry":                  true,
 }
 
 // allowedPackages exempts packages that attach wire handlers but sit
@@ -154,11 +165,13 @@ func run(pass *analysis.Pass) (any, error) {
 
 	obsPkg := observerPackages[pass.Pkg.Path()]
 	for _, f := range pass.Files {
-		where := "declared in record.go"
-		if obsPkg {
-			where = "in an observer package"
-		} else if !observerFiles[filepath.Base(pass.Fset.Position(f.Pos()).Filename)] {
-			continue
+		base := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		where := "in an observer package"
+		if !obsPkg {
+			if !observerFiles[base] {
+				continue
+			}
+			where = "declared in " + base
 		}
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)

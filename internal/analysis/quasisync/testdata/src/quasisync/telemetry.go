@@ -1,0 +1,31 @@
+package quasisync
+
+// This file stands for the telemetry hooks: like record.go, functions
+// declared in telemetry.go observe the executor's door — they read the
+// TCB and mutate telemetry atomics — and must never drive the machine
+// they measure.
+
+// telBeg is a compliant observer: it only reads connection state.
+func (c *Conn) telBeg() int {
+	return len(c.toDo)
+}
+
+// badTelKick kicks the drain from a telemetry hook.
+func (c *Conn) badTelKick() {
+	c.run() // want "badTelKick is a journal observer \\(declared in telemetry.go\\) and calls run"
+}
+
+// badTelSample enqueues from the sampler.
+func (c *Conn) badTelSample(a action) {
+	c.enqueue(a) // want "badTelSample is a journal observer .* calls enqueue"
+}
+
+// badTelSync enters a synchronous module from a hook, via a helper —
+// the walk descends and reports at the offending call site.
+func (c *Conn) badTelSync() {
+	c.telHelper()
+}
+
+func (c *Conn) telHelper() {
+	c.receiveSegment() // want "telHelper is a journal observer .* calls receiveSegment, declared in receive.go"
+}

@@ -1,0 +1,6 @@
+package telemetry
+
+// receiveSegment stands for the synchronous Receive module.
+func (c *conn) receiveSegment() {
+	c.toDo = nil
+}

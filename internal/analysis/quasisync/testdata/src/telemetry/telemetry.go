@@ -1,0 +1,47 @@
+// Package telemetry exercises the analyzer's observer-package rule for
+// the observation plane: it stands for internal/telemetry, where EVERY
+// function — histograms, series rings, the profiler — is an observer.
+// None may reach the executor's door (enqueue/run/perform) or a
+// synchronous module, or an observed run would diverge from the same
+// run unobserved.
+package telemetry
+
+type conn struct {
+	toDo    []int
+	buckets [8]uint64
+}
+
+// The executor boundary, as the stack under observation declares it.
+func (c *conn) enqueue(a int) { c.toDo = append(c.toDo, a) }
+
+func (c *conn) run() {
+	for len(c.toDo) > 0 {
+		c.toDo = c.toDo[1:]
+	}
+}
+
+// observe is a compliant observer: it reads state and bumps a bucket.
+func observe(c *conn, v uint64) {
+	c.buckets[v%8]++
+}
+
+// badTelemetryKick drives the executor from the plane.
+func badTelemetryKick(c *conn) {
+	c.run() // want "badTelemetryKick is a journal observer \\(in an observer package\\) and calls run"
+}
+
+// badTelemetryEnqueue enqueues from the plane, via a helper — the walk
+// descends and reports at the offending call site.
+func badTelemetryEnqueue(c *conn) {
+	bump(c)
+}
+
+func bump(c *conn) {
+	c.enqueue(1) // want "bump is a journal observer \\(in an observer package\\) and calls enqueue"
+}
+
+// badTelemetrySync enters a synchronous module (declared in this
+// package's receive.go) from the plane.
+func badTelemetrySync(c *conn) {
+	c.receiveSegment() // want "badTelemetrySync is a journal observer \\(in an observer package\\) and calls receiveSegment, declared in receive.go"
+}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/tcp"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -70,6 +71,12 @@ type Options struct {
 	// single-nil-check hot path. The recorder-overhead experiment feeds
 	// counting writers through here.
 	FlightSinks []io.Writer
+	// Telemetry attaches observation planes to the structured hosts:
+	// index 0 the sender, index 1 the receiver, same positional
+	// convention as FlightSinks. Nil entries leave that host
+	// unobserved. foxbench -telemetry feeds fresh planes through here
+	// and reads back histograms, the executor profile, and cwnd traces.
+	Telemetry []*telemetry.Telemetry
 	// PriorityScheduler switches the coroutine ready queue from
 	// round-robin FIFO to the priority discipline the paper proposes
 	// for latency-critical actions (§4's closing paragraph).
@@ -372,6 +379,9 @@ func buildHosts(s *sim.Scheduler, o Options) (*foxnet.Network, [2]*profile.Profi
 		if i < len(o.FlightSinks) && o.FlightSinks[i] != nil {
 			hc[i].TCP.Flight = flight.NewRecorder(o.FlightSinks[i])
 		}
+		if i < len(o.Telemetry) && o.Telemetry[i] != nil {
+			hc[i].TCP.Telemetry = o.Telemetry[i]
+		}
 	}
 	net := foxnet.NewNetwork(s, wcfg, 2, hc[0], hc[1])
 	return net, [2]*profile.Profile{net.Host(0).Prof, net.Host(1).Prof}
@@ -383,7 +393,13 @@ func Table1(o Options) (TransferResult, TransferResult, RTTResult, RTTResult, st
 	xkT := Throughput(XKernelBaseline, o)
 	foxR := RoundTrip(Structured, o)
 	xkR := RoundTrip(XKernelBaseline, o)
+	return foxT, xkT, foxR, xkR, table1Text(foxT, xkT, foxR, xkR)
+}
 
+// table1Text formats the paper's Table 1 from the four measurements, so
+// Table1Report can rerun the structured arm with telemetry attached and
+// still print the identical table.
+func table1Text(foxT, xkT TransferResult, foxR, xkR RTTResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table 1: Speed Comparison of TCP Implementations\n")
 	fmt.Fprintf(&b, "  %-20s %10s %10s %8s   (paper)\n", "", "Fox Net", "x-kernel", "ratio")
@@ -395,7 +411,7 @@ func Table1(o Options) (TransferResult, TransferResult, RTTResult, RTTResult, st
 		float64(foxR.MeanRTT)/float64(time.Millisecond),
 		float64(xkR.MeanRTT)/float64(time.Millisecond),
 		float64(foxR.MeanRTT)/float64(xkR.MeanRTT))
-	return foxT, xkT, foxR, xkR, b.String()
+	return b.String()
 }
 
 // Table2 runs the profiled structured transfer and formats the paper's

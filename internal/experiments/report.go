@@ -4,14 +4,22 @@ import (
 	"encoding/json"
 
 	"repro/internal/profile"
+	"repro/internal/telemetry"
 )
 
 // This file gives the evaluation a machine-readable shape: foxbench -json
 // emits a Document so the tables can be diffed, plotted, and regression-
 // checked across revisions instead of scraped out of aligned text.
 
-// SchemaV1 identifies the JSON layout emitted by foxbench -json.
-const SchemaV1 = "foxbench/v1"
+// SchemaV1 identified the original JSON layout; SchemaV2 adds the
+// telemetry sections (hot-path latency percentiles, executor profile,
+// per-connection series) to the Table 1 structured run and the
+// telemetry-overhead report. V2 is a pure superset: a V1 reader that
+// ignores unknown fields parses V2 documents unchanged.
+const (
+	SchemaV1 = "foxbench/v1"
+	SchemaV2 = "foxbench/v2"
+)
 
 // Document is the top-level object foxbench -json writes: one entry per
 // table requested on the command line.
@@ -43,6 +51,11 @@ type Report struct {
 	SenderProfile   *ProfileJSON   `json:"sender_profile,omitempty"`
 	ReceiverProfile *ProfileJSON   `json:"receiver_profile,omitempty"`
 	Flight          *FlightJSON    `json:"flight,omitempty"`
+	// Telemetry carries the structured run's plane snapshots (latency
+	// percentiles, executor profile, cwnd trace); TelemetryOverhead the
+	// off/on cost measurement. Both are foxbench/v2 additions.
+	Telemetry         *TelemetryJSON         `json:"telemetry,omitempty"`
+	TelemetryOverhead *TelemetryOverheadJSON `json:"telemetry_overhead,omitempty"`
 }
 
 // TransferJSON is one bulk-transfer measurement.
@@ -131,14 +144,28 @@ func profileJSON(r profile.Report, bytes int) *ProfileJSON {
 }
 
 // Table1Report runs Table 1 and returns both the JSON report and the
-// formatted text.
+// formatted text. The structured throughput arm runs with fresh
+// telemetry planes attached (pure observation, so its numbers are the
+// ones an unobserved run produces), giving the report per-action
+// latency percentiles and the sender's cwnd trace alongside the
+// paper's aggregate figures.
 func Table1Report(o Options) (Report, string) {
-	foxT, xkT, foxR, xkR, text := Table1(o)
+	planes := [2]*telemetry.Telemetry{
+		telemetry.New(telemetry.Options{}),
+		telemetry.New(telemetry.Options{}),
+	}
+	to := o
+	to.Telemetry = []*telemetry.Telemetry{planes[0], planes[1]}
+	foxT := Throughput(Structured, to)
+	xkT := Throughput(XKernelBaseline, o)
+	foxR := RoundTrip(Structured, o)
+	xkR := RoundTrip(XKernelBaseline, o)
 	return Report{
 		Table:      1,
 		Throughput: []TransferJSON{transferJSON(foxT), transferJSON(xkT)},
 		RoundTrip:  []RTTJSON{rttJSON(foxR), rttJSON(xkR)},
-	}, text
+		Telemetry:  telemetryJSON(planes),
+	}, table1Text(foxT, xkT, foxR, xkR)
 }
 
 // Table2Report runs Table 2 and returns both the JSON report and the
@@ -155,7 +182,7 @@ func Table2Report(o Options) (Report, string) {
 
 // NewDocument wraps reports in the versioned envelope.
 func NewDocument(o Options, reports ...Report) Document {
-	return Document{Schema: SchemaV1, Options: o.reportOptions(), Reports: reports}
+	return Document{Schema: SchemaV2, Options: o.reportOptions(), Reports: reports}
 }
 
 // Marshal renders the document as indented JSON with a trailing newline.

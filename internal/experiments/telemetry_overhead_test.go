@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTelemetryOverhead(t *testing.T) {
+	r := TelemetryOverhead(Options{Bytes: 80_000})
+	if r.On.Elapsed != r.Off.Elapsed {
+		t.Errorf("virtual time diverged: off %v on %v", r.Off.Elapsed, r.On.Elapsed)
+	}
+	if r.On.SegsSent != r.Off.SegsSent {
+		t.Errorf("segment count diverged: off %d on %d", r.Off.SegsSent, r.On.SegsSent)
+	}
+	if r.Actions == 0 {
+		t.Error("telemetered run recorded no actions")
+	}
+	if r.Samples == 0 {
+		t.Error("telemetered run took no series samples")
+	}
+	if !strings.Contains(r.Text, "identical") {
+		t.Errorf("report should attest bit-identical results:\n%s", r.Text)
+	}
+}
+
+func TestTelemetryReport(t *testing.T) {
+	rep, text := TelemetryReport(Options{Bytes: 60_000})
+	if rep.Telemetry == nil || rep.TelemetryOverhead == nil {
+		t.Fatal("report must carry telemetry and overhead sections")
+	}
+	if rep.Telemetry.Sender == nil || rep.Telemetry.Receiver == nil {
+		t.Fatal("both host planes must be present")
+	}
+	if rep.Telemetry.Sender.Action.Count == 0 {
+		t.Error("sender action histogram empty")
+	}
+	if len(rep.Telemetry.Sender.Series) == 0 || rep.Telemetry.Sender.Series[0].Total == 0 {
+		t.Error("sender series empty")
+	}
+	if text == "" {
+		t.Error("text summary empty")
+	}
+}

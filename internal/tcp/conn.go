@@ -1,11 +1,14 @@
 package tcp
 
 import (
+	"time"
+
 	"repro/internal/basis"
 	"repro/internal/profile"
 	"repro/internal/protocol"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Conn is one TCP connection. Every mutation of its TCB happens inside
@@ -43,6 +46,12 @@ type Conn struct {
 	// it at perform time (FIFO order matches the to_do queue exactly).
 	recSeqs basis.FIFO[uint64]
 
+	// telTimes pairs telemetry-stamped enqueues with their drains the
+	// same way (telemetry.go); telSeries is this connection's sample
+	// ring, nil when telemetry is off or its slots ran out.
+	telTimes  basis.FIFO[int64]
+	telSeries *telemetry.Series
+
 	openDone  bool
 	openErr   error
 	closeDone bool
@@ -63,6 +72,9 @@ func newConn(t *TCP, key connKey) *Conn {
 	c.closeCond = sim.NewCond(t.s)
 	c.bufCond = sim.NewCond(t.s)
 	c.readCond = sim.NewCond(t.s)
+	if tl := t.cfg.Telemetry; tl != nil {
+		c.telOpen(tl)
+	}
 	return c
 }
 
@@ -137,9 +149,11 @@ type ConnStats struct {
 	RTO           sim.Duration
 	SendWindow    uint32 // peer's most recent advertised window
 	CongWindow    uint32
+	Ssthresh      uint32 // slow-start threshold
 	RecvWindow    uint32 // our receive window
 	SndNxt        uint32 // next sequence number to send
 	RcvNxt        uint32 // next sequence number expected
+	FlightSize    uint32 // bytes sent but not yet acknowledged
 	ToDoHighWater int    // deepest the to_do queue has been
 }
 
@@ -161,9 +175,11 @@ func (c *Conn) Stats() ConnStats {
 		RTO:           tcb.rto,
 		SendWindow:    tcb.sndWnd,
 		CongWindow:    tcb.cwnd,
+		Ssthresh:      tcb.ssthresh,
 		RecvWindow:    tcb.rcvWnd,
 		SndNxt:        uint32(tcb.sndNxt),
 		RcvNxt:        uint32(tcb.rcvNxt),
+		FlightSize:    tcb.flightSize(),
 		ToDoHighWater: tcb.toDoHW,
 	}
 }
@@ -205,6 +221,9 @@ func (c *Conn) enqueue(a action) {
 	if fr := c.t.cfg.Flight; fr != nil {
 		c.recEnqueue(fr, a)
 	}
+	if c.t.cfg.Telemetry != nil {
+		c.telEnqueue()
+	}
 }
 
 // run drains the to_do queue unless an outer frame of the same thread is
@@ -223,19 +242,36 @@ func (c *Conn) run() {
 			c.t.cfg.Trace.Printf("conn %v: %s (queue %d)", c.key, a.actionName(), c.tcb.toDo.Len())
 		}
 		fr := c.t.cfg.Flight
-		if fr == nil {
+		tl := c.t.cfg.Telemetry
+		if fr == nil && tl == nil {
 			c.perform(a)
 			continue
 		}
 		// Journal the drain: beg record, TCB snapshot, the action itself
 		// (whose own enqueues are attributed to it), then the
 		// changed-field delta — the paper's test-by-TCB-comparison
-		// discipline applied to every single action.
-		eq := c.recBeg(fr)
-		pre := c.snapTCB()
+		// discipline applied to every single action. Telemetry brackets
+		// the same span: the enqueue→perform gap before, the action's
+		// virtual/wall attribution and a due sample after.
+		var eq uint64
+		var pre tcbSnap
+		if fr != nil {
+			eq = c.recBeg(fr)
+			pre = c.snapTCB()
+		}
+		var vstart int64
+		var wstart time.Time
+		if tl != nil {
+			vstart, wstart = c.telBeg(tl)
+		}
 		c.perform(a)
-		post := c.snapTCB()
-		c.recEnd(fr, eq, &pre, &post)
+		if fr != nil {
+			post := c.snapTCB()
+			c.recEnd(fr, eq, &pre, &post)
+		}
+		if tl != nil {
+			c.telEnd(tl, telKind(a), vstart, wstart)
+		}
 	}
 	c.executing = false
 }
@@ -362,6 +398,14 @@ func (c *Conn) deleteTCB() {
 // only until they are segmentized (copied once into a packet); callers
 // must not mutate the slice before Write returns.
 func (c *Conn) Write(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	tl := c.t.cfg.Telemetry
+	var telStart sim.Time
+	if tl != nil {
+		telStart = c.t.s.Now()
+	}
 	for len(data) > 0 {
 		if c.termErr != nil {
 			return c.termErr
@@ -387,6 +431,9 @@ func (c *Conn) Write(data []byte) error {
 		sec.Stop()
 		c.recEndUser()
 		data = data[n:]
+	}
+	if tl != nil {
+		c.telUser(&tl.Write, telStart)
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"repro/internal/basis"
+	"repro/internal/sim"
 )
 
 // This file adds the pull model for receiving data. A connection whose
@@ -53,6 +54,11 @@ func (c *Conn) Read(dst []byte) (int, error) {
 	if c.handler.Data != nil {
 		return 0, errSegment("Read requires a connection without a Data handler")
 	}
+	tl := c.t.cfg.Telemetry
+	var telStart sim.Time
+	if tl != nil {
+		telStart = c.t.s.Now()
+	}
 	for c.recv.buffered == 0 {
 		if c.termErr != nil {
 			return 0, c.termErr
@@ -81,6 +87,9 @@ func (c *Conn) Read(dst []byte) (int, error) {
 	c.finishRead(n)
 	c.run()
 	c.recEndUser()
+	if tl != nil {
+		c.telUser(&tl.Read, telStart)
+	}
 	return n, nil
 }
 

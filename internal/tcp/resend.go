@@ -93,6 +93,7 @@ func (c *Conn) rttSample(m sim.Duration) {
 		tcb.rto = c.t.cfg.MaxRTO
 	}
 	c.t.cfg.Metrics.RttUsec.Observe(uint64(tcb.srtt / time.Microsecond))
+	c.telRTT(m)
 }
 
 // currentRTO applies the exponential backoff to the base RTO, capped at

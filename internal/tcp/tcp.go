@@ -11,6 +11,7 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // defaultMSS is RFC 1122's default effective send MSS when the peer
@@ -145,6 +146,15 @@ type Config struct {
 	// each hook. Ignored under DirectDispatch — with the to_do queue
 	// bypassed there is no door to journal.
 	Flight *flight.Recorder
+	// Telemetry, when non-nil, records hot-path latency histograms
+	// (segment RTT, enqueue→perform at the single door, user Read/Write
+	// completion), per-connection time-series rings, and the per-action
+	// executor profile (internal/telemetry); foxstat -serve exports it
+	// live. Pure observation with the flight recorder's discipline:
+	// nil costs one check per hook, and virtual results are
+	// bit-identical either way. Ignored under DirectDispatch — the
+	// door whose latency it measures does not exist there.
+	Telemetry *telemetry.Telemetry
 }
 
 // DataPathCosts carries per-kilobyte virtual charges for data-touching
@@ -347,6 +357,7 @@ func New(s *sim.Scheduler, net protocol.Network, cfg Config) *TCP {
 	cfg.fill()
 	if cfg.DirectDispatch {
 		cfg.Flight = nil
+		cfg.Telemetry = nil
 	}
 	t := &TCP{
 		s: s, net: net, cfg: cfg,

@@ -1,0 +1,139 @@
+package tcp
+
+// Telemetry glue: the observation half of internal/telemetry, the
+// sibling of record.go under the same quasisync observer rule. Every
+// function in this file only *observes* — it reads the TCB and mutates
+// telemetry atomics, and never calls enqueue/run/perform or the
+// protected Receive/Send/Resend modules, never charges virtual time,
+// and never arms a timer. That is what keeps a telemetered run
+// bit-identical to the same run unobserved; the quasisync analyzer
+// machine-checks the structural half, and the experiments package's
+// overhead run checks the dynamic half. The hook sites live with the
+// executor in conn.go and the user operations in read.go/resend.go.
+
+import (
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// telKind maps an action to its telemetry index. A type switch on the
+// static kinds — actionName() formats per-timer labels and allocates,
+// which the hot path cannot afford.
+//
+//foxvet:hotpath
+func telKind(a action) telemetry.ActKind {
+	switch a.(type) {
+	case actProcessData:
+		return telemetry.ActProcessData
+	case actSendSegment:
+		return telemetry.ActSendSegment
+	case actUserData:
+		return telemetry.ActUserData
+	case actUserError:
+		return telemetry.ActUserError
+	case actSetTimer:
+		return telemetry.ActSetTimer
+	case actClearTimer:
+		return telemetry.ActClearTimer
+	case actTimerExpired:
+		return telemetry.ActTimerExpired
+	case actMaybeSend:
+		return telemetry.ActMaybeSend
+	case actCompleteOpen:
+		return telemetry.ActCompleteOpen
+	case actCompleteClose:
+		return telemetry.ActCompleteClose
+	case actPeerClosed:
+		return telemetry.ActPeerClosed
+	default:
+		return telemetry.ActDeleteTCB
+	}
+}
+
+// telOpen claims a series ring for a fresh connection. Called from
+// newConn; a nil ring (slots exhausted) just disables sampling for this
+// connection, histograms and the profile still record.
+func (c *Conn) telOpen(tl *telemetry.Telemetry) {
+	c.telSeries = tl.OpenSeries(c.name)
+}
+
+// telEnqueue stamps an action's entry onto the telemetry clock queue,
+// pairing enqueues with drains exactly as recSeqs does for the flight
+// recorder (FIFO order matches the to_do queue).
+//
+//foxvet:hotpath
+func (c *Conn) telEnqueue() {
+	c.telTimes.Enqueue(int64(c.t.s.Now()))
+}
+
+// telBeg observes one action crossing the executor's door: the
+// enqueue→perform gap goes into the Action histogram, and the returned
+// stamps let telEnd attribute the action's own cost.
+//
+//foxvet:hotpath
+func (c *Conn) telBeg(tl *telemetry.Telemetry) (vstart int64, wstart time.Time) {
+	now := int64(c.t.s.Now())
+	if enq, ok := c.telTimes.Dequeue(); ok {
+		tl.Action.Observe(uint64(now - enq))
+	}
+	return now, time.Now()
+}
+
+// telEnd attributes the performed action's virtual and wall time and
+// takes a due time-series sample. The sampler is driven from virtual
+// time by piggybacking on executor activity — no timer is ever armed
+// for telemetry, so an observed run's schedule is the unobserved one.
+//
+//foxvet:hotpath
+func (c *Conn) telEnd(tl *telemetry.Telemetry, k telemetry.ActKind, vstart int64, wstart time.Time) {
+	now := int64(c.t.s.Now())
+	tl.Prof.Record(k, now-vstart, time.Since(wstart).Nanoseconds())
+	c.telSample(tl, now)
+}
+
+// telSample appends one Point to the connection's ring when the pacing
+// says one is due.
+//
+//foxvet:hotpath
+func (c *Conn) telSample(tl *telemetry.Telemetry, now int64) {
+	sr := c.telSeries
+	if sr == nil || !sr.Due(now, tl.SampleEveryNS()) {
+		return
+	}
+	tcb := c.tcb
+	p := telemetry.Point{
+		At:       now,
+		Cwnd:     int64(tcb.cwnd),
+		Ssthresh: int64(tcb.ssthresh),
+		SRTT:     int64(tcb.srtt),
+		RTTVar:   int64(tcb.rttvar),
+		RTO:      int64(tcb.rto),
+		Flight:   int64(tcb.flightSize()),
+		SndWnd:   int64(tcb.sndWnd),
+		RcvWnd:   int64(tcb.rcvWnd),
+		OOOBytes: int64(tcb.oooBytes),
+		MemUsed:  int64(c.t.mem.used),
+	}
+	sr.Append(&p)
+}
+
+// telRTT feeds one admitted round-trip measurement to the RTT
+// histogram. Called from the estimator in resend.go.
+//
+//foxvet:hotpath
+func (c *Conn) telRTT(m sim.Duration) {
+	if tl := c.t.cfg.Telemetry; tl != nil {
+		tl.RTT.Observe(uint64(m))
+	}
+}
+
+// telUser observes one completed user operation (Read/Write) against
+// the given histogram: the full blocking span, flow-control stalls
+// included.
+//
+//foxvet:hotpath
+func (c *Conn) telUser(h *telemetry.Hist, start sim.Time) {
+	h.Observe(uint64(c.t.s.Now() - start))
+}

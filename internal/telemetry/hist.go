@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// HDR-style log-linear histogram: a fixed array of atomic buckets, no
+// allocation ever, bounded relative error. Values below histSub land in
+// exact unit buckets; above, every power-of-two range splits into
+// histSub linear sub-buckets, so any recorded value is within 1/histSub
+// (6.25%) of its bucket's upper bound. Quantile extraction walks the
+// cumulative counts and answers with the bucket's upper bound — a
+// deterministic function of the recorded multiset, which is what lets
+// tests pin exact golden percentiles and lets two runs be compared
+// digit-for-digit.
+
+const (
+	histSubBits = 4
+	histSub     = 1 << histSubBits // exact buckets, and sub-buckets per octave
+	// Octaves above the exact region: values occupy bit-lengths
+	// histSubBits+1 … 64, one octave of histSub sub-buckets each.
+	histBuckets = histSub + (64-histSubBits)*histSub
+)
+
+// bucketIndex maps a value to its bucket: v itself below histSub, else
+// the (bit-length, top-histSubBits-of-mantissa) pair.
+func bucketIndex(v uint64) int {
+	if v < histSub {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1               // v in [2^exp, 2^(exp+1))
+	mant := v >> (uint(exp) - histSubBits) // in [histSub, 2*histSub)
+	return (exp-histSubBits+1)*histSub + int(mant) - histSub
+}
+
+// bucketUpper is the largest value bucketIndex maps to bucket i — the
+// value Quantile answers with.
+func bucketUpper(i int) uint64 {
+	if i < histSub {
+		return uint64(i)
+	}
+	major := i / histSub // octave, ≥ 1
+	pos := i % histSub
+	return (uint64(pos)+histSub+1)<<(uint(major)-1) - 1
+}
+
+// Hist is an allocation-free histogram with atomic buckets. The zero
+// value is ready to use.
+type Hist struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one value. Safe from the executor's hot path: three
+// atomic adds and a CAS loop for the max, no allocation.
+//
+//foxvet:hotpath
+func (h *Hist) Observe(v uint64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketIndex(v)].Add(1)
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// Count reports recorded observations; Sum their total; Max the exact
+// largest value seen (not a bucket bound).
+func (h *Hist) Count() uint64 { return h.count.Load() }
+func (h *Hist) Sum() uint64   { return h.sum.Load() }
+func (h *Hist) Max() uint64   { return h.max.Load() }
+
+// Quantile answers the q-quantile (0 < q ≤ 1) as the upper bound of the
+// bucket holding the rank-⌈q·count⌉ observation, clamped to the exact
+// max so Quantile(1) == Max. Returns 0 on an empty histogram.
+func (h *Hist) Quantile(q float64) uint64 {
+	count := h.count.Load()
+	if count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(count))
+	if float64(rank) < q*float64(count) {
+		rank++ // ceil
+	}
+	if rank == 0 {
+		rank = 1
+	}
+	if rank > count {
+		rank = count
+	}
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			v := bucketUpper(i)
+			if m := h.max.Load(); v > m {
+				v = m
+			}
+			return v
+		}
+	}
+	return h.max.Load()
+}
+
+// HistSnapshot is one histogram's summary at a point in time.
+type HistSnapshot struct {
+	Count uint64 `json:"count"`
+	Sum   uint64 `json:"sum"`
+	Max   uint64 `json:"max"`
+	P50   uint64 `json:"p50"`
+	P90   uint64 `json:"p90"`
+	P99   uint64 `json:"p99"`
+}
+
+// Snapshot summarizes the histogram. The percentiles are each computed
+// from a separate bucket walk, so under concurrent writes they reflect
+// slightly different instants; on a quiesced histogram they are exact.
+func (h *Hist) Snapshot() HistSnapshot {
+	return HistSnapshot{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+}

@@ -1,0 +1,108 @@
+package telemetry
+
+import "testing"
+
+// The bucket math is a pure function of the value, so its contract is
+// pinned exactly: every value lands in a bucket whose bounds bracket
+// it, the mapping is monotone, and the sub-bucket resolution caps the
+// relative error at 1/histSub.
+
+func TestBucketBoundariesExact(t *testing.T) {
+	// The exact region and the first octave transitions, pinned by hand.
+	cases := []struct {
+		v   uint64
+		idx int
+	}{
+		{0, 0}, {1, 1}, {15, 15}, // exact unit buckets
+		{16, 16}, {31, 31}, // first octave: still exact (shift is 0)
+		{32, 32}, {33, 32}, {34, 33}, // second octave: pairs share a bucket
+		{63, 47}, {64, 48},
+		{1023, 16 + 5*16 + 15}, {1024, 16 + 6*16},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.idx {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.idx)
+		}
+	}
+}
+
+func TestBucketBoundariesBracket(t *testing.T) {
+	for v := uint64(0); v <= 1<<16; v++ {
+		i := bucketIndex(v)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, i)
+		}
+		if upper := bucketUpper(i); v > upper {
+			t.Fatalf("value %d above its bucket %d upper bound %d", v, i, upper)
+		}
+		if i > 0 {
+			if lower := bucketUpper(i - 1); v <= lower {
+				t.Fatalf("value %d not above bucket %d's predecessor bound %d", v, i, lower)
+			}
+		}
+	}
+	// Monotone and contiguous: each bucket's upper strictly grows.
+	for i := 1; i < histBuckets; i++ {
+		if bucketUpper(i) <= bucketUpper(i-1) {
+			t.Fatalf("bucketUpper not monotone at %d: %d <= %d", i, bucketUpper(i), bucketUpper(i-1))
+		}
+	}
+	// Extremes stay in range.
+	if i := bucketIndex(1<<64 - 1); i != histBuckets-1 {
+		t.Fatalf("max uint64 lands in bucket %d, want %d", i, histBuckets-1)
+	}
+}
+
+func TestBucketRelativeError(t *testing.T) {
+	for v := uint64(histSub); v <= 1<<20; v += 137 {
+		upper := bucketUpper(bucketIndex(v))
+		if err := float64(upper-v) / float64(v); err > 1.0/histSub {
+			t.Fatalf("value %d reported as %d: relative error %.4f > %.4f", v, upper, err, 1.0/histSub)
+		}
+	}
+}
+
+// TestQuantileGoldens pins the exact percentile answers for 1..1000 —
+// the deterministic-extraction contract the exporter depends on.
+func TestQuantileGoldens(t *testing.T) {
+	var h Hist
+	for v := uint64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	want := map[string]uint64{"count": 1000, "sum": 500500, "max": 1000}
+	if h.Count() != want["count"] || h.Sum() != want["sum"] || h.Max() != want["max"] {
+		t.Fatalf("count/sum/max = %d/%d/%d, want %d/%d/%d",
+			h.Count(), h.Sum(), h.Max(), want["count"], want["sum"], want["max"])
+	}
+	goldens := []struct {
+		q    float64
+		want uint64
+	}{
+		{0.50, 511},  // rank 500 lands in bucket [496,511]
+		{0.90, 927},  // rank 900 in [896,927]
+		{0.99, 991},  // rank 990 in [960,991]
+		{1.00, 1000}, // clamped to the exact max
+	}
+	for _, g := range goldens {
+		if got := h.Quantile(g.q); got != g.want {
+			t.Errorf("Quantile(%.2f) = %d, want %d", g.q, got, g.want)
+		}
+	}
+	snap := h.Snapshot()
+	if snap.P50 != 511 || snap.P90 != 927 || snap.P99 != 991 || snap.Max != 1000 {
+		t.Errorf("snapshot %+v, want P50=511 P90=927 P99=991 Max=1000", snap)
+	}
+}
+
+func TestQuantileSmallAndEmpty(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+	h.Observe(7)
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 7 {
+			t.Errorf("single-value Quantile(%v) = %d, want 7", q, got)
+		}
+	}
+}

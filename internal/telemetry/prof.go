@@ -1,0 +1,153 @@
+package telemetry
+
+import "sync/atomic"
+
+// The executor profiler: per-action-kind counts with accumulated
+// virtual and wall time, rolled up to the paper's four synchronous
+// modules. Virtual time says where the simulated machine's budget goes
+// (the paper's Table 2 dimension); wall time says where this host's
+// real CPU goes — the two diverge exactly where the simulation charges
+// calibrated costs instead of measured ones.
+
+// ActKind indexes the paper's tcp_action datatype (Fig. 8). The order
+// matches internal/tcp's dispatch; the hot path passes the index, never
+// a formatted name — Set_Timer(rexmit)-style labels allocate.
+type ActKind int
+
+const (
+	ActProcessData ActKind = iota
+	ActSendSegment
+	ActUserData
+	ActUserError
+	ActSetTimer
+	ActClearTimer
+	ActTimerExpired
+	ActMaybeSend
+	ActCompleteOpen
+	ActCompleteClose
+	ActPeerClosed
+	ActDeleteTCB
+	NumActKinds
+)
+
+var actKindNames = [NumActKinds]string{
+	"Process_Data", "Send_Segment", "User_Data", "User_Error",
+	"Set_Timer", "Clear_Timer", "Timer_Expiration", "Maybe_Send",
+	"Complete_Open", "Complete_Close", "Peer_Closed", "Delete_TCB",
+}
+
+func (k ActKind) String() string {
+	if k < 0 || k >= NumActKinds {
+		return "?"
+	}
+	return actKindNames[k]
+}
+
+// Module is one of the paper's synchronous modules.
+type Module int
+
+const (
+	ModReceive Module = iota
+	ModSend
+	ModResend
+	ModState
+	NumModules
+)
+
+var moduleNames = [NumModules]string{"receive", "send", "resend", "state"}
+
+func (m Module) String() string {
+	if m < 0 || m >= NumModules {
+		return "?"
+	}
+	return moduleNames[m]
+}
+
+// actModule attributes each action kind to the module that performs it:
+// Process_Data and User_Data are the Receive module's intake and
+// delivery; Send_Segment and Maybe_Send the Send module; the timer
+// actions belong to the Resend module, which owns the timer machinery;
+// the open/close/error/teardown actions are the State module's.
+var actModule = [NumActKinds]Module{
+	ActProcessData:   ModReceive,
+	ActSendSegment:   ModSend,
+	ActUserData:      ModReceive,
+	ActUserError:     ModState,
+	ActSetTimer:      ModResend,
+	ActClearTimer:    ModResend,
+	ActTimerExpired:  ModResend,
+	ActMaybeSend:     ModSend,
+	ActCompleteOpen:  ModState,
+	ActCompleteClose: ModState,
+	ActPeerClosed:    ModState,
+	ActDeleteTCB:     ModState,
+}
+
+// ModuleOf reports which module performs an action kind.
+func ModuleOf(k ActKind) Module { return actModule[k] }
+
+// Prof accumulates executor attribution. All counters atomic; the zero
+// value is ready.
+type Prof struct {
+	count [NumActKinds]atomic.Uint64
+	virt  [NumActKinds]atomic.Int64
+	wall  [NumActKinds]atomic.Int64
+}
+
+// Record attributes one performed action: virtNS of virtual time and
+// wallNS of real time.
+//
+//foxvet:hotpath
+func (p *Prof) Record(k ActKind, virtNS, wallNS int64) {
+	p.count[k].Add(1)
+	p.virt[k].Add(virtNS)
+	p.wall[k].Add(wallNS)
+}
+
+// Count reports performed actions of one kind.
+func (p *Prof) Count(k ActKind) uint64 { return p.count[k].Load() }
+
+// ProfRow is one attribution line.
+type ProfRow struct {
+	Name   string `json:"name"`
+	Count  uint64 `json:"count"`
+	VirtNS int64  `json:"virtual_ns"`
+	WallNS int64  `json:"wall_ns"`
+}
+
+// ProfReport is the profiler's snapshot: per action kind, and rolled up
+// per module. Kinds with zero count are omitted.
+type ProfReport struct {
+	Actions []ProfRow `json:"actions"`
+	Modules []ProfRow `json:"modules"`
+}
+
+// Report snapshots the profile.
+func (p *Prof) Report() ProfReport {
+	var rep ProfReport
+	var mc [NumModules]uint64
+	var mv, mw [NumModules]int64
+	for k := ActKind(0); k < NumActKinds; k++ {
+		c := p.count[k].Load()
+		if c == 0 {
+			continue
+		}
+		v, w := p.virt[k].Load(), p.wall[k].Load()
+		rep.Actions = append(rep.Actions, ProfRow{
+			Name: k.String(), Count: c, VirtNS: v, WallNS: w,
+		})
+		m := actModule[k]
+		mc[m] += c
+		mv[m] += v
+		mw[m] += w
+	}
+	for m := Module(0); m < NumModules; m++ {
+		if mc[m] == 0 {
+			continue
+		}
+		rep.Modules = append(rep.Modules, ProfRow{
+			Name: m.String(), Count: mc[m], VirtNS: mv[m], WallNS: mw[m],
+		})
+	}
+	return rep
+}

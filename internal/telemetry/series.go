@@ -1,0 +1,142 @@
+package telemetry
+
+import "sync/atomic"
+
+// Point is one sample of a connection's protocol state, taken on the
+// executor's thread at virtual time At. Fields are int64 so a point is
+// exactly one ring slot; durations are virtual nanoseconds.
+type Point struct {
+	At       int64 `json:"at_ns"`
+	Cwnd     int64 `json:"cwnd"`
+	Ssthresh int64 `json:"ssthresh"`
+	SRTT     int64 `json:"srtt_ns"`
+	RTTVar   int64 `json:"rttvar_ns"`
+	RTO      int64 `json:"rto_ns"`
+	Flight   int64 `json:"flight"`    // bytes sent, unacknowledged
+	SndWnd   int64 `json:"snd_wnd"`   // peer's advertised window
+	RcvWnd   int64 `json:"rcv_wnd"`   // our advertised window
+	OOOBytes int64 `json:"ooo_bytes"` // reassembly-queue depth (incl. overhead)
+	MemUsed  int64 `json:"mem_used"`  // endpoint memory-account charge
+}
+
+const pointFields = 11
+
+func (p *Point) arr() [pointFields]int64 {
+	return [pointFields]int64{
+		p.At, p.Cwnd, p.Ssthresh, p.SRTT, p.RTTVar, p.RTO,
+		p.Flight, p.SndWnd, p.RcvWnd, p.OOOBytes, p.MemUsed,
+	}
+}
+
+func pointFromArr(a *[pointFields]int64) Point {
+	return Point{
+		At: a[0], Cwnd: a[1], Ssthresh: a[2], SRTT: a[3], RTTVar: a[4],
+		RTO: a[5], Flight: a[6], SndWnd: a[7], RcvWnd: a[8],
+		OOOBytes: a[9], MemUsed: a[10],
+	}
+}
+
+// slot is one ring entry. Fields are individually atomic so the HTTP
+// exporter can read a ring the executor is writing without a data race;
+// the seqlock below is what makes the read consistent, not just safe.
+type slot [pointFields]atomic.Int64
+
+// Series is a fixed-capacity time-series ring for one connection. One
+// writer (the executor that owns the connection), any number of
+// concurrent readers. Writes publish under a seqlock: ver is odd while
+// a slot is being written, and readers retry until they observe a quiet
+// interval — so a scrape taken mid-append never shows a half-written
+// point, even when the ring has wrapped.
+type Series struct {
+	name atomic.Pointer[string]
+	n    atomic.Uint64 // total points ever appended
+	ver  atomic.Uint64 // seqlock version
+	// lastAt is writer-private pacing state (virtual time of the last
+	// sample); only the owning executor touches it.
+	lastAt int64
+	buf    []slot
+}
+
+func newSeries(capacity int) *Series {
+	return &Series{buf: make([]slot, capacity)}
+}
+
+func (s *Series) setName(name string) { s.name.Store(&name) }
+
+// Name reports the connection this ring samples; empty until claimed.
+func (s *Series) Name() string {
+	if p := s.name.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// Total reports how many points were ever appended (≥ what the ring
+// still holds once it wraps).
+func (s *Series) Total() uint64 { return s.n.Load() }
+
+// Cap reports the ring capacity.
+func (s *Series) Cap() int { return len(s.buf) }
+
+// Due reports whether a sample at virtual time at is due under the
+// every-ns pacing. Writer-side state: call only from the executor.
+//
+//foxvet:hotpath
+func (s *Series) Due(at, every int64) bool {
+	return s.n.Load() == 0 || at-s.lastAt >= every
+}
+
+// Append writes one point, overwriting the oldest once the ring is
+// full. Allocation-free; call only from the owning executor.
+//
+//foxvet:hotpath
+func (s *Series) Append(p *Point) {
+	n := s.n.Load()
+	sl := &s.buf[n%uint64(len(s.buf))]
+	a := p.arr()
+	s.ver.Add(1) // odd: write in progress
+	for i := range a {
+		sl[i].Store(a[i])
+	}
+	s.n.Store(n + 1)
+	s.ver.Add(1) // even: published
+	s.lastAt = p.At
+}
+
+// Points snapshots the ring's contents, oldest first. Safe concurrently
+// with Append: the seqlock retry loop rereads until it sees a version
+// that was even and unchanged across the whole copy.
+func (s *Series) Points() []Point {
+	for {
+		v := s.ver.Load()
+		if v&1 != 0 {
+			continue
+		}
+		n := s.n.Load()
+		held := n
+		if held > uint64(len(s.buf)) {
+			held = uint64(len(s.buf))
+		}
+		out := make([]Point, 0, held)
+		for i := uint64(0); i < held; i++ {
+			idx := (n - held + i) % uint64(len(s.buf))
+			var a [pointFields]int64
+			for j := range a {
+				a[j] = s.buf[idx][j].Load()
+			}
+			out = append(out, pointFromArr(&a))
+		}
+		if s.ver.Load() == v {
+			return out
+		}
+	}
+}
+
+// Last returns the newest point, if any.
+func (s *Series) Last() (Point, bool) {
+	pts := s.Points()
+	if len(pts) == 0 {
+		return Point{}, false
+	}
+	return pts[len(pts)-1], true
+}

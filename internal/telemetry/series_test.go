@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestSeriesWraparound(t *testing.T) {
+	s := newSeries(4)
+	s.setName("c")
+	for i := 1; i <= 6; i++ {
+		s.Append(&Point{At: int64(i), Cwnd: int64(i * 100)})
+	}
+	if s.Total() != 6 {
+		t.Fatalf("Total = %d, want 6", s.Total())
+	}
+	pts := s.Points()
+	if len(pts) != 4 {
+		t.Fatalf("Points returned %d, want capacity 4", len(pts))
+	}
+	for i, p := range pts { // oldest first: 3,4,5,6
+		want := int64(i + 3)
+		if p.At != want || p.Cwnd != want*100 {
+			t.Errorf("point %d = {At:%d Cwnd:%d}, want {%d %d}", i, p.At, p.Cwnd, want, want*100)
+		}
+	}
+	if last, ok := s.Last(); !ok || last.At != 6 {
+		t.Errorf("Last = %+v ok=%v, want At=6", last, ok)
+	}
+}
+
+func TestSeriesShortFill(t *testing.T) {
+	s := newSeries(8)
+	s.setName("c")
+	if _, ok := s.Last(); ok {
+		t.Error("Last on empty series should report !ok")
+	}
+	s.Append(&Point{At: 10})
+	s.Append(&Point{At: 20})
+	pts := s.Points()
+	if len(pts) != 2 || pts[0].At != 10 || pts[1].At != 20 {
+		t.Fatalf("Points = %+v, want [{At:10} {At:20}]", pts)
+	}
+}
+
+func TestSeriesDuePacing(t *testing.T) {
+	s := newSeries(4)
+	s.setName("c")
+	const every = 1000
+	if !s.Due(5, every) {
+		t.Fatal("first sample is always due")
+	}
+	s.Append(&Point{At: 5})
+	if s.Due(5+every-1, every) {
+		t.Error("sample inside the interval should not be due")
+	}
+	if !s.Due(5+every, every) {
+		t.Error("sample one interval later should be due")
+	}
+}
+
+// TestSeriesSeqlockConsistency hammers the ring from a writer goroutine
+// while readers snapshot it: every returned point must be internally
+// consistent (all fields written together), which is the seqlock's
+// whole job. Run with -race this also proves the ring is scrape-safe.
+func TestSeriesSeqlockConsistency(t *testing.T) {
+	s := newSeries(8)
+	s.setName("c")
+	var stop atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := int64(1); !stop.Load(); i++ {
+			// Every field carries the same value, so a torn read shows.
+			s.Append(&Point{
+				At: i, Cwnd: i, Ssthresh: i, SRTT: i, RTTVar: i, RTO: i,
+				Flight: i, SndWnd: i, RcvWnd: i, OOOBytes: i, MemUsed: i,
+			})
+		}
+	}()
+	for n := 0; n < 2000; n++ {
+		for _, p := range s.Points() {
+			if p.Cwnd != p.At || p.MemUsed != p.At || p.RTO != p.At {
+				t.Fatalf("torn read: %+v", p)
+			}
+		}
+		if p, ok := s.Last(); ok && (p.Cwnd != p.At || p.MemUsed != p.At) {
+			t.Fatalf("torn Last: %+v", p)
+		}
+	}
+	stop.Store(true)
+	<-done
+}
